@@ -1,0 +1,39 @@
+// Shared helpers for the table-regeneration benches.
+//
+// Every bench prints the same row/column structure as the corresponding
+// table in the paper and mirrors it into bench_out/<name>.csv so results
+// can be diffed across runs.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace sca::bench {
+
+/// Prints the table and writes its CSV next to the binary.
+inline void emit(const util::TablePrinter& table, const std::string& name) {
+  table.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (!ec) {
+    std::ofstream csv("bench_out/" + name + ".csv");
+    csv << table.toCsv();
+    std::cout << "[csv] bench_out/" << name << ".csv\n";
+  }
+  std::cout << "\n";
+}
+
+/// "93.1"-style percentage cell.
+inline std::string pct(double fraction, int decimals = 1) {
+  return util::formatDouble(fraction * 100.0, decimals);
+}
+
+/// The paper's check/cross marks, in ASCII.
+inline std::string mark(bool ok) { return ok ? "v" : "x"; }
+
+}  // namespace sca::bench

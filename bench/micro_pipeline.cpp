@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark) for the pipeline primitives: lexing,
+// layout metrics, parsing, rendering, style application, feature
+// extraction and random-forest train/predict.
+#include <benchmark/benchmark.h>
+
+#include "ast/parser.hpp"
+#include "ast/render.hpp"
+#include "corpus/dataset.hpp"
+#include "features/extractor.hpp"
+#include "lexer/layout.hpp"
+#include "lexer/lexer.hpp"
+#include "ml/random_forest.hpp"
+#include "style/apply.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sca;
+
+const std::string& sampleSource() {
+  static const std::string kSource = [] {
+    const auto authors = corpus::makeAuthorPopulation(2018, 1);
+    return corpus::renderSolution(authors[0],
+                                  corpus::challengeById("tidy"), 2018, 0);
+  }();
+  return kSource;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lexer::tokenize(sampleSource()));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_LayoutMetrics(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lexer::computeLayoutMetrics(sampleSource()));
+  }
+}
+BENCHMARK(BM_LayoutMetrics);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ast::parse(sampleSource()));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Render(benchmark::State& state) {
+  const ast::ParseResult parsed = ast::parse(sampleSource());
+  const ast::RenderOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ast::render(parsed.unit, options));
+  }
+}
+BENCHMARK(BM_Render);
+
+void BM_ApplyStyle(benchmark::State& state) {
+  const ast::ParseResult parsed = ast::parse(sampleSource());
+  util::Rng rng(7);
+  const style::StyleProfile profile = style::sampleProfile(rng);
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    util::Rng applyRng(salt++);
+    benchmark::DoNotOptimize(
+        style::applyStyle(parsed.unit, profile, applyRng));
+  }
+}
+BENCHMARK(BM_ApplyStyle);
+
+void BM_FeatureTransform(benchmark::State& state) {
+  features::FeatureExtractor extractor;
+  extractor.fit({sampleSource()});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.transform(sampleSource()));
+  }
+}
+BENCHMARK(BM_FeatureTransform);
+
+ml::Dataset syntheticDataset(std::size_t rows, std::size_t dims,
+                             int classes) {
+  util::Rng rng(11);
+  ml::Dataset data;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int label = static_cast<int>(i % static_cast<std::size_t>(classes));
+    std::vector<double> row(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      row[d] = rng.uniformReal() + (d % static_cast<std::size_t>(classes) ==
+                                            static_cast<std::size_t>(label)
+                                        ? 0.6
+                                        : 0.0);
+    }
+    data.x.push_back(std::move(row));
+    data.y.push_back(label);
+  }
+  return data;
+}
+
+void BM_ForestFit(benchmark::State& state) {
+  const ml::Dataset data = syntheticDataset(800, 120, 16);
+  ml::ForestConfig config;
+  config.treeCount = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest forest(config);
+    forest.fit(data);
+    benchmark::DoNotOptimize(forest.treeCount());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(10)->Arg(40);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const ml::Dataset data = syntheticDataset(800, 120, 16);
+  ml::RandomForest forest(ml::ForestConfig{.treeCount = 40});
+  forest.fit(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(data.x[0]));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

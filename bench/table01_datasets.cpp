@@ -1,0 +1,32 @@
+// Regenerates Table I: the non-ChatGPT datasets used to train the
+// non-ChatGPT authorship models (204 authors x 8 challenges per year).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "corpus/dataset.hpp"
+
+int main() {
+  using namespace sca;
+  util::TablePrinter table(
+      "Table I: Non-ChatGPT code datasets used to train the authorship "
+      "models.");
+  table.setHeader({"Dataset", "Authors", "Challenges", "Language", "Total"});
+  for (const int year : {2017, 2018, 2019}) {
+    const corpus::YearDataset ds = corpus::buildYearDataset(year);
+    table.addRow({"GCJ " + std::to_string(year),
+                  std::to_string(ds.authors.size()),
+                  std::to_string(ds.challenges.size()), "C++",
+                  std::to_string(ds.samples.size())});
+  }
+  bench::emit(table, "table01_datasets");
+
+  std::cout << "Challenge catalogue in use:\n";
+  for (const int year : {2017, 2018, 2019}) {
+    std::cout << "  " << year << ":";
+    for (const corpus::Challenge* ch : corpus::challengesForYear(year)) {
+      std::cout << " " << ch->id;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

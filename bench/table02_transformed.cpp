@@ -1,0 +1,40 @@
+// Regenerates Table II: ChatGPT-transformed datasets built with the
+// non-chaining (NCT) and chaining (CT) schedules over ChatGPT-generated
+// and human (non-ChatGPT) originals.
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace sca;
+  const core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
+  util::TablePrinter table(
+      "Table II: ChatGPT-transformed datasets per challenge "
+      "(+N ChatGPT+NCT, +C ChatGPT+CT, ~N non-ChatGPT+NCT, ~C "
+      "non-ChatGPT+CT).");
+  table.setHeader({"Dataset", "+N", "+C", "~N", "~C", "Total"});
+  for (const int year : {2017, 2018, 2019}) {
+    core::YearExperiment experiment(year, config);
+    const llm::TransformedDataset& ds = experiment.transformedData();
+    std::map<llm::Setting, std::size_t> perChallenge;
+    for (const llm::TransformedSample& sample : ds.samples) {
+      if (sample.challengeIndex == 0) ++perChallenge[sample.setting];
+    }
+    const std::size_t challenges =
+        experiment.corpusData().challenges.size();
+    table.addRow({
+        "GCJ " + std::to_string(year),
+        std::to_string(perChallenge[llm::Setting::ChatGptNct]),
+        std::to_string(perChallenge[llm::Setting::ChatGptCt]),
+        std::to_string(perChallenge[llm::Setting::HumanNct]),
+        std::to_string(perChallenge[llm::Setting::HumanCt]),
+        std::to_string(ds.samples.size()) + " (" +
+            std::to_string(ds.samples.size() / challenges) + "x" +
+            std::to_string(challenges) + ")",
+    });
+  }
+  bench::emit(table, "table02_transformed");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Regenerates Table III: datasets for the binary (ChatGPT vs human)
+// classification — three per-year datasets and the combined dataset with
+// five challenges per year.
+#include "bench_common.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace sca;
+  const core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
+  util::TablePrinter table(
+      "Table III: Datasets for binary classification (ChatGPT vs Human).");
+  table.setHeader(
+      {"Dataset", "# of challenges", "# of codes", "Language", "Total"});
+
+  std::size_t combinedTotal = 0;
+  const std::size_t combinedChallenges = 5;
+  for (const int year : {2017, 2018, 2019}) {
+    core::YearExperiment experiment(year, config);
+    const llm::TransformedDataset& transformed = experiment.transformedData();
+    const std::size_t challenges = experiment.corpusData().challenges.size();
+    const std::size_t perChallenge = transformed.samples.size() / challenges;
+    // Both classes are balanced per challenge: total = 2 x transformed.
+    table.addRow({"GCJ " + std::to_string(year), std::to_string(challenges),
+                  std::to_string(perChallenge), "C++",
+                  std::to_string(2 * transformed.samples.size())});
+    combinedTotal += 2 * perChallenge * combinedChallenges;
+  }
+  table.addRow({"Combined",
+                std::to_string(3 * combinedChallenges),
+                std::to_string(combinedTotal /
+                               (3 * combinedChallenges)),
+                "C++", std::to_string(combinedTotal)});
+  bench::emit(table, "table03_binary_datasets");
+  return 0;
+}

@@ -1,0 +1,5 @@
+// Regenerates Table V: the diversity of styles for GCJ 2017 (in the paper
+// a single label, A49, carried 77.1% of the mass).
+#include "diversity_common.hpp"
+
+int main() { return sca::bench::runDiversityTable(2017, "V", "table05_diversity_2017"); }

@@ -1,0 +1,5 @@
+// Regenerates Table VI: the diversity of styles for GCJ 2018 (in the paper
+// the top three labels carried 66.5% of the mass).
+#include "diversity_common.hpp"
+
+int main() { return sca::bench::runDiversityTable(2018, "VI", "table06_diversity_2018"); }

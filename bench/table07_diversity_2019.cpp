@@ -1,0 +1,5 @@
+// Regenerates Table VII: the diversity of styles for GCJ 2019 (in the paper
+// the top two labels carried 58.6% of the mass).
+#include "diversity_common.hpp"
+
+int main() { return sca::bench::runDiversityTable(2019, "VII", "table07_diversity_2019"); }

@@ -1,0 +1,9 @@
+// Regenerates Table VIII: the 205-author accuracy with the NAIVE ChatGPT
+// set (first responses, no style grouping). In the paper the naive set's
+// per-fold ChatGPT recognition collapsed for 2018 (50%) and 2019 (37.5%).
+#include "attribution_common.hpp"
+
+int main() {
+  return sca::bench::runAttributionTable(sca::core::Approach::Naive, "VIII",
+                                         "table08_naive");
+}

@@ -1,0 +1,313 @@
+#include "ast/ast.hpp"
+
+#include <utility>
+
+namespace sca::ast {
+
+std::string typeName(const TypeRef& type) {
+  std::string base;
+  switch (type.base) {
+    case BaseType::Void: base = "void"; break;
+    case BaseType::Bool: base = "bool"; break;
+    case BaseType::Char: base = "char"; break;
+    case BaseType::Int: base = "int"; break;
+    case BaseType::LongLong: base = "long long"; break;
+    case BaseType::Double: base = "double"; break;
+    case BaseType::String: base = "string"; break;
+    case BaseType::Auto: base = "auto"; break;
+  }
+  if (type.isVector) return "vector<" + base + ">";
+  return base;
+}
+
+std::string_view binaryOpSpelling(BinaryOp op) noexcept {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Mod: return "%";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::LogicalAnd: return "&&";
+    case BinaryOp::LogicalOr: return "||";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::BitAnd: return "&";
+    case BinaryOp::BitOr: return "|";
+    case BinaryOp::BitXor: return "^";
+  }
+  return "?";
+}
+
+std::string_view assignOpSpelling(AssignOp op) noexcept {
+  switch (op) {
+    case AssignOp::Assign: return "=";
+    case AssignOp::AddAssign: return "+=";
+    case AssignOp::SubAssign: return "-=";
+    case AssignOp::MulAssign: return "*=";
+    case AssignOp::DivAssign: return "/=";
+    case AssignOp::ModAssign: return "%=";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- factories --
+
+namespace {
+template <typename T>
+ExprPtr makeExpr(T node) {
+  auto expr = std::make_unique<Expr>();
+  expr->node = std::move(node);
+  return expr;
+}
+template <typename T>
+StmtPtr wrapStmt(T node) {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->node = std::move(node);
+  return stmt;
+}
+}  // namespace
+
+ExprPtr intLit(long long value) { return makeExpr(IntLit{value}); }
+ExprPtr floatLit(double value, std::string spelling) {
+  return makeExpr(FloatLit{value, std::move(spelling)});
+}
+ExprPtr stringLit(std::string value) {
+  return makeExpr(StringLit{std::move(value)});
+}
+ExprPtr charLit(char value) { return makeExpr(CharLit{value}); }
+ExprPtr boolLit(bool value) { return makeExpr(BoolLit{value}); }
+ExprPtr ident(std::string name) { return makeExpr(Ident{std::move(name)}); }
+ExprPtr unary(UnaryOp op, ExprPtr operand) {
+  return makeExpr(Unary{op, std::move(operand)});
+}
+ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return makeExpr(Binary{op, std::move(lhs), std::move(rhs)});
+}
+ExprPtr assign(AssignOp op, ExprPtr target, ExprPtr value) {
+  return makeExpr(Assign{op, std::move(target), std::move(value)});
+}
+ExprPtr call(std::string callee, std::vector<ExprPtr> args) {
+  return makeExpr(Call{std::move(callee), std::move(args)});
+}
+ExprPtr index(ExprPtr base, ExprPtr idx) {
+  return makeExpr(Index{std::move(base), std::move(idx)});
+}
+ExprPtr ternary(ExprPtr cond, ExprPtr thenExpr, ExprPtr elseExpr) {
+  return makeExpr(
+      Ternary{std::move(cond), std::move(thenExpr), std::move(elseExpr)});
+}
+ExprPtr cast(TypeRef type, ExprPtr operand, bool functionalStyle) {
+  return makeExpr(Cast{type, std::move(operand), functionalStyle});
+}
+
+StmtPtr makeStmt(BlockStmt block) { return wrapStmt(std::move(block)); }
+StmtPtr varDecl(TypeRef type, std::vector<Declarator> decls, bool isConst) {
+  return wrapStmt(VarDeclStmt{type, isConst, std::move(decls)});
+}
+StmtPtr varDecl1(TypeRef type, std::string name, ExprPtr init) {
+  std::vector<Declarator> decls;
+  decls.push_back(Declarator{std::move(name), std::move(init), nullptr});
+  return varDecl(type, std::move(decls));
+}
+StmtPtr exprStmt(ExprPtr expr) { return wrapStmt(ExprStmt{std::move(expr)}); }
+StmtPtr ifStmt(ExprPtr cond, StmtPtr thenBranch, StmtPtr elseBranch) {
+  return wrapStmt(
+      IfStmt{std::move(cond), std::move(thenBranch), std::move(elseBranch)});
+}
+StmtPtr forStmt(StmtPtr init, ExprPtr cond, ExprPtr step, StmtPtr body) {
+  return wrapStmt(ForStmt{std::move(init), std::move(cond), std::move(step),
+                          std::move(body)});
+}
+StmtPtr whileStmt(ExprPtr cond, StmtPtr body) {
+  return wrapStmt(WhileStmt{std::move(cond), std::move(body)});
+}
+StmtPtr doWhileStmt(StmtPtr body, ExprPtr cond) {
+  return wrapStmt(DoWhileStmt{std::move(body), std::move(cond)});
+}
+StmtPtr returnStmt(ExprPtr value) {
+  return wrapStmt(ReturnStmt{std::move(value)});
+}
+StmtPtr readStmt(std::vector<ReadTarget> targets) {
+  return wrapStmt(ReadStmt{std::move(targets)});
+}
+StmtPtr writeStmt(std::vector<WriteItem> items, bool trailingNewline) {
+  return wrapStmt(WriteStmt{std::move(items), trailingNewline});
+}
+StmtPtr breakStmt() { return wrapStmt(BreakStmt{}); }
+StmtPtr continueStmt() { return wrapStmt(ContinueStmt{}); }
+StmtPtr commentStmt(std::string text, bool block) {
+  return wrapStmt(CommentStmt{std::move(text), block});
+}
+StmtPtr opaqueStmt(std::string text) {
+  return wrapStmt(OpaqueStmt{std::move(text)});
+}
+
+WriteItem writeText(std::string literal) {
+  WriteItem item;
+  item.isLiteral = true;
+  item.literal = std::move(literal);
+  return item;
+}
+WriteItem writeExpr(ExprPtr expr, TypeRef type, int precision) {
+  WriteItem item;
+  item.isLiteral = false;
+  item.expr = std::move(expr);
+  item.type = type;
+  item.precision = precision;
+  return item;
+}
+ReadTarget readTarget(std::string name, TypeRef type) {
+  return ReadTarget{ident(std::move(name)), type};
+}
+ReadTarget readTargetExpr(ExprPtr lvalue, TypeRef type) {
+  return ReadTarget{std::move(lvalue), type};
+}
+
+// ------------------------------------------------------------- deep copy --
+
+namespace {
+ExprPtr copyExpr(const ExprPtr& expr) {
+  return expr ? deepCopy(*expr) : nullptr;
+}
+StmtPtr copyStmt(const StmtPtr& stmt) {
+  return stmt ? deepCopy(*stmt) : nullptr;
+}
+std::vector<ExprPtr> copyExprs(const std::vector<ExprPtr>& exprs) {
+  std::vector<ExprPtr> out;
+  out.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) out.push_back(copyExpr(e));
+  return out;
+}
+}  // namespace
+
+ExprPtr deepCopy(const Expr& expr) {
+  return std::visit(
+      [](const auto& node) -> ExprPtr {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, IntLit> ||
+                      std::is_same_v<T, FloatLit> ||
+                      std::is_same_v<T, StringLit> ||
+                      std::is_same_v<T, CharLit> ||
+                      std::is_same_v<T, BoolLit> || std::is_same_v<T, Ident>) {
+          auto out = std::make_unique<Expr>();
+          out->node = node;
+          return out;
+        } else if constexpr (std::is_same_v<T, Unary>) {
+          return unary(node.op, copyExpr(node.operand));
+        } else if constexpr (std::is_same_v<T, Binary>) {
+          return binary(node.op, copyExpr(node.lhs), copyExpr(node.rhs));
+        } else if constexpr (std::is_same_v<T, Assign>) {
+          return assign(node.op, copyExpr(node.target), copyExpr(node.value));
+        } else if constexpr (std::is_same_v<T, Call>) {
+          return call(node.callee, copyExprs(node.args));
+        } else if constexpr (std::is_same_v<T, Index>) {
+          return index(copyExpr(node.base), copyExpr(node.index));
+        } else if constexpr (std::is_same_v<T, Ternary>) {
+          return ternary(copyExpr(node.cond), copyExpr(node.thenExpr),
+                         copyExpr(node.elseExpr));
+        } else {
+          static_assert(std::is_same_v<T, Cast>);
+          return cast(node.type, copyExpr(node.operand), node.functionalStyle);
+        }
+      },
+      expr.node);
+}
+
+StmtPtr deepCopy(const Stmt& stmt) {
+  return std::visit(
+      [](const auto& node) -> StmtPtr {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, BlockStmt>) {
+          BlockStmt block;
+          block.stmts.reserve(node.stmts.size());
+          for (const StmtPtr& s : node.stmts) block.stmts.push_back(copyStmt(s));
+          return makeStmt(std::move(block));
+        } else if constexpr (std::is_same_v<T, VarDeclStmt>) {
+          std::vector<Declarator> decls;
+          decls.reserve(node.decls.size());
+          for (const Declarator& d : node.decls) {
+            decls.push_back(Declarator{d.name, copyExpr(d.init),
+                                       copyExpr(d.arraySize)});
+          }
+          return varDecl(node.type, std::move(decls), node.isConst);
+        } else if constexpr (std::is_same_v<T, ExprStmt>) {
+          return exprStmt(copyExpr(node.expr));
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          return ifStmt(copyExpr(node.cond), copyStmt(node.thenBranch),
+                        copyStmt(node.elseBranch));
+        } else if constexpr (std::is_same_v<T, ForStmt>) {
+          return forStmt(copyStmt(node.init), copyExpr(node.cond),
+                         copyExpr(node.step), copyStmt(node.body));
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          return whileStmt(copyExpr(node.cond), copyStmt(node.body));
+        } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+          return doWhileStmt(copyStmt(node.body), copyExpr(node.cond));
+        } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+          return returnStmt(copyExpr(node.value));
+        } else if constexpr (std::is_same_v<T, ReadStmt>) {
+          std::vector<ReadTarget> targets;
+          targets.reserve(node.targets.size());
+          for (const ReadTarget& t : node.targets) {
+            targets.push_back(ReadTarget{copyExpr(t.lvalue), t.type});
+          }
+          return readStmt(std::move(targets));
+        } else if constexpr (std::is_same_v<T, WriteStmt>) {
+          std::vector<WriteItem> items;
+          items.reserve(node.items.size());
+          for (const WriteItem& item : node.items) {
+            WriteItem copy;
+            copy.isLiteral = item.isLiteral;
+            copy.literal = item.literal;
+            copy.expr = copyExpr(item.expr);
+            copy.type = item.type;
+            copy.precision = item.precision;
+            items.push_back(std::move(copy));
+          }
+          return writeStmt(std::move(items), node.trailingNewline);
+        } else if constexpr (std::is_same_v<T, BreakStmt>) {
+          return breakStmt();
+        } else if constexpr (std::is_same_v<T, ContinueStmt>) {
+          return continueStmt();
+        } else if constexpr (std::is_same_v<T, CommentStmt>) {
+          return commentStmt(node.text, node.block);
+        } else {
+          static_assert(std::is_same_v<T, OpaqueStmt>);
+          return opaqueStmt(node.text);
+        }
+      },
+      stmt.node);
+}
+
+Function deepCopy(const Function& function) {
+  Function out;
+  out.returnType = function.returnType;
+  out.name = function.name;
+  out.params = function.params;
+  out.leadingComment = function.leadingComment;
+  out.body.stmts.reserve(function.body.stmts.size());
+  for (const StmtPtr& s : function.body.stmts) {
+    out.body.stmts.push_back(copyStmt(s));
+  }
+  return out;
+}
+
+TranslationUnit deepCopy(const TranslationUnit& unit) {
+  TranslationUnit out;
+  out.headerComment = unit.headerComment;
+  out.includes = unit.includes;
+  out.usingNamespaceStd = unit.usingNamespaceStd;
+  out.aliases = unit.aliases;
+  out.globals.reserve(unit.globals.size());
+  for (const StmtPtr& g : unit.globals) out.globals.push_back(copyStmt(g));
+  out.functions.reserve(unit.functions.size());
+  for (const Function& f : unit.functions) out.functions.push_back(deepCopy(f));
+  return out;
+}
+
+}  // namespace sca::ast

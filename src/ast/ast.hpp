@@ -1,0 +1,288 @@
+// AST for the competitive-programming C++ subset used throughout the paper
+// reproduction.
+//
+// The same tree type serves three roles:
+//   1. challenge IRs in the corpus are authored as ASTs with canonical
+//      snake_case identifiers;
+//   2. the parser recovers an AST from any rendered (or transformed) code;
+//   3. the synthetic LLM's "transformation" is an AST -> AST rewrite
+//      followed by a re-render under a different style.
+//
+// Nodes are value-like tagged variants owning children through
+// std::unique_ptr; deepCopy() clones whole trees (the transformer mutates
+// copies, never its input).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sca::ast {
+
+// ---------------------------------------------------------------- types --
+
+enum class BaseType {
+  Void, Bool, Char, Int, LongLong, Double, String, Auto,
+};
+
+/// A (possibly vector-of-base) type. The subset needs no deeper nesting.
+struct TypeRef {
+  BaseType base = BaseType::Int;
+  bool isVector = false;
+
+  friend bool operator==(const TypeRef&, const TypeRef&) = default;
+};
+
+[[nodiscard]] std::string typeName(const TypeRef& type);
+
+// ----------------------------------------------------------- expressions --
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Gt, Le, Ge, Eq, Ne,
+  LogicalAnd, LogicalOr,
+  Shl, Shr, BitAnd, BitOr, BitXor,
+};
+
+enum class UnaryOp { Neg, Not, PreInc, PreDec, PostInc, PostDec, AddressOf };
+
+enum class AssignOp { Assign, AddAssign, SubAssign, MulAssign, DivAssign, ModAssign };
+
+[[nodiscard]] std::string_view binaryOpSpelling(BinaryOp op) noexcept;
+[[nodiscard]] std::string_view assignOpSpelling(AssignOp op) noexcept;
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit { long long value = 0; };
+struct FloatLit {
+  double value = 0.0;
+  std::string spelling;  // original spelling when parsed, may be empty
+};
+struct StringLit { std::string value; };  // unescaped content
+struct CharLit { char value = '\0'; };
+struct BoolLit { bool value = false; };
+struct Ident { std::string name; };
+struct Unary {
+  UnaryOp op = UnaryOp::Neg;
+  ExprPtr operand;
+};
+struct Binary {
+  BinaryOp op = BinaryOp::Add;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+struct Assign {
+  AssignOp op = AssignOp::Assign;
+  ExprPtr target;
+  ExprPtr value;
+};
+struct Call {
+  std::string callee;  // may be a member chain, e.g. "v.push_back"
+  std::vector<ExprPtr> args;
+};
+struct Index {
+  ExprPtr base;
+  ExprPtr index;
+};
+struct Ternary {
+  ExprPtr cond;
+  ExprPtr thenExpr;
+  ExprPtr elseExpr;
+};
+struct Cast {
+  TypeRef type;
+  ExprPtr operand;
+  bool functionalStyle = false;  // double(x) vs (double)x
+};
+
+struct Expr {
+  std::variant<IntLit, FloatLit, StringLit, CharLit, BoolLit, Ident, Unary,
+               Binary, Assign, Call, Index, Ternary, Cast>
+      node;
+
+  template <typename T>
+  [[nodiscard]] bool is() const noexcept {
+    return std::holds_alternative<T>(node);
+  }
+  template <typename T>
+  [[nodiscard]] T& as() { return std::get<T>(node); }
+  template <typename T>
+  [[nodiscard]] const T& as() const { return std::get<T>(node); }
+};
+
+// ------------------------------------------------------------ statements --
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One declared variable within a declaration statement.
+struct Declarator {
+  std::string name;
+  ExprPtr init;       // null when uninitialized / vector ctor arg below
+  ExprPtr arraySize;  // non-null for C arrays: "int a[100];"
+};
+
+struct BlockStmt { std::vector<StmtPtr> stmts; };
+struct VarDeclStmt {
+  TypeRef type;
+  bool isConst = false;
+  std::vector<Declarator> decls;
+};
+struct ExprStmt { ExprPtr expr; };
+struct IfStmt {
+  ExprPtr cond;
+  StmtPtr thenBranch;   // always non-null
+  StmtPtr elseBranch;   // may be null
+};
+struct ForStmt {
+  StmtPtr init;  // VarDeclStmt or ExprStmt; may be null
+  ExprPtr cond;  // may be null
+  ExprPtr step;  // may be null
+  StmtPtr body;
+};
+struct WhileStmt {
+  ExprPtr cond;
+  StmtPtr body;
+};
+struct DoWhileStmt {
+  StmtPtr body;
+  ExprPtr cond;
+};
+struct ReturnStmt { ExprPtr value; };  // null for bare "return;"
+
+/// One console-input statement, IO-style agnostic.
+/// Renders as "cin >> a >> b;" or "scanf("%d %d", &a, &b);".
+struct ReadTarget {
+  ExprPtr lvalue;
+  TypeRef type;  // drives the scanf format specifier
+};
+struct ReadStmt { std::vector<ReadTarget> targets; };
+
+/// One console-output statement, IO-style agnostic.
+struct WriteItem {
+  bool isLiteral = false;
+  std::string literal;   // when isLiteral
+  ExprPtr expr;          // when !isLiteral
+  TypeRef type;          // printf format selection
+  int precision = -1;    // >= 0: fixed decimal places (doubles)
+};
+struct WriteStmt {
+  std::vector<WriteItem> items;
+  bool trailingNewline = true;
+};
+
+struct BreakStmt {};
+struct ContinueStmt {};
+
+/// A standalone comment in a statement list.
+struct CommentStmt {
+  std::string text;
+  bool block = false;
+};
+
+/// A statement the parser could not model; kept verbatim so that
+/// re-rendering loses nothing (graceful degradation).
+struct OpaqueStmt { std::string text; };
+
+struct Stmt {
+  std::variant<BlockStmt, VarDeclStmt, ExprStmt, IfStmt, ForStmt, WhileStmt,
+               DoWhileStmt, ReturnStmt, ReadStmt, WriteStmt, BreakStmt,
+               ContinueStmt, CommentStmt, OpaqueStmt>
+      node;
+
+  template <typename T>
+  [[nodiscard]] bool is() const noexcept {
+    return std::holds_alternative<T>(node);
+  }
+  template <typename T>
+  [[nodiscard]] T& as() { return std::get<T>(node); }
+  template <typename T>
+  [[nodiscard]] const T& as() const { return std::get<T>(node); }
+};
+
+// ------------------------------------------------------------- top level --
+
+struct Param {
+  TypeRef type;
+  std::string name;
+  bool byReference = false;
+};
+
+struct Function {
+  TypeRef returnType;
+  std::string name;
+  std::vector<Param> params;
+  BlockStmt body;
+  std::string leadingComment;  // optional comment right above the function
+};
+
+/// "typedef long long ll;" or "using ll = long long;".
+struct TypeAlias {
+  std::string name;
+  TypeRef aliased;
+  bool usesTypedef = true;
+};
+
+struct TranslationUnit {
+  std::string headerComment;          // optional file-top comment
+  std::vector<std::string> includes;  // header names without <>
+  bool usingNamespaceStd = true;
+  std::vector<TypeAlias> aliases;
+  std::vector<StmtPtr> globals;       // global declarations (VarDeclStmt)
+  std::vector<Function> functions;
+};
+
+// ------------------------------------------------------------- factories --
+
+[[nodiscard]] ExprPtr intLit(long long value);
+[[nodiscard]] ExprPtr floatLit(double value, std::string spelling = "");
+[[nodiscard]] ExprPtr stringLit(std::string value);
+[[nodiscard]] ExprPtr charLit(char value);
+[[nodiscard]] ExprPtr boolLit(bool value);
+[[nodiscard]] ExprPtr ident(std::string name);
+[[nodiscard]] ExprPtr unary(UnaryOp op, ExprPtr operand);
+[[nodiscard]] ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr assign(AssignOp op, ExprPtr target, ExprPtr value);
+[[nodiscard]] ExprPtr call(std::string callee, std::vector<ExprPtr> args = {});
+[[nodiscard]] ExprPtr index(ExprPtr base, ExprPtr idx);
+[[nodiscard]] ExprPtr ternary(ExprPtr cond, ExprPtr thenExpr, ExprPtr elseExpr);
+[[nodiscard]] ExprPtr cast(TypeRef type, ExprPtr operand,
+                           bool functionalStyle = false);
+
+[[nodiscard]] StmtPtr makeStmt(BlockStmt block);
+[[nodiscard]] StmtPtr varDecl(TypeRef type, std::vector<Declarator> decls,
+                              bool isConst = false);
+[[nodiscard]] StmtPtr varDecl1(TypeRef type, std::string name,
+                               ExprPtr init = nullptr);
+[[nodiscard]] StmtPtr exprStmt(ExprPtr expr);
+[[nodiscard]] StmtPtr ifStmt(ExprPtr cond, StmtPtr thenBranch,
+                             StmtPtr elseBranch = nullptr);
+[[nodiscard]] StmtPtr forStmt(StmtPtr init, ExprPtr cond, ExprPtr step,
+                              StmtPtr body);
+[[nodiscard]] StmtPtr whileStmt(ExprPtr cond, StmtPtr body);
+[[nodiscard]] StmtPtr doWhileStmt(StmtPtr body, ExprPtr cond);
+[[nodiscard]] StmtPtr returnStmt(ExprPtr value = nullptr);
+[[nodiscard]] StmtPtr readStmt(std::vector<ReadTarget> targets);
+[[nodiscard]] StmtPtr writeStmt(std::vector<WriteItem> items,
+                                bool trailingNewline = true);
+[[nodiscard]] StmtPtr breakStmt();
+[[nodiscard]] StmtPtr continueStmt();
+[[nodiscard]] StmtPtr commentStmt(std::string text, bool block = false);
+[[nodiscard]] StmtPtr opaqueStmt(std::string text);
+
+[[nodiscard]] WriteItem writeText(std::string literal);
+[[nodiscard]] WriteItem writeExpr(ExprPtr expr, TypeRef type,
+                                  int precision = -1);
+[[nodiscard]] ReadTarget readTarget(std::string name, TypeRef type);
+[[nodiscard]] ReadTarget readTargetExpr(ExprPtr lvalue, TypeRef type);
+
+// ------------------------------------------------------------ deep copy --
+
+[[nodiscard]] ExprPtr deepCopy(const Expr& expr);
+[[nodiscard]] StmtPtr deepCopy(const Stmt& stmt);
+[[nodiscard]] Function deepCopy(const Function& function);
+[[nodiscard]] TranslationUnit deepCopy(const TranslationUnit& unit);
+
+}  // namespace sca::ast

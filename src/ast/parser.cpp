@@ -1,0 +1,1148 @@
+#include "ast/parser.hpp"
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "lexer/lexer.hpp"
+#include "util/strings.hpp"
+
+namespace sca::ast {
+namespace {
+
+using lexer::Token;
+using lexer::TokenKind;
+
+/// Internal control-flow exception for "this statement is not in the
+/// subset"; always caught inside the parser and turned into OpaqueStmt.
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Unescapes the interior of a quoted literal spelling ("a\nb" -> a<LF>b).
+std::string unescape(std::string_view quoted) {
+  std::string out;
+  if (quoted.size() < 2) return out;
+  const std::string_view inner = quoted.substr(1, quoted.size() - 2);
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    if (inner[i] == '\\' && i + 1 < inner.size()) {
+      ++i;
+      switch (inner[i]) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case '0': out += '\0'; break;
+        case '\\': out += '\\'; break;
+        case '"': out += '"'; break;
+        case '\'': out += '\''; break;
+        default: out += inner[i];
+      }
+    } else {
+      out += inner[i];
+    }
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) {
+    tokens_ = lexer::tokenize(source);
+  }
+
+  ParseResult run() {
+    parseTopLevel();
+    result_.unit = std::move(unit_);
+    return std::move(result_);
+  }
+
+ private:
+  // ------------------------------------------------------------- cursor --
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  [[nodiscard]] bool atEnd() const { return peek().is(TokenKind::EndOfFile); }
+
+  [[nodiscard]] bool checkPunct(std::string_view p, std::size_t ahead = 0) const {
+    return peek(ahead).isPunct(p);
+  }
+  [[nodiscard]] bool checkKeyword(std::string_view k, std::size_t ahead = 0) const {
+    return peek(ahead).isKeyword(k);
+  }
+  bool matchPunct(std::string_view p) {
+    if (checkPunct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool matchKeyword(std::string_view k) {
+    if (checkKeyword(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expectPunct(std::string_view p) {
+    if (!matchPunct(p)) {
+      throw ParseError("expected '" + std::string(p) + "' got '" +
+                       peek().text + "'");
+    }
+  }
+
+  void warn(std::string message) {
+    result_.warnings.push_back(std::move(message));
+    result_.clean = false;
+  }
+
+  // ------------------------------------------------------------- scopes --
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+  void declare(const std::string& name, TypeRef type) {
+    if (!scopes_.empty()) scopes_.back()[name] = type;
+  }
+  [[nodiscard]] std::optional<TypeRef> lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto hit = it->find(name);
+      if (hit != it->end()) return hit->second;
+    }
+    return std::nullopt;
+  }
+
+  // ---------------------------------------------------------- top level --
+  void parseTopLevel() {
+    pushScope();  // global scope
+    // TranslationUnit defaults to using-namespace-std for IR builders; a
+    // parsed file only has it when the directive is actually present.
+    unit_.usingNamespaceStd = false;
+    bool seenAnyDecl = false;
+    while (!atEnd()) {
+      const Token& t = peek();
+      if (t.is(TokenKind::Preprocessor)) {
+        parsePreprocessor(advance().text);
+        continue;
+      }
+      if (t.is(TokenKind::LineComment) || t.is(TokenKind::BlockComment)) {
+        pendingComment_ += pendingComment_.empty() ? t.text : "\n" + t.text;
+        pendingCommentBlock_ = t.is(TokenKind::BlockComment);
+        advance();
+        continue;
+      }
+      if (checkKeyword("using") && checkKeyword("namespace", 1)) {
+        advance();
+        advance();
+        if (peek().text == "std") advance();
+        matchPunct(";");
+        unit_.usingNamespaceStd = true;
+        flushHeaderComment(seenAnyDecl);
+        continue;
+      }
+      if (checkKeyword("typedef")) {
+        parseTypedef();
+        flushHeaderComment(seenAnyDecl);
+        continue;
+      }
+      if (checkKeyword("using")) {
+        parseUsingAlias();
+        flushHeaderComment(seenAnyDecl);
+        continue;
+      }
+      // Type-led: function definition or global variable.
+      if (startsType()) {
+        const std::size_t save = pos_;
+        try {
+          TypeRef type = parseType();
+          if (peek().is(TokenKind::Identifier) && checkPunct("(", 1)) {
+            parseFunction(type);
+            seenAnyDecl = true;
+            continue;
+          }
+          pos_ = save;
+          StmtPtr decl = parseVarDecl();
+          unit_.globals.push_back(std::move(decl));
+          flushHeaderComment(seenAnyDecl);
+          continue;
+        } catch (const ParseError& e) {
+          pos_ = save;
+          warn(std::string("top-level fallback: ") + e.what());
+          skipToplevelNoise();
+          continue;
+        }
+      }
+      warn("skipping unexpected top-level token '" + t.text + "'");
+      advance();
+    }
+    popScope();
+  }
+
+  /// The first pending comment block before any declaration becomes the
+  /// file header comment.
+  void flushHeaderComment(bool seenAnyDecl) {
+    if (!pendingComment_.empty() && !seenAnyDecl &&
+        unit_.headerComment.empty()) {
+      unit_.headerComment = pendingComment_;
+    }
+    pendingComment_.clear();
+  }
+
+  void skipToplevelNoise() {
+    int braceDepth = 0;
+    while (!atEnd()) {
+      const Token& t = advance();
+      if (t.isPunct("{")) ++braceDepth;
+      if (t.isPunct("}")) {
+        if (braceDepth <= 1) return;
+        --braceDepth;
+      }
+      if (t.isPunct(";") && braceDepth == 0) return;
+    }
+  }
+
+  void parsePreprocessor(const std::string& text) {
+    const std::string_view trimmed = util::trim(text);
+    if (util::startsWith(trimmed, "#include")) {
+      std::string_view rest = util::trim(trimmed.substr(8));
+      if (rest.size() >= 2 && (rest.front() == '<' || rest.front() == '"')) {
+        const char close = rest.front() == '<' ? '>' : '"';
+        const std::size_t end = rest.find(close, 1);
+        if (end != std::string_view::npos) {
+          unit_.includes.emplace_back(rest.substr(1, end - 1));
+          return;
+        }
+      }
+    }
+    warn("ignored preprocessor line: " + std::string(trimmed));
+  }
+
+  void parseTypedef() {
+    advance();  // typedef
+    TypeRef type = parseType();
+    if (!peek().is(TokenKind::Identifier)) {
+      throw ParseError("typedef without alias name");
+    }
+    std::string name = advance().text;
+    matchPunct(";");
+    unit_.aliases.push_back(TypeAlias{name, type, /*usesTypedef=*/true});
+    aliasTypes_[name] = type;
+  }
+
+  void parseUsingAlias() {
+    advance();  // using
+    if (!peek().is(TokenKind::Identifier)) {
+      throw ParseError("unsupported using-declaration");
+    }
+    std::string name = advance().text;
+    expectPunct("=");
+    TypeRef type = parseType();
+    matchPunct(";");
+    unit_.aliases.push_back(TypeAlias{name, type, /*usesTypedef=*/false});
+    aliasTypes_[name] = type;
+  }
+
+  // -------------------------------------------------------------- types --
+  [[nodiscard]] bool startsType(std::size_t ahead = 0) const {
+    const Token& t = peek(ahead);
+    if (t.isKeyword("const")) return startsType(ahead + 1);
+    if (t.is(TokenKind::Keyword)) {
+      return t.text == "int" || t.text == "long" || t.text == "double" ||
+             t.text == "float" || t.text == "bool" || t.text == "char" ||
+             t.text == "void" || t.text == "auto" || t.text == "unsigned" ||
+             t.text == "short" || t.text == "signed";
+    }
+    if (t.is(TokenKind::Identifier)) {
+      if (t.text == "string" || t.text == "vector") return true;
+      if (t.text == "std" && peek(ahead + 1).isPunct("::")) {
+        return startsType(ahead + 2);
+      }
+      return aliasTypes_.count(t.text) > 0;
+    }
+    return false;
+  }
+
+  TypeRef parseType() {
+    matchKeyword("const");  // swallowed; constness is handled by caller
+    if (peek().text == "std" && checkPunct("::", 1)) {
+      advance();
+      advance();
+    }
+    const Token& t = peek();
+    if (t.is(TokenKind::Keyword)) {
+      if (matchKeyword("long")) {
+        matchKeyword("long");
+        matchKeyword("int");
+        return TypeRef{BaseType::LongLong, false};
+      }
+      if (matchKeyword("unsigned") || matchKeyword("signed")) {
+        if (matchKeyword("long")) {
+          matchKeyword("long");
+          matchKeyword("int");
+          return TypeRef{BaseType::LongLong, false};
+        }
+        matchKeyword("int");
+        return TypeRef{BaseType::Int, false};
+      }
+      if (matchKeyword("int")) return TypeRef{BaseType::Int, false};
+      if (matchKeyword("short")) {
+        matchKeyword("int");
+        return TypeRef{BaseType::Int, false};
+      }
+      if (matchKeyword("double")) return TypeRef{BaseType::Double, false};
+      if (matchKeyword("float")) return TypeRef{BaseType::Double, false};
+      if (matchKeyword("bool")) return TypeRef{BaseType::Bool, false};
+      if (matchKeyword("char")) return TypeRef{BaseType::Char, false};
+      if (matchKeyword("void")) return TypeRef{BaseType::Void, false};
+      if (matchKeyword("auto")) return TypeRef{BaseType::Auto, false};
+      throw ParseError("not a type keyword: " + t.text);
+    }
+    if (t.is(TokenKind::Identifier)) {
+      if (t.text == "string") {
+        advance();
+        return TypeRef{BaseType::String, false};
+      }
+      if (t.text == "vector") {
+        advance();
+        expectPunct("<");
+        TypeRef inner = parseType();
+        expectPunct(">");
+        return TypeRef{inner.base, true};
+      }
+      const auto alias = aliasTypes_.find(t.text);
+      if (alias != aliasTypes_.end()) {
+        advance();
+        return alias->second;
+      }
+    }
+    throw ParseError("not a type: " + t.text);
+  }
+
+  // ----------------------------------------------------------- functions --
+  void parseFunction(TypeRef returnType) {
+    Function fn;
+    fn.returnType = returnType;
+    fn.name = advance().text;
+    if (!fn.leadingComment.empty()) fn.leadingComment.clear();
+    if (!pendingComment_.empty()) {
+      if (unit_.functions.empty() && unit_.headerComment.empty() &&
+          pendingCommentBlock_) {
+        unit_.headerComment = pendingComment_;
+      } else {
+        fn.leadingComment = pendingComment_;
+      }
+      pendingComment_.clear();
+    }
+    declare(fn.name, returnType);
+    functionReturnTypes_[fn.name] = returnType;
+    expectPunct("(");
+    pushScope();
+    while (!checkPunct(")") && !atEnd()) {
+      Param param;
+      param.type = parseType();
+      if (matchPunct("&")) param.byReference = true;
+      if (peek().is(TokenKind::Identifier)) param.name = advance().text;
+      declare(param.name, param.type);
+      fn.params.push_back(std::move(param));
+      if (!matchPunct(",")) break;
+    }
+    expectPunct(")");
+    expectPunct("{");
+    fn.body = parseBlockBody();
+    popScope();
+    unit_.functions.push_back(std::move(fn));
+  }
+
+  /// Parses statements until the matching '}' (already inside the scope).
+  BlockStmt parseBlockBody() {
+    BlockStmt block;
+    while (!checkPunct("}") && !atEnd()) {
+      block.stmts.push_back(parseStmtSafe());
+    }
+    matchPunct("}");
+    return block;
+  }
+
+  // ----------------------------------------------------------- statements --
+  StmtPtr parseStmtSafe() {
+    const std::size_t save = pos_;
+    try {
+      return parseStmt();
+    } catch (const ParseError& e) {
+      pos_ = save;
+      warn(std::string("statement fallback: ") + e.what());
+      return recoverOpaque();
+    }
+  }
+
+  /// Consumes a broken statement into an OpaqueStmt (to ';' or balanced
+  /// braces) so that re-rendering retains its tokens.
+  StmtPtr recoverOpaque() {
+    std::string text;
+    int braceDepth = 0;
+    int parenDepth = 0;
+    while (!atEnd()) {
+      const Token& t = peek();
+      if (braceDepth == 0 && t.isPunct("}")) break;
+      advance();
+      if (!text.empty()) text += ' ';
+      if (t.is(TokenKind::StringLiteral) || t.is(TokenKind::CharLiteral)) {
+        text += t.text;  // spelling already includes quotes
+      } else {
+        text += t.text;
+      }
+      if (t.isPunct("{")) ++braceDepth;
+      if (t.isPunct("}")) --braceDepth;
+      if (t.isPunct("(")) ++parenDepth;
+      if (t.isPunct(")")) --parenDepth;
+      if (t.isPunct(";") && braceDepth == 0 && parenDepth == 0) break;
+      if (braceDepth < 0) break;
+    }
+    return opaqueStmt(text);
+  }
+
+  StmtPtr parseStmt() {
+    const Token& t = peek();
+    if (t.is(TokenKind::LineComment) || t.is(TokenKind::BlockComment)) {
+      advance();
+      return commentStmt(t.text, t.is(TokenKind::BlockComment));
+    }
+    if (t.is(TokenKind::Preprocessor)) {
+      advance();
+      warn("preprocessor inside function body kept opaque");
+      return opaqueStmt(t.text);
+    }
+    if (matchPunct("{")) {
+      pushScope();
+      BlockStmt block = parseBlockBody();
+      popScope();
+      return makeStmt(std::move(block));
+    }
+    if (matchPunct(";")) return makeStmt(BlockStmt{});  // empty stmt
+    if (checkKeyword("if")) return parseIf();
+    if (checkKeyword("for")) return parseFor();
+    if (checkKeyword("while")) return parseWhile();
+    if (checkKeyword("do")) return parseDoWhile();
+    if (checkKeyword("return")) {
+      advance();
+      if (matchPunct(";")) return returnStmt();
+      ExprPtr value = parseExpr();
+      expectPunct(";");
+      return returnStmt(std::move(value));
+    }
+    if (matchKeyword("break")) {
+      expectPunct(";");
+      return breakStmt();
+    }
+    if (matchKeyword("continue")) {
+      expectPunct(";");
+      return continueStmt();
+    }
+    if (checkKeyword("const") || startsType()) {
+      // Distinguish declaration from expression like "max(a, b);" — types
+      // here start with keywords or string/vector/alias followed by an
+      // identifier.
+      const std::size_t save = pos_;
+      try {
+        return parseVarDecl();
+      } catch (const ParseError&) {
+        pos_ = save;
+        // fall through to expression statement
+      }
+    }
+    // IO statements.
+    if (isIdent("cin") || (isIdent("std") && checkPunct("::", 1) &&
+                           peek(2).text == "cin")) {
+      return parseCinStmt();
+    }
+    if (isIdent("cout") || (isIdent("std") && checkPunct("::", 1) &&
+                            peek(2).text == "cout")) {
+      return parseCoutStmt();
+    }
+    if (isIdent("scanf")) return parseScanfStmt();
+    if (isIdent("printf")) return parsePrintfStmt();
+
+    ExprPtr expr = parseExpr();
+    expectPunct(";");
+    return exprStmt(std::move(expr));
+  }
+
+  [[nodiscard]] bool isIdent(std::string_view name, std::size_t ahead = 0) const {
+    return peek(ahead).is(TokenKind::Identifier) && peek(ahead).text == name;
+  }
+
+  StmtPtr parseIf() {
+    advance();  // if
+    expectPunct("(");
+    ExprPtr cond = parseExpr();
+    expectPunct(")");
+    StmtPtr thenBranch = parseBranchBody();
+    StmtPtr elseBranch;
+    if (matchKeyword("else")) {
+      if (checkKeyword("if")) {
+        elseBranch = parseIf();
+      } else {
+        elseBranch = parseBranchBody();
+      }
+    }
+    return ifStmt(std::move(cond), std::move(thenBranch),
+                  std::move(elseBranch));
+  }
+
+  /// Wraps single-statement bodies in a block for a canonical tree shape.
+  StmtPtr parseBranchBody() {
+    if (matchPunct("{")) {
+      pushScope();
+      BlockStmt block = parseBlockBody();
+      popScope();
+      return makeStmt(std::move(block));
+    }
+    BlockStmt block;
+    block.stmts.push_back(parseStmtSafe());
+    return makeStmt(std::move(block));
+  }
+
+  StmtPtr parseFor() {
+    advance();  // for
+    expectPunct("(");
+    pushScope();
+    StmtPtr init;
+    if (!matchPunct(";")) {
+      if (startsType()) {
+        init = parseVarDeclNoSemi();
+      } else {
+        init = exprStmt(parseExpr());
+      }
+      expectPunct(";");
+    }
+    ExprPtr cond;
+    if (!checkPunct(";")) cond = parseExpr();
+    expectPunct(";");
+    ExprPtr step;
+    if (!checkPunct(")")) step = parseExpr();
+    expectPunct(")");
+    StmtPtr body = parseBranchBody();
+    popScope();
+    return forStmt(std::move(init), std::move(cond), std::move(step),
+                   std::move(body));
+  }
+
+  StmtPtr parseWhile() {
+    advance();  // while
+    expectPunct("(");
+    ExprPtr cond = parseExpr();
+    expectPunct(")");
+    StmtPtr body = parseBranchBody();
+    return whileStmt(std::move(cond), std::move(body));
+  }
+
+  StmtPtr parseDoWhile() {
+    advance();  // do
+    StmtPtr body = parseBranchBody();
+    if (!matchKeyword("while")) throw ParseError("do without while");
+    expectPunct("(");
+    ExprPtr cond = parseExpr();
+    expectPunct(")");
+    matchPunct(";");
+    return doWhileStmt(std::move(body), std::move(cond));
+  }
+
+  StmtPtr parseVarDecl() {
+    StmtPtr decl = parseVarDeclNoSemi();
+    expectPunct(";");
+    return decl;
+  }
+
+  StmtPtr parseVarDeclNoSemi() {
+    bool isConst = false;
+    if (checkKeyword("const")) {
+      isConst = true;
+    }
+    TypeRef type = parseType();
+    std::vector<Declarator> decls;
+    while (true) {
+      if (!peek().is(TokenKind::Identifier)) {
+        throw ParseError("declaration without name, got '" + peek().text +
+                         "'");
+      }
+      Declarator d;
+      d.name = advance().text;
+      TypeRef declared = type;
+      if (matchPunct("[")) {
+        d.arraySize = parseExpr();
+        expectPunct("]");
+        declared.isVector = true;  // arrays behave like vectors for IO typing
+      }
+      if (matchPunct("=")) {
+        d.init = parseExpr();
+      } else if (type.isVector && checkPunct("(")) {
+        advance();
+        d.init = parseExpr();
+        expectPunct(")");
+      }
+      declare(d.name, declared);
+      decls.push_back(std::move(d));
+      if (!matchPunct(",")) break;
+    }
+    return varDecl(type, std::move(decls), isConst);
+  }
+
+  // -------------------------------------------------------- IO statements --
+  void skipStdQualifier() {
+    if (isIdent("std") && checkPunct("::", 1)) {
+      advance();
+      advance();
+    }
+  }
+
+  StmtPtr parseCinStmt() {
+    skipStdQualifier();
+    advance();  // cin
+    std::vector<ReadTarget> targets;
+    while (matchPunct(">>")) {
+      ExprPtr lvalue = parsePostfix();
+      targets.push_back(ReadTarget{std::move(lvalue), TypeRef{}});
+      targets.back().type = typeOf(*targets.back().lvalue);
+    }
+    expectPunct(";");
+    return readStmt(std::move(targets));
+  }
+
+  StmtPtr parseCoutStmt() {
+    skipStdQualifier();
+    advance();  // cout
+    std::vector<WriteItem> items;
+    bool trailingNewline = false;
+    int pendingPrecision = -1;
+    while (matchPunct("<<")) {
+      skipStdQualifier();
+      if (peek().is(TokenKind::StringLiteral)) {
+        std::string text = unescape(advance().text);
+        items.push_back(writeText(std::move(text)));
+        continue;
+      }
+      if (isIdent("endl")) {
+        advance();
+        items.push_back(writeText("\n"));
+        continue;
+      }
+      if (isIdent("fixed")) {
+        advance();
+        continue;
+      }
+      if (isIdent("setprecision")) {
+        advance();
+        expectPunct("(");
+        ExprPtr p = parseExpr();
+        expectPunct(")");
+        if (p->is<IntLit>()) pendingPrecision = static_cast<int>(p->as<IntLit>().value);
+        continue;
+      }
+      // Items bind tighter than "<<": parse below shift precedence so the
+      // next "<<" stays a stream separator, not a left-shift operator.
+      ExprPtr expr = parseBinary(6);
+      TypeRef type = typeOf(*expr);
+      const int precision =
+          type.base == BaseType::Double ? pendingPrecision : -1;
+      items.push_back(writeExpr(std::move(expr), type, precision));
+    }
+    expectPunct(";");
+    // Fold a final "\n" (or endl-produced "\n") literal into the flag.
+    if (!items.empty() && items.back().isLiteral &&
+        util::endsWith(items.back().literal, "\n")) {
+      items.back().literal.pop_back();
+      trailingNewline = true;
+      if (items.back().literal.empty()) items.pop_back();
+    }
+    return writeStmt(std::move(items), trailingNewline);
+  }
+
+  StmtPtr parseScanfStmt() {
+    advance();  // scanf
+    expectPunct("(");
+    if (!peek().is(TokenKind::StringLiteral)) {
+      throw ParseError("scanf without literal format");
+    }
+    const std::string format = unescape(advance().text);
+    std::vector<ReadTarget> targets;
+    while (matchPunct(",")) {
+      bool addressed = matchPunct("&");
+      (void)addressed;
+      ExprPtr lvalue = parsePostfix();
+      TypeRef type = typeOf(*lvalue);
+      targets.push_back(ReadTarget{std::move(lvalue), type});
+    }
+    expectPunct(")");
+    expectPunct(";");
+    // Cross-check format spec count; fall back to symtab types regardless.
+    (void)format;
+    return readStmt(std::move(targets));
+  }
+
+  StmtPtr parsePrintfStmt() {
+    advance();  // printf
+    expectPunct("(");
+    if (!peek().is(TokenKind::StringLiteral)) {
+      throw ParseError("printf without literal format");
+    }
+    const std::string format = unescape(advance().text);
+    std::vector<ExprPtr> args;
+    while (matchPunct(",")) args.push_back(parseExpr());
+    expectPunct(")");
+    expectPunct(";");
+
+    std::vector<WriteItem> items;
+    bool trailingNewline = false;
+    std::string literal;
+    std::size_t argIndex = 0;
+    auto flushLiteral = [&] {
+      if (!literal.empty()) {
+        items.push_back(writeText(literal));
+        literal.clear();
+      }
+    };
+    for (std::size_t i = 0; i < format.size(); ++i) {
+      const char c = format[i];
+      if (c != '%') {
+        literal += c;
+        continue;
+      }
+      if (i + 1 < format.size() && format[i + 1] == '%') {
+        literal += '%';
+        ++i;
+        continue;
+      }
+      // Parse one conversion spec: %[.N](d|lld|ld|f|lf|s|c|u)
+      std::size_t j = i + 1;
+      int precision = -1;
+      if (j < format.size() && format[j] == '.') {
+        ++j;
+        int p = 0;
+        while (j < format.size() && std::isdigit(static_cast<unsigned char>(format[j]))) {
+          p = p * 10 + (format[j] - '0');
+          ++j;
+        }
+        precision = p;
+      }
+      std::string lengthAndConv;
+      while (j < format.size() &&
+             (format[j] == 'l' || format[j] == 'h')) {
+        lengthAndConv += format[j];
+        ++j;
+      }
+      if (j < format.size()) {
+        lengthAndConv += format[j];
+      }
+      TypeRef type{BaseType::Int, false};
+      const char conv = lengthAndConv.empty() ? 'd' : lengthAndConv.back();
+      if (conv == 'f' || conv == 'g' || conv == 'e') {
+        type.base = BaseType::Double;
+      } else if (conv == 's') {
+        type.base = BaseType::String;
+      } else if (conv == 'c') {
+        type.base = BaseType::Char;
+      } else if (lengthAndConv.size() >= 3 ||
+                 (lengthAndConv.size() == 2 && lengthAndConv[0] == 'l' &&
+                  conv == 'd')) {
+        type.base = BaseType::LongLong;
+      }
+      flushLiteral();
+      if (argIndex < args.size()) {
+        ExprPtr arg = std::move(args[argIndex++]);
+        // printf("%s", s.c_str()) -> the string itself.
+        if (type.base == BaseType::String && arg->is<Call>() &&
+            util::endsWith(arg->as<Call>().callee, ".c_str")) {
+          const std::string base = arg->as<Call>().callee.substr(
+              0, arg->as<Call>().callee.size() - 6);
+          arg = ident(base);
+        }
+        if (type.base != BaseType::Double) precision = -1;
+        items.push_back(writeExpr(std::move(arg), type, precision));
+      }
+      i = j;
+    }
+    if (util::endsWith(literal, "\n")) {
+      literal.pop_back();
+      trailingNewline = true;
+    }
+    flushLiteral();
+    return writeStmt(std::move(items), trailingNewline);
+  }
+
+  // ---------------------------------------------------------- expressions --
+  ExprPtr parseExpr() { return parseAssign(); }
+
+  ExprPtr parseAssign() {
+    ExprPtr lhs = parseTernary();
+    static const std::pair<const char*, AssignOp> kAssignOps[] = {
+        {"=", AssignOp::Assign},    {"+=", AssignOp::AddAssign},
+        {"-=", AssignOp::SubAssign}, {"*=", AssignOp::MulAssign},
+        {"/=", AssignOp::DivAssign}, {"%=", AssignOp::ModAssign},
+    };
+    for (const auto& [spelling, op] : kAssignOps) {
+      if (checkPunct(spelling)) {
+        advance();
+        ExprPtr rhs = parseAssign();
+        return assign(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parseTernary() {
+    ExprPtr cond = parseBinary(15);
+    if (matchPunct("?")) {
+      ExprPtr thenExpr = parseExpr();
+      expectPunct(":");
+      ExprPtr elseExpr = parseTernary();
+      return ternary(std::move(cond), std::move(thenExpr),
+                     std::move(elseExpr));
+    }
+    return cond;
+  }
+
+  [[nodiscard]] static std::optional<BinaryOp> binaryOpFor(
+      const Token& t, int maxPrec) {
+    if (!t.is(TokenKind::Punctuator)) return std::nullopt;
+    struct OpRow {
+      std::string_view spelling;
+      BinaryOp op;
+      int prec;
+    };
+    static constexpr OpRow kRows[] = {
+        {"*", BinaryOp::Mul, 5},        {"/", BinaryOp::Div, 5},
+        {"%", BinaryOp::Mod, 5},        {"+", BinaryOp::Add, 6},
+        {"-", BinaryOp::Sub, 6},        {"<<", BinaryOp::Shl, 7},
+        {">>", BinaryOp::Shr, 7},       {"<", BinaryOp::Lt, 9},
+        {">", BinaryOp::Gt, 9},         {"<=", BinaryOp::Le, 9},
+        {">=", BinaryOp::Ge, 9},        {"==", BinaryOp::Eq, 10},
+        {"!=", BinaryOp::Ne, 10},       {"&", BinaryOp::BitAnd, 11},
+        {"^", BinaryOp::BitXor, 12},    {"|", BinaryOp::BitOr, 13},
+        {"&&", BinaryOp::LogicalAnd, 14},
+        {"||", BinaryOp::LogicalOr, 15},
+    };
+    for (const OpRow& row : kRows) {
+      if (t.text == row.spelling && row.prec <= maxPrec) return row.op;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] static int precOf(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::Mul: case BinaryOp::Div: case BinaryOp::Mod: return 5;
+      case BinaryOp::Add: case BinaryOp::Sub: return 6;
+      case BinaryOp::Shl: case BinaryOp::Shr: return 7;
+      case BinaryOp::Lt: case BinaryOp::Gt:
+      case BinaryOp::Le: case BinaryOp::Ge: return 9;
+      case BinaryOp::Eq: case BinaryOp::Ne: return 10;
+      case BinaryOp::BitAnd: return 11;
+      case BinaryOp::BitXor: return 12;
+      case BinaryOp::BitOr: return 13;
+      case BinaryOp::LogicalAnd: return 14;
+      case BinaryOp::LogicalOr: return 15;
+    }
+    return 16;
+  }
+
+  /// Precedence-climbing over binary operators up to `maxPrec`.
+  ExprPtr parseBinary(int maxPrec) {
+    ExprPtr lhs = parseUnary();
+    while (true) {
+      const auto op = binaryOpFor(peek(), maxPrec);
+      if (!op.has_value()) return lhs;
+      advance();
+      ExprPtr rhs = parseBinaryRhs(precOf(*op) - 1);
+      lhs = binary(*op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  ExprPtr parseBinaryRhs(int maxPrec) {
+    ExprPtr lhs = parseUnary();
+    while (true) {
+      const auto op = binaryOpFor(peek(), maxPrec);
+      if (!op.has_value()) return lhs;
+      advance();
+      ExprPtr rhs = parseBinaryRhs(precOf(*op) - 1);
+      lhs = binary(*op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (matchPunct("-")) return unary(UnaryOp::Neg, parseUnary());
+    if (matchPunct("!")) return unary(UnaryOp::Not, parseUnary());
+    if (matchPunct("&")) return unary(UnaryOp::AddressOf, parseUnary());
+    if (matchPunct("+")) return parseUnary();  // unary plus is a no-op
+    if (matchPunct("++")) return unary(UnaryOp::PreInc, parseUnary());
+    if (matchPunct("--")) return unary(UnaryOp::PreDec, parseUnary());
+    // C-style cast: "(" type ")" expr
+    if (checkPunct("(") && startsType(1)) {
+      // Ensure it really closes as a cast, e.g. "(double)x", not "(n)".
+      const std::size_t save = pos_;
+      advance();
+      try {
+        TypeRef type = parseType();
+        if (matchPunct(")")) {
+          ExprPtr operand = parseUnary();
+          return cast(type, std::move(operand), /*functionalStyle=*/false);
+        }
+      } catch (const ParseError&) {
+        // fall through
+      }
+      pos_ = save;
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr expr = parsePrimary();
+    while (true) {
+      if (checkPunct("(")) {
+        if (!expr->is<Ident>()) throw ParseError("call on non-identifier");
+        std::string callee = expr->as<Ident>().name;
+        advance();
+        std::vector<ExprPtr> args;
+        while (!checkPunct(")") && !atEnd()) {
+          args.push_back(parseExpr());
+          if (!matchPunct(",")) break;
+        }
+        expectPunct(")");
+        expr = call(std::move(callee), std::move(args));
+        continue;
+      }
+      if (checkPunct("[")) {
+        advance();
+        ExprPtr idx = parseExpr();
+        expectPunct("]");
+        expr = index(std::move(expr), std::move(idx));
+        continue;
+      }
+      if (checkPunct(".")) {
+        advance();
+        if (!peek().is(TokenKind::Identifier)) {
+          throw ParseError("member access without name");
+        }
+        const std::string member = advance().text;
+        // Fold "base.member" into a dotted identifier used as a callee or
+        // value; base must have a simple spelling.
+        expr = ident(simpleSpelling(*expr) + "." + member);
+        continue;
+      }
+      if (checkPunct("++")) {
+        advance();
+        expr = unary(UnaryOp::PostInc, std::move(expr));
+        continue;
+      }
+      if (checkPunct("--")) {
+        advance();
+        expr = unary(UnaryOp::PostDec, std::move(expr));
+        continue;
+      }
+      return expr;
+    }
+  }
+
+  /// Spelling of simple lvalues for dotted-name folding ("v", "arr[i]").
+  [[nodiscard]] std::string simpleSpelling(const Expr& expr) const {
+    if (expr.is<Ident>()) return expr.as<Ident>().name;
+    if (expr.is<Index>()) {
+      const Index& ix = expr.as<Index>();
+      if (ix.base->is<Ident>() && ix.index->is<Ident>()) {
+        return ix.base->as<Ident>().name + "[" +
+               ix.index->as<Ident>().name + "]";
+      }
+      if (ix.base->is<Ident>() && ix.index->is<IntLit>()) {
+        return ix.base->as<Ident>().name + "[" +
+               std::to_string(ix.index->as<IntLit>().value) + "]";
+      }
+    }
+    throw ParseError("unsupported member-access base");
+  }
+
+  ExprPtr parsePrimary() {
+    const Token& t = peek();
+    if (t.is(TokenKind::IntLiteral)) {
+      advance();
+      long long value = 0;
+      try {
+        value = std::stoll(t.text, nullptr, 0);
+      } catch (...) {
+        throw ParseError("bad int literal " + t.text);
+      }
+      return intLit(value);
+    }
+    if (t.is(TokenKind::FloatLiteral)) {
+      advance();
+      double value = 0.0;
+      try {
+        value = std::stod(t.text);
+      } catch (...) {
+        throw ParseError("bad float literal " + t.text);
+      }
+      return floatLit(value, t.text);
+    }
+    if (t.is(TokenKind::StringLiteral)) {
+      advance();
+      return stringLit(unescape(t.text));
+    }
+    if (t.is(TokenKind::CharLiteral)) {
+      advance();
+      const std::string inner = unescape(t.text);
+      return charLit(inner.empty() ? '\0' : inner[0]);
+    }
+    if (t.isKeyword("true")) {
+      advance();
+      return boolLit(true);
+    }
+    if (t.isKeyword("false")) {
+      advance();
+      return boolLit(false);
+    }
+    if (t.isKeyword("sizeof")) {
+      advance();
+      expectPunct("(");
+      // Keep as a call-shaped node over the argument spelling.
+      std::string inner;
+      int depth = 1;
+      while (!atEnd() && depth > 0) {
+        const Token& tk = advance();
+        if (tk.isPunct("(")) ++depth;
+        if (tk.isPunct(")")) {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (!inner.empty()) inner += ' ';
+        inner += tk.text;
+      }
+      std::vector<ExprPtr> args;
+      args.push_back(ident(inner));
+      return call("sizeof", std::move(args));
+    }
+    // Functional cast: double(x), int(y).
+    if (t.is(TokenKind::Keyword) &&
+        (t.text == "int" || t.text == "double" || t.text == "float" ||
+         t.text == "bool" || t.text == "char" || t.text == "long") &&
+        checkPunct("(", 1)) {
+      TypeRef type = parseType();
+      expectPunct("(");
+      ExprPtr operand = parseExpr();
+      expectPunct(")");
+      return cast(type, std::move(operand), /*functionalStyle=*/true);
+    }
+    if (t.is(TokenKind::Identifier)) {
+      // std:: qualification folds away (canonical form).
+      if (t.text == "std" && checkPunct("::", 1)) {
+        advance();
+        advance();
+        return parsePrimary();
+      }
+      advance();
+      return ident(t.text);
+    }
+    if (matchPunct("(")) {
+      ExprPtr inner = parseExpr();
+      expectPunct(")");
+      return inner;
+    }
+    throw ParseError("unexpected token '" + t.text + "' in expression");
+  }
+
+  // --------------------------------------------------------- type inference --
+  [[nodiscard]] TypeRef typeOf(const Expr& expr) const {
+    return std::visit(
+        [&](const auto& node) -> TypeRef {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, IntLit>) {
+            return TypeRef{BaseType::Int, false};
+          } else if constexpr (std::is_same_v<T, FloatLit>) {
+            return TypeRef{BaseType::Double, false};
+          } else if constexpr (std::is_same_v<T, StringLit>) {
+            return TypeRef{BaseType::String, false};
+          } else if constexpr (std::is_same_v<T, CharLit>) {
+            return TypeRef{BaseType::Char, false};
+          } else if constexpr (std::is_same_v<T, BoolLit>) {
+            return TypeRef{BaseType::Bool, false};
+          } else if constexpr (std::is_same_v<T, Ident>) {
+            if (const auto found = lookup(node.name)) return *found;
+            return TypeRef{BaseType::Int, false};
+          } else if constexpr (std::is_same_v<T, Unary>) {
+            return typeOf(*node.operand);
+          } else if constexpr (std::is_same_v<T, Binary>) {
+            const TypeRef lhs = typeOf(*node.lhs);
+            const TypeRef rhs = typeOf(*node.rhs);
+            switch (node.op) {
+              case BinaryOp::Lt: case BinaryOp::Gt: case BinaryOp::Le:
+              case BinaryOp::Ge: case BinaryOp::Eq: case BinaryOp::Ne:
+              case BinaryOp::LogicalAnd: case BinaryOp::LogicalOr:
+                return TypeRef{BaseType::Bool, false};
+              default:
+                break;
+            }
+            if (lhs.base == BaseType::Double || rhs.base == BaseType::Double) {
+              return TypeRef{BaseType::Double, false};
+            }
+            if (lhs.base == BaseType::String || rhs.base == BaseType::String) {
+              return TypeRef{BaseType::String, false};
+            }
+            if (lhs.base == BaseType::LongLong ||
+                rhs.base == BaseType::LongLong) {
+              return TypeRef{BaseType::LongLong, false};
+            }
+            return TypeRef{BaseType::Int, false};
+          } else if constexpr (std::is_same_v<T, Assign>) {
+            return typeOf(*node.target);
+          } else if constexpr (std::is_same_v<T, Call>) {
+            static const std::map<std::string, BaseType> kKnown = {
+                {"sqrt", BaseType::Double}, {"pow", BaseType::Double},
+                {"fabs", BaseType::Double}, {"ceil", BaseType::Double},
+                {"floor", BaseType::Double}, {"round", BaseType::Double},
+                {"to_string", BaseType::String},
+            };
+            const auto hit = kKnown.find(node.callee);
+            if (hit != kKnown.end()) return TypeRef{hit->second, false};
+            const auto fn = functionReturnTypes_.find(node.callee);
+            if (fn != functionReturnTypes_.end()) return fn->second;
+            if (util::endsWith(node.callee, ".size") ||
+                util::endsWith(node.callee, ".length")) {
+              return TypeRef{BaseType::Int, false};
+            }
+            if (!node.args.empty() &&
+                (node.callee == "max" || node.callee == "min" ||
+                 node.callee == "abs")) {
+              return typeOf(*node.args[0]);
+            }
+            return TypeRef{BaseType::Int, false};
+          } else if constexpr (std::is_same_v<T, Index>) {
+            TypeRef base = typeOf(*node.base);
+            base.isVector = false;
+            return base;
+          } else if constexpr (std::is_same_v<T, Ternary>) {
+            return typeOf(*node.thenExpr);
+          } else {
+            static_assert(std::is_same_v<T, Cast>);
+            return node.type;
+          }
+        },
+        expr.node);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  TranslationUnit unit_;
+  ParseResult result_;
+  std::vector<std::map<std::string, TypeRef>> scopes_;
+  std::map<std::string, TypeRef> aliasTypes_;
+  std::map<std::string, TypeRef> functionReturnTypes_;
+  std::string pendingComment_;
+  bool pendingCommentBlock_ = false;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view source) {
+  Parser parser(source);
+  return parser.run();
+}
+
+}  // namespace sca::ast

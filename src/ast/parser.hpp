@@ -1,0 +1,35 @@
+// Recursive-descent parser: C++ source (the competitive-programming subset)
+// -> TranslationUnit.
+//
+// The parser is the inverse of the renderer over the corpus subset:
+// parse(render(unit)) is structurally equal to `unit` up to style (this is
+// tested as a property over the whole style grid). Anything outside the
+// subset degrades gracefully into OpaqueStmt nodes and a warning — it is
+// never an error, because the attribution pipeline must accept arbitrary
+// adversarial input.
+//
+// IO statements are *semantically* recognized: "cin >> a >> b",
+// "scanf(...)" parse to ReadStmt; "cout << ...", "printf(...)" parse to
+// WriteStmt — this is what lets the transformer switch a program between
+// iostream and stdio styles without touching its meaning.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/ast.hpp"
+
+namespace sca::ast {
+
+struct ParseResult {
+  TranslationUnit unit;
+  std::vector<std::string> warnings;
+  /// True when nothing fell back to OpaqueStmt and no warnings were issued.
+  bool clean = true;
+};
+
+/// Parses a whole source file. Never throws.
+[[nodiscard]] ParseResult parse(std::string_view source);
+
+}  // namespace sca::ast

@@ -1,0 +1,737 @@
+#include "ast/render.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "ast/visit.hpp"
+#include "util/strings.hpp"
+
+namespace sca::ast {
+namespace {
+
+/// Precedence: smaller binds tighter (C++ grammar levels we need).
+int binaryPrecedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Mul: case BinaryOp::Div: case BinaryOp::Mod: return 5;
+    case BinaryOp::Add: case BinaryOp::Sub: return 6;
+    case BinaryOp::Shl: case BinaryOp::Shr: return 7;
+    case BinaryOp::Lt: case BinaryOp::Gt:
+    case BinaryOp::Le: case BinaryOp::Ge: return 9;
+    case BinaryOp::Eq: case BinaryOp::Ne: return 10;
+    case BinaryOp::BitAnd: return 11;
+    case BinaryOp::BitXor: return 12;
+    case BinaryOp::BitOr: return 13;
+    case BinaryOp::LogicalAnd: return 14;
+    case BinaryOp::LogicalOr: return 15;
+  }
+  return 16;
+}
+
+constexpr int kPrimaryPrec = 0;
+constexpr int kPostfixPrec = 2;
+constexpr int kUnaryPrec = 3;
+constexpr int kTernaryPrec = 16;
+constexpr int kAssignPrec = 16;
+
+/// Names that live in namespace std in our subset.
+const std::set<std::string>& stdNames() {
+  static const std::set<std::string> kNames = {
+      "cin",    "cout",       "cerr",   "endl",     "string",   "vector",
+      "max",    "min",        "swap",   "sort",     "fixed",    "reverse",
+      "setprecision", "to_string", "getline", "abs", "pair", "make_pair",
+  };
+  return kNames;
+}
+
+class Renderer {
+ public:
+  Renderer(const TranslationUnit& unit, const RenderOptions& opt)
+      : unit_(unit), opt_(opt) {
+    for (const TypeAlias& alias : unit.aliases) {
+      if (!alias.aliased.isVector) aliasFor_[alias.aliased.base] = alias.name;
+    }
+  }
+
+  [[nodiscard]] std::string run() {
+    if (!unit_.headerComment.empty()) {
+      emitComment(unit_.headerComment, /*block=*/true);
+      out_ += '\n';
+    }
+    for (const std::string& include : unit_.includes) {
+      out_ += "#include <" + include + ">\n";
+    }
+    if (!unit_.includes.empty()) out_ += '\n';
+    if (unit_.usingNamespaceStd) out_ += "using namespace std;\n\n";
+    for (const TypeAlias& alias : unit_.aliases) {
+      if (alias.usesTypedef) {
+        out_ += "typedef " + baseName(alias.aliased) + " " + alias.name + ";\n";
+      } else {
+        out_ += "using " + alias.name + " = " + baseName(alias.aliased) + ";\n";
+      }
+    }
+    if (!unit_.aliases.empty()) out_ += '\n';
+    for (const StmtPtr& global : unit_.globals) {
+      if (global) emitStmt(*global);
+    }
+    if (!unit_.globals.empty()) out_ += '\n';
+
+    for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+      if (i > 0) {
+        for (int b = 0; b < std::max(opt_.blankLinesBetweenFunctions, 0); ++b) {
+          out_ += '\n';
+        }
+      }
+      emitFunction(unit_.functions[i]);
+    }
+    return std::move(out_);
+  }
+
+  [[nodiscard]] std::string exprToString(const Expr& expr) {
+    emitExpr(expr, 100);
+    return std::move(out_);
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers --
+  [[nodiscard]] std::string indentUnit() const {
+    return opt_.useTabs ? "\t" : std::string(static_cast<std::size_t>(
+                                                 std::max(opt_.indentWidth, 1)),
+                                             ' ');
+  }
+  void indent() {
+    for (int i = 0; i < depth_; ++i) out_ += indentUnit();
+  }
+  void line(std::string_view text) {
+    indent();
+    out_ += text;
+    out_ += '\n';
+  }
+
+  [[nodiscard]] std::string qualify(const std::string& name) const {
+    if (unit_.usingNamespaceStd) return name;
+    if (stdNames().count(name) > 0) return "std::" + name;
+    return name;
+  }
+
+  [[nodiscard]] std::string baseName(const TypeRef& type) const {
+    TypeRef scalar{type.base, false};
+    std::string name = typeName(scalar);
+    if (!unit_.usingNamespaceStd && type.base == BaseType::String) {
+      name = "std::" + name;
+    }
+    return name;
+  }
+
+  [[nodiscard]] std::string renderTypeName(const TypeRef& type) const {
+    const auto it = aliasFor_.find(type.base);
+    std::string base =
+        (it != aliasFor_.end() && !type.isVector) ? it->second : baseName(type);
+    if (type.isVector) {
+      std::string vec = unit_.usingNamespaceStd ? "vector" : "std::vector";
+      std::string inner =
+          (it != aliasFor_.end()) ? it->second : baseName(TypeRef{type.base, false});
+      return vec + "<" + inner + ">";
+    }
+    return base;
+  }
+
+  [[nodiscard]] std::string comma() const {
+    return opt_.spaceAfterComma ? ", " : ",";
+  }
+  [[nodiscard]] std::string opPad() const {
+    return opt_.spaceAroundOps ? " " : "";
+  }
+  [[nodiscard]] std::string keywordParen(std::string_view keyword) const {
+    std::string out(keyword);
+    out += opt_.spaceAfterKeyword ? " (" : "(";
+    return out;
+  }
+
+  // --------------------------------------------------------- expressions --
+  void emitExpr(const Expr& expr, int parentPrec) {
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, IntLit>) {
+            out_ += std::to_string(node.value);
+          } else if constexpr (std::is_same_v<T, FloatLit>) {
+            out_ += floatSpelling(node);
+          } else if constexpr (std::is_same_v<T, StringLit>) {
+            out_ += '"' + escapeString(node.value) + '"';
+          } else if constexpr (std::is_same_v<T, CharLit>) {
+            out_ += charSpelling(node.value);
+          } else if constexpr (std::is_same_v<T, BoolLit>) {
+            out_ += node.value ? "true" : "false";
+          } else if constexpr (std::is_same_v<T, Ident>) {
+            out_ += qualify(node.name);
+          } else if constexpr (std::is_same_v<T, Unary>) {
+            emitUnary(node, parentPrec);
+          } else if constexpr (std::is_same_v<T, Binary>) {
+            emitBinary(node, parentPrec);
+          } else if constexpr (std::is_same_v<T, Assign>) {
+            maybeParen(parentPrec, kAssignPrec, [&] {
+              emitExpr(*node.target, kAssignPrec - 1);
+              out_ += ' ';
+              out_ += assignOpSpelling(node.op);
+              out_ += ' ';
+              emitExpr(*node.value, kAssignPrec);
+            });
+          } else if constexpr (std::is_same_v<T, Call>) {
+            out_ += qualify(node.callee);
+            out_ += '(';
+            for (std::size_t i = 0; i < node.args.size(); ++i) {
+              if (i > 0) out_ += comma();
+              emitExpr(*node.args[i], kAssignPrec);
+            }
+            out_ += ')';
+          } else if constexpr (std::is_same_v<T, Index>) {
+            emitExpr(*node.base, kPostfixPrec);
+            out_ += '[';
+            emitExpr(*node.index, kAssignPrec);
+            out_ += ']';
+          } else if constexpr (std::is_same_v<T, Ternary>) {
+            maybeParen(parentPrec, kTernaryPrec, [&] {
+              emitExpr(*node.cond, kTernaryPrec - 1);
+              out_ += " ? ";
+              emitExpr(*node.thenExpr, kTernaryPrec);
+              out_ += " : ";
+              emitExpr(*node.elseExpr, kTernaryPrec);
+            });
+          } else {
+            static_assert(std::is_same_v<T, Cast>);
+            emitCast(node, parentPrec);
+          }
+        },
+        expr.node);
+  }
+
+  template <typename Fn>
+  void maybeParen(int parentPrec, int myPrec, const Fn& body) {
+    const bool parens = myPrec > parentPrec;
+    if (parens) out_ += '(';
+    body();
+    if (parens) out_ += ')';
+  }
+
+  void emitUnary(const Unary& node, int parentPrec) {
+    maybeParen(parentPrec, kUnaryPrec, [&] {
+      switch (node.op) {
+        case UnaryOp::Neg: out_ += '-'; emitExpr(*node.operand, kUnaryPrec); break;
+        case UnaryOp::Not: out_ += '!'; emitExpr(*node.operand, kUnaryPrec); break;
+        case UnaryOp::AddressOf: out_ += '&'; emitExpr(*node.operand, kUnaryPrec); break;
+        case UnaryOp::PreInc: out_ += "++"; emitExpr(*node.operand, kUnaryPrec); break;
+        case UnaryOp::PreDec: out_ += "--"; emitExpr(*node.operand, kUnaryPrec); break;
+        case UnaryOp::PostInc: emitExpr(*node.operand, kPostfixPrec); out_ += "++"; break;
+        case UnaryOp::PostDec: emitExpr(*node.operand, kPostfixPrec); out_ += "--"; break;
+      }
+    });
+  }
+
+  void emitBinary(const Binary& node, int parentPrec) {
+    const int prec = binaryPrecedence(node.op);
+    maybeParen(parentPrec, prec, [&] {
+      emitExpr(*node.lhs, prec);
+      out_ += opPad();
+      out_ += binaryOpSpelling(node.op);
+      out_ += opPad();
+      // Right operand of a left-associative operator needs parens at equal
+      // precedence.
+      emitExpr(*node.rhs, prec - 1);
+    });
+  }
+
+  void emitCast(const Cast& node, int parentPrec) {
+    if (node.functionalStyle) {
+      // double(x) — only valid for single-word type names; fall back to
+      // C-style for "long long".
+      if (node.type.base != BaseType::LongLong && !node.type.isVector) {
+        out_ += renderTypeName(node.type);
+        out_ += '(';
+        emitExpr(*node.operand, kAssignPrec);
+        out_ += ')';
+        return;
+      }
+    }
+    maybeParen(parentPrec, kUnaryPrec, [&] {
+      out_ += '(';
+      out_ += renderTypeName(node.type);
+      out_ += ')';
+      emitExpr(*node.operand, kUnaryPrec);
+    });
+  }
+
+  [[nodiscard]] static std::string floatSpelling(const FloatLit& lit) {
+    if (!lit.spelling.empty()) return lit.spelling;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%g", lit.value);
+    std::string text(buffer);
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos &&
+        text.find("inf") == std::string::npos &&
+        text.find("nan") == std::string::npos) {
+      text += ".0";
+    }
+    return text;
+  }
+
+  [[nodiscard]] static std::string charSpelling(char value) {
+    switch (value) {
+      case '\n': return "'\\n'";
+      case '\t': return "'\\t'";
+      case '\\': return "'\\\\'";
+      case '\'': return "'\\''";
+      default: return std::string("'") + value + "'";
+    }
+  }
+
+  // ---------------------------------------------------------- statements --
+  void emitFunction(const Function& function) {
+    if (!function.leadingComment.empty()) {
+      emitComment(function.leadingComment, /*block=*/false);
+    }
+    std::string head = renderTypeName(function.returnType) + " " +
+                       function.name + "(";
+    for (std::size_t i = 0; i < function.params.size(); ++i) {
+      if (i > 0) head += comma();
+      const Param& p = function.params[i];
+      head += renderTypeName(p.type);
+      head += p.byReference ? "& " : " ";
+      head += p.name;
+    }
+    head += ")";
+    openBrace(head);
+    emitStmtList(function.body.stmts);
+    closeBrace();
+  }
+
+  void openBrace(const std::string& head) {
+    if (opt_.allmanBraces) {
+      line(head);
+      line("{");
+    } else {
+      line(head + " {");
+    }
+    ++depth_;
+  }
+  void closeBrace(std::string_view suffix = "") {
+    --depth_;
+    line("}" + std::string(suffix));
+  }
+
+  void emitStmtList(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& stmt : stmts) {
+      if (stmt) emitStmt(*stmt);
+    }
+  }
+
+  /// Renders a loop/if body. Returns through braces or as a single indented
+  /// statement depending on options and body shape.
+  void emitBody(const std::string& head, const Stmt* body,
+                const std::string& closeSuffix = "") {
+    const BlockStmt* block = body && body->is<BlockStmt>()
+                                 ? &body->as<BlockStmt>()
+                                 : nullptr;
+    const bool singleSimple =
+        !opt_.braceSingleStatements && block != nullptr &&
+        block->stmts.size() == 1 && block->stmts[0] != nullptr &&
+        isSimple(*block->stmts[0]) && closeSuffix.empty();
+    if (singleSimple) {
+      line(head);
+      ++depth_;
+      emitStmt(*block->stmts[0]);
+      --depth_;
+      return;
+    }
+    openBrace(head);
+    if (block != nullptr) {
+      emitStmtList(block->stmts);
+    } else if (body != nullptr) {
+      emitStmt(*body);
+    }
+    closeBrace(closeSuffix);
+  }
+
+  [[nodiscard]] static bool isSimple(const Stmt& stmt) {
+    return stmt.is<ExprStmt>() || stmt.is<ReturnStmt>() ||
+           stmt.is<BreakStmt>() || stmt.is<ContinueStmt>() ||
+           stmt.is<ReadStmt>() || stmt.is<WriteStmt>();
+  }
+
+  void emitComment(const std::string& text, bool block) {
+    const std::vector<std::string> lines = util::split(text, '\n');
+    if (block) {
+      if (lines.size() == 1) {
+        line("/* " + lines[0] + " */");
+      } else {
+        line("/*");
+        for (const std::string& l : lines) line(" * " + l);
+        line(" */");
+      }
+    } else {
+      for (const std::string& l : lines) line("// " + l);
+    }
+  }
+
+  void emitStmt(const Stmt& stmt) {
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, BlockStmt>) {
+            openBrace("");
+            emitStmtList(node.stmts);
+            closeBrace();
+          } else if constexpr (std::is_same_v<T, VarDeclStmt>) {
+            line(declText(node) + ";");
+          } else if constexpr (std::is_same_v<T, ExprStmt>) {
+            indent();
+            if (node.expr) emitExpr(*node.expr, 100);
+            out_ += ";\n";
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            emitIf(node);
+          } else if constexpr (std::is_same_v<T, ForStmt>) {
+            std::string head = keywordParen("for");
+            if (node.init) head += inlineStmt(*node.init);
+            head += "; ";
+            if (node.cond) head += inlineExpr(*node.cond);
+            head += "; ";
+            if (node.step) head += inlineExpr(*node.step);
+            head += ")";
+            emitBody(head, node.body.get());
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            emitBody(keywordParen("while") + inlineExpr(*node.cond) + ")",
+                     node.body.get());
+          } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+            emitBody("do", node.body.get(),
+                     " " + keywordParen("while") + inlineExpr(*node.cond) +
+                         ");");
+          } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+            indent();
+            out_ += "return";
+            if (node.value) {
+              out_ += ' ';
+              emitExpr(*node.value, 100);
+            }
+            out_ += ";\n";
+          } else if constexpr (std::is_same_v<T, ReadStmt>) {
+            emitRead(node);
+          } else if constexpr (std::is_same_v<T, WriteStmt>) {
+            emitWrite(node);
+          } else if constexpr (std::is_same_v<T, BreakStmt>) {
+            line("break;");
+          } else if constexpr (std::is_same_v<T, ContinueStmt>) {
+            line("continue;");
+          } else if constexpr (std::is_same_v<T, CommentStmt>) {
+            emitComment(node.text, node.block);
+          } else {
+            static_assert(std::is_same_v<T, OpaqueStmt>);
+            for (const std::string& l : util::split(node.text, '\n')) {
+              line(l);
+            }
+          }
+        },
+        stmt.node);
+  }
+
+  void emitInnerBody(const Stmt* body) {
+    if (body == nullptr) return;
+    if (body->is<BlockStmt>()) {
+      emitStmtList(body->as<BlockStmt>().stmts);
+    } else {
+      emitStmt(*body);
+    }
+  }
+
+  void emitIf(const IfStmt& node) {
+    std::string head = keywordParen("if") + inlineExpr(*node.cond) + ")";
+    const IfStmt* current = &node;
+    while (true) {
+      if (current->elseBranch == nullptr) {
+        emitBody(head, current->thenBranch.get());
+        return;
+      }
+      // Then-branch: open a brace and leave the closing '}' to the else
+      // head so K&R reads "} else ...".
+      openBrace(head);
+      emitInnerBody(current->thenBranch.get());
+      --depth_;
+      if (current->elseBranch->is<IfStmt>()) {
+        const IfStmt& next = current->elseBranch->as<IfStmt>();
+        if (opt_.allmanBraces) {
+          line("}");
+          head = "else " + keywordParen("if") + inlineExpr(*next.cond) + ")";
+        } else {
+          head = "} else " + keywordParen("if") + inlineExpr(*next.cond) + ")";
+        }
+        current = &next;
+        continue;
+      }
+      if (opt_.allmanBraces) {
+        line("}");
+        emitBody("else", current->elseBranch.get());
+      } else {
+        emitBody("} else", current->elseBranch.get());
+      }
+      return;
+    }
+  }
+
+  [[nodiscard]] std::string inlineExpr(const Expr& expr) {
+    Renderer sub(unit_, opt_);
+    return sub.exprToString(expr);
+  }
+
+  /// Declaration or expression statement without trailing ";\n" (for-init).
+  [[nodiscard]] std::string inlineStmt(const Stmt& stmt) {
+    if (stmt.is<VarDeclStmt>()) return declText(stmt.as<VarDeclStmt>());
+    if (stmt.is<ExprStmt>() && stmt.as<ExprStmt>().expr) {
+      return inlineExpr(*stmt.as<ExprStmt>().expr);
+    }
+    return "";
+  }
+
+  [[nodiscard]] std::string declText(const VarDeclStmt& node) {
+    std::string text;
+    if (node.isConst) text += "const ";
+    text += renderTypeName(node.type);
+    text += ' ';
+    for (std::size_t i = 0; i < node.decls.size(); ++i) {
+      if (i > 0) text += comma();
+      const Declarator& d = node.decls[i];
+      text += d.name;
+      if (d.arraySize) {
+        text += '[';
+        text += inlineExpr(*d.arraySize);
+        text += ']';
+      }
+      if (d.init) {
+        if (node.type.isVector) {
+          text += '(' + inlineExpr(*d.init) + ')';
+        } else {
+          text += opt_.spaceAroundOps ? " = " : "=";
+          text += inlineExpr(*d.init);
+        }
+      }
+    }
+    return text;
+  }
+
+  // ------------------------------------------------------------------ IO --
+  void emitRead(const ReadStmt& node) {
+    const bool hasString = std::any_of(
+        node.targets.begin(), node.targets.end(), [](const ReadTarget& t) {
+          return t.type.base == BaseType::String || t.type.isVector;
+        });
+    if (opt_.ioStyle == IoStyle::Iostream || hasString || node.targets.empty()) {
+      indent();
+      out_ += qualify("cin");
+      for (const ReadTarget& t : node.targets) {
+        out_ += " >> ";
+        emitExpr(*t.lvalue, 7 - 1);
+      }
+      out_ += ";\n";
+      return;
+    }
+    std::string format;
+    for (std::size_t i = 0; i < node.targets.size(); ++i) {
+      if (i > 0) format += ' ';
+      format += scanfSpec(node.targets[i].type);
+    }
+    indent();
+    out_ += "scanf(\"" + format + "\"";
+    for (const ReadTarget& t : node.targets) {
+      out_ += comma();
+      out_ += '&';
+      emitExpr(*t.lvalue, kUnaryPrec);
+    }
+    out_ += ");\n";
+  }
+
+  [[nodiscard]] static std::string scanfSpec(const TypeRef& type) {
+    switch (type.base) {
+      case BaseType::Int: return "%d";
+      case BaseType::LongLong: return "%lld";
+      case BaseType::Double: return "%lf";
+      case BaseType::Char: return " %c";
+      default: return "%d";
+    }
+  }
+
+  void emitWrite(const WriteStmt& node) {
+    if (opt_.ioStyle == IoStyle::Iostream) {
+      indent();
+      out_ += qualify("cout");
+      int activePrecision = -1;
+      for (const WriteItem& item : node.items) {
+        if (item.isLiteral) {
+          out_ += " << \"" + escapeString(item.literal) + "\"";
+          continue;
+        }
+        if (item.precision >= 0 && item.precision != activePrecision) {
+          out_ += " << " + qualify("fixed") + " << " +
+                  qualify("setprecision") + "(" +
+                  std::to_string(item.precision) + ")";
+          activePrecision = item.precision;
+        }
+        out_ += " << ";
+        emitExpr(*item.expr, 7 - 1);
+      }
+      if (node.trailingNewline) {
+        out_ += opt_.useEndl ? " << " + qualify("endl") : " << \"\\n\"";
+      }
+      out_ += ";\n";
+      return;
+    }
+    // printf
+    std::string format;
+    std::vector<const WriteItem*> args;
+    for (const WriteItem& item : node.items) {
+      if (item.isLiteral) {
+        // '%' in literal text must be doubled inside a printf format.
+        format += util::replaceAll(escapeString(item.literal), "%", "%%");
+        continue;
+      }
+      format += printfSpec(item);
+      args.push_back(&item);
+    }
+    if (node.trailingNewline) format += "\\n";
+    indent();
+    out_ += "printf(\"" + format + "\"";
+    for (const WriteItem* item : args) {
+      out_ += comma();
+      const bool needsCStr = item->type.base == BaseType::String;
+      if (needsCStr) {
+        emitExpr(*item->expr, kPostfixPrec);
+        out_ += ".c_str()";
+      } else {
+        emitExpr(*item->expr, kAssignPrec);
+      }
+    }
+    out_ += ");\n";
+  }
+
+  [[nodiscard]] static std::string printfSpec(const WriteItem& item) {
+    switch (item.type.base) {
+      case BaseType::Int: case BaseType::Bool: return "%d";
+      case BaseType::LongLong: return "%lld";
+      case BaseType::Double:
+        if (item.precision >= 0) {
+          return "%." + std::to_string(item.precision) + "lf";
+        }
+        return "%lf";
+      case BaseType::Char: return "%c";
+      case BaseType::String: return "%s";
+      default: return "%d";
+    }
+  }
+
+  const TranslationUnit& unit_;
+  const RenderOptions& opt_;
+  std::map<BaseType, std::string> aliasFor_;
+  std::string out_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string render(const TranslationUnit& unit, const RenderOptions& options) {
+  Renderer renderer(unit, options);
+  return renderer.run();
+}
+
+std::string renderExpr(const Expr& expr, const RenderOptions& options,
+                       bool stdQualified) {
+  TranslationUnit unit;
+  unit.usingNamespaceStd = !stdQualified;
+  Renderer renderer(unit, options);
+  return renderer.exprToString(expr);
+}
+
+std::string escapeString(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void normalizeIncludes(TranslationUnit& unit, IoStyle ioStyle) {
+  const bool hasBits =
+      std::find(unit.includes.begin(), unit.includes.end(),
+                "bits/stdc++.h") != unit.includes.end();
+  if (hasBits) {
+    unit.includes = {"bits/stdc++.h"};
+    return;
+  }
+
+  bool needsVector = false;
+  bool needsString = false;
+  bool needsAlgorithm = false;
+  bool needsCmath = false;
+  bool needsIomanip = false;
+  bool hasStringRead = false;
+
+  const auto checkType = [&](const TypeRef& type) {
+    if (type.isVector) needsVector = true;
+    if (type.base == BaseType::String) needsString = true;
+  };
+  for (const Function& f : unit.functions) {
+    checkType(f.returnType);
+    for (const Param& p : f.params) checkType(p.type);
+  }
+  static const std::set<std::string> kAlgorithmCalls = {
+      "sort", "max", "min", "swap", "reverse", "max_element", "min_element"};
+  static const std::set<std::string> kCmathCalls = {
+      "sqrt", "pow", "fabs", "ceil", "floor", "round", "log", "log2", "exp"};
+  forEachStmt(unit, [&](const Stmt& stmt) {
+    if (stmt.is<VarDeclStmt>()) checkType(stmt.as<VarDeclStmt>().type);
+    if (stmt.is<WriteStmt>()) {
+      for (const WriteItem& item : stmt.as<WriteStmt>().items) {
+        if (!item.isLiteral && item.precision >= 0) needsIomanip = true;
+        if (!item.isLiteral && item.type.base == BaseType::String) {
+          needsString = true;
+        }
+      }
+    }
+    if (stmt.is<ReadStmt>()) {
+      for (const ReadTarget& t : stmt.as<ReadStmt>().targets) {
+        if (t.type.base == BaseType::String) {
+          needsString = true;
+          hasStringRead = true;
+        }
+      }
+    }
+  });
+  forEachExpr(const_cast<const TranslationUnit&>(unit),
+              [&](const Expr& expr) {
+                if (expr.is<Call>()) {
+                  const std::string& callee = expr.as<Call>().callee;
+                  if (kAlgorithmCalls.count(callee) > 0) needsAlgorithm = true;
+                  if (kCmathCalls.count(callee) > 0) needsCmath = true;
+                }
+              });
+
+  std::vector<std::string> includes;
+  if (ioStyle == IoStyle::Iostream || hasStringRead) {
+    includes.push_back("iostream");
+  }
+  if (ioStyle == IoStyle::Stdio) includes.push_back("cstdio");
+  if (needsIomanip && ioStyle == IoStyle::Iostream) {
+    includes.push_back("iomanip");
+  }
+  if (needsString) includes.push_back("string");
+  if (needsVector) includes.push_back("vector");
+  if (needsAlgorithm) includes.push_back("algorithm");
+  if (needsCmath) includes.push_back("cmath");
+  unit.includes = std::move(includes);
+}
+
+}  // namespace sca::ast

@@ -1,0 +1,48 @@
+// Style-directed source renderer: TranslationUnit + RenderOptions -> C++.
+//
+// All layout-level style dimensions (indentation, braces, spacing, IO
+// idiom) are decided here at render time; structural dimensions (naming,
+// decomposition, loop forms) are AST rewrites in ast/transforms.hpp. The
+// renderer is total: every tree, including OpaqueStmt fallbacks, renders.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace sca::ast {
+
+enum class IoStyle { Iostream, Stdio };
+
+struct RenderOptions {
+  int indentWidth = 4;
+  bool useTabs = false;
+  bool allmanBraces = false;       // '{' on its own line
+  bool spaceAroundOps = true;      // "a + b" vs "a+b"
+  bool spaceAfterComma = true;
+  bool spaceAfterKeyword = true;   // "if (" vs "if("
+  IoStyle ioStyle = IoStyle::Iostream;
+  bool useEndl = false;            // endl vs "\n" (iostream only)
+  bool braceSingleStatements = true;
+  int blankLinesBetweenFunctions = 1;
+  bool blankLineAfterDecls = false;  // blank line after leading declarations
+};
+
+/// Renders a full translation unit.
+[[nodiscard]] std::string render(const TranslationUnit& unit,
+                                 const RenderOptions& options);
+
+/// Renders one expression (used by tests and by OpaqueStmt construction).
+[[nodiscard]] std::string renderExpr(const Expr& expr,
+                                     const RenderOptions& options,
+                                     bool stdQualified = false);
+
+/// Ensures `unit.includes` covers what the chosen IO style and the tree's
+/// library usage require (iostream/cstdio/iomanip/vector/string/algorithm/
+/// cmath). Idempotent; preserves "bits/stdc++.h" if already present.
+void normalizeIncludes(TranslationUnit& unit, IoStyle ioStyle);
+
+/// Escapes a string for emission inside double quotes.
+[[nodiscard]] std::string escapeString(std::string_view raw);
+
+}  // namespace sca::ast

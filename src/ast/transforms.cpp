@@ -1,0 +1,776 @@
+#include "ast/transforms.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/visit.hpp"
+#include "util/strings.hpp"
+
+namespace sca::ast {
+namespace {
+
+/// Applies a rename map to one (possibly dotted) name.
+std::string renameName(const std::string& name,
+                       const std::map<std::string, std::string>& renames) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos) {
+    const auto it = renames.find(name);
+    return it == renames.end() ? name : it->second;
+  }
+  // Dotted member name: rename the base (which may itself be "arr[i]").
+  std::string base = name.substr(0, dot);
+  const std::string rest = name.substr(dot);
+  const std::size_t bracket = base.find('[');
+  if (bracket == std::string::npos) {
+    const auto it = renames.find(base);
+    if (it != renames.end()) base = it->second;
+  } else {
+    std::string root = base.substr(0, bracket);
+    const auto it = renames.find(root);
+    if (it != renames.end()) {
+      base = it->second + base.substr(bracket);
+    }
+  }
+  return base + rest;
+}
+
+}  // namespace
+
+void renameIdentifiers(TranslationUnit& unit,
+                       const std::map<std::string, std::string>& renames) {
+  auto renamed = [&](const std::string& name) {
+    if (name == "main") return name;
+    return renameName(name, renames);
+  };
+  for (Function& fn : unit.functions) {
+    fn.name = renamed(fn.name);
+    for (Param& p : fn.params) p.name = renamed(p.name);
+  }
+  forEachStmt(unit, [&](Stmt& stmt) {
+    if (stmt.is<VarDeclStmt>()) {
+      for (Declarator& d : stmt.as<VarDeclStmt>().decls) {
+        d.name = renamed(d.name);
+      }
+    }
+  });
+  for (StmtPtr& g : unit.globals) {
+    if (g && g->is<VarDeclStmt>()) {
+      for (Declarator& d : g->as<VarDeclStmt>().decls) d.name = renamed(d.name);
+    }
+  }
+  forEachExpr(unit, [&](Expr& expr) {
+    if (expr.is<Ident>()) {
+      Ident& id = expr.as<Ident>();
+      id.name = renamed(id.name);
+    } else if (expr.is<Call>()) {
+      Call& c = expr.as<Call>();
+      c.callee = renamed(c.callee);
+    }
+  });
+}
+
+namespace {
+
+/// Rewrites "for (init; cond; step) {body}" children of one statement list
+/// into "init; while (cond) {body; step;}". A loop whose init declares a
+/// name that is already visible at this block level (a sibling declaration
+/// or a previously hoisted loop variable) is left as-is — hoisting it would
+/// create a duplicate declaration.
+void rewriteForListToWhile(std::vector<StmtPtr>& stmts) {
+  std::set<std::string> blockNames;
+  for (const StmtPtr& child : stmts) {
+    if (child && child->is<VarDeclStmt>()) {
+      for (const Declarator& d : child->as<VarDeclStmt>().decls) {
+        blockNames.insert(d.name);
+      }
+    }
+  }
+  std::vector<StmtPtr> rewritten;
+  rewritten.reserve(stmts.size());
+  for (StmtPtr& child : stmts) {
+    if (child && child->is<ForStmt>()) {
+      ForStmt& loop = child->as<ForStmt>();
+      bool hoistable = loop.init && loop.cond && loop.step && loop.body &&
+                       loop.body->is<BlockStmt>();
+      if (hoistable) {
+        // "continue" inside the body would skip the appended step and turn
+        // a counting loop into an infinite one; leave such loops alone.
+        forEachStmt(*loop.body, [&](Stmt& inner) {
+          if (inner.is<ContinueStmt>()) hoistable = false;
+        });
+      }
+      if (hoistable && loop.init->is<VarDeclStmt>()) {
+        for (const Declarator& d : loop.init->as<VarDeclStmt>().decls) {
+          if (!blockNames.insert(d.name).second) hoistable = false;
+        }
+      }
+      if (hoistable) {
+        BlockStmt& body = loop.body->as<BlockStmt>();
+        body.stmts.push_back(exprStmt(deepCopy(*loop.step)));
+        StmtPtr whileLoop =
+            whileStmt(std::move(loop.cond), std::move(loop.body));
+        rewritten.push_back(std::move(loop.init));
+        rewritten.push_back(std::move(whileLoop));
+        continue;
+      }
+    }
+    rewritten.push_back(std::move(child));
+  }
+  stmts = std::move(rewritten);
+}
+
+}  // namespace
+
+void convertForToWhile(TranslationUnit& unit) {
+  forEachStmt(unit, [](Stmt& stmt) {
+    if (stmt.is<BlockStmt>()) rewriteForListToWhile(stmt.as<BlockStmt>().stmts);
+  });
+  // Function bodies are BlockStmt values, not visited as Stmt nodes.
+  for (Function& fn : unit.functions) rewriteForListToWhile(fn.body.stmts);
+}
+
+void convertWhileToFor(TranslationUnit& unit) {
+  auto rewrite = [](StmtPtr& child) {
+    if (child && child->is<WhileStmt>()) {
+      WhileStmt& loop = child->as<WhileStmt>();
+      child = forStmt(nullptr, std::move(loop.cond), nullptr,
+                      std::move(loop.body));
+    }
+  };
+  forEachStmt(unit, [&](Stmt& stmt) {
+    if (!stmt.is<BlockStmt>()) return;
+    for (StmtPtr& child : stmt.as<BlockStmt>().stmts) rewrite(child);
+  });
+  for (Function& fn : unit.functions) {
+    for (StmtPtr& child : fn.body.stmts) rewrite(child);
+  }
+}
+
+namespace {
+
+/// True when `name` is referenced anywhere inside the statement.
+bool referencesName(Stmt& stmt, const std::string& name) {
+  bool found = false;
+  forEachStmt(stmt, [&](Stmt& inner) {
+    auto check = [&](Expr& e) {
+      forEachExpr(e, [&](Expr& sub) {
+        if (sub.is<Ident>() && sub.as<Ident>().name == name) found = true;
+        if (sub.is<Call>()) {
+          const std::string& callee = sub.as<Call>().callee;
+          if (callee == name ||
+              callee.rfind(name + ".", 0) == 0 ||
+              callee.rfind(name + "[", 0) == 0) {
+            found = true;
+          }
+        }
+      });
+    };
+    std::visit(
+        [&](auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, VarDeclStmt>) {
+            for (auto& d : node.decls) {
+              if (d.init) check(*d.init);
+              if (d.arraySize) check(*d.arraySize);
+            }
+          } else if constexpr (std::is_same_v<T, ExprStmt>) {
+            if (node.expr) check(*node.expr);
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            if (node.cond) check(*node.cond);
+          } else if constexpr (std::is_same_v<T, ForStmt>) {
+            if (node.cond) check(*node.cond);
+            if (node.step) check(*node.step);
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            if (node.cond) check(*node.cond);
+          } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+            if (node.cond) check(*node.cond);
+          } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+            if (node.value) check(*node.value);
+          } else if constexpr (std::is_same_v<T, ReadStmt>) {
+            for (auto& t : node.targets) {
+              if (t.lvalue) check(*t.lvalue);
+            }
+          } else if constexpr (std::is_same_v<T, WriteStmt>) {
+            for (auto& item : node.items) {
+              if (item.expr) check(*item.expr);
+            }
+          }
+        },
+        inner.node);
+  });
+  return found;
+}
+
+/// True when `expr` is "name++", "++name", "name += k" or similar step.
+bool isStepOf(const Expr& expr, const std::string& name) {
+  if (expr.is<Unary>()) {
+    const Unary& u = expr.as<Unary>();
+    return (u.op == UnaryOp::PostInc || u.op == UnaryOp::PreInc ||
+            u.op == UnaryOp::PostDec || u.op == UnaryOp::PreDec) &&
+           u.operand->is<Ident>() && u.operand->as<Ident>().name == name;
+  }
+  if (expr.is<Assign>()) {
+    const Assign& a = expr.as<Assign>();
+    return a.op != AssignOp::Assign && a.target->is<Ident>() &&
+           a.target->as<Ident>().name == name;
+  }
+  return false;
+}
+
+std::size_t rebuildCountingFors(std::vector<StmtPtr>& stmts) {
+  std::size_t rebuilt = 0;
+  for (std::size_t i = 0; i + 1 < stmts.size(); ++i) {
+    StmtPtr& declStmt = stmts[i];
+    StmtPtr& loopStmt = stmts[i + 1];
+    if (!declStmt || !loopStmt || !declStmt->is<VarDeclStmt>() ||
+        !loopStmt->is<WhileStmt>()) {
+      continue;
+    }
+    VarDeclStmt& decl = declStmt->as<VarDeclStmt>();
+    if (decl.decls.size() != 1 || decl.decls[0].init == nullptr ||
+        decl.decls[0].arraySize != nullptr || decl.type.isVector) {
+      continue;
+    }
+    const std::string& var = decl.decls[0].name;
+    WhileStmt& loop = loopStmt->as<WhileStmt>();
+    if (!loop.body || !loop.body->is<BlockStmt>()) continue;
+    BlockStmt& body = loop.body->as<BlockStmt>();
+    // Condition must mention the variable.
+    bool inCond = false;
+    forEachExpr(*loop.cond, [&](Expr& e) {
+      if (e.is<Ident>() && e.as<Ident>().name == var) inCond = true;
+    });
+    if (!inCond) continue;
+    // Last (non-comment) body statement must be the step.
+    std::size_t lastIdx = body.stmts.size();
+    while (lastIdx > 0) {
+      --lastIdx;
+      if (body.stmts[lastIdx] && !body.stmts[lastIdx]->is<CommentStmt>()) {
+        break;
+      }
+    }
+    if (lastIdx >= body.stmts.size() || !body.stmts[lastIdx] ||
+        !body.stmts[lastIdx]->is<ExprStmt>()) {
+      continue;
+    }
+    const ExprPtr& stepExpr = body.stmts[lastIdx]->as<ExprStmt>().expr;
+    if (!stepExpr || !isStepOf(*stepExpr, var)) continue;
+    // The variable must be dead after the loop (it moves into for-scope).
+    bool usedAfter = false;
+    for (std::size_t j = i + 2; j < stmts.size(); ++j) {
+      if (stmts[j] && referencesName(*stmts[j], var)) usedAfter = true;
+    }
+    if (usedAfter) continue;
+    // The body must not `continue` (it would re-route around the step once
+    // the step moves into the for-header — semantics would change the
+    // other way here: for re-runs the step, the original while did not).
+    bool hasContinue = false;
+    forEachStmt(*loop.body, [&](Stmt& inner) {
+      if (inner.is<ContinueStmt>()) hasContinue = true;
+    });
+    if (hasContinue) continue;
+
+    ExprPtr step = deepCopy(*stepExpr);
+    body.stmts.erase(body.stmts.begin() + static_cast<std::ptrdiff_t>(lastIdx));
+    StmtPtr init = std::move(declStmt);
+    StmtPtr rebuiltLoop = forStmt(std::move(init), std::move(loop.cond),
+                                  std::move(step), std::move(loop.body));
+    stmts[i] = std::move(rebuiltLoop);
+    stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    ++rebuilt;
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+std::size_t convertWhileToCountingFor(TranslationUnit& unit) {
+  std::size_t rebuilt = 0;
+  forEachStmt(unit, [&](Stmt& stmt) {
+    if (stmt.is<BlockStmt>()) {
+      rebuilt += rebuildCountingFors(stmt.as<BlockStmt>().stmts);
+    }
+  });
+  for (Function& fn : unit.functions) {
+    rebuilt += rebuildCountingFors(fn.body.stmts);
+  }
+  return rebuilt;
+}
+
+void setIncrementStyle(TranslationUnit& unit, IncrementStyle style) {
+  auto flip = [&](Expr& expr) {
+    if (!expr.is<Unary>()) return;
+    Unary& u = expr.as<Unary>();
+    if (style == IncrementStyle::PreIncrement) {
+      if (u.op == UnaryOp::PostInc) u.op = UnaryOp::PreInc;
+      if (u.op == UnaryOp::PostDec) u.op = UnaryOp::PreDec;
+    } else {
+      if (u.op == UnaryOp::PreInc) u.op = UnaryOp::PostInc;
+      if (u.op == UnaryOp::PreDec) u.op = UnaryOp::PostDec;
+    }
+  };
+  forEachStmt(unit, [&](Stmt& stmt) {
+    if (stmt.is<ExprStmt>() && stmt.as<ExprStmt>().expr) {
+      flip(*stmt.as<ExprStmt>().expr);
+    }
+    if (stmt.is<ForStmt>() && stmt.as<ForStmt>().step) {
+      flip(*stmt.as<ForStmt>().step);
+    }
+  });
+}
+
+void preferCompoundAssign(TranslationUnit& unit, bool useCompound) {
+  auto rewrite = [&](ExprPtr& expr) {
+    if (!expr || !expr->is<Assign>()) return;
+    Assign& a = expr->as<Assign>();
+    if (useCompound) {
+      // x = x + k  ->  x += k (target must be a plain identifier).
+      if (a.op != AssignOp::Assign || !a.target->is<Ident>() ||
+          !a.value->is<Binary>()) {
+        return;
+      }
+      Binary& b = a.value->as<Binary>();
+      AssignOp compound;
+      switch (b.op) {
+        case BinaryOp::Add: compound = AssignOp::AddAssign; break;
+        case BinaryOp::Sub: compound = AssignOp::SubAssign; break;
+        case BinaryOp::Mul: compound = AssignOp::MulAssign; break;
+        case BinaryOp::Div: compound = AssignOp::DivAssign; break;
+        case BinaryOp::Mod: compound = AssignOp::ModAssign; break;
+        default: return;
+      }
+      if (!b.lhs->is<Ident>() ||
+          b.lhs->as<Ident>().name != a.target->as<Ident>().name) {
+        return;
+      }
+      a.op = compound;
+      ExprPtr rhs = std::move(b.rhs);
+      a.value = std::move(rhs);
+    } else {
+      // x += k  ->  x = x + k.
+      BinaryOp op;
+      switch (a.op) {
+        case AssignOp::AddAssign: op = BinaryOp::Add; break;
+        case AssignOp::SubAssign: op = BinaryOp::Sub; break;
+        case AssignOp::MulAssign: op = BinaryOp::Mul; break;
+        case AssignOp::DivAssign: op = BinaryOp::Div; break;
+        case AssignOp::ModAssign: op = BinaryOp::Mod; break;
+        default: return;
+      }
+      if (!a.target->is<Ident>()) return;
+      a.op = AssignOp::Assign;
+      a.value = binary(op, deepCopy(*a.target), std::move(a.value));
+    }
+  };
+  forEachStmt(unit, [&](Stmt& stmt) {
+    if (stmt.is<ExprStmt>()) rewrite(stmt.as<ExprStmt>().expr);
+    if (stmt.is<ForStmt>()) rewrite(stmt.as<ForStmt>().step);
+  });
+}
+
+void stripComments(TranslationUnit& unit) {
+  unit.headerComment.clear();
+  for (Function& fn : unit.functions) fn.leadingComment.clear();
+  auto strip = [](std::vector<StmtPtr>& stmts) {
+    std::erase_if(stmts, [](const StmtPtr& s) {
+      return s != nullptr && s->is<CommentStmt>();
+    });
+  };
+  for (Function& fn : unit.functions) strip(fn.body.stmts);
+  forEachStmt(unit, [&](Stmt& stmt) {
+    if (stmt.is<BlockStmt>()) strip(stmt.as<BlockStmt>().stmts);
+  });
+}
+
+void widenIntToLongLong(TranslationUnit& unit) {
+  auto widen = [](TypeRef& type) {
+    if (type.base == BaseType::Int) type.base = BaseType::LongLong;
+  };
+  for (Function& fn : unit.functions) {
+    if (fn.name != "main") widen(fn.returnType);
+    for (Param& p : fn.params) widen(p.type);
+  }
+  forEachStmt(unit, [&](Stmt& stmt) {
+    if (stmt.is<VarDeclStmt>()) widen(stmt.as<VarDeclStmt>().type);
+    if (stmt.is<ReadStmt>()) {
+      for (ReadTarget& t : stmt.as<ReadStmt>().targets) widen(t.type);
+    }
+    if (stmt.is<WriteStmt>()) {
+      for (WriteItem& item : stmt.as<WriteStmt>().items) {
+        if (!item.isLiteral) widen(item.type);
+      }
+    }
+  });
+  forEachExpr(unit, [&](Expr& expr) {
+    if (expr.is<Cast>()) widen(expr.as<Cast>().type);
+  });
+}
+
+void aliasLongLong(TranslationUnit& unit, const std::string& aliasName,
+                   bool usesTypedef) {
+  for (const TypeAlias& alias : unit.aliases) {
+    if (alias.aliased.base == BaseType::LongLong) return;  // already aliased
+  }
+  unit.aliases.push_back(
+      TypeAlias{aliasName, TypeRef{BaseType::LongLong, false}, usesTypedef});
+}
+
+std::map<std::string, TypeRef> declaredTypes(const TranslationUnit& unit) {
+  std::map<std::string, TypeRef> types;
+  for (const Function& fn : unit.functions) {
+    for (const Param& p : fn.params) types[p.name] = p.type;
+  }
+  forEachStmt(unit, [&](const Stmt& stmt) {
+    if (stmt.is<VarDeclStmt>()) {
+      const VarDeclStmt& d = stmt.as<VarDeclStmt>();
+      for (const Declarator& decl : d.decls) {
+        TypeRef t = d.type;
+        if (decl.arraySize) t.isVector = true;
+        types[decl.name] = t;
+      }
+    }
+  });
+  for (const StmtPtr& g : unit.globals) {
+    if (g && g->is<VarDeclStmt>()) {
+      const VarDeclStmt& d = g->as<VarDeclStmt>();
+      for (const Declarator& decl : d.decls) {
+        TypeRef t = d.type;
+        if (decl.arraySize) t.isVector = true;
+        types[decl.name] = t;
+      }
+    }
+  }
+  return types;
+}
+
+namespace {
+
+/// Names declared inside a statement subtree (variables only).
+std::set<std::string> namesDeclaredIn(const std::vector<StmtPtr>& stmts) {
+  std::set<std::string> names;
+  for (const StmtPtr& stmt : stmts) {
+    if (!stmt) continue;
+    forEachStmt(*stmt, [&](Stmt& s) {
+      if (s.is<VarDeclStmt>()) {
+        for (const Declarator& d : s.as<VarDeclStmt>().decls) {
+          names.insert(d.name);
+        }
+      }
+    });
+  }
+  return names;
+}
+
+/// Identifiers used inside a statement subtree, in first-use order.
+std::vector<std::string> namesUsedIn(const std::vector<StmtPtr>& stmts) {
+  std::vector<std::string> used;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& raw) {
+    // Only the root of a dotted / indexed name counts as a use.
+    std::string name = raw;
+    const std::size_t dot = name.find('.');
+    if (dot != std::string::npos) name = name.substr(0, dot);
+    const std::size_t bracket = name.find('[');
+    if (bracket != std::string::npos) name = name.substr(0, bracket);
+    if (name.empty()) return;
+    if (seen.insert(name).second) used.push_back(name);
+  };
+  // Walk statements manually to reach expressions in declaration inits too.
+  for (const StmtPtr& stmt : stmts) {
+    if (!stmt) continue;
+    forEachStmt(*stmt, [&](Stmt& s) {
+      auto visitExpr = [&](Expr& e) {
+        forEachExpr(e, [&](Expr& inner) {
+          if (inner.is<Ident>()) add(inner.as<Ident>().name);
+          if (inner.is<Call>()) add(inner.as<Call>().callee);
+        });
+      };
+      std::visit(
+          [&](auto& node) {
+            using T = std::decay_t<decltype(node)>;
+            if constexpr (std::is_same_v<T, VarDeclStmt>) {
+              for (auto& d : node.decls) {
+                if (d.init) visitExpr(*d.init);
+                if (d.arraySize) visitExpr(*d.arraySize);
+              }
+            } else if constexpr (std::is_same_v<T, ExprStmt>) {
+              if (node.expr) visitExpr(*node.expr);
+            } else if constexpr (std::is_same_v<T, IfStmt>) {
+              if (node.cond) visitExpr(*node.cond);
+            } else if constexpr (std::is_same_v<T, ForStmt>) {
+              if (node.cond) visitExpr(*node.cond);
+              if (node.step) visitExpr(*node.step);
+            } else if constexpr (std::is_same_v<T, WhileStmt>) {
+              if (node.cond) visitExpr(*node.cond);
+            } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+              if (node.cond) visitExpr(*node.cond);
+            } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+              if (node.value) visitExpr(*node.value);
+            } else if constexpr (std::is_same_v<T, ReadStmt>) {
+              for (auto& t : node.targets) {
+                if (t.lvalue) visitExpr(*t.lvalue);
+              }
+            } else if constexpr (std::is_same_v<T, WriteStmt>) {
+              for (auto& item : node.items) {
+                if (item.expr) visitExpr(*item.expr);
+              }
+            }
+          },
+          s.node);
+    });
+  }
+  return used;
+}
+
+const std::set<std::string>& builtinNames() {
+  static const std::set<std::string> kNames = {
+      "cin",  "cout", "cerr", "endl",  "max",  "min",   "swap",  "abs",
+      "sort", "sqrt", "pow",  "fabs",  "ceil", "floor", "round", "fixed",
+      "setprecision", "to_string", "printf", "scanf", "getline", "reverse",
+      "sizeof", "log", "log2", "exp", "main",
+  };
+  return kNames;
+}
+
+}  // namespace
+
+bool extractSolveFunction(TranslationUnit& unit,
+                          const std::string& functionName) {
+  // Refuse if a function of that name exists or there is already a helper.
+  for (const Function& fn : unit.functions) {
+    if (fn.name == functionName) return false;
+  }
+  Function* mainFn = nullptr;
+  for (Function& fn : unit.functions) {
+    if (fn.name == "main") mainFn = &fn;
+  }
+  if (mainFn == nullptr) return false;
+
+  // Find main's outermost for/while loop with a block body of >= 2 stmts.
+  for (StmtPtr& stmt : mainFn->body.stmts) {
+    if (!stmt) continue;
+    StmtPtr* bodySlot = nullptr;
+    std::string loopVar;
+    if (stmt->is<ForStmt>()) {
+      ForStmt& loop = stmt->as<ForStmt>();
+      bodySlot = &loop.body;
+      if (loop.init && loop.init->is<VarDeclStmt>() &&
+          !loop.init->as<VarDeclStmt>().decls.empty()) {
+        loopVar = loop.init->as<VarDeclStmt>().decls[0].name;
+      }
+    } else if (stmt->is<WhileStmt>()) {
+      bodySlot = &stmt->as<WhileStmt>().body;
+    } else {
+      continue;
+    }
+    if (bodySlot == nullptr || !*bodySlot || !(*bodySlot)->is<BlockStmt>()) {
+      continue;
+    }
+    BlockStmt& body = (*bodySlot)->as<BlockStmt>();
+    std::size_t realStmts = 0;
+    for (const StmtPtr& s : body.stmts) {
+      if (s && !s->is<CommentStmt>()) ++realStmts;
+    }
+    if (realStmts < 2) continue;
+    // Body must not contain break/continue/return (they would change
+    // meaning when moved into a function).
+    bool movable = true;
+    for (const StmtPtr& s : body.stmts) {
+      if (!s) continue;
+      forEachStmt(*s, [&](Stmt& inner) {
+        if (inner.is<BreakStmt>() || inner.is<ContinueStmt>() ||
+            inner.is<ReturnStmt>()) {
+          movable = false;
+        }
+      });
+    }
+    if (!movable) continue;
+
+    // Free variables of the loop body -> parameters.
+    const std::set<std::string> declared = namesDeclaredIn(body.stmts);
+    const std::vector<std::string> used = namesUsedIn(body.stmts);
+    const std::map<std::string, TypeRef> types = declaredTypes(unit);
+    std::set<std::string> functionNames;
+    for (const Function& fn : unit.functions) functionNames.insert(fn.name);
+
+    Function solver;
+    solver.returnType = TypeRef{BaseType::Void, false};
+    solver.name = functionName;
+    std::vector<ExprPtr> callArgs;
+    for (const std::string& name : used) {
+      if (declared.count(name) > 0 || functionNames.count(name) > 0 ||
+          builtinNames().count(name) > 0) {
+        continue;
+      }
+      TypeRef type{BaseType::Int, false};
+      const auto it = types.find(name);
+      if (it != types.end()) type = it->second;
+      if (name == loopVar) type.isVector = false;
+      Param param;
+      param.type = type;
+      param.name = name;
+      param.byReference = type.isVector || type.base == BaseType::String;
+      solver.params.push_back(param);
+      callArgs.push_back(ident(name));
+    }
+    solver.body.stmts = std::move(body.stmts);
+    body.stmts.clear();
+    body.stmts.push_back(
+        exprStmt(call(functionName, std::move(callArgs))));
+    // Insert the helper before main.
+    std::vector<Function> functions;
+    functions.reserve(unit.functions.size() + 1);
+    for (Function& fn : unit.functions) {
+      if (fn.name == "main") functions.push_back(std::move(solver));
+      functions.push_back(std::move(fn));
+    }
+    unit.functions = std::move(functions);
+    return true;
+  }
+  return false;
+}
+
+std::size_t inlineHelperFunctions(TranslationUnit& unit) {
+  std::size_t inlined = 0;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t fi = 0; fi < unit.functions.size(); ++fi) {
+      Function& candidate = unit.functions[fi];
+      if (candidate.name == "main" ||
+          candidate.returnType.base != BaseType::Void) {
+        continue;
+      }
+      // Count statement-position calls across all functions.
+      std::size_t callCount = 0;
+      Stmt* callSite = nullptr;
+      forEachStmt(unit, [&](Stmt& stmt) {
+        if (stmt.is<ExprStmt>() && stmt.as<ExprStmt>().expr &&
+            stmt.as<ExprStmt>().expr->is<Call>() &&
+            stmt.as<ExprStmt>().expr->as<Call>().callee == candidate.name) {
+          ++callCount;
+          callSite = &stmt;
+        }
+      });
+      // Any value-position use disqualifies.
+      std::size_t totalUses = 0;
+      forEachExpr(unit, [&](Expr& expr) {
+        if (expr.is<Call>() && expr.as<Call>().callee == candidate.name) {
+          ++totalUses;
+        }
+        if (expr.is<Ident>() && expr.as<Ident>().name == candidate.name) {
+          ++totalUses;
+        }
+      });
+      if (callCount != 1 || totalUses != 1 || callSite == nullptr) continue;
+      const Call& callExpr = callSite->as<ExprStmt>().expr->as<Call>();
+      if (callExpr.args.size() != candidate.params.size()) continue;
+      bool allIdents = std::all_of(
+          callExpr.args.begin(), callExpr.args.end(),
+          [](const ExprPtr& a) { return a && a->is<Ident>(); });
+      if (!allIdents) continue;
+
+      // Substitution map param -> argument name.
+      std::map<std::string, std::string> renames;
+      bool collision = false;
+      for (std::size_t i = 0; i < candidate.params.size(); ++i) {
+        const std::string& arg = callExpr.args[i]->as<Ident>().name;
+        renames[candidate.params[i].name] = arg;
+      }
+      // Locals declared in the helper must not collide with names visible
+      // outside it (globals or other functions' declarations).
+      TranslationUnit helperView;
+      helperView.functions.push_back(deepCopy(candidate));
+      renameIdentifiers(helperView, renames);
+      const std::set<std::string> helperLocals =
+          namesDeclaredIn(helperView.functions[0].body.stmts);
+      std::set<std::string> outsideNames;
+      for (const Function& fn : unit.functions) {
+        if (&fn == &candidate) continue;
+        for (const Param& p : fn.params) outsideNames.insert(p.name);
+        const std::set<std::string> declared = namesDeclaredIn(fn.body.stmts);
+        outsideNames.insert(declared.begin(), declared.end());
+      }
+      for (const StmtPtr& g : unit.globals) {
+        if (g && g->is<VarDeclStmt>()) {
+          for (const Declarator& d : g->as<VarDeclStmt>().decls) {
+            outsideNames.insert(d.name);
+          }
+        }
+      }
+      for (const std::string& local : helperLocals) {
+        if (outsideNames.count(local) > 0 && renames.count(local) == 0) {
+          collision = true;
+        }
+      }
+      if (collision) continue;
+
+      // Splice the (renamed) helper body over the call statement.
+      BlockStmt spliced;
+      spliced.stmts = std::move(helperView.functions[0].body.stmts);
+      callSite->node = std::move(spliced);
+      unit.functions.erase(unit.functions.begin() +
+                           static_cast<std::ptrdiff_t>(fi));
+      ++inlined;
+      changed = true;
+      break;
+    }
+  }
+  return inlined;
+}
+
+void preferTernary(TranslationUnit& unit, bool useTernary) {
+  auto rewriteList = [&](std::vector<StmtPtr>& stmts) {
+    for (StmtPtr& stmt : stmts) {
+      if (!stmt) continue;
+      if (useTernary && stmt->is<IfStmt>()) {
+        IfStmt& node = stmt->as<IfStmt>();
+        // Pattern: if (c) x = a; else x = b;  (single statements each)
+        auto singleAssign = [](const StmtPtr& branch) -> const Assign* {
+          if (!branch || !branch->is<BlockStmt>()) return nullptr;
+          const BlockStmt& block = branch->as<BlockStmt>();
+          if (block.stmts.size() != 1 || !block.stmts[0]) return nullptr;
+          if (!block.stmts[0]->is<ExprStmt>()) return nullptr;
+          const ExprPtr& e = block.stmts[0]->as<ExprStmt>().expr;
+          if (!e || !e->is<Assign>()) return nullptr;
+          const Assign& a = e->as<Assign>();
+          if (a.op != AssignOp::Assign || !a.target->is<Ident>()) return nullptr;
+          return &a;
+        };
+        const Assign* thenA = singleAssign(node.thenBranch);
+        const Assign* elseA = singleAssign(node.elseBranch);
+        if (thenA != nullptr && elseA != nullptr &&
+            thenA->target->as<Ident>().name ==
+                elseA->target->as<Ident>().name) {
+          ExprPtr replacement = assign(
+              AssignOp::Assign, deepCopy(*thenA->target),
+              ternary(deepCopy(*node.cond), deepCopy(*thenA->value),
+                      deepCopy(*elseA->value)));
+          stmt = exprStmt(std::move(replacement));
+        }
+      } else if (!useTernary && stmt->is<ExprStmt>()) {
+        const ExprPtr& e = stmt->as<ExprStmt>().expr;
+        if (e && e->is<Assign>()) {
+          const Assign& a = e->as<Assign>();
+          if (a.op == AssignOp::Assign && a.value->is<Ternary>() &&
+              a.target->is<Ident>()) {
+            const Ternary& t = a.value->as<Ternary>();
+            BlockStmt thenBlock;
+            thenBlock.stmts.push_back(exprStmt(assign(
+                AssignOp::Assign, deepCopy(*a.target), deepCopy(*t.thenExpr))));
+            BlockStmt elseBlock;
+            elseBlock.stmts.push_back(exprStmt(assign(
+                AssignOp::Assign, deepCopy(*a.target), deepCopy(*t.elseExpr))));
+            stmt = ifStmt(deepCopy(*t.cond), makeStmt(std::move(thenBlock)),
+                          makeStmt(std::move(elseBlock)));
+          }
+        }
+      }
+    }
+  };
+  for (Function& fn : unit.functions) rewriteList(fn.body.stmts);
+  forEachStmt(unit, [&](Stmt& stmt) {
+    if (stmt.is<BlockStmt>()) rewriteList(stmt.as<BlockStmt>().stmts);
+  });
+}
+
+}  // namespace sca::ast

@@ -1,0 +1,80 @@
+// Mechanical, semantics-preserving AST rewrites.
+//
+// These are the structural moves shared by (a) the corpus styler, which
+// materializes an author's style onto a challenge IR, and (b) the synthetic
+// LLM, which re-styles parsed code to impersonate ChatGPT's transformation
+// behaviour (paper §IV-B). Every transform preserves program meaning; the
+// property tests check IO-statement structure survives each one.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace sca::ast {
+
+/// Renames identifiers everywhere (declarations, uses, call sites and the
+/// base of dotted member names: "v.push_back" renames "v"). Function name
+/// "main" is never renamed even if present in the map.
+void renameIdentifiers(TranslationUnit& unit,
+                       const std::map<std::string, std::string>& renames);
+
+/// for (init; cond; step) body  ->  { init; while (cond) { body; step; } }
+/// Applied to every ForStmt. Counting loops only; leaves for-loops without
+/// all three clauses alone.
+void convertForToWhile(TranslationUnit& unit);
+
+/// while (cond) body -> for (; cond; ) body. The inverse style move (not
+/// the inverse function) of convertForToWhile.
+void convertWhileToFor(TranslationUnit& unit);
+
+/// The true inverse of convertForToWhile: rebuilds counting for-loops from
+/// the "decl; while (cond) { body...; step; }" shape, when the declared
+/// variable is not used after the loop (moving it into the for-scope would
+/// otherwise break compilation). Returns the number of loops rebuilt.
+std::size_t convertWhileToCountingFor(TranslationUnit& unit);
+
+enum class IncrementStyle { PreIncrement, PostIncrement };
+
+/// Rewrites statement-position and for-step "i++"/"++i" to the preferred
+/// form (value-position increments are left alone).
+void setIncrementStyle(TranslationUnit& unit, IncrementStyle style);
+
+/// "x = x + k" <-> "x += k" for statement-position assignments.
+void preferCompoundAssign(TranslationUnit& unit, bool useCompound);
+
+/// Deletes all comments (header, function-leading and statement comments).
+void stripComments(TranslationUnit& unit);
+
+/// Widens every `int` declaration, parameter, return type, read target and
+/// cast to `long long` (a common competitive-programming habit).
+void widenIntToLongLong(TranslationUnit& unit);
+
+/// Registers `aliasName` for long long (typedef or using) so the renderer
+/// emits e.g. "typedef long long ll;" and uses "ll" everywhere.
+void aliasLongLong(TranslationUnit& unit, const std::string& aliasName,
+                   bool usesTypedef);
+
+/// Extracts the body of main's outermost per-case for-loop into a new
+/// function `functionName(...)`, replacing it with a call. Free variables
+/// of the body become parameters. Returns false when main has no suitable
+/// loop (nothing is changed).
+bool extractSolveFunction(TranslationUnit& unit,
+                          const std::string& functionName);
+
+/// Inlines every non-main void function that is called exactly once, in
+/// statement position, with identifier arguments matching its parameters'
+/// arity. Returns the number of functions inlined.
+std::size_t inlineHelperFunctions(TranslationUnit& unit);
+
+/// Replaces "if (c) x = a; else x = b;" with "x = c ? a : b;" (and the
+/// reverse when `useTernary` is false).
+void preferTernary(TranslationUnit& unit, bool useTernary);
+
+/// Builds a name -> type map of every declaration in the unit (globals,
+/// params, locals; later declarations win). Used by transforms and tests.
+[[nodiscard]] std::map<std::string, TypeRef> declaredTypes(
+    const TranslationUnit& unit);
+
+}  // namespace sca::ast

@@ -1,0 +1,333 @@
+#include "ast/visit.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sca::ast {
+namespace {
+
+// One traversal implementation shared by const and non-const entry points.
+template <typename StmtT, typename StmtFn>
+void walkStmt(StmtT& stmt, const StmtFn& fn) {
+  fn(stmt);
+  std::visit(
+      [&](auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, BlockStmt>) {
+          for (auto& child : node.stmts) {
+            if (child) walkStmt(*child, fn);
+          }
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          if (node.thenBranch) walkStmt(*node.thenBranch, fn);
+          if (node.elseBranch) walkStmt(*node.elseBranch, fn);
+        } else if constexpr (std::is_same_v<T, ForStmt>) {
+          if (node.init) walkStmt(*node.init, fn);
+          if (node.body) walkStmt(*node.body, fn);
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          if (node.body) walkStmt(*node.body, fn);
+        } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+          if (node.body) walkStmt(*node.body, fn);
+        }
+      },
+      stmt.node);
+}
+
+template <typename ExprT, typename ExprFn>
+void walkExpr(ExprT& expr, const ExprFn& fn) {
+  fn(expr);
+  std::visit(
+      [&](auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, Unary>) {
+          if (node.operand) walkExpr(*node.operand, fn);
+        } else if constexpr (std::is_same_v<T, Binary>) {
+          if (node.lhs) walkExpr(*node.lhs, fn);
+          if (node.rhs) walkExpr(*node.rhs, fn);
+        } else if constexpr (std::is_same_v<T, Assign>) {
+          if (node.target) walkExpr(*node.target, fn);
+          if (node.value) walkExpr(*node.value, fn);
+        } else if constexpr (std::is_same_v<T, Call>) {
+          for (auto& arg : node.args) {
+            if (arg) walkExpr(*arg, fn);
+          }
+        } else if constexpr (std::is_same_v<T, Index>) {
+          if (node.base) walkExpr(*node.base, fn);
+          if (node.index) walkExpr(*node.index, fn);
+        } else if constexpr (std::is_same_v<T, Ternary>) {
+          if (node.cond) walkExpr(*node.cond, fn);
+          if (node.thenExpr) walkExpr(*node.thenExpr, fn);
+          if (node.elseExpr) walkExpr(*node.elseExpr, fn);
+        } else if constexpr (std::is_same_v<T, Cast>) {
+          if (node.operand) walkExpr(*node.operand, fn);
+        }
+      },
+      expr.node);
+}
+
+template <typename StmtT, typename ExprFn>
+void walkStmtExprs(StmtT& stmt, const ExprFn& fn) {
+  std::visit(
+      [&](auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, VarDeclStmt>) {
+          for (auto& d : node.decls) {
+            if (d.init) walkExpr(*d.init, fn);
+            if (d.arraySize) walkExpr(*d.arraySize, fn);
+          }
+        } else if constexpr (std::is_same_v<T, ExprStmt>) {
+          if (node.expr) walkExpr(*node.expr, fn);
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          if (node.cond) walkExpr(*node.cond, fn);
+        } else if constexpr (std::is_same_v<T, ForStmt>) {
+          if (node.cond) walkExpr(*node.cond, fn);
+          if (node.step) walkExpr(*node.step, fn);
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          if (node.cond) walkExpr(*node.cond, fn);
+        } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+          if (node.cond) walkExpr(*node.cond, fn);
+        } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+          if (node.value) walkExpr(*node.value, fn);
+        } else if constexpr (std::is_same_v<T, ReadStmt>) {
+          for (auto& t : node.targets) {
+            if (t.lvalue) walkExpr(*t.lvalue, fn);
+          }
+        } else if constexpr (std::is_same_v<T, WriteStmt>) {
+          for (auto& item : node.items) {
+            if (item.expr) walkExpr(*item.expr, fn);
+          }
+        }
+      },
+      stmt.node);
+}
+
+template <typename UnitT, typename StmtFn>
+void walkUnitStmts(UnitT& unit, const StmtFn& fn) {
+  for (auto& function : unit.functions) {
+    for (auto& stmt : function.body.stmts) {
+      if (stmt) walkStmt(*stmt, fn);
+    }
+  }
+}
+
+}  // namespace
+
+void forEachStmt(TranslationUnit& unit, const std::function<void(Stmt&)>& fn) {
+  walkUnitStmts(unit, fn);
+}
+void forEachStmt(const TranslationUnit& unit,
+                 const std::function<void(const Stmt&)>& fn) {
+  walkUnitStmts(unit, fn);
+}
+void forEachStmt(Stmt& stmt, const std::function<void(Stmt&)>& fn) {
+  walkStmt(stmt, fn);
+}
+
+void forEachExpr(TranslationUnit& unit, const std::function<void(Expr&)>& fn) {
+  walkUnitStmts(unit, [&](Stmt& stmt) { walkStmtExprs(stmt, fn); });
+}
+void forEachExpr(const TranslationUnit& unit,
+                 const std::function<void(const Expr&)>& fn) {
+  walkUnitStmts(unit, [&](const Stmt& stmt) { walkStmtExprs(stmt, fn); });
+}
+void forEachExpr(Expr& expr, const std::function<void(Expr&)>& fn) {
+  walkExpr(expr, fn);
+}
+
+std::string_view stmtKindName(const Stmt& stmt) noexcept {
+  return std::visit(
+      [](const auto& node) -> std::string_view {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, BlockStmt>) return "block";
+        else if constexpr (std::is_same_v<T, VarDeclStmt>) return "decl";
+        else if constexpr (std::is_same_v<T, ExprStmt>) return "expr";
+        else if constexpr (std::is_same_v<T, IfStmt>) return "if";
+        else if constexpr (std::is_same_v<T, ForStmt>) return "for";
+        else if constexpr (std::is_same_v<T, WhileStmt>) return "while";
+        else if constexpr (std::is_same_v<T, DoWhileStmt>) return "do";
+        else if constexpr (std::is_same_v<T, ReturnStmt>) return "return";
+        else if constexpr (std::is_same_v<T, ReadStmt>) return "read";
+        else if constexpr (std::is_same_v<T, WriteStmt>) return "write";
+        else if constexpr (std::is_same_v<T, BreakStmt>) return "break";
+        else if constexpr (std::is_same_v<T, ContinueStmt>) return "continue";
+        else if constexpr (std::is_same_v<T, CommentStmt>) return "comment";
+        else return "opaque";
+      },
+      stmt.node);
+}
+
+std::string_view exprKindName(const Expr& expr) noexcept {
+  return std::visit(
+      [](const auto& node) -> std::string_view {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, IntLit>) return "int-lit";
+        else if constexpr (std::is_same_v<T, FloatLit>) return "float-lit";
+        else if constexpr (std::is_same_v<T, StringLit>) return "string-lit";
+        else if constexpr (std::is_same_v<T, CharLit>) return "char-lit";
+        else if constexpr (std::is_same_v<T, BoolLit>) return "bool-lit";
+        else if constexpr (std::is_same_v<T, Ident>) return "ident";
+        else if constexpr (std::is_same_v<T, Unary>) return "unary";
+        else if constexpr (std::is_same_v<T, Binary>) return "binary";
+        else if constexpr (std::is_same_v<T, Assign>) return "assign";
+        else if constexpr (std::is_same_v<T, Call>) return "call";
+        else if constexpr (std::is_same_v<T, Index>) return "index";
+        else if constexpr (std::is_same_v<T, Ternary>) return "ternary";
+        else return "cast";
+      },
+      expr.node);
+}
+
+const std::vector<std::string>& allStmtKindNames() {
+  static const std::vector<std::string> kNames = {
+      "block", "decl",  "expr",  "if",       "for",     "while", "do",
+      "return", "read", "write", "break",    "continue", "comment",
+      "opaque",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& allExprKindNames() {
+  static const std::vector<std::string> kNames = {
+      "int-lit",  "float-lit", "string-lit", "char-lit", "bool-lit",
+      "ident",    "unary",     "binary",     "assign",   "call",
+      "index",    "ternary",   "cast",
+  };
+  return kNames;
+}
+
+namespace {
+
+void depthWalk(const Stmt& stmt, std::size_t depth, std::size_t& maxDepth,
+               std::size_t& count, std::size_t& depthSum) {
+  maxDepth = std::max(maxDepth, depth);
+  ++count;
+  depthSum += depth;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, BlockStmt>) {
+          for (const auto& child : node.stmts) {
+            if (child) depthWalk(*child, depth + 1, maxDepth, count, depthSum);
+          }
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          if (node.thenBranch)
+            depthWalk(*node.thenBranch, depth + 1, maxDepth, count, depthSum);
+          if (node.elseBranch)
+            depthWalk(*node.elseBranch, depth + 1, maxDepth, count, depthSum);
+        } else if constexpr (std::is_same_v<T, ForStmt>) {
+          if (node.body) depthWalk(*node.body, depth + 1, maxDepth, count, depthSum);
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          if (node.body) depthWalk(*node.body, depth + 1, maxDepth, count, depthSum);
+        } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+          if (node.body) depthWalk(*node.body, depth + 1, maxDepth, count, depthSum);
+        }
+      },
+      stmt.node);
+}
+
+void statsOf(const TranslationUnit& unit, std::size_t& maxDepth,
+             std::size_t& count, std::size_t& depthSum) {
+  maxDepth = 0;
+  count = 0;
+  depthSum = 0;
+  for (const Function& f : unit.functions) {
+    for (const StmtPtr& stmt : f.body.stmts) {
+      if (stmt) depthWalk(*stmt, 1, maxDepth, count, depthSum);
+    }
+  }
+}
+
+void bigramWalk(const Stmt& stmt, std::string_view parentKind,
+                std::vector<std::string>& out) {
+  const std::string_view kind = stmtKindName(stmt);
+  if (kind != "comment") {
+    out.push_back(std::string(parentKind) + ">" + std::string(kind));
+  }
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, BlockStmt>) {
+          for (const auto& child : node.stmts) {
+            if (child) bigramWalk(*child, kind, out);
+          }
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          if (node.thenBranch) bigramWalk(*node.thenBranch, kind, out);
+          if (node.elseBranch) bigramWalk(*node.elseBranch, kind, out);
+        } else if constexpr (std::is_same_v<T, ForStmt>) {
+          if (node.body) bigramWalk(*node.body, kind, out);
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          if (node.body) bigramWalk(*node.body, kind, out);
+        } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+          if (node.body) bigramWalk(*node.body, kind, out);
+        }
+      },
+      stmt.node);
+}
+
+}  // namespace
+
+std::size_t maxStmtDepth(const TranslationUnit& unit) {
+  std::size_t maxDepth = 0, count = 0, sum = 0;
+  statsOf(unit, maxDepth, count, sum);
+  return maxDepth;
+}
+
+double meanStmtDepth(const TranslationUnit& unit) {
+  std::size_t maxDepth = 0, count = 0, sum = 0;
+  statsOf(unit, maxDepth, count, sum);
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::vector<std::string> stmtKindBigrams(const TranslationUnit& unit) {
+  std::vector<std::string> out;
+  for (const Function& f : unit.functions) {
+    for (const StmtPtr& stmt : f.body.stmts) {
+      if (stmt) bigramWalk(*stmt, "fn", out);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> collectIdentifiers(const TranslationUnit& unit) {
+  std::vector<std::string> names;
+  for (const Function& f : unit.functions) {
+    names.push_back(f.name);
+    for (const Param& p : f.params) names.push_back(p.name);
+  }
+  forEachStmt(unit, [&](const Stmt& stmt) {
+    if (stmt.is<VarDeclStmt>()) {
+      for (const Declarator& d : stmt.as<VarDeclStmt>().decls) {
+        names.push_back(d.name);
+      }
+    }
+  });
+  forEachExpr(unit, [&](const Expr& expr) {
+    if (expr.is<Ident>()) names.push_back(expr.as<Ident>().name);
+    if (expr.is<Call>()) names.push_back(expr.as<Call>().callee);
+  });
+  return names;
+}
+
+std::vector<std::string> declaredNames(const TranslationUnit& unit) {
+  std::set<std::string> names;
+  for (const Function& f : unit.functions) {
+    if (f.name != "main") names.insert(f.name);
+    for (const Param& p : f.params) names.insert(p.name);
+  }
+  forEachStmt(unit, [&](const Stmt& stmt) {
+    if (stmt.is<VarDeclStmt>()) {
+      for (const Declarator& d : stmt.as<VarDeclStmt>().decls) {
+        names.insert(d.name);
+      }
+    }
+  });
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+std::size_t countStmts(const TranslationUnit& unit) {
+  std::size_t n = 0;
+  forEachStmt(unit, [&](const Stmt&) { ++n; });
+  return n;
+}
+
+}  // namespace sca::ast

@@ -1,0 +1,62 @@
+// Generic traversal utilities over the AST plus the structural observables
+// used by syntactic feature extraction (node kind names, depth, bigrams).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+
+namespace sca::ast {
+
+/// Calls `fn` for every statement in the unit (pre-order, including nested
+/// blocks and loop/if bodies). Non-const: callers may mutate nodes, but must
+/// not invalidate the child lists they are being iterated from.
+void forEachStmt(TranslationUnit& unit, const std::function<void(Stmt&)>& fn);
+void forEachStmt(const TranslationUnit& unit,
+                 const std::function<void(const Stmt&)>& fn);
+void forEachStmt(Stmt& stmt, const std::function<void(Stmt&)>& fn);
+
+/// Calls `fn` for every expression in the unit (pre-order), including
+/// expressions nested in declarations, reads and writes.
+void forEachExpr(TranslationUnit& unit, const std::function<void(Expr&)>& fn);
+void forEachExpr(const TranslationUnit& unit,
+                 const std::function<void(const Expr&)>& fn);
+void forEachExpr(Expr& expr, const std::function<void(Expr&)>& fn);
+
+/// Stable node-kind labels ("for", "if", "call", ...) used as feature names.
+[[nodiscard]] std::string_view stmtKindName(const Stmt& stmt) noexcept;
+[[nodiscard]] std::string_view exprKindName(const Expr& expr) noexcept;
+
+/// All statement / expression kind labels in a stable order (feature
+/// columns are indexed by position in these lists).
+[[nodiscard]] const std::vector<std::string>& allStmtKindNames();
+[[nodiscard]] const std::vector<std::string>& allExprKindNames();
+
+/// Maximum statement-nesting depth of the unit (functions' bodies are depth
+/// 1; each nested block/if/loop body adds 1).
+[[nodiscard]] std::size_t maxStmtDepth(const TranslationUnit& unit);
+
+/// Average statement-nesting depth over all statements.
+[[nodiscard]] double meanStmtDepth(const TranslationUnit& unit);
+
+/// Parent-child statement-kind bigrams, e.g. "for>if", for syntactic
+/// features; top-level statements pair with their function: "fn>decl".
+[[nodiscard]] std::vector<std::string> stmtKindBigrams(
+    const TranslationUnit& unit);
+
+/// All identifier names appearing anywhere (declarations, parameters,
+/// functions and uses), with duplicates.
+[[nodiscard]] std::vector<std::string> collectIdentifiers(
+    const TranslationUnit& unit);
+
+/// Distinct names declared in the unit: functions, parameters and local
+/// variables (the rename targets for style transformation).
+[[nodiscard]] std::vector<std::string> declaredNames(
+    const TranslationUnit& unit);
+
+/// Total number of statements.
+[[nodiscard]] std::size_t countStmts(const TranslationUnit& unit);
+
+}  // namespace sca::ast

@@ -1,0 +1,56 @@
+#include "core/grouping.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace sca::core {
+
+std::string_view approachName(Approach approach) noexcept {
+  return approach == Approach::Naive ? "naive" : "feature-based";
+}
+
+ChatGptSet buildChatGptSet(const llm::TransformedDataset& transformed,
+                           const std::vector<int>& oracleLabels,
+                           Approach approach, std::size_t perChallenge) {
+  ChatGptSet set;
+  const auto& samples = transformed.samples;
+
+  if (approach == Approach::FeatureBased) {
+    // Modal oracle label over all transformed samples = the target label.
+    std::map<int, std::size_t> histogram;
+    for (const int label : oracleLabels) ++histogram[label];
+    std::size_t bestCount = 0;
+    for (const auto& [label, count] : histogram) {
+      if (count > bestCount) {
+        bestCount = count;
+        set.targetLabel = label;
+      }
+    }
+  }
+
+  // Per challenge, pick up to `perChallenge` samples in schedule order:
+  // feature-based keeps only modal-label samples; naive keeps the first
+  // responses (lowest step numbers) regardless of style.
+  std::map<int, std::vector<std::size_t>> byChallenge;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (approach == Approach::FeatureBased &&
+        oracleLabels[i] != set.targetLabel) {
+      continue;
+    }
+    byChallenge[samples[i].challengeIndex].push_back(i);
+  }
+  for (auto& [challenge, indices] : byChallenge) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      if (samples[a].step != samples[b].step) {
+        return samples[a].step < samples[b].step;
+      }
+      return a < b;
+    });
+    if (indices.size() > perChallenge) indices.resize(perChallenge);
+    for (const std::size_t i : indices) set.sampleIndices.push_back(i);
+  }
+  std::sort(set.sampleIndices.begin(), set.sampleIndices.end());
+  return set;
+}
+
+}  // namespace sca::core

@@ -1,0 +1,35 @@
+// Set construction for the ChatGPT author class (paper §IV-A):
+//   * feature-based — group transformed samples by the style label the
+//     pre-trained oracle assigns them, and form the set from the modal
+//     ("target") label's samples;
+//   * naive — take the first responses as-is, ignoring style.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "llm/pipelines.hpp"
+
+namespace sca::core {
+
+enum class Approach { Naive, FeatureBased };
+
+[[nodiscard]] std::string_view approachName(Approach approach) noexcept;
+
+/// Indices (into `transformed.samples`) chosen for the ChatGPT set, at most
+/// `perChallenge` per challenge, plus the target oracle label the
+/// feature-based approach keyed on (-1 for naive).
+struct ChatGptSet {
+  std::vector<std::size_t> sampleIndices;
+  int targetLabel = -1;
+};
+
+/// Builds the set. `oracleLabels` are the pre-trained model's predicted
+/// labels for every transformed sample (parallel to transformed.samples);
+/// the naive approach ignores them.
+[[nodiscard]] ChatGptSet buildChatGptSet(
+    const llm::TransformedDataset& transformed,
+    const std::vector<int>& oracleLabels, Approach approach,
+    std::size_t perChallenge);
+
+}  // namespace sca::core

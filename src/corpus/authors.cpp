@@ -1,0 +1,64 @@
+#include "corpus/authors.hpp"
+
+#include "style/archetypes.hpp"
+#include "util/rng.hpp"
+
+namespace sca::corpus {
+
+std::vector<Author> makeAuthorPopulation(int year, std::size_t count) {
+  util::Rng root(util::combine64(util::hash64("gcj-author-population"),
+                                 static_cast<std::uint64_t>(year)));
+  std::vector<Author> authors;
+  authors.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Rng authorRng = root.derive(static_cast<std::uint64_t>(i));
+    Author author;
+    author.id = static_cast<int>(i);
+    author.name = "A" + std::to_string(i);
+    author.profile = style::sampleProfile(authorRng);
+    // Persistent vocabulary habits (see StyleProfile::namingSeed).
+    author.profile.namingSeed = util::combine64(
+        util::hash64("author-naming"),
+        util::combine64(static_cast<std::uint64_t>(year), i));
+    authors.push_back(std::move(author));
+  }
+
+  // Style twins: an LLM trained on human corpora emits styles its training
+  // authors actually write, so a realistically large population contains
+  // authors whose style coincides with each archetype. One twin per ~17
+  // authors (a 204-author year gets all 12). Twin positions are scattered
+  // deterministically and differ by year.
+  const std::size_t twinCount =
+      std::min(style::kArchetypeCount, count / 17);
+  util::Rng placement = root.derive("twin-placement");
+  std::vector<std::size_t> positions =
+      placement.sampleIndices(count, twinCount);
+  for (std::size_t k = 0; k < twinCount; ++k) {
+    style::StyleProfile twin = style::archetypePool()[k];
+    // Humanize: a real author shares the archetype's signature dimensions
+    // (naming, IO, structure) but is not machine-perfect about layout.
+    // Flipping two layout habits keeps the twin by far the nearest author
+    // to its archetype (the oracle's label anchor) while keeping the
+    // "LLM accent" region free of human training samples (what the binary
+    // classifier of Table X keys on).
+    util::Rng quirkRng = placement.derive(static_cast<std::uint64_t>(k));
+    switch (quirkRng.uniformInt(0, 2)) {
+      case 0: twin.indentWidth = 2; break;
+      case 1: twin.useTabs = true; break;
+      default: twin.indentWidth = 8; break;
+    }
+    if (quirkRng.bernoulli(0.5)) {
+      twin.spaceAfterKeyword = !twin.spaceAfterKeyword;
+    } else {
+      twin.spaceAfterComma = !twin.spaceAfterComma;
+    }
+    // A twin is still a human: persistent vocabulary habits.
+    twin.namingSeed = util::combine64(
+        util::hash64("twin-naming"),
+        util::combine64(static_cast<std::uint64_t>(year), k));
+    authors[positions[k]].profile = twin;
+  }
+  return authors;
+}
+
+}  // namespace sca::corpus

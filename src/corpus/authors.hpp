@@ -1,0 +1,23 @@
+// Author population: 204 synthetic GCJ participants per simulated year,
+// each with a persistent StyleProfile (Table I's corpus).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "style/profile.hpp"
+
+namespace sca::corpus {
+
+struct Author {
+  int id = 0;            // 0-based within the year
+  std::string name;      // "A0".."A203", matching the paper's label style
+  style::StyleProfile profile;
+};
+
+/// Builds the deterministic author population of a year. Two calls with the
+/// same (year, count) return identical populations; different years differ.
+[[nodiscard]] std::vector<Author> makeAuthorPopulation(int year,
+                                                       std::size_t count);
+
+}  // namespace sca::corpus

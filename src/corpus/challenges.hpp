@@ -1,0 +1,40 @@
+// Challenge catalogue: the stand-in for Google Code Jam 2017-2019.
+//
+// Each challenge is a small algorithmic problem with a canonical solution
+// expressed as an AST "IR" in neutral snake_case style. Authors (and the
+// synthetic LLM) never emit this IR directly — it is always materialized
+// through a StyleProfile, which is what creates the per-author stylistic
+// variation the paper's attribution models consume.
+//
+// The catalogue holds 12 problems; each simulated GCJ year draws 8 of them
+// (offset by year), mirroring Table I's "8 challenges per year".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+
+namespace sca::corpus {
+
+struct Challenge {
+  std::string id;         // short slug, e.g. "race"
+  std::string title;      // human-readable name
+  std::string statement;  // one-paragraph problem statement
+  ast::TranslationUnit ir;
+};
+
+/// The full 12-problem catalogue (built once, deep-copied on access).
+[[nodiscard]] const std::vector<Challenge>& catalogue();
+
+/// The 8 challenges of a simulated year (2017, 2018 or 2019); stable.
+[[nodiscard]] std::vector<const Challenge*> challengesForYear(int year);
+
+/// Looks a challenge up by slug; throws std::out_of_range if absent.
+[[nodiscard]] const Challenge& challengeById(const std::string& id);
+
+/// The canonical solution of the paper's Figure 3 (the horse-race problem),
+/// rendered in the figure's original style. Used by the figure benches.
+[[nodiscard]] const Challenge& figure3Challenge();
+
+}  // namespace sca::corpus

@@ -1,0 +1,127 @@
+#include "evasion/evasion.hpp"
+
+#include "ast/parser.hpp"
+#include "style/apply.hpp"
+#include "style/infer.hpp"
+#include "util/rng.hpp"
+
+namespace sca::evasion {
+namespace {
+
+/// Objective: minimize P(true author); targeted mode maximizes P(target)
+/// expressed as minimizing its negation, so smaller is always better.
+double score(const std::vector<double>& proba, int trueAuthor,
+             int targetAuthor) {
+  if (targetAuthor >= 0) {
+    return 1.0 - proba[static_cast<std::size_t>(targetAuthor)];
+  }
+  return proba[static_cast<std::size_t>(trueAuthor)];
+}
+
+bool reachedGoal(int prediction, int trueAuthor, int targetAuthor) {
+  if (targetAuthor >= 0) return prediction == targetAuthor;
+  return prediction != trueAuthor;
+}
+
+int argmax(const std::vector<double>& proba) {
+  int best = 0;
+  for (std::size_t i = 1; i < proba.size(); ++i) {
+    if (proba[i] > proba[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+StyleEvader::StyleEvader(const core::AttributionModel& model,
+                         EvasionConfig config)
+    : model_(model), config_(config) {}
+
+EvasionResult StyleEvader::evade(const std::string& source, int trueAuthor) {
+  EvasionResult result;
+  util::Rng rng(util::combine64(util::hash64("style-evader"), config_.seed));
+
+  const ast::ParseResult parsed = ast::parse(source);
+  const std::vector<double> originalProba = model_.predictProba(source);
+  ++result.classifierQueries;
+  result.originalPrediction = argmax(originalProba);
+  result.originalConfidence =
+      originalProba[static_cast<std::size_t>(trueAuthor)];
+
+  style::StyleProfile bestProfile = style::inferProfileFromSource(source);
+  std::string bestSource = source;
+  double bestScore = score(originalProba, trueAuthor, config_.targetAuthor);
+  int bestPrediction = result.originalPrediction;
+
+  for (std::size_t iteration = 0;
+       iteration < config_.maxIterations &&
+       !reachedGoal(bestPrediction, trueAuthor, config_.targetAuthor);
+       ++iteration) {
+    bool improved = false;
+    for (std::size_t c = 0; c < config_.candidatesPerIteration; ++c) {
+      // One random style move: re-roll a couple of dimensions of the
+      // current best profile (rate 0.15 flips ~3 of the 20 dimensions).
+      util::Rng candidateRng =
+          rng.derive(iteration * 131 + c);
+      style::StyleProfile candidate =
+          style::mutateProfile(bestProfile, candidateRng, 0.15);
+      util::Rng applyRng = rng.derive(100000 + iteration * 131 + c);
+      const std::string rewritten =
+          style::applyStyle(parsed.unit, candidate, applyRng);
+      const std::vector<double> proba = model_.predictProba(rewritten);
+      ++result.classifierQueries;
+      const double candidateScore =
+          score(proba, trueAuthor, config_.targetAuthor);
+      if (candidateScore < bestScore) {
+        bestScore = candidateScore;
+        bestProfile = candidate;
+        bestSource = rewritten;
+        bestPrediction = argmax(proba);
+        improved = true;
+      }
+    }
+    EvasionStep step;
+    step.iteration = iteration;
+    step.confidence = bestScore;
+    step.prediction = bestPrediction;
+    step.profileSummary = bestProfile.describe();
+    result.trace.push_back(std::move(step));
+    if (!improved) {
+      // Plateau: random restart around a fresh profile (keeps the greedy
+      // search from stalling on a local optimum).
+      util::Rng restartRng = rng.derive("restart").derive(iteration);
+      bestProfile = style::sampleProfile(restartRng);
+    }
+  }
+
+  result.source = std::move(bestSource);
+  result.profile = bestProfile;
+  result.finalPrediction = bestPrediction;
+  const std::vector<double> finalProba = model_.predictProba(result.source);
+  ++result.classifierQueries;
+  result.finalConfidence = finalProba[static_cast<std::size_t>(trueAuthor)];
+  result.evaded =
+      reachedGoal(result.finalPrediction, trueAuthor, config_.targetAuthor);
+  return result;
+}
+
+double evasionSuccessRate(const core::AttributionModel& model,
+                          const std::vector<VictimSample>& victims,
+                          const EvasionConfig& config) {
+  if (victims.empty()) return 0.0;
+  std::size_t successes = 0;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    EvasionConfig perVictim = config;
+    perVictim.seed = util::combine64(config.seed, i);
+    StyleEvader evader(model, perVictim);
+    const EvasionResult result =
+        evader.evade(victims[i].source, victims[i].author);
+    if (result.evaded) ++successes;
+  }
+  return static_cast<double>(successes) /
+         static_cast<double>(victims.size());
+}
+
+}  // namespace sca::evasion

@@ -1,0 +1,229 @@
+#include "evasion/mcts.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ast/parser.hpp"
+#include "style/apply.hpp"
+#include "style/infer.hpp"
+#include "util/rng.hpp"
+
+namespace sca::evasion {
+namespace {
+
+using style::NamingConvention;
+using style::StyleProfile;
+using style::Verbosity;
+
+}  // namespace
+
+const std::vector<StyleAction>& styleActionCatalogue() {
+  static const std::vector<StyleAction> kActions = {
+      {"naming=camel", [](StyleProfile& p) { p.naming = NamingConvention::CamelCase; }},
+      {"naming=snake", [](StyleProfile& p) { p.naming = NamingConvention::SnakeCase; }},
+      {"naming=pascal", [](StyleProfile& p) { p.naming = NamingConvention::PascalCase; }},
+      {"naming=abbrev", [](StyleProfile& p) { p.naming = NamingConvention::Abbreviated; }},
+      {"naming=hungarian", [](StyleProfile& p) { p.naming = NamingConvention::HungarianLite; }},
+      {"verbosity=short", [](StyleProfile& p) { p.verbosity = Verbosity::Short; }},
+      {"verbosity=long", [](StyleProfile& p) { p.verbosity = Verbosity::Long; }},
+      {"indent=2", [](StyleProfile& p) { p.indentWidth = 2; p.useTabs = false; }},
+      {"indent=4", [](StyleProfile& p) { p.indentWidth = 4; p.useTabs = false; }},
+      {"indent=8", [](StyleProfile& p) { p.indentWidth = 8; p.useTabs = false; }},
+      {"indent=tabs", [](StyleProfile& p) { p.useTabs = true; }},
+      {"braces=allman", [](StyleProfile& p) { p.allmanBraces = true; }},
+      {"braces=knr", [](StyleProfile& p) { p.allmanBraces = false; }},
+      {"ops=tight", [](StyleProfile& p) { p.spaceAroundOps = false; }},
+      {"ops=spaced", [](StyleProfile& p) { p.spaceAroundOps = true; }},
+      {"io=stdio", [](StyleProfile& p) { p.ioStyle = ast::IoStyle::Stdio; }},
+      {"io=iostream", [](StyleProfile& p) { p.ioStyle = ast::IoStyle::Iostream; }},
+      {"endl=on", [](StyleProfile& p) { p.useEndl = true; }},
+      {"endl=off", [](StyleProfile& p) { p.useEndl = false; }},
+      {"loops=while", [](StyleProfile& p) { p.loops = style::LoopPreference::WhileLoops; }},
+      {"loops=for", [](StyleProfile& p) { p.loops = style::LoopPreference::ForLoops; }},
+      {"increment=pre", [](StyleProfile& p) { p.increment = ast::IncrementStyle::PreIncrement; }},
+      {"increment=post", [](StyleProfile& p) { p.increment = ast::IncrementStyle::PostIncrement; }},
+      {"solve=extract", [](StyleProfile& p) { p.extractSolve = true; }},
+      {"solve=inline", [](StyleProfile& p) { p.extractSolve = false; }},
+      {"ternary=on", [](StyleProfile& p) { p.useTernary = true; }},
+      {"ternary=off", [](StyleProfile& p) { p.useTernary = false; }},
+      {"widen=ll", [](StyleProfile& p) { p.widenToLongLong = true; }},
+      {"alias=ll", [](StyleProfile& p) { p.widenToLongLong = true; p.aliasLongLong = true; }},
+      {"header=bits", [](StyleProfile& p) { p.useBitsHeader = true; p.ioStyle = ast::IoStyle::Iostream; }},
+      {"header=plain", [](StyleProfile& p) { p.useBitsHeader = false; }},
+      {"std=qualified", [](StyleProfile& p) { p.usingNamespaceStd = false; }},
+      {"std=using", [](StyleProfile& p) { p.usingNamespaceStd = true; }},
+      {"comments=none", [](StyleProfile& p) { p.commentDensity = 0.0; }},
+      {"comments=some", [](StyleProfile& p) { p.commentDensity = 0.15; }},
+      {"comments=many", [](StyleProfile& p) { p.commentDensity = 0.35; }},
+  };
+  return kActions;
+}
+
+namespace {
+
+struct Node {
+  StyleProfile profile;
+  int parent = -1;
+  std::size_t depth = 0;
+  std::vector<int> children;            // indices into the node pool
+  std::vector<std::size_t> untried;     // action indices not yet expanded
+  std::size_t visits = 0;
+  double totalReward = 0.0;
+  double bestReward = -1.0;
+};
+
+double ucb(const Node& child, std::size_t parentVisits, double c) {
+  if (child.visits == 0) return std::numeric_limits<double>::infinity();
+  const double mean = child.totalReward / static_cast<double>(child.visits);
+  return mean + c * std::sqrt(std::log(static_cast<double>(parentVisits)) /
+                              static_cast<double>(child.visits));
+}
+
+}  // namespace
+
+MctsEvader::MctsEvader(const core::AttributionModel& model, MctsConfig config)
+    : model_(model), config_(config) {}
+
+EvasionResult MctsEvader::evade(const std::string& source, int trueAuthor) {
+  EvasionResult result;
+  util::Rng rng(util::combine64(util::hash64("mcts-evader"), config_.seed));
+  const ast::ParseResult parsed = ast::parse(source);
+
+  const std::vector<double> originalProba = model_.predictProba(source);
+  ++result.classifierQueries;
+  result.originalConfidence =
+      originalProba[static_cast<std::size_t>(trueAuthor)];
+  {
+    int best = 0;
+    for (std::size_t i = 1; i < originalProba.size(); ++i) {
+      if (originalProba[i] > originalProba[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(i);
+      }
+    }
+    result.originalPrediction = best;
+  }
+
+  const auto& actions = styleActionCatalogue();
+  auto freshUntried = [&] {
+    std::vector<std::size_t> untried(actions.size());
+    for (std::size_t i = 0; i < untried.size(); ++i) untried[i] = i;
+    rng.shuffle(untried);
+    return untried;
+  };
+
+  std::vector<Node> pool;
+  pool.push_back(Node{style::inferProfileFromSource(source), -1, 0,
+                      {}, freshUntried(), 0, 0.0, -1.0});
+
+  // Reward of a profile: render + query the classifier.
+  std::string bestSource = source;
+  StyleProfile bestProfile = pool[0].profile;
+  double bestReward = -1.0;
+  int bestPrediction = result.originalPrediction;
+  auto evaluate = [&](const StyleProfile& profile) {
+    util::Rng applyRng = rng.derive(result.classifierQueries);
+    const std::string rewritten =
+        style::applyStyle(parsed.unit, profile, applyRng);
+    const std::vector<double> proba = model_.predictProba(rewritten);
+    ++result.classifierQueries;
+    double reward;
+    int prediction = 0;
+    for (std::size_t i = 1; i < proba.size(); ++i) {
+      if (proba[i] > proba[static_cast<std::size_t>(prediction)]) {
+        prediction = static_cast<int>(i);
+      }
+    }
+    if (config_.targetAuthor >= 0) {
+      reward = proba[static_cast<std::size_t>(config_.targetAuthor)];
+    } else {
+      reward = 1.0 - proba[static_cast<std::size_t>(trueAuthor)];
+    }
+    if (reward > bestReward) {
+      bestReward = reward;
+      bestSource = rewritten;
+      bestProfile = profile;
+      bestPrediction = prediction;
+    }
+    return reward;
+  };
+
+  for (std::size_t iteration = 0; iteration < config_.iterations;
+       ++iteration) {
+    // Selection: walk down by UCB until a node with untried actions or a
+    // leaf at max depth.
+    int current = 0;
+    while (pool[static_cast<std::size_t>(current)].untried.empty() &&
+           !pool[static_cast<std::size_t>(current)].children.empty()) {
+      const Node& node = pool[static_cast<std::size_t>(current)];
+      int bestChild = node.children[0];
+      double bestScore = -1.0;
+      for (const int child : node.children) {
+        const double score = ucb(pool[static_cast<std::size_t>(child)],
+                                 node.visits, config_.explorationC);
+        if (score > bestScore) {
+          bestScore = score;
+          bestChild = child;
+        }
+      }
+      current = bestChild;
+    }
+
+    // Expansion (depth-limited).
+    int evaluated = current;
+    if (!pool[static_cast<std::size_t>(current)].untried.empty() &&
+        pool[static_cast<std::size_t>(current)].depth < config_.maxDepth) {
+      Node& node = pool[static_cast<std::size_t>(current)];
+      const std::size_t actionIndex = node.untried.back();
+      node.untried.pop_back();
+      Node child;
+      child.profile = node.profile;
+      actions[actionIndex].apply(child.profile);
+      child.parent = current;
+      child.depth = node.depth + 1;
+      child.untried = freshUntried();
+      pool.push_back(std::move(child));
+      evaluated = static_cast<int>(pool.size()) - 1;
+      pool[static_cast<std::size_t>(current)].children.push_back(evaluated);
+    }
+
+    // Evaluation (the "rollout": style application is deterministic, so a
+    // single evaluation of the node's profile is the rollout).
+    const double reward =
+        evaluate(pool[static_cast<std::size_t>(evaluated)].profile);
+
+    // Backpropagation.
+    for (int walk = evaluated; walk >= 0;
+         walk = pool[static_cast<std::size_t>(walk)].parent) {
+      Node& node = pool[static_cast<std::size_t>(walk)];
+      ++node.visits;
+      node.totalReward += reward;
+      node.bestReward = std::max(node.bestReward, reward);
+    }
+
+    EvasionStep step;
+    step.iteration = iteration;
+    step.confidence = 1.0 - bestReward;
+    step.prediction = bestPrediction;
+    step.profileSummary = bestProfile.describe();
+    result.trace.push_back(std::move(step));
+
+    // Early exit once the goal is certain.
+    const bool goal = config_.targetAuthor >= 0
+                          ? bestPrediction == config_.targetAuthor
+                          : bestPrediction != trueAuthor;
+    if (goal && bestReward > 0.9) break;
+  }
+
+  result.source = std::move(bestSource);
+  result.profile = bestProfile;
+  result.finalPrediction = bestPrediction;
+  const std::vector<double> finalProba = model_.predictProba(result.source);
+  ++result.classifierQueries;
+  result.finalConfidence = finalProba[static_cast<std::size_t>(trueAuthor)];
+  result.evaded = config_.targetAuthor >= 0
+                      ? result.finalPrediction == config_.targetAuthor
+                      : result.finalPrediction != trueAuthor;
+  return result;
+}
+
+}  // namespace sca::evasion

@@ -1,0 +1,50 @@
+// Monte-Carlo tree search over style edits — the actual search strategy of
+// Quiring et al. (USENIX Security'19), which the paper's §II-B describes:
+// "MCTS is a heuristic search determining the best possible moves from
+// diverse options by evaluating the potential value of each individual
+// node in a tree".
+//
+// States are style profiles; actions are single-dimension style edits
+// (change the naming convention, switch the IO idiom, re-indent, ...);
+// the reward of a node is 1 - P(true author) of the code rendered under
+// its profile. UCT balances exploring untried edits against deepening the
+// most promising edit sequences, and the paper's constraint of "minimizing
+// the number of transformations applied" appears as the tree depth limit.
+#pragma once
+
+#include "evasion/evasion.hpp"
+
+namespace sca::evasion {
+
+struct MctsConfig {
+  std::size_t iterations = 60;   // selection/expansion/evaluation rounds
+  std::size_t maxDepth = 3;      // max style edits from the original
+  double explorationC = 1.2;     // UCT exploration constant
+  std::uint64_t seed = 1;
+  int targetAuthor = -1;         // -1 = untargeted
+};
+
+/// One applicable style edit (used by MCTS as the action set; exposed for
+/// tests and for anyone building other searches over the style space).
+struct StyleAction {
+  std::string name;  // e.g. "naming=snake", "io=stdio", "indent=2"
+  void (*apply)(style::StyleProfile&);
+};
+
+/// The full action catalogue (every discrete value of every dimension).
+[[nodiscard]] const std::vector<StyleAction>& styleActionCatalogue();
+
+class MctsEvader {
+ public:
+  MctsEvader(const core::AttributionModel& model, MctsConfig config);
+
+  /// Runs UCT from the victim's inferred style; returns the best rewrite.
+  [[nodiscard]] EvasionResult evade(const std::string& source,
+                                    int trueAuthor);
+
+ private:
+  const core::AttributionModel& model_;
+  MctsConfig config_;
+};
+
+}  // namespace sca::evasion

@@ -1,0 +1,343 @@
+#include "features/extractor.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+
+#include "ast/parser.hpp"
+#include "ast/visit.hpp"
+#include "lexer/layout.hpp"
+#include "lexer/lexer.hpp"
+#include "util/strings.hpp"
+
+namespace sca::features {
+namespace {
+
+/// Everything transform() needs, computed once per source.
+struct Analyzed {
+  std::vector<lexer::Token> tokens;
+  lexer::LayoutMetrics layout;
+  ast::ParseResult parsed;
+};
+
+Analyzed analyze(const std::string& source) {
+  Analyzed a;
+  a.tokens = lexer::tokenize(source);
+  a.layout = lexer::computeLayoutMetrics(source);
+  a.parsed = ast::parse(source);
+  return a;
+}
+
+double ratio(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+/// Naming-convention counters over identifier tokens of length >= 2.
+struct NamingCounts {
+  std::size_t snake = 0, camel = 0, pascal = 0, lower = 0, hungarian = 0;
+  std::size_t total = 0;
+  double meanLength = 0.0;
+  double maxLength = 0.0;
+  std::size_t distinct = 0;
+};
+
+NamingCounts countNaming(const std::vector<lexer::Token>& tokens) {
+  NamingCounts c;
+  double lengthSum = 0.0;
+  std::vector<std::string> seen;
+  for (const lexer::Token& t : tokens) {
+    if (!t.is(lexer::TokenKind::Identifier)) continue;
+    const std::string& name = t.text;
+    seen.push_back(name);
+    lengthSum += static_cast<double>(name.size());
+    c.maxLength = std::max(c.maxLength, static_cast<double>(name.size()));
+    ++c.total;
+    if (name.size() < 2) continue;
+    const bool hasUnderscore = name.find('_') != std::string::npos;
+    const bool startsUpper =
+        std::isupper(static_cast<unsigned char>(name[0])) != 0;
+    bool innerUpper = false;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+      if (std::isupper(static_cast<unsigned char>(name[i])) != 0) {
+        innerUpper = true;
+      }
+    }
+    if (name.size() >= 3 &&
+        std::string("ndbcsvf").find(name[0]) != std::string::npos &&
+        std::isupper(static_cast<unsigned char>(name[1])) != 0) {
+      ++c.hungarian;
+    } else if (hasUnderscore) {
+      ++c.snake;
+    } else if (startsUpper) {
+      ++c.pascal;
+    } else if (innerUpper) {
+      ++c.camel;
+    } else {
+      ++c.lower;
+    }
+  }
+  if (c.total > 0) c.meanLength = lengthSum / static_cast<double>(c.total);
+  std::sort(seen.begin(), seen.end());
+  c.distinct = static_cast<std::size_t>(
+      std::unique(seen.begin(), seen.end()) - seen.begin());
+  return c;
+}
+
+}  // namespace
+
+std::string_view familyName(FeatureFamily family) noexcept {
+  switch (family) {
+    case FeatureFamily::Lexical: return "lexical";
+    case FeatureFamily::Layout: return "layout";
+    case FeatureFamily::Syntactic: return "syntactic";
+  }
+  return "?";
+}
+
+std::vector<std::string> identifierTerms(const std::string& source) {
+  std::vector<std::string> terms;
+  for (const lexer::Token& t : lexer::tokenize(source)) {
+    if (!t.is(lexer::TokenKind::Identifier)) continue;
+    for (std::string& word : util::splitIdentifier(t.text)) {
+      terms.push_back(std::move(word));
+    }
+  }
+  return terms;
+}
+
+FeatureExtractor::FeatureExtractor(ExtractorConfig config) : config_(config) {
+  buildSchema();  // fixed columns are valid even before fit()
+}
+
+FeatureExtractor::FeatureExtractor(ExtractorConfig config,
+                                   Vocabulary identifierVocab,
+                                   Vocabulary bigramVocab)
+    : config_(config),
+      identifierVocab_(std::move(identifierVocab)),
+      bigramVocab_(std::move(bigramVocab)) {
+  buildSchema();
+  fitted_ = true;
+}
+
+void FeatureExtractor::fit(const std::vector<std::string>& sources) {
+  std::vector<std::vector<std::string>> identifierDocs;
+  std::vector<std::vector<std::string>> bigramDocs;
+  identifierDocs.reserve(sources.size());
+  bigramDocs.reserve(sources.size());
+  for (const std::string& source : sources) {
+    identifierDocs.push_back(identifierTerms(source));
+    const ast::ParseResult parsed = ast::parse(source);
+    bigramDocs.push_back(ast::stmtKindBigrams(parsed.unit));
+  }
+  identifierVocab_ =
+      Vocabulary::fit(identifierDocs, config_.identifierVocabulary);
+  bigramVocab_ = Vocabulary::fit(bigramDocs, config_.bigramVocabulary);
+  buildSchema();
+  fitted_ = true;
+}
+
+void FeatureExtractor::buildSchema() {
+  names_.clear();
+  families_.clear();
+  auto add = [&](FeatureFamily family, std::string name) {
+    families_.push_back(family);
+    names_.push_back(std::move(name));
+  };
+
+  if (config_.useLexical) {
+    for (const std::string& kw : lexer::cppKeywords()) {
+      add(FeatureFamily::Lexical, "kw:" + kw);
+    }
+    add(FeatureFamily::Lexical, "lex:ident-mean-len");
+    add(FeatureFamily::Lexical, "lex:ident-max-len");
+    add(FeatureFamily::Lexical, "lex:ident-distinct-ratio");
+    add(FeatureFamily::Lexical, "lex:name-snake");
+    add(FeatureFamily::Lexical, "lex:name-camel");
+    add(FeatureFamily::Lexical, "lex:name-pascal");
+    add(FeatureFamily::Lexical, "lex:name-lower");
+    add(FeatureFamily::Lexical, "lex:name-hungarian");
+    add(FeatureFamily::Lexical, "lex:int-literals");
+    add(FeatureFamily::Lexical, "lex:float-literals");
+    add(FeatureFamily::Lexical, "lex:string-literals");
+    add(FeatureFamily::Lexical, "lex:char-literals");
+    add(FeatureFamily::Lexical, "lex:preprocessor-lines");
+    for (const std::string& term : identifierVocab_.terms()) {
+      add(FeatureFamily::Lexical, "uni:" + term);
+    }
+  }
+  if (config_.useLayout) {
+    add(FeatureFamily::Layout, "lay:line-count");
+    add(FeatureFamily::Layout, "lay:blank-ratio");
+    add(FeatureFamily::Layout, "lay:comment-char-ratio");
+    add(FeatureFamily::Layout, "lay:line-comments-per-line");
+    add(FeatureFamily::Layout, "lay:block-comments-per-line");
+    add(FeatureFamily::Layout, "lay:tab-indent-ratio");
+    add(FeatureFamily::Layout, "lay:mean-indent");
+    add(FeatureFamily::Layout, "lay:indent2-ratio");
+    add(FeatureFamily::Layout, "lay:indent4-ratio");
+    add(FeatureFamily::Layout, "lay:indent8-ratio");
+    add(FeatureFamily::Layout, "lay:allman-ratio");
+    add(FeatureFamily::Layout, "lay:spaced-ops-ratio");
+    add(FeatureFamily::Layout, "lay:space-after-comma-ratio");
+    add(FeatureFamily::Layout, "lay:space-after-keyword-ratio");
+    add(FeatureFamily::Layout, "lay:mean-line-length");
+    add(FeatureFamily::Layout, "lay:max-line-length");
+  }
+  if (config_.useSyntactic) {
+    for (const std::string& kind : ast::allStmtKindNames()) {
+      add(FeatureFamily::Syntactic, "stmt:" + kind);
+    }
+    for (const std::string& kind : ast::allExprKindNames()) {
+      add(FeatureFamily::Syntactic, "expr:" + kind);
+    }
+    add(FeatureFamily::Syntactic, "syn:max-depth");
+    add(FeatureFamily::Syntactic, "syn:mean-depth");
+    add(FeatureFamily::Syntactic, "syn:function-count");
+    add(FeatureFamily::Syntactic, "syn:stmts-per-function");
+    add(FeatureFamily::Syntactic, "syn:mean-params");
+    add(FeatureFamily::Syntactic, "syn:alias-count");
+    add(FeatureFamily::Syntactic, "syn:using-namespace-std");
+    add(FeatureFamily::Syntactic, "syn:include-count");
+    add(FeatureFamily::Syntactic, "syn:bits-header");
+    for (const std::string& term : bigramVocab_.terms()) {
+      add(FeatureFamily::Syntactic, "bi:" + term);
+    }
+  }
+}
+
+std::vector<double> FeatureExtractor::transform(
+    const std::string& source) const {
+  const Analyzed a = analyze(source);
+  std::vector<double> vec;
+  vec.reserve(dimension());
+
+  // Token tallies shared by the lexical block.
+  std::size_t tokenCount = 0;
+  std::map<std::string, std::size_t> keywordCounts;
+  std::size_t intLits = 0, floatLits = 0, stringLits = 0, charLits = 0;
+  std::size_t preprocessor = 0;
+  for (const lexer::Token& t : a.tokens) {
+    if (t.is(lexer::TokenKind::EndOfFile)) continue;
+    ++tokenCount;
+    switch (t.kind) {
+      case lexer::TokenKind::Keyword: ++keywordCounts[t.text]; break;
+      case lexer::TokenKind::IntLiteral: ++intLits; break;
+      case lexer::TokenKind::FloatLiteral: ++floatLits; break;
+      case lexer::TokenKind::StringLiteral: ++stringLits; break;
+      case lexer::TokenKind::CharLiteral: ++charLits; break;
+      case lexer::TokenKind::Preprocessor: ++preprocessor; break;
+      default: break;
+    }
+  }
+
+  if (config_.useLexical) {
+    for (const std::string& kw : lexer::cppKeywords()) {
+      const auto it = keywordCounts.find(kw);
+      vec.push_back(ratio(it == keywordCounts.end() ? 0 : it->second,
+                          tokenCount));
+    }
+    const NamingCounts naming = countNaming(a.tokens);
+    vec.push_back(naming.meanLength / 16.0);
+    vec.push_back(naming.maxLength / 32.0);
+    vec.push_back(ratio(naming.distinct, naming.total));
+    const std::size_t classified = naming.snake + naming.camel +
+                                   naming.pascal + naming.lower +
+                                   naming.hungarian;
+    vec.push_back(ratio(naming.snake, classified));
+    vec.push_back(ratio(naming.camel, classified));
+    vec.push_back(ratio(naming.pascal, classified));
+    vec.push_back(ratio(naming.lower, classified));
+    vec.push_back(ratio(naming.hungarian, classified));
+    vec.push_back(ratio(intLits, tokenCount));
+    vec.push_back(ratio(floatLits, tokenCount));
+    vec.push_back(ratio(stringLits, tokenCount));
+    vec.push_back(ratio(charLits, tokenCount));
+    vec.push_back(ratio(preprocessor, a.layout.lineCount));
+    for (const double v : identifierVocab_.vectorize(identifierTerms(source))) {
+      vec.push_back(v);
+    }
+  }
+
+  if (config_.useLayout) {
+    const lexer::LayoutMetrics& m = a.layout;
+    vec.push_back(std::log1p(static_cast<double>(m.lineCount)) / 6.0);
+    vec.push_back(m.blankLineRatio());
+    vec.push_back(m.commentCharRatio());
+    vec.push_back(ratio(m.lineComments, m.lineCount));
+    vec.push_back(ratio(m.blockComments, m.lineCount));
+    vec.push_back(m.tabIndentRatio());
+    vec.push_back(m.meanIndentWidth / 16.0);
+    vec.push_back(ratio(m.indentWidth2, m.indentedLines));
+    vec.push_back(ratio(m.indentWidth4, m.indentedLines));
+    vec.push_back(ratio(m.indentWidth8, m.indentedLines));
+    vec.push_back(m.allmanBraceRatio());
+    vec.push_back(m.spacedOpRatio());
+    vec.push_back(m.spaceAfterCommaRatio());
+    vec.push_back(m.spaceAfterKeywordRatio());
+    vec.push_back(m.meanLineLength / 80.0);
+    vec.push_back(static_cast<double>(m.maxLineLength) / 200.0);
+  }
+
+  if (config_.useSyntactic) {
+    const ast::TranslationUnit& unit = a.parsed.unit;
+    std::map<std::string, std::size_t> stmtCounts;
+    std::size_t stmtTotal = 0;
+    ast::forEachStmt(unit, [&](const ast::Stmt& stmt) {
+      ++stmtCounts[std::string(ast::stmtKindName(stmt))];
+      ++stmtTotal;
+    });
+    std::map<std::string, std::size_t> exprCounts;
+    std::size_t exprTotal = 0;
+    ast::forEachExpr(unit, [&](const ast::Expr& expr) {
+      ++exprCounts[std::string(ast::exprKindName(expr))];
+      ++exprTotal;
+    });
+    for (const std::string& kind : ast::allStmtKindNames()) {
+      const auto it = stmtCounts.find(kind);
+      vec.push_back(ratio(it == stmtCounts.end() ? 0 : it->second, stmtTotal));
+    }
+    for (const std::string& kind : ast::allExprKindNames()) {
+      const auto it = exprCounts.find(kind);
+      vec.push_back(ratio(it == exprCounts.end() ? 0 : it->second, exprTotal));
+    }
+    vec.push_back(static_cast<double>(ast::maxStmtDepth(unit)) / 10.0);
+    vec.push_back(ast::meanStmtDepth(unit) / 5.0);
+    vec.push_back(static_cast<double>(unit.functions.size()) / 5.0);
+    double paramSum = 0.0;
+    for (const ast::Function& fn : unit.functions) {
+      paramSum += static_cast<double>(fn.params.size());
+    }
+    vec.push_back(unit.functions.empty()
+                      ? 0.0
+                      : static_cast<double>(stmtTotal) /
+                            (30.0 * static_cast<double>(unit.functions.size())));
+    vec.push_back(unit.functions.empty()
+                      ? 0.0
+                      : paramSum / static_cast<double>(unit.functions.size()) /
+                            4.0);
+    vec.push_back(static_cast<double>(unit.aliases.size()));
+    vec.push_back(unit.usingNamespaceStd ? 1.0 : 0.0);
+    vec.push_back(static_cast<double>(unit.includes.size()) / 6.0);
+    const bool bits = std::find(unit.includes.begin(), unit.includes.end(),
+                                "bits/stdc++.h") != unit.includes.end();
+    vec.push_back(bits ? 1.0 : 0.0);
+    for (const double v :
+         bigramVocab_.vectorize(ast::stmtKindBigrams(unit))) {
+      vec.push_back(v);
+    }
+  }
+
+  return vec;
+}
+
+std::vector<std::vector<double>> FeatureExtractor::transformAll(
+    const std::vector<std::string>& sources) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(sources.size());
+  for (const std::string& source : sources) out.push_back(transform(source));
+  return out;
+}
+
+}  // namespace sca::features

@@ -1,0 +1,89 @@
+// Stylometric feature extraction (Caliskan-Islam et al., §III-A of the
+// paper): lexical + layout + syntactic features over one source file.
+//
+// Lexical features are computed on the raw token stream (identifier
+// unigrams, keyword frequencies, literal usage, naming-convention ratios),
+// layout features on the raw text (lexer/layout.hpp), and syntactic
+// features on the parsed AST (node-kind frequencies, depth, parent>child
+// bigrams, decomposition shape).
+//
+// The extractor follows the fit/transform protocol: open vocabularies
+// (identifier words, statement bigrams) are frozen on the training set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "features/vocabulary.hpp"
+
+namespace sca::features {
+
+enum class FeatureFamily { Lexical, Layout, Syntactic };
+
+[[nodiscard]] std::string_view familyName(FeatureFamily family) noexcept;
+
+struct ExtractorConfig {
+  std::size_t identifierVocabulary = 150;  // token-unigram columns
+  std::size_t bigramVocabulary = 100;      // stmt-bigram columns
+  // Family switches for the ablation bench.
+  bool useLexical = true;
+  bool useLayout = true;
+  bool useSyntactic = true;
+};
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(ExtractorConfig config = {});
+
+  /// Rebuilds a fitted extractor from explicit vocabularies
+  /// (deserialization path; the normal path is fit()).
+  FeatureExtractor(ExtractorConfig config, Vocabulary identifierVocab,
+                   Vocabulary bigramVocab);
+
+  /// Freezes the vocabularies on the training corpus.
+  void fit(const std::vector<std::string>& sources);
+
+  /// Extracts the feature vector of one source file. Requires fit().
+  [[nodiscard]] std::vector<double> transform(const std::string& source) const;
+
+  /// transform() over many sources.
+  [[nodiscard]] std::vector<std::vector<double>> transformAll(
+      const std::vector<std::string>& sources) const;
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return names_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& featureNames() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] const std::vector<FeatureFamily>& featureFamilies()
+      const noexcept {
+    return families_;
+  }
+  [[nodiscard]] const ExtractorConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const Vocabulary& identifierVocabulary() const noexcept {
+    return identifierVocab_;
+  }
+  [[nodiscard]] const Vocabulary& bigramVocabulary() const noexcept {
+    return bigramVocab_;
+  }
+
+ private:
+  void buildSchema();
+
+  ExtractorConfig config_;
+  Vocabulary identifierVocab_;
+  Vocabulary bigramVocab_;
+  std::vector<std::string> names_;
+  std::vector<FeatureFamily> families_;
+  bool fitted_ = false;
+};
+
+/// Lowercase word terms of every identifier token in `source`
+/// ("numCases" -> num, cases). Exposed for tests and the vocabulary.
+[[nodiscard]] std::vector<std::string> identifierTerms(
+    const std::string& source);
+
+}  // namespace sca::features

@@ -1,0 +1,99 @@
+#include "features/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace sca::features {
+namespace {
+
+double entropyOfCounts(const std::map<int, std::size_t>& counts,
+                       std::size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [label, count] : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double labelEntropy(const std::vector<int>& y) {
+  std::map<int, std::size_t> counts;
+  for (const int label : y) ++counts[label];
+  return entropyOfCounts(counts, y.size());
+}
+
+void FeatureSelector::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<int>& y, std::size_t k) {
+  selected_.clear();
+  gains_.clear();
+  if (x.empty()) return;
+  const std::size_t dims = x[0].size();
+  if (k == 0 || k >= dims) return;  // identity
+
+  const double baseEntropy = labelEntropy(y);
+  gains_.resize(dims, 0.0);
+  for (std::size_t d = 0; d < dims; ++d) {
+    double mean = 0.0;
+    for (const auto& row : x) mean += row[d];
+    mean /= static_cast<double>(x.size());
+
+    std::map<int, std::size_t> below, above;
+    std::size_t belowCount = 0, aboveCount = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i][d] <= mean) {
+        ++below[y[i]];
+        ++belowCount;
+      } else {
+        ++above[y[i]];
+        ++aboveCount;
+      }
+    }
+    const double total = static_cast<double>(x.size());
+    const double conditional =
+        (static_cast<double>(belowCount) / total) *
+            entropyOfCounts(below, belowCount) +
+        (static_cast<double>(aboveCount) / total) *
+            entropyOfCounts(above, aboveCount);
+    gains_[d] = baseEntropy - conditional;
+  }
+
+  std::vector<std::size_t> order(dims);
+  for (std::size_t d = 0; d < dims; ++d) order[d] = d;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (gains_[a] != gains_[b]) return gains_[a] > gains_[b];
+    return a < b;
+  });
+  order.resize(k);
+  selected_ = std::move(order);
+}
+
+FeatureSelector FeatureSelector::fromIndices(
+    std::vector<std::size_t> indices) {
+  FeatureSelector selector;
+  selector.selected_ = std::move(indices);
+  return selector;
+}
+
+std::vector<double> FeatureSelector::apply(
+    const std::vector<double>& vec) const {
+  if (identity()) return vec;
+  std::vector<double> out;
+  out.reserve(selected_.size());
+  for (const std::size_t idx : selected_) out.push_back(vec[idx]);
+  return out;
+}
+
+std::vector<std::vector<double>> FeatureSelector::applyAll(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(apply(row));
+  return out;
+}
+
+}  // namespace sca::features

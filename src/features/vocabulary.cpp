@@ -1,0 +1,61 @@
+#include "features/vocabulary.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sca::features {
+
+Vocabulary Vocabulary::fit(
+    const std::vector<std::vector<std::string>>& documents,
+    std::size_t maxTerms) {
+  std::map<std::string, std::size_t> docFreq;
+  for (const auto& document : documents) {
+    const std::set<std::string> unique(document.begin(), document.end());
+    for (const std::string& term : unique) ++docFreq[term];
+  }
+  std::vector<std::pair<std::string, std::size_t>> ranked(docFreq.begin(),
+                                                          docFreq.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > maxTerms) ranked.resize(maxTerms);
+
+  Vocabulary vocab;
+  vocab.terms_.reserve(ranked.size());
+  for (const auto& [term, freq] : ranked) {
+    vocab.index_[term] = vocab.terms_.size();
+    vocab.terms_.push_back(term);
+  }
+  return vocab;
+}
+
+Vocabulary Vocabulary::fromTerms(std::vector<std::string> terms) {
+  Vocabulary vocab;
+  vocab.terms_ = std::move(terms);
+  for (std::size_t i = 0; i < vocab.terms_.size(); ++i) {
+    vocab.index_[vocab.terms_[i]] = i;
+  }
+  return vocab;
+}
+
+std::optional<std::size_t> Vocabulary::indexOf(const std::string& term) const {
+  const auto it = index_.find(term);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<double> Vocabulary::vectorize(
+    const std::vector<std::string>& document) const {
+  std::vector<double> vec(terms_.size(), 0.0);
+  if (document.empty()) return vec;
+  for (const std::string& term : document) {
+    const auto idx = indexOf(term);
+    if (idx.has_value()) vec[*idx] += 1.0;
+  }
+  const double norm = static_cast<double>(document.size());
+  for (double& v : vec) v /= norm;
+  return vec;
+}
+
+}  // namespace sca::features

@@ -1,0 +1,47 @@
+// Term vocabularies fitted on training data.
+//
+// Lexical unigram features (identifier words) and syntactic bigram
+// features (parent>child statement kinds) are open-vocabulary; we fix
+// their columns by collecting the top-k terms by document frequency on the
+// TRAINING corpus only — test samples never extend the vocabulary (no
+// leakage).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sca::features {
+
+class Vocabulary {
+ public:
+  /// Builds a vocabulary of the `maxTerms` most document-frequent terms.
+  /// `documents` holds one term list per training sample. Ties break
+  /// alphabetically so fitting is deterministic.
+  static Vocabulary fit(const std::vector<std::vector<std::string>>& documents,
+                        std::size_t maxTerms);
+
+  /// Rebuilds a vocabulary from an explicit term list (deserialization).
+  static Vocabulary fromTerms(std::vector<std::string> terms);
+
+  /// Column index of a term, if in vocabulary.
+  [[nodiscard]] std::optional<std::size_t> indexOf(
+      const std::string& term) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+  [[nodiscard]] const std::vector<std::string>& terms() const noexcept {
+    return terms_;
+  }
+
+  /// Term-frequency vector (L1-normalized) for one document.
+  [[nodiscard]] std::vector<double> vectorize(
+      const std::vector<std::string>& document) const;
+
+ private:
+  std::vector<std::string> terms_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace sca::features

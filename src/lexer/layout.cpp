@@ -1,0 +1,221 @@
+#include "lexer/layout.hpp"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace sca::lexer {
+namespace {
+
+bool isBinaryOpChar(char c) {
+  switch (c) {
+    case '+': case '-': case '*': case '/': case '%':
+    case '<': case '>': case '=': case '&': case '|':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if position `i` in `line` is inside a string or char literal.
+/// Computed by a tiny per-line scan; block comments are handled by the
+/// caller which blanks them out before per-line analysis.
+std::vector<bool> literalMask(const std::string& line) {
+  std::vector<bool> mask(line.size(), false);
+  char quote = '\0';
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quote != '\0') {
+      mask[i] = true;
+      if (c == '\\') {
+        if (i + 1 < line.size()) mask[++i] = true;
+      } else if (c == quote) {
+        quote = '\0';
+      }
+    } else if (c == '"' || c == '\'') {
+      quote = c;
+      mask[i] = true;
+    } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      for (std::size_t j = i; j < line.size(); ++j) mask[j] = true;
+      break;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+LayoutMetrics computeLayoutMetrics(std::string_view source) {
+  LayoutMetrics m;
+  if (source.empty()) return m;
+  m.totalChars = source.size();
+
+  // Pass 1: comment accounting and blanking (so that brace/spacing counters
+  // do not fire inside comments).
+  std::string blanked(source);
+  {
+    std::size_t i = 0;
+    while (i < blanked.size()) {
+      const char c = blanked[i];
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < blanked.size() && blanked[i] != quote &&
+               blanked[i] != '\n') {
+          if (blanked[i] == '\\') ++i;
+          if (i < blanked.size()) ++i;
+        }
+        if (i < blanked.size()) ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < blanked.size() && blanked[i + 1] == '/') {
+        ++m.lineComments;
+        while (i < blanked.size() && blanked[i] != '\n') {
+          ++m.commentChars;
+          blanked[i++] = ' ';
+        }
+        continue;
+      }
+      if (c == '/' && i + 1 < blanked.size() && blanked[i + 1] == '*') {
+        ++m.blockComments;
+        while (i < blanked.size()) {
+          if (blanked[i] == '*' && i + 1 < blanked.size() &&
+              blanked[i + 1] == '/') {
+            blanked[i] = ' ';
+            blanked[i + 1] = ' ';
+            m.commentChars += 2;
+            i += 2;
+            break;
+          }
+          ++m.commentChars;
+          if (blanked[i] != '\n') blanked[i] = ' ';
+          ++i;
+        }
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  const std::vector<std::string> lines = util::split(blanked, '\n');
+  // split() yields one trailing empty field for text ending in '\n'; drop it
+  // so the final newline does not count as a blank line.
+  std::size_t lineTotal = lines.size();
+  if (!lines.empty() && lines.back().empty() && !blanked.empty() &&
+      blanked.back() == '\n') {
+    --lineTotal;
+  }
+  m.lineCount = lineTotal;
+
+  double indentSum = 0.0;
+  double lineLengthSum = 0.0;
+  for (std::size_t li = 0; li < lineTotal; ++li) {
+    const std::string& line = lines[li];
+    lineLengthSum += static_cast<double>(line.size());
+    if (line.size() > m.maxLineLength) m.maxLineLength = line.size();
+
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) {
+      ++m.blankLines;
+      continue;
+    }
+
+    // Indentation of non-blank lines.
+    if (line[0] == ' ' || line[0] == '\t') {
+      ++m.indentedLines;
+      if (line[0] == '\t') ++m.tabIndentedLines;
+      std::size_t width = 0;
+      for (const char c : line) {
+        if (c == ' ') ++width;
+        else if (c == '\t') ++width;  // one column unit per tab
+        else break;
+      }
+      indentSum += static_cast<double>(width);
+      if (line[0] == ' ') {
+        if (width == 2) ++m.indentWidth2;
+        else if (width == 4) ++m.indentWidth4;
+        else if (width == 8) ++m.indentWidth8;
+      }
+    }
+
+    // Brace placement.
+    if (trimmed == "{") {
+      ++m.bracesOwnLine;
+    } else if (trimmed.size() > 1 && trimmed.back() == '{') {
+      ++m.bracesEndOfLine;
+    }
+
+    // Spacing habits (literals masked out).
+    const std::vector<bool> mask = literalMask(line);
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (mask[i]) continue;
+      const char c = line[i];
+      if (c == ',') {
+        if (i + 1 < line.size() && line[i + 1] == ' ') ++m.spaceAfterComma;
+        else if (i + 1 < line.size() && line[i + 1] != '\0') ++m.noSpaceAfterComma;
+        continue;
+      }
+      if (c == '(' && i >= 2) {
+        // keyword '(' adjacency: look back for if/for/while ending at i-1
+        // or i-2 (one space).
+        auto endsWithKeyword = [&](std::size_t end) {
+          static const std::string_view kws[] = {"if", "for", "while",
+                                                 "switch"};
+          for (const std::string_view kw : kws) {
+            if (end >= kw.size()) {
+              const std::size_t start = end - kw.size();
+              if (line.compare(start, kw.size(), kw) == 0 &&
+                  (start == 0 || !isWordChar(line[start - 1]))) {
+                return true;
+              }
+            }
+          }
+          return false;
+        };
+        if (endsWithKeyword(i)) ++m.noSpaceAfterKeyword;
+        else if (line[i - 1] == ' ' && endsWithKeyword(i - 1)) ++m.spaceAfterKeyword;
+        continue;
+      }
+      if (isBinaryOpChar(c)) {
+        // Skip multi-char operators' trailing chars and ++/--/<</>>.
+        if (i > 0 && isBinaryOpChar(line[i - 1])) continue;
+        const bool multi = i + 1 < line.size() && isBinaryOpChar(line[i + 1]);
+        const std::size_t opEnd = multi ? i + 1 : i;
+        // Unary context (e.g. "(-x", "= -1") is not a binary op: require a
+        // word char or ')' before the (possible) space.
+        std::size_t probe = i;
+        bool spacedBefore = false;
+        if (probe > 0 && line[probe - 1] == ' ') {
+          spacedBefore = true;
+          --probe;
+        }
+        if (probe == 0 || (!isWordChar(line[probe - 1]) && line[probe - 1] != ')' &&
+                           line[probe - 1] != ']')) {
+          continue;
+        }
+        const std::size_t after = opEnd + 1;
+        const bool spacedAfter = after < line.size() && line[after] == ' ';
+        const bool tightAfter =
+            after < line.size() && (isWordChar(line[after]) || line[after] == '(');
+        if (spacedBefore && spacedAfter) ++m.spacedBinaryOps;
+        else if (!spacedBefore && tightAfter) ++m.tightBinaryOps;
+        if (multi) ++i;
+      }
+    }
+  }
+
+  const std::size_t contentLines = lineTotal - m.blankLines;
+  m.meanIndentWidth =
+      m.indentedLines == 0 ? 0.0 : indentSum / static_cast<double>(m.indentedLines);
+  m.meanLineLength =
+      contentLines == 0 ? 0.0 : lineLengthSum / static_cast<double>(lineTotal == 0 ? 1 : lineTotal);
+  return m;
+}
+
+}  // namespace sca::lexer

@@ -1,0 +1,91 @@
+// Layout metrics computed from raw source text.
+//
+// These are the "layout features" of Caliskan-Islam et al.: indentation,
+// brace placement, blank lines, comment density, spacing habits. They are
+// computed on the raw text (not the token stream) because whitespace is
+// exactly what they measure.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace sca::lexer {
+
+struct LayoutMetrics {
+  std::size_t lineCount = 0;
+  std::size_t blankLines = 0;
+  std::size_t commentChars = 0;      // characters inside comments
+  std::size_t totalChars = 0;
+  std::size_t lineComments = 0;
+  std::size_t blockComments = 0;
+
+  // Indentation.
+  std::size_t indentedLines = 0;     // lines starting with whitespace
+  std::size_t tabIndentedLines = 0;  // first indent char is '\t'
+  double meanIndentWidth = 0.0;      // spaces-equivalent (tab = 1 column unit)
+  std::size_t indentWidth2 = 0;      // lines whose leading spaces == 2 mod 4? no:
+                                     // count of lines with exactly 2-space first level
+  std::size_t indentWidth4 = 0;      // ... 4-space first level
+  std::size_t indentWidth8 = 0;
+
+  // Braces.
+  std::size_t bracesOwnLine = 0;     // '{' alone (Allman)
+  std::size_t bracesEndOfLine = 0;   // '{' ending a non-empty line (K&R)
+
+  // Spacing.
+  std::size_t spacedBinaryOps = 0;   // " op " occurrences for + - * / % < > =
+  std::size_t tightBinaryOps = 0;    // "a+b" style occurrences
+  std::size_t spaceAfterComma = 0;
+  std::size_t noSpaceAfterComma = 0;
+  std::size_t spaceAfterKeyword = 0;   // "if (", "for (", "while ("
+  std::size_t noSpaceAfterKeyword = 0; // "if(", ...
+
+  // Line lengths.
+  double meanLineLength = 0.0;
+  std::size_t maxLineLength = 0;
+
+  [[nodiscard]] double blankLineRatio() const noexcept {
+    return lineCount == 0 ? 0.0
+                          : static_cast<double>(blankLines) /
+                                static_cast<double>(lineCount);
+  }
+  [[nodiscard]] double commentCharRatio() const noexcept {
+    return totalChars == 0 ? 0.0
+                           : static_cast<double>(commentChars) /
+                                 static_cast<double>(totalChars);
+  }
+  [[nodiscard]] double tabIndentRatio() const noexcept {
+    return indentedLines == 0 ? 0.0
+                              : static_cast<double>(tabIndentedLines) /
+                                    static_cast<double>(indentedLines);
+  }
+  [[nodiscard]] double allmanBraceRatio() const noexcept {
+    const std::size_t total = bracesOwnLine + bracesEndOfLine;
+    return total == 0 ? 0.0
+                      : static_cast<double>(bracesOwnLine) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double spacedOpRatio() const noexcept {
+    const std::size_t total = spacedBinaryOps + tightBinaryOps;
+    return total == 0 ? 0.0
+                      : static_cast<double>(spacedBinaryOps) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double spaceAfterCommaRatio() const noexcept {
+    const std::size_t total = spaceAfterComma + noSpaceAfterComma;
+    return total == 0 ? 0.0
+                      : static_cast<double>(spaceAfterComma) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double spaceAfterKeywordRatio() const noexcept {
+    const std::size_t total = spaceAfterKeyword + noSpaceAfterKeyword;
+    return total == 0 ? 0.0
+                      : static_cast<double>(spaceAfterKeyword) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Computes all layout metrics in one pass over the text.
+[[nodiscard]] LayoutMetrics computeLayoutMetrics(std::string_view source);
+
+}  // namespace sca::lexer

@@ -1,0 +1,226 @@
+#include "lexer/lexer.hpp"
+
+#include <cctype>
+
+namespace sca::lexer {
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Multi-character punctuators, longest-match-first.
+constexpr std::string_view kPunctuators3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kPunctuators2[] = {
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "::",
+};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : source_(source) {}
+
+  [[nodiscard]] bool atEnd() const noexcept { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    const std::size_t i = pos_ + ahead;
+    return i < source_.size() ? source_[i] : '\0';
+  }
+  char advance() noexcept {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  [[nodiscard]] bool match(std::string_view text) const noexcept {
+    return source_.substr(pos_, text.size()) == text;
+  }
+  void skip(std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n && !atEnd(); ++i) advance();
+  }
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const noexcept {
+    return source_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  auto emit = [&](TokenKind kind, std::string text, std::size_t line,
+                  std::size_t column) {
+    tokens.push_back(Token{kind, std::move(text), line, column});
+  };
+
+  while (!cur.atEnd()) {
+    const char c = cur.peek();
+    const std::size_t line = cur.line();
+    const std::size_t column = cur.column();
+
+    // Whitespace: not tokenized (layout metrics read the raw text).
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      cur.advance();
+      continue;
+    }
+
+    // Preprocessor directive: only at start-of-line content-wise; we accept
+    // any '#' and take the rest of the (possibly continued) line.
+    if (c == '#') {
+      const std::size_t start = cur.pos();
+      while (!cur.atEnd() && cur.peek() != '\n') {
+        if (cur.peek() == '\\' && cur.peek(1) == '\n') cur.advance();
+        cur.advance();
+      }
+      emit(TokenKind::Preprocessor, std::string(cur.slice(start)), line, column);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      cur.skip(2);
+      const std::size_t start = cur.pos();
+      while (!cur.atEnd() && cur.peek() != '\n') cur.advance();
+      emit(TokenKind::LineComment, std::string(cur.slice(start)), line, column);
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.skip(2);
+      const std::size_t start = cur.pos();
+      std::size_t end = cur.pos();
+      while (!cur.atEnd()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          end = cur.pos();
+          cur.skip(2);
+          break;
+        }
+        cur.advance();
+        end = cur.pos();
+      }
+      emit(TokenKind::BlockComment,
+           std::string(source.substr(start, end - start)), line, column);
+      continue;
+    }
+
+    // String / char literals (escapes respected, unterminated tolerated).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = cur.pos();
+      cur.advance();
+      while (!cur.atEnd() && cur.peek() != quote && cur.peek() != '\n') {
+        if (cur.peek() == '\\') cur.advance();
+        if (!cur.atEnd()) cur.advance();
+      }
+      if (!cur.atEnd() && cur.peek() == quote) cur.advance();
+      emit(quote == '"' ? TokenKind::StringLiteral : TokenKind::CharLiteral,
+           std::string(cur.slice(start)), line, column);
+      continue;
+    }
+
+    // Numbers: ints, floats, suffixes (LL, U, f), hex.
+    if (isDigit(c) || (c == '.' && isDigit(cur.peek(1)))) {
+      const std::size_t start = cur.pos();
+      bool isFloat = false;
+      if (c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+        cur.skip(2);
+        while (std::isxdigit(static_cast<unsigned char>(cur.peek())) != 0) {
+          cur.advance();
+        }
+      } else {
+        while (isDigit(cur.peek())) cur.advance();
+        if (cur.peek() == '.' ) {
+          isFloat = true;
+          cur.advance();
+          while (isDigit(cur.peek())) cur.advance();
+        }
+        if (cur.peek() == 'e' || cur.peek() == 'E') {
+          isFloat = true;
+          cur.advance();
+          if (cur.peek() == '+' || cur.peek() == '-') cur.advance();
+          while (isDigit(cur.peek())) cur.advance();
+        }
+      }
+      while (isIdentChar(cur.peek())) {
+        if (cur.peek() == 'f' || cur.peek() == 'F') isFloat = true;
+        cur.advance();  // suffix letters (LL, u, f, ...)
+      }
+      emit(isFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+           std::string(cur.slice(start)), line, column);
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (isIdentStart(c)) {
+      const std::size_t start = cur.pos();
+      while (isIdentChar(cur.peek())) cur.advance();
+      std::string word(cur.slice(start));
+      // Decide the kind before std::move(word): argument evaluation order
+      // is unspecified and the moved-from string would otherwise be tested.
+      const TokenKind kind =
+          isCppKeyword(word) ? TokenKind::Keyword : TokenKind::Identifier;
+      emit(kind, std::move(word), line, column);
+      continue;
+    }
+
+    // Punctuators, longest match first.
+    bool matched = false;
+    for (const std::string_view p : kPunctuators3) {
+      if (cur.match(p)) {
+        cur.skip(p.size());
+        emit(TokenKind::Punctuator, std::string(p), line, column);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const std::string_view p : kPunctuators2) {
+      if (cur.match(p)) {
+        cur.skip(p.size());
+        emit(TokenKind::Punctuator, std::string(p), line, column);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    cur.advance();
+    emit(TokenKind::Punctuator, std::string(1, c), line, column);
+  }
+
+  tokens.push_back(Token{TokenKind::EndOfFile, "", cur.line(), cur.column()});
+  return tokens;
+}
+
+std::vector<Token> withoutTrivia(const std::vector<Token>& tokens) {
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (const Token& token : tokens) {
+    switch (token.kind) {
+      case TokenKind::LineComment:
+      case TokenKind::BlockComment:
+        break;
+      default:
+        out.push_back(token);
+    }
+  }
+  return out;
+}
+
+}  // namespace sca::lexer

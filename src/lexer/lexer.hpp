@@ -1,0 +1,26 @@
+// Hand-written tokenizer for the C++ subset the corpus renderer emits,
+// with graceful handling of anything else (unknown characters become
+// single-character punctuators rather than errors).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer/token.hpp"
+
+namespace sca::lexer {
+
+/// Tokenizes `source` into a vector terminated by an EndOfFile token.
+///
+/// Never throws on malformed input: unterminated strings/comments are
+/// closed at end of input, unknown bytes are emitted as punctuators. This
+/// matters because the attribution pipeline must consume *any* code an
+/// adversary (the synthetic LLM) produces.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+/// Tokens with comments and preprocessor directives stripped — the stream
+/// the parser consumes.
+[[nodiscard]] std::vector<Token> withoutTrivia(const std::vector<Token>& tokens);
+
+}  // namespace sca::lexer

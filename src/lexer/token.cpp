@@ -1,0 +1,42 @@
+#include "lexer/token.hpp"
+
+#include <algorithm>
+
+namespace sca::lexer {
+
+std::string_view tokenKindName(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Keyword: return "keyword";
+    case TokenKind::IntLiteral: return "int-literal";
+    case TokenKind::FloatLiteral: return "float-literal";
+    case TokenKind::StringLiteral: return "string-literal";
+    case TokenKind::CharLiteral: return "char-literal";
+    case TokenKind::Punctuator: return "punctuator";
+    case TokenKind::LineComment: return "line-comment";
+    case TokenKind::BlockComment: return "block-comment";
+    case TokenKind::Preprocessor: return "preprocessor";
+    case TokenKind::EndOfFile: return "eof";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& cppKeywords() {
+  static const std::vector<std::string> kKeywords = {
+      "auto",     "bool",     "break",    "case",      "char",
+      "const",    "constexpr","continue", "default",   "do",
+      "double",   "else",     "enum",     "false",     "float",
+      "for",      "if",       "int",      "long",      "namespace",
+      "nullptr",  "return",   "short",    "signed",    "sizeof",
+      "static",   "struct",   "switch",   "true",      "typedef",
+      "unsigned", "using",    "void",     "while",
+  };
+  return kKeywords;
+}
+
+bool isCppKeyword(std::string_view word) noexcept {
+  const auto& keywords = cppKeywords();
+  return std::binary_search(keywords.begin(), keywords.end(), word);
+}
+
+}  // namespace sca::lexer

@@ -1,0 +1,53 @@
+// Token model for the C++ subset the corpus uses.
+//
+// The lexer keeps comments and preprocessor directives as first-class
+// tokens: layout features read them directly, and the parser re-attaches
+// standalone comments to the AST so the transformer can keep or drop them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sca::lexer {
+
+enum class TokenKind {
+  Identifier,
+  Keyword,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+  CharLiteral,
+  Punctuator,     // operators and separators, e.g. "<<", "++", "{", ";"
+  LineComment,    // "// ..."  (text excludes the delimiters)
+  BlockComment,   // "/* ... */"
+  Preprocessor,   // whole "#..." line
+  EndOfFile,
+};
+
+[[nodiscard]] std::string_view tokenKindName(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;        // exact spelling (comments: interior text)
+  std::size_t line = 0;    // 1-based
+  std::size_t column = 0;  // 1-based
+
+  [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
+  [[nodiscard]] bool isPunct(std::string_view p) const noexcept {
+    return kind == TokenKind::Punctuator && text == p;
+  }
+  [[nodiscard]] bool isKeyword(std::string_view k) const noexcept {
+    return kind == TokenKind::Keyword && text == k;
+  }
+};
+
+/// True for the C++ keywords the subset knows about (used by the lexer to
+/// separate Keyword from Identifier and by lexical features).
+[[nodiscard]] bool isCppKeyword(std::string_view word) noexcept;
+
+/// All keywords the lexer recognizes, in a stable order (feature columns).
+[[nodiscard]] const std::vector<std::string>& cppKeywords();
+
+}  // namespace sca::lexer

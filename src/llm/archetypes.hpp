@@ -1,0 +1,31 @@
+// Year-dependent usage of the style archetypes.
+//
+// The pool itself lives in style/archetypes.hpp (the corpus builder also
+// consumes it); this header adds the LLM-side view: how often each
+// archetype is drawn per simulated GCJ year. The paper's central finding
+// (Tables IV-VII, §VI-F) is that ChatGPT's transformations draw on at most
+// 12 distinct styles, with a usage distribution that is heavily skewed and
+// year-dependent (2017: one style carried 77% of the mass; 2018: three
+// carried 66%; 2019: two carried 59%).
+#pragma once
+
+#include <vector>
+
+#include "style/archetypes.hpp"
+
+namespace sca::llm {
+
+/// The paper's observed ceiling on distinct ChatGPT styles.
+inline constexpr std::size_t kArchetypeCount = style::kArchetypeCount;
+
+/// The fixed 12-profile archetype pool (re-exported from sca::style).
+[[nodiscard]] inline const std::vector<style::StyleProfile>& archetypePool() {
+  return style::archetypePool();
+}
+
+/// Year-specific sampling weights over the pool (sums to 1).
+/// 2017 is near-degenerate, 2018 has a heavy top-3, 2019 a heavy top-2 —
+/// matching the shapes of Tables V, VI and VII respectively.
+[[nodiscard]] const std::vector<double>& archetypeWeights(int year);
+
+}  // namespace sca::llm

@@ -1,0 +1,109 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace sca::ml {
+
+std::map<int, std::vector<std::size_t>> groupIndices(
+    const std::vector<int>& groups) {
+  std::map<int, std::vector<std::size_t>> out;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    out[groups[i]].push_back(i);
+  }
+  return out;
+}
+
+std::vector<FoldResult> leaveOneGroupOut(
+    const Dataset& data,
+    const std::function<std::vector<int>(const Dataset&, const Dataset&)>&
+        trainPredict) {
+  if (data.groups.empty()) {
+    throw std::invalid_argument("leaveOneGroupOut: dataset has no groups");
+  }
+  const auto byGroup = groupIndices(data.groups);
+  std::vector<FoldResult> results;
+  results.reserve(byGroup.size());
+  for (const auto& [group, testIdx] : byGroup) {
+    std::vector<std::size_t> trainIdx;
+    trainIdx.reserve(data.size() - testIdx.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data.groups[i] != group) trainIdx.push_back(i);
+    }
+    const Dataset train = data.subset(trainIdx);
+    const Dataset test = data.subset(testIdx);
+    FoldResult fold;
+    fold.group = group;
+    fold.yTrue = test.y;
+    fold.yPred = trainPredict(train, test);
+    fold.accuracy = accuracy(fold.yTrue, fold.yPred);
+    fold.testIndices = testIdx;
+    results.push_back(std::move(fold));
+  }
+  return results;
+}
+
+double meanAccuracy(const std::vector<FoldResult>& folds) {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FoldResult& fold : folds) sum += fold.accuracy;
+  return sum / static_cast<double>(folds.size());
+}
+
+namespace {
+
+/// label -> shuffled member indices (deterministic in seed).
+std::map<int, std::vector<std::size_t>> shuffledByClass(
+    const std::vector<int>& labels, std::uint64_t seed) {
+  std::map<int, std::vector<std::size_t>> byClass;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    byClass[labels[i]].push_back(i);
+  }
+  util::Rng rng(seed);
+  for (auto& [label, members] : byClass) {
+    util::Rng classRng = rng.derive(static_cast<std::uint64_t>(label));
+    classRng.shuffle(members);
+  }
+  return byClass;
+}
+
+}  // namespace
+
+Split stratifiedSplit(const std::vector<int>& labels, double testFraction,
+                      std::uint64_t seed) {
+  if (testFraction <= 0.0 || testFraction >= 1.0) {
+    throw std::invalid_argument("stratifiedSplit: testFraction in (0,1)");
+  }
+  Split split;
+  for (auto& [label, members] : shuffledByClass(labels, seed)) {
+    std::size_t testCount = static_cast<std::size_t>(
+        testFraction * static_cast<double>(members.size()) + 0.5);
+    if (testCount == 0 && members.size() >= 2) testCount = 1;
+    if (testCount >= members.size()) testCount = members.size() - 1;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < testCount ? split.testIndices : split.trainIndices)
+          .push_back(members[i]);
+    }
+  }
+  std::sort(split.trainIndices.begin(), split.trainIndices.end());
+  std::sort(split.testIndices.begin(), split.testIndices.end());
+  return split;
+}
+
+std::vector<std::vector<std::size_t>> stratifiedKFold(
+    const std::vector<int>& labels, std::size_t k, std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("stratifiedKFold: k >= 2");
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (auto& [label, members] : shuffledByClass(labels, seed)) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      folds[i % k].push_back(members[i]);
+    }
+  }
+  for (auto& fold : folds) std::sort(fold.begin(), fold.end());
+  return folds;
+}
+
+}  // namespace sca::ml

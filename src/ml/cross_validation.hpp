@@ -1,0 +1,55 @@
+// Cross-validation utilities.
+//
+// The paper evaluates with per-challenge folds ("the accuracy for each
+// fold in the k-fold cross-validation", Tables VIII-X, rows C1..C8): the
+// model trains on 7 challenges' code and tests on the held-out challenge.
+// That is leave-one-group-out CV with the challenge index as the group.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace sca::ml {
+
+struct FoldResult {
+  int group = 0;                         // held-out group id
+  double accuracy = 0.0;
+  std::vector<int> yTrue;
+  std::vector<int> yPred;
+  std::vector<std::size_t> testIndices;  // into the original dataset
+};
+
+/// group id -> member row indices (sorted by group id).
+[[nodiscard]] std::map<int, std::vector<std::size_t>> groupIndices(
+    const std::vector<int>& groups);
+
+/// Runs leave-one-group-out CV. `trainPredict` receives the train split and
+/// the test split and returns predictions for the test rows.
+[[nodiscard]] std::vector<FoldResult> leaveOneGroupOut(
+    const Dataset& data,
+    const std::function<std::vector<int>(const Dataset& train,
+                                         const Dataset& test)>& trainPredict);
+
+/// Mean accuracy over folds.
+[[nodiscard]] double meanAccuracy(const std::vector<FoldResult>& folds);
+
+/// A random train/test split, stratified by label: each class contributes
+/// ~testFraction of its samples to the test side (at least one when it has
+/// two or more). Deterministic in `seed`.
+struct Split {
+  std::vector<std::size_t> trainIndices;
+  std::vector<std::size_t> testIndices;
+};
+[[nodiscard]] Split stratifiedSplit(const std::vector<int>& labels,
+                                    double testFraction, std::uint64_t seed);
+
+/// Stratified k-fold partition: returns k disjoint test-index sets that
+/// cover every row exactly once, each with ~1/k of every class.
+[[nodiscard]] std::vector<std::vector<std::size_t>> stratifiedKFold(
+    const std::vector<int>& labels, std::size_t k, std::uint64_t seed);
+
+}  // namespace sca::ml

@@ -1,0 +1,45 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sca::ml {
+
+int Dataset::classCount() const {
+  int maxLabel = -1;
+  for (const int label : y) maxLabel = std::max(maxLabel, label);
+  return maxLabel + 1;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.x.reserve(indices.size());
+  out.y.reserve(indices.size());
+  if (!groups.empty()) out.groups.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    out.x.push_back(x[i]);
+    out.y.push_back(y[i]);
+    if (!groups.empty()) out.groups.push_back(groups[i]);
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("dataset: |x| != |y|");
+  }
+  if (!groups.empty() && groups.size() != x.size()) {
+    throw std::invalid_argument("dataset: |groups| != |x|");
+  }
+  const std::size_t dims = dimension();
+  for (const auto& row : x) {
+    if (row.size() != dims) {
+      throw std::invalid_argument("dataset: ragged feature matrix");
+    }
+  }
+  for (const int label : y) {
+    if (label < 0) throw std::invalid_argument("dataset: negative label");
+  }
+}
+
+}  // namespace sca::ml

@@ -1,0 +1,27 @@
+// Dense labelled dataset for the classifiers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sca::ml {
+
+struct Dataset {
+  std::vector<std::vector<double>> x;  // rows of equal length
+  std::vector<int> y;                  // class labels, contiguous from 0
+  std::vector<int> groups;             // optional fold groups (challenge id)
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return x.empty() ? 0 : x[0].size();
+  }
+  [[nodiscard]] int classCount() const;
+
+  /// Row subset (copies). `groups` follows when present.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Checks rectangular shape and label/group lengths; throws on violation.
+  void validate() const;
+};
+
+}  // namespace sca::ml

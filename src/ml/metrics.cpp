@@ -1,0 +1,87 @@
+#include "ml/metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace sca::ml {
+
+double accuracy(const std::vector<int>& yTrue, const std::vector<int>& yPred) {
+  if (yTrue.size() != yPred.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (yTrue.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < yTrue.size(); ++i) {
+    if (yTrue[i] == yPred[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(yTrue.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(int classCount,
+                                 const std::vector<int>& yTrue,
+                                 const std::vector<int>& yPred)
+    : classCount_(classCount),
+      cells_(static_cast<std::size_t>(classCount) *
+                 static_cast<std::size_t>(classCount),
+             0) {
+  if (yTrue.size() != yPred.size()) {
+    throw std::invalid_argument("confusion: size mismatch");
+  }
+  for (std::size_t i = 0; i < yTrue.size(); ++i) {
+    if (yTrue[i] < 0 || yTrue[i] >= classCount || yPred[i] < 0 ||
+        yPred[i] >= classCount) {
+      throw std::out_of_range("confusion: label out of range");
+    }
+    ++cells_[static_cast<std::size_t>(yTrue[i]) *
+                 static_cast<std::size_t>(classCount) +
+             static_cast<std::size_t>(yPred[i])];
+  }
+}
+
+std::size_t ConfusionMatrix::at(int actual, int predicted) const {
+  return cells_[static_cast<std::size_t>(actual) *
+                    static_cast<std::size_t>(classCount_) +
+                static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::recall(int label) const {
+  std::size_t row = 0;
+  for (int p = 0; p < classCount_; ++p) row += at(label, p);
+  if (row == 0) return 0.0;
+  return static_cast<double>(at(label, label)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(int label) const {
+  std::size_t col = 0;
+  for (int a = 0; a < classCount_; ++a) col += at(a, label);
+  if (col == 0) return 0.0;
+  return static_cast<double>(at(label, label)) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::f1(int label) const {
+  const double p = precision(label);
+  const double r = recall(label);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macroRecall() const {
+  double sum = 0.0;
+  int present = 0;
+  for (int label = 0; label < classCount_; ++label) {
+    std::size_t row = 0;
+    for (int p = 0; p < classCount_; ++p) row += at(label, p);
+    if (row > 0) {
+      sum += recall(label);
+      ++present;
+    }
+  }
+  return present == 0 ? 0.0 : sum / static_cast<double>(present);
+}
+
+std::string percent(double fraction, int decimals) {
+  return util::formatDouble(fraction * 100.0, decimals);
+}
+
+}  // namespace sca::ml

@@ -1,0 +1,38 @@
+// Classification metrics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sca::ml {
+
+/// Fraction of positions where yTrue[i] == yPred[i]; 0 for empty input.
+[[nodiscard]] double accuracy(const std::vector<int>& yTrue,
+                              const std::vector<int>& yPred);
+
+class ConfusionMatrix {
+ public:
+  ConfusionMatrix(int classCount, const std::vector<int>& yTrue,
+                  const std::vector<int>& yPred);
+
+  [[nodiscard]] std::size_t at(int actual, int predicted) const;
+  [[nodiscard]] int classCount() const noexcept { return classCount_; }
+
+  /// Recall of one class (0 when the class has no samples).
+  [[nodiscard]] double recall(int label) const;
+  /// Precision of one class (0 when never predicted).
+  [[nodiscard]] double precision(int label) const;
+  [[nodiscard]] double f1(int label) const;
+  /// Unweighted mean recall over classes that appear.
+  [[nodiscard]] double macroRecall() const;
+
+ private:
+  int classCount_ = 0;
+  std::vector<std::size_t> cells_;  // row-major [actual][predicted]
+};
+
+/// "93.1" style percent formatting used by all the table benches.
+[[nodiscard]] std::string percent(double fraction, int decimals = 1);
+
+}  // namespace sca::ml

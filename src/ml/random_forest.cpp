@@ -1,0 +1,151 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+namespace sca::ml {
+namespace {
+
+std::size_t workerCount(std::size_t configured) {
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {}
+
+void RandomForest::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("forest: empty dataset");
+  classCount_ = data.classCount();
+  trees_.assign(config_.treeCount, DecisionTree{});
+
+  util::Rng root(config_.seed);
+  // Pre-derive per-tree seeds so that fitting is deterministic regardless
+  // of thread scheduling.
+  std::vector<util::Rng> treeRngs;
+  treeRngs.reserve(config_.treeCount);
+  for (std::size_t t = 0; t < config_.treeCount; ++t) {
+    treeRngs.push_back(root.derive(static_cast<std::uint64_t>(t)));
+  }
+
+  const std::size_t bootstrapSize = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.bootstrapFraction *
+                                  static_cast<double>(data.size())));
+
+  auto fitRange = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      util::Rng rng = treeRngs[t];
+      std::vector<std::size_t> bootstrap(bootstrapSize);
+      for (std::size_t i = 0; i < bootstrapSize; ++i) {
+        bootstrap[i] = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(data.size()) - 1));
+      }
+      trees_[t].fit(data, bootstrap, classCount_, config_.tree,
+                    rng.derive("tree"));
+    }
+  };
+
+  const std::size_t workers =
+      std::min(workerCount(config_.threads), config_.treeCount);
+  if (workers <= 1) {
+    fitRange(0, trees_.size());
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::size_t chunk = (trees_.size() + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(trees_.size(), begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back(fitRange, begin, end);
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+}
+
+void RandomForest::save(std::ostream& os) const {
+  os << "forest " << classCount_ << ' ' << trees_.size() << '\n';
+  for (const DecisionTree& tree : trees_) tree.save(os);
+}
+
+RandomForest RandomForest::load(std::istream& is) {
+  std::string tag;
+  int classCount = 0;
+  std::size_t treeCount = 0;
+  if (!(is >> tag >> classCount >> treeCount) || tag != "forest") {
+    throw std::runtime_error("RandomForest::load: bad header");
+  }
+  RandomForest forest;
+  forest.classCount_ = classCount;
+  forest.trees_.reserve(treeCount);
+  for (std::size_t t = 0; t < treeCount; ++t) {
+    forest.trees_.push_back(DecisionTree::load(is));
+  }
+  return forest;
+}
+
+std::vector<double> RandomForest::featureImportances(
+    std::size_t dimension) const {
+  std::vector<double> counts(dimension, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    tree.accumulateSplitCounts(counts);
+  }
+  double total = 0.0;
+  for (const double c : counts) total += c;
+  if (total > 0.0) {
+    for (double& c : counts) c /= total;
+  }
+  return counts;
+}
+
+std::vector<double> RandomForest::predictProba(
+    const std::vector<double>& features) const {
+  std::vector<double> votes(static_cast<std::size_t>(classCount_), 0.0);
+  if (trees_.empty()) return votes;
+  for (const DecisionTree& tree : trees_) {
+    const int label = tree.predict(features);
+    if (label >= 0 && label < classCount_) {
+      votes[static_cast<std::size_t>(label)] += 1.0;
+    }
+  }
+  for (double& v : votes) v /= static_cast<double>(trees_.size());
+  return votes;
+}
+
+int RandomForest::predict(const std::vector<double>& features) const {
+  const std::vector<double> votes = predictProba(features);
+  if (votes.empty()) return 0;
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::vector<int> RandomForest::predictAll(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<int> out(rows.size(), 0);
+  const std::size_t workers =
+      std::min(workerCount(config_.threads), rows.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < rows.size(); ++i) out[i] = predict(rows[i]);
+    return out;
+  }
+  std::vector<std::thread> pool;
+  const std::size_t chunk = (rows.size() + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(rows.size(), begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) out[i] = predict(rows[i]);
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  return out;
+}
+
+}  // namespace sca::ml

@@ -1,0 +1,133 @@
+#include "style/apply.hpp"
+
+#include "ast/render.hpp"
+#include "ast/transforms.hpp"
+#include "ast/visit.hpp"
+#include "style/naming.hpp"
+
+namespace sca::style {
+namespace {
+
+/// Comment text candidates keyed by the statement kind they precede.
+std::string commentFor(const ast::Stmt& stmt, util::Rng& rng) {
+  static const std::vector<std::string> kReadComments = {
+      "read input", "read the values", "get the input", "parse input",
+  };
+  static const std::vector<std::string> kWriteComments = {
+      "print the result", "output the answer", "emit result",
+      "write the output",
+  };
+  static const std::vector<std::string> kLoopComments = {
+      "process each case", "iterate over the input", "main loop",
+      "loop over all items",
+  };
+  static const std::vector<std::string> kDeclComments = {
+      "initialize variables", "declare state", "set up",
+  };
+  static const std::vector<std::string> kGenericComments = {
+      "compute", "update the state", "handle this case",
+  };
+  const std::string_view kind = ast::stmtKindName(stmt);
+  const std::vector<std::string>* pool = &kGenericComments;
+  if (kind == "read") pool = &kReadComments;
+  else if (kind == "write") pool = &kWriteComments;
+  else if (kind == "for" || kind == "while" || kind == "do") pool = &kLoopComments;
+  else if (kind == "decl") pool = &kDeclComments;
+  return rng.choice(*pool);
+}
+
+void insertComments(ast::TranslationUnit& unit, const StyleProfile& profile,
+                    util::Rng& rng) {
+  if (profile.commentDensity <= 0.0) return;
+  auto decorate = [&](std::vector<ast::StmtPtr>& stmts) {
+    std::vector<ast::StmtPtr> out;
+    out.reserve(stmts.size());
+    for (ast::StmtPtr& stmt : stmts) {
+      if (stmt && !stmt->is<ast::CommentStmt>() &&
+          rng.bernoulli(profile.commentDensity)) {
+        out.push_back(
+            ast::commentStmt(commentFor(*stmt, rng), profile.blockComments));
+      }
+      out.push_back(std::move(stmt));
+    }
+    stmts = std::move(out);
+  };
+  for (ast::Function& fn : unit.functions) decorate(fn.body.stmts);
+}
+
+std::string headerCommentFor(util::Rng& rng) {
+  static const std::vector<std::string> kHeaders = {
+      "Solution", "Code Jam solution", "Competitive programming solution",
+      "Solution to the problem", "My solution",
+  };
+  return rng.choice(kHeaders);
+}
+
+}  // namespace
+
+ast::TranslationUnit styleUnit(const ast::TranslationUnit& unit,
+                               const StyleProfile& profile, util::Rng& rng) {
+  ast::TranslationUnit styled = ast::deepCopy(unit);
+
+  // Comments are regenerated under the new style, never carried over.
+  ast::stripComments(styled);
+
+  // Structure.
+  if (profile.extractSolve) {
+    ast::extractSolveFunction(styled, "solve_case");
+  } else {
+    ast::inlineHelperFunctions(styled);
+  }
+  if (profile.loops == LoopPreference::WhileLoops) {
+    ast::convertForToWhile(styled);
+  } else {
+    // Rebuild counting for-loops a previous (re)styling turned into
+    // whiles; without the inverse, chained transformations would ratchet
+    // every program into while-form.
+    ast::convertWhileToCountingFor(styled);
+  }
+  ast::setIncrementStyle(styled, profile.increment);
+  ast::preferCompoundAssign(styled, profile.compoundAssign);
+  ast::preferTernary(styled, profile.useTernary);
+
+  // Types. Aliases are a habit of the target style, never inherited: a
+  // restyler that does not use "typedef long long ll" spells the type out.
+  if (!profile.aliasLongLong) styled.aliases.clear();
+  if (profile.widenToLongLong) {
+    ast::widenIntToLongLong(styled);
+    if (profile.aliasLongLong) {
+      ast::aliasLongLong(styled, profile.llAliasName, profile.aliasWithTypedef);
+    }
+  }
+
+  // Naming.
+  util::Rng namingRng = rng.derive("naming");
+  const auto renames = renameMapFor(styled, profile, namingRng);
+  ast::renameIdentifiers(styled, renames);
+
+  // Comments.
+  util::Rng commentRng = rng.derive("comments");
+  insertComments(styled, profile, commentRng);
+  if (profile.fileHeaderComment) {
+    styled.headerComment = headerCommentFor(commentRng);
+  }
+
+  // Headers & namespace. bits/stdc++.h is likewise a habit, not a fact
+  // about the program: drop it before normalization (which would keep it).
+  styled.usingNamespaceStd = profile.usingNamespaceStd;
+  if (!profile.useBitsHeader) {
+    std::erase(styled.includes, "bits/stdc++.h");
+  }
+  ast::normalizeIncludes(styled, profile.ioStyle);
+  if (profile.useBitsHeader) styled.includes = {"bits/stdc++.h"};
+
+  return styled;
+}
+
+std::string applyStyle(const ast::TranslationUnit& unit,
+                       const StyleProfile& profile, util::Rng& rng) {
+  const ast::TranslationUnit styled = styleUnit(unit, profile, rng);
+  return ast::render(styled, profile.renderOptions());
+}
+
+}  // namespace sca::style

@@ -1,0 +1,31 @@
+// Style application: materializes a StyleProfile onto an AST.
+//
+// applyStyle() is the single code path behind both corpus generation
+// (challenge IR + author profile -> that author's solution text) and the
+// synthetic LLM's transformation step (parsed code + archetype profile ->
+// re-styled code). Structural dimensions are AST rewrites; layout
+// dimensions ride on the returned RenderOptions.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.hpp"
+#include "style/profile.hpp"
+#include "util/rng.hpp"
+
+namespace sca::style {
+
+/// Applies every structural/lexical dimension of `profile` to a copy of
+/// `unit` (the input is never mutated): decomposition, loop forms,
+/// increments, compound assignment, ternaries, type widening/aliasing,
+/// renaming, comments, includes and namespace usage.
+[[nodiscard]] ast::TranslationUnit styleUnit(const ast::TranslationUnit& unit,
+                                             const StyleProfile& profile,
+                                             util::Rng& rng);
+
+/// styleUnit + render: the full IR -> source-text pipeline.
+[[nodiscard]] std::string applyStyle(const ast::TranslationUnit& unit,
+                                     const StyleProfile& profile,
+                                     util::Rng& rng);
+
+}  // namespace sca::style

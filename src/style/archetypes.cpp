@@ -1,0 +1,86 @@
+#include "style/archetypes.hpp"
+
+#include "util/rng.hpp"
+
+namespace sca::style {
+
+const std::vector<StyleProfile>& archetypePool() {
+  static const std::vector<StyleProfile> kPool = [] {
+    // A dedicated seed, distinct from every author-population seed.
+    util::Rng root(util::hash64("synthetic-llm-archetypes-v1"));
+    std::vector<StyleProfile> pool;
+    pool.reserve(kArchetypeCount);
+    for (std::size_t i = 0; i < kArchetypeCount; ++i) {
+      util::Rng rng = root.derive(static_cast<std::uint64_t>(i));
+      StyleProfile profile = sampleProfile(rng);
+      applyLlmAccent(profile);
+      // The model has favorite names: within one style it picks the same
+      // word for the same concept every time (numCases is always numCases).
+      profile.namingSeed = util::combine64(
+          util::hash64("archetype-naming"), static_cast<std::uint64_t>(i));
+      pool.push_back(profile);
+    }
+    // Archetype 0 (the dominant 2017 style) is the "default ChatGPT look":
+    // camelCase, 4-space K&R, iostream — as in the paper's examples.
+    pool[0].naming = NamingConvention::CamelCase;
+    pool[0].verbosity = Verbosity::Medium;
+    pool[0].indentWidth = 4;
+    pool[0].allmanBraces = false;
+    pool[0].ioStyle = ast::IoStyle::Iostream;
+    pool[0].extractSolve = false;
+    pool[0].useBitsHeader = false;
+    pool[0].usingNamespaceStd = true;
+    pool[0].commentDensity = 0.15;
+    // Archetype 1: the "helper function + printf" look of Figure 4a.
+    pool[1].naming = NamingConvention::CamelCase;
+    pool[1].extractSolve = true;
+    pool[1].ioStyle = ast::IoStyle::Stdio;
+    // Archetype 2: snake_case (Figure 5b's final style).
+    pool[2].naming = NamingConvention::SnakeCase;
+    pool[2].extractSolve = true;
+    pool[2].ioStyle = ast::IoStyle::Iostream;
+    return pool;
+  }();
+  return kPool;
+}
+
+void applyLlmAccent(StyleProfile& profile) {
+  profile.useTabs = false;
+  profile.indentWidth = 4;
+  profile.spaceAroundOps = true;
+  profile.spaceAfterComma = true;
+  profile.spaceAfterKeyword = true;
+  profile.braceSingleStatements = true;
+  if (profile.verbosity == Verbosity::Short) {
+    profile.verbosity = Verbosity::Medium;
+  }
+  if (profile.naming == NamingConvention::Abbreviated) {
+    profile.naming = NamingConvention::CamelCase;
+  }
+  // The most notorious LLM tell: helpful little comments, everywhere.
+  if (profile.commentDensity < 0.12) profile.commentDensity = 0.18;
+  profile.blockComments = false;
+  // ChatGPT writes textbook headers and types (paper Figures 3-5: plain
+  // #include lines, no bits/stdc++.h, no typedef shorthands, plain int,
+  // "using namespace std;").
+  profile.useBitsHeader = false;
+  profile.aliasLongLong = false;
+  profile.widenToLongLong = false;
+  profile.usingNamespaceStd = true;
+  profile.fileHeaderComment = false;
+}
+
+NearestArchetype nearestArchetype(const StyleProfile& profile) {
+  NearestArchetype out;
+  const auto& pool = archetypePool();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const double d = StyleProfile::distance(profile, pool[i]);
+    if (d < out.distance) {
+      out.distance = d;
+      out.index = i;
+    }
+  }
+  return out;
+}
+
+}  // namespace sca::style

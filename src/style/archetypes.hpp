@@ -1,0 +1,42 @@
+// The fixed 12-style repertoire of the synthetic LLM.
+//
+// It lives in the style module (not llm) because the corpus builder also
+// needs it: an LLM trained on human code emits styles it has seen, so a
+// realistic author population contains authors whose styles coincide with
+// the model's repertoire. corpus/authors.cpp plants one such "twin" per
+// archetype into large populations — this is what makes the oracle's
+// predicted labels for transformed code stable (paper Tables V-VII, where
+// single author labels like A49 absorb most of the transformed mass).
+#pragma once
+
+#include <vector>
+
+#include "style/profile.hpp"
+
+namespace sca::style {
+
+/// The paper's observed ceiling on distinct ChatGPT styles (§VI-F).
+inline constexpr std::size_t kArchetypeCount = 12;
+
+/// The fixed 12-profile archetype pool (deterministic, year-independent).
+[[nodiscard]] const std::vector<StyleProfile>& archetypePool();
+
+/// Distance from `profile` to its nearest archetype, and that archetype's
+/// index. Used by the LLM's familiarity check and by the corpus builder's
+/// transform-author selection.
+struct NearestArchetype {
+  std::size_t index = 0;
+  double distance = 1.0;
+};
+[[nodiscard]] NearestArchetype nearestArchetype(const StyleProfile& profile);
+
+/// The LLM "accent": systematic habits shared by EVERY archetype — tidy
+/// 4-space indentation, no tabs, spaced operators/commas/keywords,
+/// descriptive names. Real ChatGPT output exhibits exactly this uniformity
+/// (see the paper's Figures 4-5), and it is what makes the binary
+/// ChatGPT-vs-human classifier of Table X work: individual archetypes look
+/// like individual humans, but the accent marks the population. Applied to
+/// every pool entry and re-applied after mutation.
+void applyLlmAccent(StyleProfile& profile);
+
+}  // namespace sca::style

@@ -1,0 +1,200 @@
+#include "style/infer.hpp"
+
+#include <cctype>
+
+#include "ast/parser.hpp"
+#include "ast/visit.hpp"
+#include "util/strings.hpp"
+
+namespace sca::style {
+namespace {
+
+NamingConvention classifyName(const std::string& name) {
+  const bool hasUnderscore = name.find('_') != std::string::npos;
+  const bool startsUpper =
+      !name.empty() && std::isupper(static_cast<unsigned char>(name[0])) != 0;
+  bool hasInnerUpper = false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (std::isupper(static_cast<unsigned char>(name[i])) != 0) {
+      hasInnerUpper = true;
+    }
+  }
+  if (hasUnderscore) return NamingConvention::SnakeCase;
+  if (startsUpper) return NamingConvention::PascalCase;
+  if (hasInnerUpper) return NamingConvention::CamelCase;
+  return NamingConvention::Abbreviated;  // single lowercase word
+}
+
+}  // namespace
+
+StyleProfile inferProfile(const ast::TranslationUnit& unit,
+                          const lexer::LayoutMetrics& layout,
+                          const std::string& source) {
+  StyleProfile p;
+
+  // Layout dimensions straight from the metrics.
+  if (layout.tabIndentRatio() > 0.5) {
+    p.useTabs = true;
+  } else if (layout.indentWidth2 >= layout.indentWidth4 &&
+             layout.indentWidth2 >= layout.indentWidth8) {
+    p.indentWidth = 2;
+  } else if (layout.indentWidth8 > layout.indentWidth4) {
+    p.indentWidth = 8;
+  } else {
+    p.indentWidth = 4;
+  }
+  p.allmanBraces = layout.allmanBraceRatio() > 0.5;
+  p.spaceAroundOps = layout.spacedOpRatio() > 0.5;
+  p.spaceAfterComma = layout.spaceAfterCommaRatio() > 0.5;
+  p.spaceAfterKeyword = layout.spaceAfterKeywordRatio() > 0.5;
+
+  // IO from the raw text (the parsed ReadStmt/WriteStmt are IO-agnostic).
+  std::size_t stdioHits = 0;
+  std::size_t iostreamHits = 0;
+  for (const std::string_view needle : {"printf", "scanf"}) {
+    std::size_t pos = 0;
+    while ((pos = source.find(needle, pos)) != std::string::npos) {
+      ++stdioHits;
+      pos += needle.size();
+    }
+  }
+  for (const std::string_view needle : {"cout", "cin"}) {
+    std::size_t pos = 0;
+    while ((pos = source.find(needle, pos)) != std::string::npos) {
+      ++iostreamHits;
+      pos += needle.size();
+    }
+  }
+  p.ioStyle =
+      stdioHits > iostreamHits ? ast::IoStyle::Stdio : ast::IoStyle::Iostream;
+  p.useEndl = source.find("endl") != std::string::npos;
+
+  // Naming: majority vote over declared names (loop counters excluded).
+  std::size_t camel = 0, snake = 0, pascal = 0, abbrev = 0, hungarian = 0;
+  std::size_t shortNames = 0, longNames = 0, totalNames = 0;
+  for (const std::string& name : ast::declaredNames(unit)) {
+    if (name.size() <= 1 || name == "main") continue;
+    ++totalNames;
+    if (name.size() <= 4) ++shortNames;
+    if (name.size() >= 10) ++longNames;
+    // Hungarian-lite heuristic: type-letter prefix + PascalCase tail.
+    if (name.size() >= 3 &&
+        std::string("ndbcsvf").find(name[0]) != std::string::npos &&
+        std::isupper(static_cast<unsigned char>(name[1])) != 0) {
+      ++hungarian;
+      continue;
+    }
+    switch (classifyName(name)) {
+      case NamingConvention::SnakeCase: ++snake; break;
+      case NamingConvention::PascalCase: ++pascal; break;
+      case NamingConvention::CamelCase: ++camel; break;
+      default: ++abbrev; break;
+    }
+  }
+  std::size_t best = camel;
+  p.naming = NamingConvention::CamelCase;
+  if (snake > best) { best = snake; p.naming = NamingConvention::SnakeCase; }
+  if (pascal > best) { best = pascal; p.naming = NamingConvention::PascalCase; }
+  if (abbrev > best) { best = abbrev; p.naming = NamingConvention::Abbreviated; }
+  if (hungarian > best) { p.naming = NamingConvention::HungarianLite; }
+  if (totalNames > 0) {
+    if (shortNames * 2 > totalNames) p.verbosity = Verbosity::Short;
+    else if (longNames * 3 > totalNames) p.verbosity = Verbosity::Long;
+  }
+
+  // Structure.
+  std::size_t forLoops = 0, whileLoops = 0, preInc = 0, postInc = 0;
+  std::size_t compound = 0, plainAssign = 0, ternaries = 0;
+  ast::forEachStmt(unit, [&](const ast::Stmt& stmt) {
+    if (stmt.is<ast::ForStmt>()) ++forLoops;
+    if (stmt.is<ast::WhileStmt>()) ++whileLoops;
+  });
+  ast::forEachExpr(unit, [&](const ast::Expr& expr) {
+    if (expr.is<ast::Unary>()) {
+      const auto op = expr.as<ast::Unary>().op;
+      if (op == ast::UnaryOp::PreInc || op == ast::UnaryOp::PreDec) ++preInc;
+      if (op == ast::UnaryOp::PostInc || op == ast::UnaryOp::PostDec) ++postInc;
+    }
+    if (expr.is<ast::Assign>()) {
+      if (expr.as<ast::Assign>().op == ast::AssignOp::Assign) ++plainAssign;
+      else ++compound;
+    }
+    if (expr.is<ast::Ternary>()) ++ternaries;
+  });
+  p.loops = whileLoops > forLoops ? LoopPreference::WhileLoops
+                                  : LoopPreference::ForLoops;
+  p.increment = preInc > postInc ? ast::IncrementStyle::PreIncrement
+                                 : ast::IncrementStyle::PostIncrement;
+  p.compoundAssign = compound > 0;
+  p.useTernary = ternaries > 0;
+  p.extractSolve = unit.functions.size() > 1;
+
+  // Types / headers.
+  bool hasLongLong = false;
+  ast::forEachStmt(unit, [&](const ast::Stmt& stmt) {
+    if (stmt.is<ast::VarDeclStmt>() &&
+        stmt.as<ast::VarDeclStmt>().type.base == ast::BaseType::LongLong) {
+      hasLongLong = true;
+    }
+  });
+  p.widenToLongLong = hasLongLong;
+  p.aliasLongLong = !unit.aliases.empty();
+  if (!unit.aliases.empty()) {
+    p.llAliasName = unit.aliases[0].name;
+    p.aliasWithTypedef = unit.aliases[0].usesTypedef;
+  }
+  p.usingNamespaceStd = unit.usingNamespaceStd;
+  for (const std::string& include : unit.includes) {
+    if (include == "bits/stdc++.h") p.useBitsHeader = true;
+  }
+
+  // Comments.
+  const std::size_t commentCount = layout.lineComments + layout.blockComments;
+  const std::size_t stmtCount = ast::countStmts(unit);
+  p.commentDensity =
+      stmtCount == 0 ? 0.0
+                     : static_cast<double>(commentCount) /
+                           static_cast<double>(stmtCount);
+  if (p.commentDensity > 0.6) p.commentDensity = 0.6;
+  p.blockComments = layout.blockComments > layout.lineComments;
+  p.fileHeaderComment = !unit.headerComment.empty();
+
+  return p;
+}
+
+StyleProfile inferProfileFromSource(const std::string& source) {
+  const ast::ParseResult parsed = ast::parse(source);
+  const lexer::LayoutMetrics layout = lexer::computeLayoutMetrics(source);
+  return inferProfile(parsed.unit, layout, source);
+}
+
+StyleProfile mutateProfile(const StyleProfile& profile, util::Rng& rng,
+                           double rate) {
+  StyleProfile mutated = profile;
+  const StyleProfile fresh = sampleProfile(rng);
+  auto roll = [&](auto& field, const auto& replacement) {
+    if (rng.bernoulli(rate)) field = replacement;
+  };
+  roll(mutated.naming, fresh.naming);
+  roll(mutated.verbosity, fresh.verbosity);
+  roll(mutated.indentWidth, fresh.indentWidth);
+  roll(mutated.useTabs, fresh.useTabs);
+  roll(mutated.allmanBraces, fresh.allmanBraces);
+  roll(mutated.spaceAroundOps, fresh.spaceAroundOps);
+  roll(mutated.spaceAfterComma, fresh.spaceAfterComma);
+  roll(mutated.spaceAfterKeyword, fresh.spaceAfterKeyword);
+  roll(mutated.ioStyle, fresh.ioStyle);
+  roll(mutated.useEndl, fresh.useEndl);
+  roll(mutated.loops, fresh.loops);
+  roll(mutated.increment, fresh.increment);
+  roll(mutated.extractSolve, fresh.extractSolve);
+  roll(mutated.compoundAssign, fresh.compoundAssign);
+  roll(mutated.useTernary, fresh.useTernary);
+  roll(mutated.widenToLongLong, fresh.widenToLongLong);
+  roll(mutated.usingNamespaceStd, fresh.usingNamespaceStd);
+  roll(mutated.useBitsHeader, fresh.useBitsHeader);
+  roll(mutated.commentDensity, fresh.commentDensity);
+  return mutated;
+}
+
+}  // namespace sca::style

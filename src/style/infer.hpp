@@ -1,0 +1,33 @@
+// Style inference: recovers an approximate StyleProfile from source code.
+//
+// The synthetic LLM uses this to decide how "familiar" an input program
+// looks (paper §VI-A/Table IV: transforming code that is already in one of
+// ChatGPT's own styles drifts far less than transforming out-of-
+// distribution human code). It is also a handy diagnostic: the
+// style_inspector example prints the inferred profile of any file.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.hpp"
+#include "lexer/layout.hpp"
+#include "style/profile.hpp"
+
+namespace sca::style {
+
+/// Infers profile dimensions from a parsed unit plus raw-text layout
+/// metrics. Unobservable dimensions keep their defaults.
+[[nodiscard]] StyleProfile inferProfile(const ast::TranslationUnit& unit,
+                                        const lexer::LayoutMetrics& layout,
+                                        const std::string& source);
+
+/// Convenience wrapper: parse + layout + infer.
+[[nodiscard]] StyleProfile inferProfileFromSource(const std::string& source);
+
+/// Randomly perturbs a profile: each dimension re-rolls with probability
+/// `rate`. Models the residual nondeterminism of an LLM that was asked for
+/// "the same style again".
+[[nodiscard]] StyleProfile mutateProfile(const StyleProfile& profile,
+                                         util::Rng& rng, double rate);
+
+}  // namespace sca::style

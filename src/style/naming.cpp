@@ -1,0 +1,234 @@
+#include "style/naming.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/transforms.hpp"
+#include "ast/visit.hpp"
+#include "lexer/token.hpp"
+#include "util/strings.hpp"
+
+namespace sca::style {
+namespace {
+
+/// word -> group index, built once.
+const std::map<std::string, std::size_t>& groupIndex() {
+  static const std::map<std::string, std::size_t> kIndex = [] {
+    std::map<std::string, std::size_t> index;
+    const auto& groups = synonymGroups();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (const std::string& word : groups[g]) index[word] = g;
+    }
+    return index;
+  }();
+  return kIndex;
+}
+
+/// Long -> short forms; expansion uses the reverse direction.
+const std::vector<std::pair<std::string, std::string>>& abbreviations() {
+  static const std::vector<std::pair<std::string, std::string>> kAbbrev = {
+      {"number", "num"},    {"count", "cnt"},    {"index", "idx"},
+      {"result", "res"},    {"answer", "ans"},   {"value", "val"},
+      {"temporary", "tmp"}, {"temp", "tmp"},     {"maximum", "max"},
+      {"minimum", "min"},   {"distance", "dist"}, {"position", "pos"},
+      {"current", "cur"},   {"previous", "prev"}, {"length", "len"},
+      {"string", "str"},    {"vector", "vec"},   {"total", "tot"},
+      {"solve", "solve"},   {"query", "q"},      {"cases", "cases"},
+      {"average", "avg"},   {"difference", "diff"}, {"calculate", "calc"},
+      {"frequency", "freq"}, {"element", "elem"},
+  };
+  return kAbbrev;
+}
+
+bool isLoopCounter(const std::string& name) {
+  return name.size() == 1 && (name == "i" || name == "j" || name == "k" ||
+                              name == "t" || name == "x" || name == "y");
+}
+
+char typeInitial(const ast::TypeRef& type) {
+  if (type.isVector) return 'v';
+  switch (type.base) {
+    case ast::BaseType::Int: return 'n';
+    case ast::BaseType::LongLong: return 'n';
+    case ast::BaseType::Double: return 'd';
+    case ast::BaseType::Bool: return 'b';
+    case ast::BaseType::Char: return 'c';
+    case ast::BaseType::String: return 's';
+    default: return 'f';  // functions / void
+  }
+}
+
+}  // namespace
+
+const std::vector<std::vector<std::string>>& synonymGroups() {
+  static const std::vector<std::vector<std::string>> kGroups = {
+      {"num", "count", "total", "amount"},
+      {"case", "test", "query"},
+      {"result", "answer", "output", "solution"},
+      {"max", "best", "top", "highest"},
+      {"min", "lowest", "smallest"},
+      {"time", "duration"},
+      {"dist", "distance", "length", "range"},
+      {"speed", "velocity", "rate"},
+      {"pos", "position", "location", "place"},
+      {"value", "val", "item"},
+      {"cur", "current", "now"},
+      {"prev", "previous", "last"},
+      {"arr", "array", "list", "data"},
+      {"tmp", "temp", "aux"},
+      {"solve", "process", "handle", "compute", "run"},
+      {"read", "input", "load"},
+      {"write", "print", "show", "emit"},
+      {"sum", "accum", "aggregate"},
+      {"flag", "ok", "valid", "good"},
+      {"size", "len", "width"},
+      {"digit", "figure"},
+      {"grid", "board", "matrix", "field"},
+      {"row", "line"},
+      {"col", "column"},
+      {"horse", "rider"},
+      {"page", "sheet"},
+      {"word", "token"},
+      {"target", "goal", "dest"},
+  };
+  return kGroups;
+}
+
+std::string synonymFor(const std::string& word, util::Rng& rng) {
+  const auto it = groupIndex().find(word);
+  if (it == groupIndex().end()) return word;
+  const auto& group = synonymGroups()[it->second];
+  // Bias toward keeping the original (stylistic habits are sticky).
+  if (rng.bernoulli(0.45)) return word;
+  return group[static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(group.size()) - 1))];
+}
+
+std::string habitualSynonymFor(const std::string& word,
+                               std::uint64_t namingSeed) {
+  util::Rng rng(util::combine64(namingSeed, util::hash64(word)));
+  return synonymFor(word, rng);
+}
+
+std::string shortenWord(const std::string& word) {
+  for (const auto& [longForm, shortForm] : abbreviations()) {
+    if (word == longForm) return shortForm;
+  }
+  if (word.size() > 5) return word.substr(0, 3);
+  return word;
+}
+
+std::string expandWord(const std::string& word) {
+  for (const auto& [longForm, shortForm] : abbreviations()) {
+    if (word == shortForm) return longForm;
+  }
+  return word;
+}
+
+std::string applyConvention(const std::vector<std::string>& words,
+                            NamingConvention convention,
+                            const ast::TypeRef& type) {
+  if (words.empty()) return "x";
+  switch (convention) {
+    case NamingConvention::SnakeCase: {
+      return util::join(words, "_");
+    }
+    case NamingConvention::CamelCase: {
+      std::string out = util::toLower(words[0]);
+      for (std::size_t i = 1; i < words.size(); ++i) {
+        out += util::capitalize(words[i]);
+      }
+      return out;
+    }
+    case NamingConvention::PascalCase: {
+      std::string out;
+      for (const std::string& word : words) out += util::capitalize(word);
+      return out;
+    }
+    case NamingConvention::Abbreviated: {
+      if (words.size() == 1) {
+        const std::string shortened = shortenWord(words[0]);
+        return shortened.size() > 4 ? shortened.substr(0, 4) : shortened;
+      }
+      std::string out;
+      for (const std::string& word : words) {
+        out += word.substr(0, words.size() > 2 ? 1 : 2);
+      }
+      return util::toLower(out);
+    }
+    case NamingConvention::HungarianLite: {
+      std::string out(1, typeInitial(type));
+      for (const std::string& word : words) out += util::capitalize(word);
+      return out;
+    }
+  }
+  return util::join(words, "_");
+}
+
+std::string restyleIdentifier(const std::string& name,
+                              const StyleProfile& profile,
+                              const ast::TypeRef& type, util::Rng& rng) {
+  if (isLoopCounter(name)) return name;
+  std::vector<std::string> words = util::splitIdentifier(name);
+  if (words.empty()) return name;
+  // Hungarian prefixes from a previous restyling must not accumulate.
+  if (words.size() > 1 && words[0].size() == 1 &&
+      std::string("ndbcsvf").find(words[0][0]) != std::string::npos) {
+    words.erase(words.begin());
+  }
+  for (std::string& word : words) {
+    word = profile.namingSeed != 0
+               ? habitualSynonymFor(word, profile.namingSeed)
+               : synonymFor(word, rng);
+  }
+  switch (profile.verbosity) {
+    case Verbosity::Short:
+      for (std::string& word : words) word = shortenWord(word);
+      if (words.size() > 2) words.resize(2);
+      break;
+    case Verbosity::Long:
+      for (std::string& word : words) word = expandWord(word);
+      break;
+    case Verbosity::Medium:
+      break;
+  }
+  std::string restyled = applyConvention(words, profile.naming, type);
+  if (restyled.empty() || lexer::isCppKeyword(restyled)) restyled += "_v";
+  return restyled;
+}
+
+std::map<std::string, std::string> renameMapFor(
+    const ast::TranslationUnit& unit, const StyleProfile& profile,
+    util::Rng& rng) {
+  const std::map<std::string, ast::TypeRef> types = ast::declaredTypes(unit);
+  std::map<std::string, std::string> renames;
+  std::set<std::string> taken;
+  std::vector<std::string> names = ast::declaredNames(unit);
+  for (const std::string& name : names) taken.insert(name);
+
+  for (const std::string& name : names) {
+    if (name == "main") continue;
+    ast::TypeRef type{ast::BaseType::Int, false};
+    const auto it = types.find(name);
+    if (it != types.end()) {
+      type = it->second;
+    } else {
+      // Function name: mark as function-ish for Hungarian prefixes.
+      type = ast::TypeRef{ast::BaseType::Void, false};
+    }
+    std::string restyled = restyleIdentifier(name, profile, type, rng);
+    if (restyled == name) continue;
+    // Enforce uniqueness against both original and new names.
+    std::string candidate = restyled;
+    int suffix = 2;
+    while (taken.count(candidate) > 0) {
+      candidate = restyled + std::to_string(suffix++);
+    }
+    taken.insert(candidate);
+    taken.erase(name);
+    renames[name] = candidate;
+  }
+  return renames;
+}
+
+}  // namespace sca::style

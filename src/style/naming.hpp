@@ -1,0 +1,59 @@
+// Identifier styling: synonym lexicon, verbosity adjustment and naming
+// conventions.
+//
+// The same engine renames identifiers when the corpus styler materializes
+// an author's style on a challenge IR and when the synthetic LLM
+// "transforms" code (ChatGPT's most visible edit in the paper's Figures
+// 4-5 is exactly this: nCase -> numCase -> case_number ...).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "style/profile.hpp"
+#include "util/rng.hpp"
+
+namespace sca::style {
+
+/// Synonym groups over lowercase words, e.g. {num, count, total} or
+/// {result, answer, output}. Stable, order-deterministic.
+[[nodiscard]] const std::vector<std::vector<std::string>>& synonymGroups();
+
+/// Returns a synonym for `word` drawn from its group (possibly `word`
+/// itself); words outside every group are returned unchanged.
+[[nodiscard]] std::string synonymFor(const std::string& word, util::Rng& rng);
+
+/// Deterministic synonym habit: the same (namingSeed, word) always maps to
+/// the same synonym. Models an author's persistent vocabulary.
+[[nodiscard]] std::string habitualSynonymFor(const std::string& word,
+                                             std::uint64_t namingSeed);
+
+/// Shortens a word ("number" -> "num" -> "n") or expands it
+/// ("cnt" -> "count"); unknown words pass through (shorten falls back to a
+/// 3-letter prefix for long words).
+[[nodiscard]] std::string shortenWord(const std::string& word);
+[[nodiscard]] std::string expandWord(const std::string& word);
+
+/// Joins lowercase words under a convention. Hungarian needs the declared
+/// type for its prefix.
+[[nodiscard]] std::string applyConvention(const std::vector<std::string>& words,
+                                          NamingConvention convention,
+                                          const ast::TypeRef& type);
+
+/// Restyles one identifier end-to-end: split -> synonyms -> verbosity ->
+/// convention. Single-letter loop counters (i, j, k, t) pass through.
+[[nodiscard]] std::string restyleIdentifier(const std::string& name,
+                                            const StyleProfile& profile,
+                                            const ast::TypeRef& type,
+                                            util::Rng& rng);
+
+/// Builds a whole-unit rename map for `profile` (declared variables,
+/// parameters and helper functions; never "main"). Guarantees the new
+/// names are unique and collision-free against unrenamed names.
+[[nodiscard]] std::map<std::string, std::string> renameMapFor(
+    const ast::TranslationUnit& unit, const StyleProfile& profile,
+    util::Rng& rng);
+
+}  // namespace sca::style

@@ -1,0 +1,131 @@
+#include "style/profile.hpp"
+
+namespace sca::style {
+
+ast::RenderOptions StyleProfile::renderOptions() const {
+  ast::RenderOptions opt;
+  opt.indentWidth = indentWidth;
+  opt.useTabs = useTabs;
+  opt.allmanBraces = allmanBraces;
+  opt.spaceAroundOps = spaceAroundOps;
+  opt.spaceAfterComma = spaceAfterComma;
+  opt.spaceAfterKeyword = spaceAfterKeyword;
+  opt.ioStyle = ioStyle;
+  opt.useEndl = useEndl;
+  opt.braceSingleStatements = braceSingleStatements;
+  opt.blankLinesBetweenFunctions = blankLinesBetweenFunctions;
+  return opt;
+}
+
+std::string StyleProfile::describe() const {
+  std::string out;
+  switch (naming) {
+    case NamingConvention::CamelCase: out += "camel"; break;
+    case NamingConvention::SnakeCase: out += "snake"; break;
+    case NamingConvention::PascalCase: out += "pascal"; break;
+    case NamingConvention::Abbreviated: out += "abbrev"; break;
+    case NamingConvention::HungarianLite: out += "hungarian"; break;
+  }
+  out += verbosity == Verbosity::Short
+             ? "-s"
+             : (verbosity == Verbosity::Long ? "-l" : "-m");
+  out += useTabs ? "/tab" : "/" + std::to_string(indentWidth) + "sp";
+  out += allmanBraces ? "/allman" : "/knr";
+  out += ioStyle == ast::IoStyle::Stdio ? "/stdio" : "/cout";
+  out += loops == LoopPreference::WhileLoops ? "/while" : "/for";
+  if (extractSolve) out += "/solve";
+  if (widenToLongLong) out += "/ll";
+  if (useBitsHeader) out += "/bits";
+  if (commentDensity > 0) out += "/cmt";
+  return out;
+}
+
+double StyleProfile::distance(const StyleProfile& a, const StyleProfile& b) {
+  int differing = 0;
+  int total = 0;
+  auto dim = [&](bool differs) {
+    ++total;
+    if (differs) ++differing;
+  };
+  dim(a.naming != b.naming);
+  dim(a.verbosity != b.verbosity);
+  dim(a.indentWidth != b.indentWidth || a.useTabs != b.useTabs);
+  dim(a.allmanBraces != b.allmanBraces);
+  dim(a.spaceAroundOps != b.spaceAroundOps);
+  dim(a.spaceAfterComma != b.spaceAfterComma);
+  dim(a.spaceAfterKeyword != b.spaceAfterKeyword);
+  dim(a.braceSingleStatements != b.braceSingleStatements);
+  dim(a.ioStyle != b.ioStyle);
+  dim(a.useEndl != b.useEndl);
+  dim(a.loops != b.loops);
+  dim(a.increment != b.increment);
+  dim(a.extractSolve != b.extractSolve);
+  dim(a.compoundAssign != b.compoundAssign);
+  dim(a.useTernary != b.useTernary);
+  dim(a.widenToLongLong != b.widenToLongLong);
+  dim(a.aliasLongLong != b.aliasLongLong);
+  dim(a.usingNamespaceStd != b.usingNamespaceStd);
+  dim(a.useBitsHeader != b.useBitsHeader);
+  dim((a.commentDensity > 0) != (b.commentDensity > 0));
+  return total == 0 ? 0.0
+                    : static_cast<double>(differing) / static_cast<double>(total);
+}
+
+StyleProfile sampleProfile(util::Rng& rng) {
+  StyleProfile p;
+  const int naming = static_cast<int>(rng.uniformInt(0, 9));
+  // Camel and snake dominate real corpora; the exotic conventions are rare.
+  if (naming < 4) p.naming = NamingConvention::CamelCase;
+  else if (naming < 7) p.naming = NamingConvention::SnakeCase;
+  else if (naming < 8) p.naming = NamingConvention::PascalCase;
+  else if (naming < 9) p.naming = NamingConvention::Abbreviated;
+  else p.naming = NamingConvention::HungarianLite;
+
+  const int verbosity = static_cast<int>(rng.uniformInt(0, 5));
+  p.verbosity = verbosity < 2 ? Verbosity::Short
+                              : (verbosity < 5 ? Verbosity::Medium
+                                               : Verbosity::Long);
+  if (p.naming == NamingConvention::HungarianLite &&
+      p.verbosity == Verbosity::Short) {
+    p.verbosity = Verbosity::Medium;  // hungarian prefixes need words
+  }
+  if (p.naming == NamingConvention::Abbreviated) p.verbosity = Verbosity::Short;
+
+  const int indent = static_cast<int>(rng.uniformInt(0, 9));
+  if (indent < 4) p.indentWidth = 4;
+  else if (indent < 7) p.indentWidth = 2;
+  else if (indent < 8) p.indentWidth = 8;
+  else p.useTabs = true;
+
+  p.allmanBraces = rng.bernoulli(0.3);
+  p.spaceAroundOps = rng.bernoulli(0.75);
+  p.spaceAfterComma = rng.bernoulli(0.8);
+  p.spaceAfterKeyword = rng.bernoulli(0.7);
+  p.braceSingleStatements = rng.bernoulli(0.7);
+  p.blankLinesBetweenFunctions = rng.bernoulli(0.85) ? 1 : 2;
+
+  p.ioStyle = rng.bernoulli(0.3) ? ast::IoStyle::Stdio : ast::IoStyle::Iostream;
+  p.useEndl = rng.bernoulli(0.4);
+
+  p.loops = rng.bernoulli(0.2) ? LoopPreference::WhileLoops
+                               : LoopPreference::ForLoops;
+  p.increment = rng.bernoulli(0.35) ? ast::IncrementStyle::PreIncrement
+                                    : ast::IncrementStyle::PostIncrement;
+  p.extractSolve = rng.bernoulli(0.35);
+  p.compoundAssign = rng.bernoulli(0.75);
+  p.useTernary = rng.bernoulli(0.25);
+
+  p.widenToLongLong = rng.bernoulli(0.3);
+  p.aliasLongLong = p.widenToLongLong && rng.bernoulli(0.5);
+  p.aliasWithTypedef = rng.bernoulli(0.7);
+  p.usingNamespaceStd = rng.bernoulli(0.85);
+  p.useBitsHeader = rng.bernoulli(0.35);
+  if (p.useBitsHeader) p.ioStyle = ast::IoStyle::Iostream;
+
+  p.commentDensity = rng.bernoulli(0.35) ? rng.uniformReal(0.05, 0.3) : 0.0;
+  p.blockComments = rng.bernoulli(0.25);
+  p.fileHeaderComment = rng.bernoulli(0.15);
+  return p;
+}
+
+}  // namespace sca::style

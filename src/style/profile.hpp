@@ -1,0 +1,94 @@
+// StyleProfile: the complete coding-style fingerprint of one author (or of
+// one synthetic-LLM archetype).
+//
+// Every dimension here is observable by at least one attribution feature
+// (lexical, layout or syntactic), which is precisely what makes the
+// authorship experiments meaningful: styles differ -> features differ ->
+// the classifier can attribute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ast/render.hpp"
+#include "ast/transforms.hpp"
+#include "util/rng.hpp"
+
+namespace sca::style {
+
+enum class NamingConvention {
+  CamelCase,     // numCases
+  SnakeCase,     // num_cases
+  PascalCase,    // NumCases
+  Abbreviated,   // nc / ncas (compressed lowercase)
+  HungarianLite, // nNumCases / dMaxTime (type-initial prefix)
+};
+
+enum class Verbosity { Short, Medium, Long };
+
+enum class LoopPreference { ForLoops, WhileLoops };
+
+struct StyleProfile {
+  // Lexical.
+  NamingConvention naming = NamingConvention::CamelCase;
+  Verbosity verbosity = Verbosity::Medium;
+
+  // Layout.
+  int indentWidth = 4;            // 2, 4 or 8
+  bool useTabs = false;
+  bool allmanBraces = false;
+  bool spaceAroundOps = true;
+  bool spaceAfterComma = true;
+  bool spaceAfterKeyword = true;
+  bool braceSingleStatements = true;
+  int blankLinesBetweenFunctions = 1;
+
+  // IO.
+  ast::IoStyle ioStyle = ast::IoStyle::Iostream;
+  bool useEndl = false;
+
+  // Structure.
+  LoopPreference loops = LoopPreference::ForLoops;
+  ast::IncrementStyle increment = ast::IncrementStyle::PostIncrement;
+  bool extractSolve = false;      // helper-function decomposition
+  bool compoundAssign = true;     // x += 1 vs x = x + 1
+  bool useTernary = false;
+
+  // Types / headers.
+  bool widenToLongLong = false;
+  bool aliasLongLong = false;     // typedef/using ll
+  bool aliasWithTypedef = true;   // typedef vs using
+  std::string llAliasName = "ll";
+  bool usingNamespaceStd = true;
+  bool useBitsHeader = false;     // #include <bits/stdc++.h>
+
+  // Comments.
+  double commentDensity = 0.0;    // probability of a comment per stmt site
+  bool blockComments = false;
+  bool fileHeaderComment = false;
+
+  // Word habits. A non-zero seed makes synonym choice a persistent function
+  // of the word ("this author always writes cnt, never count"), which is
+  // the cross-problem lexical signal stylometry relies on. Zero means the
+  // choice is drawn fresh from the styling RNG on every application — the
+  // behaviour of an LLM asked to rewrite code repeatedly.
+  std::uint64_t namingSeed = 0;
+
+  /// Layout/IO dimensions as renderer options.
+  [[nodiscard]] ast::RenderOptions renderOptions() const;
+
+  /// Compact one-line description ("camel/4sp/knr/cout/for/..."), used in
+  /// logs and bench output.
+  [[nodiscard]] std::string describe() const;
+
+  /// Fraction of dimensions on which two profiles differ (0 = identical,
+  /// 1 = maximally different). Used by style-drift analyses (Fig. 2 bench).
+  [[nodiscard]] static double distance(const StyleProfile& a,
+                                       const StyleProfile& b);
+};
+
+/// Samples a random but internally consistent profile (e.g. Hungarian
+/// naming implies medium+ verbosity; bits/stdc++.h implies iostream).
+[[nodiscard]] StyleProfile sampleProfile(util::Rng& rng);
+
+}  // namespace sca::style

@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace sca::util {
+namespace {
+
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { gLevel.store(level); }
+
+LogLevel logLevel() noexcept { return gLevel.load(); }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(gLevel.load())) return;
+  if (level == LogLevel::Off) return;
+  std::cerr << '[' << levelName(level) << "] " << message << '\n';
+}
+
+}  // namespace sca::util

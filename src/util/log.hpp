@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// Benches and examples log progress (model training over 205 classes takes
+// a few seconds); tests run with the logger silenced. Not thread-safe by
+// design: the pipeline's parallelism lives inside the random forest, which
+// does not log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sca::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void setLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel logLevel() noexcept;
+
+/// Writes one line to stderr as "[level] message" if enabled.
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { logMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine logDebug() {
+  return detail::LogLine(LogLevel::Debug);
+}
+[[nodiscard]] inline detail::LogLine logInfo() {
+  return detail::LogLine(LogLevel::Info);
+}
+[[nodiscard]] inline detail::LogLine logWarn() {
+  return detail::LogLine(LogLevel::Warn);
+}
+[[nodiscard]] inline detail::LogLine logError() {
+  return detail::LogLine(LogLevel::Error);
+}
+
+}  // namespace sca::util

@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace sca::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash64(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t combine64(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Rng Rng::derive(std::string_view label) const noexcept {
+  std::uint64_t base = combine64(state_[0], state_[2]);
+  return Rng(combine64(base, hash64(label)));
+}
+
+Rng Rng::derive(std::uint64_t index) const noexcept {
+  std::uint64_t base = combine64(state_[0], state_[2]);
+  return Rng(combine64(base, combine64(0xd6e8feb86659fd93ULL, index)));
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % range);
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::uniformReal() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniformReal();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniformReal() < p; }
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double acc = 0.0;
+  for (int i = 0; i < 12; ++i) acc += uniformReal();
+  return mean + stddev * (acc - 6.0);
+}
+
+std::size_t Rng::weightedIndex(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += (w > 0 ? w : 0.0);
+  if (total <= 0.0) {
+    return static_cast<std::size_t>(
+        uniformInt(0, static_cast<std::int64_t>(weights.size()) - 1));
+  }
+  double mark = uniformReal() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0.0;
+    if (mark < w) return i;
+    mark -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sampleIndices(std::size_t n,
+                                            std::size_t k) noexcept {
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  if (k > n) k = n;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniformInt(static_cast<std::int64_t>(i),
+                   static_cast<std::int64_t>(n) - 1));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace sca::util

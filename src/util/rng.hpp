@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for the whole pipeline.
+//
+// Every experiment in this repository is seeded: the corpus builder, the
+// synthetic LLM, the transformation schedules and the random forest all
+// derive their randomness from named child streams of a single root seed,
+// so each paper table regenerates bit-identically across runs and machines
+// (we deliberately avoid std::mt19937 distribution functions, whose output
+// is implementation-defined for some distributions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace sca::util {
+
+/// splitmix64 step; used for seeding and for hashing strings into seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stable 64-bit FNV-1a hash of a string (used to derive named substreams).
+[[nodiscard]] std::uint64_t hash64(std::string_view text) noexcept;
+
+/// Combine two 64-bit values into one (boost::hash_combine style).
+[[nodiscard]] std::uint64_t combine64(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** generator with convenience sampling helpers.
+///
+/// The generator is cheap to copy; `derive` produces statistically
+/// independent child streams keyed by a label, which keeps unrelated parts
+/// of an experiment decoupled (adding a draw in one module does not perturb
+/// another module's stream).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Child stream keyed by a label; independent of the parent's future use.
+  [[nodiscard]] Rng derive(std::string_view label) const noexcept;
+  /// Child stream keyed by an index.
+  [[nodiscard]] Rng derive(std::uint64_t index) const noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Uniform real in [0, 1).
+  double uniformReal() noexcept;
+  /// Uniform real in [lo, hi).
+  double uniformReal(double lo, double hi) noexcept;
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p) noexcept;
+  /// Approximately normal draw (sum of 12 uniforms), mean/stddev given.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Index drawn proportionally to non-negative `weights`.
+  /// If all weights are zero, falls back to uniform. Requires non-empty.
+  std::size_t weightedIndex(std::span<const double> weights) noexcept;
+
+  /// Uniformly random element of a non-empty container.
+  template <typename Container>
+  const auto& choice(const Container& items) noexcept {
+    return items[static_cast<std::size_t>(
+        uniformInt(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// `k` distinct indices sampled uniformly from [0, n) (k <= n).
+  [[nodiscard]] std::vector<std::size_t> sampleIndices(std::size_t n,
+                                                       std::size_t k) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sca::util

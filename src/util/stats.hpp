@@ -1,0 +1,50 @@
+// Summary statistics and histogram helpers used by feature extraction and
+// by the benches when printing table rows.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sca::util {
+
+/// Mean of a sample (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation (0 for fewer than 2 values).
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Minimum / maximum (0 for empty input).
+[[nodiscard]] double minOf(std::span<const double> xs) noexcept;
+[[nodiscard]] double maxOf(std::span<const double> xs) noexcept;
+
+/// Median (0 for empty input); copies the data.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Shannon entropy (nats) of a discrete distribution given as counts.
+[[nodiscard]] double entropy(std::span<const std::size_t> counts) noexcept;
+
+/// Counting histogram over string keys with ranked extraction.
+class Histogram {
+ public:
+  void add(const std::string& key, std::size_t weight = 1);
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(const std::string& key) const;
+
+  /// Entries sorted by descending count (ties broken by key for determinism).
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> ranked() const;
+
+  [[nodiscard]] const std::map<std::string, std::size_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sca::util

@@ -1,0 +1,152 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace sca::util {
+namespace {
+
+bool isSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> splitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && isSpace(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !isSpace(text[i])) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && isSpace(text[begin])) ++begin;
+  while (end > begin && isSpace(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string toLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string toUpper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string capitalize(std::string_view word) {
+  std::string out = toLower(word);
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+std::vector<std::string> splitIdentifier(std::string_view name) {
+  std::vector<std::string> words;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      words.push_back(toLower(current));
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '_') {
+      flush();
+      continue;
+    }
+    const bool upper = std::isupper(static_cast<unsigned char>(c)) != 0;
+    if (upper && !current.empty()) {
+      // camelCase boundary: new word unless we're inside an acronym run and
+      // the next char is also uppercase or end-of-name.
+      const char prev = current.back();
+      const bool prevUpper = std::isupper(static_cast<unsigned char>(prev)) != 0;
+      const bool nextLower =
+          i + 1 < name.size() &&
+          std::islower(static_cast<unsigned char>(name[i + 1])) != 0;
+      if (!prevUpper || nextLower) flush();
+    }
+    current += c;
+  }
+  flush();
+  return words;
+}
+
+std::size_t countLines(std::string_view text) {
+  if (text.empty()) return 0;
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  if (text.back() != '\n') ++lines;
+  return lines;
+}
+
+std::string replaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += text.substr(pos);
+      return out;
+    }
+    out += text.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+}
+
+std::string formatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace sca::util

@@ -1,0 +1,49 @@
+// Small string utilities shared across the pipeline (tokenization of
+// identifiers into words, joining, trimming, simple formatting).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sca::util {
+
+/// Splits on a single separator character; empty fields are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on any whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Joins the pieces with `sep` between them.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+[[nodiscard]] bool startsWith(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool endsWith(std::string_view text, std::string_view suffix);
+
+[[nodiscard]] std::string toLower(std::string_view text);
+[[nodiscard]] std::string toUpper(std::string_view text);
+
+/// Capitalizes the first character, lowercases the rest ("word" -> "Word").
+[[nodiscard]] std::string capitalize(std::string_view word);
+
+/// Splits an identifier into lowercase words.
+/// Handles snake_case, camelCase, PascalCase, SCREAMING_CASE and digits:
+/// "numTestCases" -> {"num","test","cases"}, "max_time2" -> {"max","time2"}.
+[[nodiscard]] std::vector<std::string> splitIdentifier(std::string_view name);
+
+/// Number of source lines (final line counted even without trailing '\n').
+[[nodiscard]] std::size_t countLines(std::string_view text);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replaceAll(std::string_view text,
+                                     std::string_view from,
+                                     std::string_view to);
+
+/// Formats a double with fixed precision (locale-independent).
+[[nodiscard]] std::string formatDouble(double value, int precision);
+
+}  // namespace sca::util

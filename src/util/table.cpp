@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace sca::util {
+
+void TablePrinter::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::addRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), pendingSeparator_});
+  pendingSeparator_ = false;
+}
+
+void TablePrinter::addSeparator() { pendingSeparator_ = true; }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const Row& row : rows_) widen(row.cells);
+
+  auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << ' ' << cell;
+      for (std::size_t p = cell.size(); p < widths[i] + 1; ++p) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  if (!caption_.empty()) os << caption_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const Row& row : rows_) {
+    if (row.separatorBefore) rule();
+    line(row.cells);
+  }
+  rule();
+}
+
+std::string TablePrinter::toCsv() const {
+  std::string out;
+  auto append = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ',';
+      out += csvEscape(cells[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) append(header_);
+  for (const Row& row : rows_) append(row.cells);
+  return out;
+}
+
+std::string csvEscape(const std::string& field) {
+  const bool needsQuoting =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needsQuoting) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace sca::util

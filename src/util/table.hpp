@@ -1,0 +1,45 @@
+// ASCII table and CSV writers.
+//
+// Every bench prints a paper-shaped table to stdout and, optionally, writes
+// the same rows as CSV so the results can be post-processed.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sca::util {
+
+/// Fixed-column ASCII table with a caption, header row and aligned cells.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string caption) : caption_(std::move(caption)) {}
+
+  void setHeader(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  /// Horizontal separator before the next row (used before average rows).
+  void addSeparator();
+
+  /// Renders to the stream; column widths fit the widest cell.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Renders the header+rows as CSV (separators skipped).
+  [[nodiscard]] std::string toCsv() const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separatorBefore = false;
+  };
+  std::vector<Row> rows_;
+  bool pendingSeparator_ = false;
+};
+
+/// Escapes a CSV field (quotes when needed).
+[[nodiscard]] std::string csvEscape(const std::string& field);
+
+}  // namespace sca::util

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/authors.hpp"
+#include "llm/archetypes.hpp"
+#include "style/archetypes.hpp"
+#include "style/infer.hpp"
+
+namespace sca::style {
+namespace {
+
+TEST(Archetypes, PoolIsStableAndBounded) {
+  const auto& a = archetypePool();
+  const auto& b = archetypePool();
+  ASSERT_EQ(a.size(), kArchetypeCount);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(StyleProfile::distance(a[i], b[i]), 0.0);
+  }
+}
+
+TEST(Archetypes, EveryArchetypeCarriesTheAccent) {
+  for (const StyleProfile& p : archetypePool()) {
+    EXPECT_FALSE(p.useTabs);
+    EXPECT_EQ(p.indentWidth, 4);
+    EXPECT_TRUE(p.spaceAroundOps);
+    EXPECT_TRUE(p.spaceAfterComma);
+    EXPECT_TRUE(p.spaceAfterKeyword);
+    EXPECT_GE(p.commentDensity, 0.12);
+    EXPECT_FALSE(p.useBitsHeader);
+    EXPECT_FALSE(p.aliasLongLong);
+    EXPECT_TRUE(p.usingNamespaceStd);
+    EXPECT_NE(p.verbosity, Verbosity::Short);
+    EXPECT_NE(p.naming, NamingConvention::Abbreviated);
+    EXPECT_NE(p.namingSeed, 0u);  // persistent favourite names
+  }
+}
+
+TEST(Archetypes, PairwiseDistinguishable) {
+  const auto& pool = archetypePool();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_GT(StyleProfile::distance(pool[i], pool[j]), 0.0)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Archetypes, AccentIsIdempotent) {
+  util::Rng rng(5);
+  StyleProfile p = sampleProfile(rng);
+  applyLlmAccent(p);
+  StyleProfile q = p;
+  applyLlmAccent(q);
+  EXPECT_DOUBLE_EQ(StyleProfile::distance(p, q), 0.0);
+}
+
+TEST(Archetypes, NearestArchetypeFindsExactMatch) {
+  const auto& pool = archetypePool();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const NearestArchetype hit = nearestArchetype(pool[i]);
+    EXPECT_DOUBLE_EQ(hit.distance, 0.0);
+    // ties possible only if two archetypes coincide, which the pairwise
+    // test above excludes.
+    EXPECT_EQ(hit.index, i);
+  }
+}
+
+TEST(Archetypes, WeightsShapesPerYear) {
+  EXPECT_GT(llm::archetypeWeights(2017)[0], 0.7);
+  const auto& w18 = llm::archetypeWeights(2018);
+  EXPECT_LT(w18[0], 0.3);
+  const auto& w19 = llm::archetypeWeights(2019);
+  EXPECT_GT(w19[0], w19[1]);
+}
+
+TEST(Twins, LargePopulationContainsOnePerArchetype) {
+  const auto authors = corpus::makeAuthorPopulation(2018, 204);
+  std::set<std::size_t> matched;
+  for (const corpus::Author& author : authors) {
+    const NearestArchetype hit = nearestArchetype(author.profile);
+    // Humanized twins sit close (two layout quirks) but never exactly on
+    // the archetype.
+    if (hit.distance <= 0.11) {
+      EXPECT_GT(hit.distance, 0.0);
+      matched.insert(hit.index);
+    }
+  }
+  EXPECT_EQ(matched.size(), kArchetypeCount);
+}
+
+TEST(Twins, SmallPopulationsHaveNone) {
+  const auto authors = corpus::makeAuthorPopulation(2018, 16);
+  for (const corpus::Author& author : authors) {
+    EXPECT_GT(nearestArchetype(author.profile).distance, 0.0);
+  }
+}
+
+TEST(Twins, TwinsKeepHumanVocabularySeeds) {
+  const auto authors = corpus::makeAuthorPopulation(2019, 204);
+  for (const corpus::Author& author : authors) {
+    EXPECT_NE(author.profile.namingSeed, 0u) << author.name;
+  }
+}
+
+}  // namespace
+}  // namespace sca::style

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ast/ast.hpp"
+#include "ast/visit.hpp"
+
+namespace sca::ast {
+namespace {
+
+TypeRef intType() { return TypeRef{BaseType::Int, false}; }
+
+TranslationUnit tinyUnit() {
+  // int main() { int a = 1; if (a < 2) { a = a + 1; } return a; }
+  TranslationUnit tu;
+  Function main;
+  main.returnType = intType();
+  main.name = "main";
+  main.body.stmts.push_back(varDecl1(intType(), "a", intLit(1)));
+  BlockStmt then;
+  then.stmts.push_back(exprStmt(
+      assign(AssignOp::Assign, ident("a"),
+             binary(BinaryOp::Add, ident("a"), intLit(1)))));
+  main.body.stmts.push_back(ifStmt(
+      binary(BinaryOp::Lt, ident("a"), intLit(2)), makeStmt(std::move(then))));
+  main.body.stmts.push_back(returnStmt(ident("a")));
+  tu.functions.push_back(std::move(main));
+  return tu;
+}
+
+TEST(Ast, TypeNames) {
+  EXPECT_EQ(typeName(TypeRef{BaseType::Int, false}), "int");
+  EXPECT_EQ(typeName(TypeRef{BaseType::LongLong, false}), "long long");
+  EXPECT_EQ(typeName(TypeRef{BaseType::Double, true}), "vector<double>");
+  EXPECT_EQ(typeName(TypeRef{BaseType::String, false}), "string");
+}
+
+TEST(Ast, OperatorSpellings) {
+  EXPECT_EQ(binaryOpSpelling(BinaryOp::LogicalAnd), "&&");
+  EXPECT_EQ(binaryOpSpelling(BinaryOp::Shl), "<<");
+  EXPECT_EQ(assignOpSpelling(AssignOp::AddAssign), "+=");
+}
+
+TEST(Ast, FactoriesProduceExpectedKinds) {
+  EXPECT_TRUE(intLit(3)->is<IntLit>());
+  EXPECT_TRUE(ident("x")->is<Ident>());
+  EXPECT_TRUE(binary(BinaryOp::Add, intLit(1), intLit(2))->is<Binary>());
+  EXPECT_TRUE(varDecl1(intType(), "x")->is<VarDeclStmt>());
+  EXPECT_TRUE(breakStmt()->is<BreakStmt>());
+}
+
+TEST(Ast, DeepCopyIsStructurallyIndependent) {
+  TranslationUnit original = tinyUnit();
+  TranslationUnit copy = deepCopy(original);
+  // Mutate the copy; original must be unaffected.
+  copy.functions[0].name = "other";
+  copy.functions[0].body.stmts.clear();
+  EXPECT_EQ(original.functions[0].name, "main");
+  EXPECT_EQ(original.functions[0].body.stmts.size(), 3u);
+}
+
+TEST(Ast, DeepCopyPreservesCounts) {
+  TranslationUnit original = tinyUnit();
+  TranslationUnit copy = deepCopy(original);
+  EXPECT_EQ(countStmts(original), countStmts(copy));
+  EXPECT_EQ(maxStmtDepth(original), maxStmtDepth(copy));
+}
+
+TEST(Visit, ForEachStmtVisitsNested) {
+  TranslationUnit tu = tinyUnit();
+  std::size_t count = 0;
+  forEachStmt(tu, [&](const Stmt&) { ++count; });
+  // decl, if, then-block, inner expr, return = 5
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Visit, ForEachExprReachesDeclInits) {
+  TranslationUnit tu = tinyUnit();
+  std::size_t intLits = 0;
+  forEachExpr(tu, [&](const Expr& e) {
+    if (e.is<IntLit>()) ++intLits;
+  });
+  EXPECT_EQ(intLits, 3u);  // 1 (init), 2 (cond), 1 (a + 1)
+}
+
+TEST(Visit, MaxDepthCountsNesting) {
+  TranslationUnit tu = tinyUnit();
+  // if at depth 1, then-block at 2, assignment at 3
+  EXPECT_EQ(maxStmtDepth(tu), 3u);
+}
+
+TEST(Visit, StmtKindNamesStable) {
+  TranslationUnit tu = tinyUnit();
+  EXPECT_EQ(stmtKindName(*tu.functions[0].body.stmts[0]), "decl");
+  EXPECT_EQ(stmtKindName(*tu.functions[0].body.stmts[1]), "if");
+  EXPECT_EQ(stmtKindName(*tu.functions[0].body.stmts[2]), "return");
+}
+
+TEST(Visit, BigramsHaveFunctionRoot) {
+  TranslationUnit tu = tinyUnit();
+  const auto bigrams = stmtKindBigrams(tu);
+  EXPECT_NE(std::find(bigrams.begin(), bigrams.end(), "fn>decl"),
+            bigrams.end());
+  EXPECT_NE(std::find(bigrams.begin(), bigrams.end(), "if>block"),
+            bigrams.end());
+  EXPECT_NE(std::find(bigrams.begin(), bigrams.end(), "block>expr"),
+            bigrams.end());
+}
+
+TEST(Visit, DeclaredNamesExcludeMain) {
+  TranslationUnit tu = tinyUnit();
+  const auto names = declaredNames(tu);
+  EXPECT_EQ(names, (std::vector<std::string>{"a"}));
+}
+
+TEST(Visit, CollectIdentifiersIncludesUsesAndDecls) {
+  TranslationUnit tu = tinyUnit();
+  const auto names = collectIdentifiers(tu);
+  // main (function), a (decl), a/a/a (uses: cond, target, add)
+  EXPECT_GE(std::count(names.begin(), names.end(), "a"), 3);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "main"), 1);
+}
+
+TEST(Visit, AllKindNameListsMatchEnumArity) {
+  // 14 statement alternatives, 13 expression alternatives.
+  EXPECT_EQ(allStmtKindNames().size(), 14u);
+  EXPECT_EQ(allExprKindNames().size(), 13u);
+}
+
+}  // namespace
+}  // namespace sca::ast

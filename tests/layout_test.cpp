@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "lexer/layout.hpp"
+
+namespace sca::lexer {
+namespace {
+
+TEST(Layout, CountsLinesAndBlanks) {
+  const auto m = computeLayoutMetrics("int a;\n\nint b;\n");
+  EXPECT_EQ(m.lineCount, 3u);
+  EXPECT_EQ(m.blankLines, 1u);
+  EXPECT_NEAR(m.blankLineRatio(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Layout, EmptySourceIsAllZero) {
+  const auto m = computeLayoutMetrics("");
+  EXPECT_EQ(m.lineCount, 0u);
+  EXPECT_DOUBLE_EQ(m.blankLineRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.commentCharRatio(), 0.0);
+}
+
+TEST(Layout, CommentAccounting) {
+  const auto m = computeLayoutMetrics("// four\nint x; /* abc */\n");
+  EXPECT_EQ(m.lineComments, 1u);
+  EXPECT_EQ(m.blockComments, 1u);
+  EXPECT_GT(m.commentChars, 10u);
+}
+
+TEST(Layout, IndentWidthHistogram) {
+  const std::string src =
+      "int main() {\n"
+      "    int a;\n"
+      "    if (a) {\n"
+      "        a = 1;\n"
+      "    }\n"
+      "}\n";
+  const auto m = computeLayoutMetrics(src);
+  EXPECT_EQ(m.indentWidth4, 3u);  // "int a;", "if...", "}"
+  EXPECT_EQ(m.indentWidth8, 1u);
+  EXPECT_EQ(m.tabIndentedLines, 0u);
+}
+
+TEST(Layout, TabIndentDetection) {
+  const auto m = computeLayoutMetrics("x;\n\ta;\n\tb;\n");
+  EXPECT_EQ(m.tabIndentedLines, 2u);
+  EXPECT_DOUBLE_EQ(m.tabIndentRatio(), 1.0);
+}
+
+TEST(Layout, BracePlacementKnRVsAllman) {
+  const auto knr = computeLayoutMetrics("int f() {\n  return 0;\n}\n");
+  EXPECT_EQ(knr.bracesEndOfLine, 1u);
+  EXPECT_EQ(knr.bracesOwnLine, 0u);
+  const auto allman = computeLayoutMetrics("int f()\n{\n  return 0;\n}\n");
+  EXPECT_EQ(allman.bracesOwnLine, 1u);
+  EXPECT_DOUBLE_EQ(allman.allmanBraceRatio(), 1.0);
+}
+
+TEST(Layout, SpacedVsTightOperators) {
+  const auto spaced = computeLayoutMetrics("x = a + b;\ny = c * d;\n");
+  EXPECT_GT(spaced.spacedBinaryOps, 0u);
+  EXPECT_EQ(spaced.tightBinaryOps, 0u);
+  const auto tight = computeLayoutMetrics("x=a+b;\ny=c*d;\n");
+  EXPECT_GT(tight.tightBinaryOps, 0u);
+  EXPECT_EQ(tight.spacedBinaryOps, 0u);
+}
+
+TEST(Layout, CommaSpacing) {
+  const auto m = computeLayoutMetrics("f(a, b,c);\n");
+  EXPECT_EQ(m.spaceAfterComma, 1u);
+  EXPECT_EQ(m.noSpaceAfterComma, 1u);
+}
+
+TEST(Layout, KeywordParenSpacing) {
+  const auto m = computeLayoutMetrics("if (a) {}\nwhile(b) {}\nfor (;;) {}\n");
+  EXPECT_EQ(m.spaceAfterKeyword, 2u);
+  EXPECT_EQ(m.noSpaceAfterKeyword, 1u);
+}
+
+TEST(Layout, OperatorsInsideStringsIgnored) {
+  const auto m = computeLayoutMetrics("s = \"a+b, c\";\n");
+  EXPECT_EQ(m.tightBinaryOps, 0u);
+  EXPECT_EQ(m.noSpaceAfterComma, 0u);
+}
+
+TEST(Layout, OperatorsInsideCommentsIgnored) {
+  const auto m = computeLayoutMetrics("// a+b\nx = 1;\n/* c,d */\n");
+  EXPECT_EQ(m.tightBinaryOps, 0u);
+  EXPECT_EQ(m.noSpaceAfterComma, 0u);
+}
+
+TEST(Layout, LineLengthStats) {
+  const auto m = computeLayoutMetrics("abcd\nab\n");
+  EXPECT_EQ(m.maxLineLength, 4u);
+  EXPECT_NEAR(m.meanLineLength, 3.0, 1e-9);
+}
+
+TEST(Layout, UnaryMinusNotCountedAsBinaryOp) {
+  const auto m = computeLayoutMetrics("x = -1;\ny = (-z);\n");
+  EXPECT_EQ(m.tightBinaryOps, 0u);
+}
+
+}  // namespace
+}  // namespace sca::lexer

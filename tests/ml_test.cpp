@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace sca::ml {
+namespace {
+
+/// Three Gaussian-ish blobs in 2-D, trivially separable.
+Dataset blobs(std::size_t perClass, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset data;
+  const double centers[3][2] = {{0, 0}, {5, 5}, {0, 5}};
+  for (int label = 0; label < 3; ++label) {
+    for (std::size_t i = 0; i < perClass; ++i) {
+      data.x.push_back({centers[label][0] + rng.normal(0, 0.5),
+                        centers[label][1] + rng.normal(0, 0.5)});
+      data.y.push_back(label);
+      data.groups.push_back(static_cast<int>(i % 4));
+    }
+  }
+  return data;
+}
+
+TEST(Dataset, ValidateCatchesShapeErrors) {
+  Dataset ok = blobs(5, 1);
+  EXPECT_NO_THROW(ok.validate());
+  Dataset ragged = blobs(5, 1);
+  ragged.x[0].push_back(9.0);
+  EXPECT_THROW(ragged.validate(), std::invalid_argument);
+  Dataset mismatched = blobs(5, 1);
+  mismatched.y.pop_back();
+  EXPECT_THROW(mismatched.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetCopiesRowsAndGroups) {
+  const Dataset data = blobs(4, 2);
+  const Dataset sub = data.subset({0, 5, 10});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.x[1], data.x[5]);
+  EXPECT_EQ(sub.y[2], data.y[10]);
+  EXPECT_EQ(sub.groups[0], data.groups[0]);
+}
+
+TEST(Dataset, ClassCount) {
+  EXPECT_EQ(blobs(3, 3).classCount(), 3);
+  Dataset empty;
+  EXPECT_EQ(empty.classCount(), 0);
+}
+
+TEST(DecisionTree, FitsSeparableDataPerfectly) {
+  const Dataset data = blobs(30, 4);
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  DecisionTree tree;
+  tree.fit(data, all, 3, TreeConfig{}, util::Rng(1));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (tree.predict(data.x[i]) == data.y[i]) ++hits;
+  }
+  EXPECT_EQ(hits, data.size());
+  EXPECT_GT(tree.nodeCount(), 1u);
+  EXPECT_GT(tree.leafCount(), 1u);
+}
+
+TEST(DecisionTree, ExactModeAlsoSeparates) {
+  const Dataset data = blobs(30, 5);
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  TreeConfig config;
+  config.thresholdsPerFeature = 0;  // exact sorted sweep
+  DecisionTree tree;
+  tree.fit(data, all, 3, config, util::Rng(2));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (tree.predict(data.x[i]) == data.y[i]) ++hits;
+  }
+  EXPECT_EQ(hits, data.size());
+}
+
+TEST(DecisionTree, MaxDepthLimitsGrowth) {
+  const Dataset data = blobs(30, 6);
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  TreeConfig config;
+  config.maxDepth = 1;
+  DecisionTree tree;
+  tree.fit(data, all, 3, config, util::Rng(3));
+  EXPECT_LE(tree.depth(), 1u);
+  EXPECT_LE(tree.nodeCount(), 3u);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.x.push_back({static_cast<double>(i)});
+    data.y.push_back(0);
+  }
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  DecisionTree tree;
+  tree.fit(data, all, 1, TreeConfig{}, util::Rng(4));
+  EXPECT_EQ(tree.nodeCount(), 1u);
+  EXPECT_EQ(tree.predict({42.0}), 0);
+}
+
+TEST(RandomForest, HighAccuracyOnBlobs) {
+  const Dataset data = blobs(40, 7);
+  ForestConfig config;
+  config.treeCount = 25;
+  RandomForest forest(config);
+  forest.fit(data);
+  const auto predictions = forest.predictAll(data.x);
+  EXPECT_GT(accuracy(data.y, predictions), 0.97);
+  EXPECT_EQ(forest.classCount(), 3);
+  EXPECT_EQ(forest.treeCount(), 25u);
+}
+
+TEST(RandomForest, DeterministicForFixedSeed) {
+  const Dataset data = blobs(20, 8);
+  ForestConfig config;
+  config.treeCount = 10;
+  config.seed = 99;
+  RandomForest a(config), b(config);
+  a.fit(data);
+  b.fit(data);
+  const std::vector<double> probe = {2.5, 2.5};
+  EXPECT_EQ(a.predict(probe), b.predict(probe));
+  EXPECT_EQ(a.predictProba(probe), b.predictProba(probe));
+}
+
+TEST(RandomForest, ProbaSumsToOne) {
+  const Dataset data = blobs(20, 9);
+  RandomForest forest(ForestConfig{.treeCount = 15});
+  forest.fit(data);
+  const auto proba = forest.predictProba({0.1, 0.1});
+  double sum = 0.0;
+  for (const double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(proba.size(), 3u);
+}
+
+TEST(RandomForest, ThrowsOnEmptyDataset) {
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(Dataset{}), std::invalid_argument);
+}
+
+TEST(DecisionTree, SaveLoadRoundTrip) {
+  const Dataset data = blobs(25, 12);
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  DecisionTree tree;
+  tree.fit(data, all, 3, TreeConfig{}, util::Rng(5));
+  std::stringstream buffer;
+  tree.save(buffer);
+  const DecisionTree restored = DecisionTree::load(buffer);
+  EXPECT_EQ(restored.nodeCount(), tree.nodeCount());
+  for (const auto& row : data.x) {
+    EXPECT_EQ(restored.predict(row), tree.predict(row));
+  }
+}
+
+TEST(DecisionTree, LoadRejectsGarbage) {
+  std::stringstream bad("nonsense 3");
+  EXPECT_THROW(DecisionTree::load(bad), std::runtime_error);
+  std::stringstream truncated("tree 2\n1 0.5 1 2 -1 0\n");
+  EXPECT_THROW(DecisionTree::load(truncated), std::runtime_error);
+}
+
+TEST(RandomForest, SaveLoadKeepsPredictions) {
+  const Dataset data = blobs(20, 13);
+  RandomForest forest(ForestConfig{.treeCount = 12});
+  forest.fit(data);
+  std::stringstream buffer;
+  forest.save(buffer);
+  const RandomForest restored = RandomForest::load(buffer);
+  EXPECT_EQ(restored.classCount(), forest.classCount());
+  EXPECT_EQ(restored.treeCount(), forest.treeCount());
+  for (const auto& row : data.x) {
+    EXPECT_EQ(restored.predict(row), forest.predict(row));
+    EXPECT_EQ(restored.predictProba(row), forest.predictProba(row));
+  }
+}
+
+TEST(RandomForest, FeatureImportancesNormalizedAndInformative) {
+  // Feature 0 separates the blobs; feature 2 is constant noise.
+  Dataset data = blobs(30, 14);
+  for (auto& row : data.x) row.push_back(0.5);  // constant third column
+  RandomForest forest(ForestConfig{.treeCount = 20});
+  forest.fit(data);
+  const auto importances = forest.featureImportances(3);
+  ASSERT_EQ(importances.size(), 3u);
+  double sum = 0.0;
+  for (const double v : importances) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(importances[2], 0.0);  // constant column never splits
+  EXPECT_GT(importances[0] + importances[1], 0.9);
+}
+
+TEST(Metrics, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 0, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+  EXPECT_THROW(accuracy({1}, {}), std::invalid_argument);
+}
+
+TEST(Metrics, ConfusionMatrixCells) {
+  const ConfusionMatrix cm(2, {0, 0, 1, 1}, {0, 1, 1, 1});
+  EXPECT_EQ(cm.at(0, 0), 1u);
+  EXPECT_EQ(cm.at(0, 1), 1u);
+  EXPECT_EQ(cm.at(1, 1), 2u);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.f1(1), 0.8, 1e-9);
+  EXPECT_DOUBLE_EQ(cm.macroRecall(), 0.75);
+}
+
+TEST(Metrics, ConfusionValidatesRange) {
+  EXPECT_THROW(ConfusionMatrix(2, {0, 2}, {0, 0}), std::out_of_range);
+}
+
+TEST(Metrics, PercentFormatting) {
+  EXPECT_EQ(percent(0.931), "93.1");
+  EXPECT_EQ(percent(1.0, 0), "100");
+}
+
+TEST(CrossValidation, GroupIndicesPartition) {
+  const auto idx = groupIndices({1, 0, 1, 2, 0});
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.at(0), (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(idx.at(1), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(CrossValidation, LeaveOneGroupOutUsesAllRowsOnce) {
+  const Dataset data = blobs(12, 10);  // groups 0..3
+  std::size_t tested = 0;
+  const auto folds = leaveOneGroupOut(
+      data, [&](const Dataset& train, const Dataset& test) {
+        EXPECT_EQ(train.size() + test.size(), data.size());
+        RandomForest forest(ForestConfig{.treeCount = 10});
+        forest.fit(train);
+        tested += test.size();
+        return forest.predictAll(test.x);
+      });
+  EXPECT_EQ(folds.size(), 4u);
+  EXPECT_EQ(tested, data.size());
+  EXPECT_GT(meanAccuracy(folds), 0.9);
+}
+
+TEST(CrossValidation, StratifiedSplitBalancesClasses) {
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) labels.push_back(i % 4);
+  const Split split = stratifiedSplit(labels, 0.25, 7);
+  EXPECT_EQ(split.trainIndices.size() + split.testIndices.size(), 40u);
+  std::map<int, int> testPerClass;
+  for (const std::size_t i : split.testIndices) ++testPerClass[labels[i]];
+  for (int label = 0; label < 4; ++label) {
+    EXPECT_EQ(testPerClass[label], 2 + 1 /* ~25% of 10, rounded */)
+        << "class " << label;
+  }
+  // Deterministic in seed; different seeds differ.
+  const Split again = stratifiedSplit(labels, 0.25, 7);
+  EXPECT_EQ(split.testIndices, again.testIndices);
+}
+
+TEST(CrossValidation, StratifiedSplitValidatesFraction) {
+  EXPECT_THROW(stratifiedSplit({0, 1}, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(stratifiedSplit({0, 1}, 1.0, 1), std::invalid_argument);
+}
+
+TEST(CrossValidation, StratifiedKFoldPartitions) {
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) labels.push_back(i % 3);
+  const auto folds = stratifiedKFold(labels, 5, 11);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.size(), 6u);
+    std::map<int, int> perClass;
+    for (const std::size_t i : fold) {
+      ++perClass[labels[i]];
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " duplicated";
+    }
+    for (const auto& [label, count] : perClass) EXPECT_EQ(count, 2);
+  }
+  EXPECT_EQ(seen.size(), 30u);
+  EXPECT_THROW(stratifiedKFold(labels, 1, 1), std::invalid_argument);
+}
+
+TEST(CrossValidation, RequiresGroups) {
+  Dataset data = blobs(4, 11);
+  data.groups.clear();
+  EXPECT_THROW(
+      leaveOneGroupOut(data,
+                       [](const Dataset&, const Dataset& test) {
+                         return std::vector<int>(test.size(), 0);
+                       }),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sca::ml

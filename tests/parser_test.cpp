@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include "ast/parser.hpp"
+#include "ast/visit.hpp"
+
+namespace sca::ast {
+namespace {
+
+ParseResult parseClean(std::string_view src) {
+  ParseResult result = parse(src);
+  EXPECT_TRUE(result.clean) << "warnings: "
+                            << (result.warnings.empty()
+                                    ? ""
+                                    : result.warnings.front());
+  return result;
+}
+
+TEST(Parser, IncludesAndUsingNamespace) {
+  const auto r = parseClean(
+      "#include <iostream>\n#include <vector>\nusing namespace std;\n"
+      "int main() { return 0; }\n");
+  ASSERT_EQ(r.unit.includes.size(), 2u);
+  EXPECT_EQ(r.unit.includes[0], "iostream");
+  EXPECT_TRUE(r.unit.usingNamespaceStd);
+  ASSERT_EQ(r.unit.functions.size(), 1u);
+  EXPECT_EQ(r.unit.functions[0].name, "main");
+}
+
+TEST(Parser, TypedefAndUsingAliases) {
+  const auto r = parseClean(
+      "typedef long long ll;\nusing vi = vector<int>;\n"
+      "int main() { ll x = 5; return 0; }\n");
+  ASSERT_EQ(r.unit.aliases.size(), 2u);
+  EXPECT_EQ(r.unit.aliases[0].name, "ll");
+  EXPECT_TRUE(r.unit.aliases[0].usesTypedef);
+  EXPECT_EQ(r.unit.aliases[0].aliased.base, BaseType::LongLong);
+  EXPECT_EQ(r.unit.aliases[1].name, "vi");
+  EXPECT_TRUE(r.unit.aliases[1].aliased.isVector);
+  // "ll x" resolves through the alias:
+  const auto& decl = r.unit.functions[0].body.stmts[0]->as<VarDeclStmt>();
+  EXPECT_EQ(decl.type.base, BaseType::LongLong);
+}
+
+TEST(Parser, MultiDeclaratorAndArray) {
+  const auto r = parseClean("int main() { int a = 1, b, c[10]; return 0; }\n");
+  const auto& decl = r.unit.functions[0].body.stmts[0]->as<VarDeclStmt>();
+  ASSERT_EQ(decl.decls.size(), 3u);
+  EXPECT_NE(decl.decls[0].init, nullptr);
+  EXPECT_EQ(decl.decls[1].init, nullptr);
+  EXPECT_NE(decl.decls[2].arraySize, nullptr);
+}
+
+TEST(Parser, VectorWithConstructorSize) {
+  const auto r =
+      parseClean("int main() { int n = 3; vector<int> v(n); return 0; }\n");
+  const auto& decl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
+  EXPECT_TRUE(decl.type.isVector);
+  ASSERT_EQ(decl.decls.size(), 1u);
+  EXPECT_NE(decl.decls[0].init, nullptr);
+}
+
+TEST(Parser, CinChainBecomesReadStmtWithTypes) {
+  const auto r = parseClean(
+      "int main() { int a; double d; cin >> a >> d; return 0; }\n");
+  const auto& read = r.unit.functions[0].body.stmts[2]->as<ReadStmt>();
+  ASSERT_EQ(read.targets.size(), 2u);
+  EXPECT_EQ(read.targets[0].type.base, BaseType::Int);
+  EXPECT_EQ(read.targets[1].type.base, BaseType::Double);
+}
+
+TEST(Parser, ScanfBecomesReadStmt) {
+  const auto r = parseClean(
+      "int main() { int a; long long b; scanf(\"%d %lld\", &a, &b); "
+      "return 0; }\n");
+  const auto& read = r.unit.functions[0].body.stmts[2]->as<ReadStmt>();
+  ASSERT_EQ(read.targets.size(), 2u);
+  EXPECT_EQ(read.targets[1].type.base, BaseType::LongLong);
+}
+
+TEST(Parser, CoutChainBecomesWriteStmt) {
+  const auto r = parseClean(
+      "int main() { int i = 1; double x = 2; "
+      "cout << \"Case #\" << i << \": \" << fixed << setprecision(6) << x "
+      "<< \"\\n\"; return 0; }\n");
+  const auto& write = r.unit.functions[0].body.stmts[2]->as<WriteStmt>();
+  EXPECT_TRUE(write.trailingNewline);
+  ASSERT_EQ(write.items.size(), 4u);
+  EXPECT_TRUE(write.items[0].isLiteral);
+  EXPECT_EQ(write.items[0].literal, "Case #");
+  EXPECT_FALSE(write.items[1].isLiteral);
+  EXPECT_EQ(write.items[1].type.base, BaseType::Int);
+  EXPECT_EQ(write.items[3].precision, 6);
+}
+
+TEST(Parser, EndlFoldsToTrailingNewline) {
+  const auto r =
+      parseClean("int main() { int i = 0; cout << i << endl; return 0; }\n");
+  const auto& write = r.unit.functions[0].body.stmts[1]->as<WriteStmt>();
+  EXPECT_TRUE(write.trailingNewline);
+  ASSERT_EQ(write.items.size(), 1u);
+}
+
+TEST(Parser, PrintfBecomesWriteStmt) {
+  const auto r = parseClean(
+      "int main() { int i = 1; double x = 0.5; "
+      "printf(\"Case #%d: %.6lf\\n\", i, x); return 0; }\n");
+  const auto& write = r.unit.functions[0].body.stmts[2]->as<WriteStmt>();
+  EXPECT_TRUE(write.trailingNewline);
+  ASSERT_EQ(write.items.size(), 4u);
+  EXPECT_EQ(write.items[0].literal, "Case #");
+  EXPECT_EQ(write.items[1].type.base, BaseType::Int);
+  EXPECT_EQ(write.items[2].literal, ": ");
+  EXPECT_EQ(write.items[3].type.base, BaseType::Double);
+  EXPECT_EQ(write.items[3].precision, 6);
+}
+
+TEST(Parser, PrintfPercentEscape) {
+  const auto r = parseClean(
+      "int main() { int p = 50; printf(\"%d%%\\n\", p); return 0; }\n");
+  const auto& write = r.unit.functions[0].body.stmts[1]->as<WriteStmt>();
+  ASSERT_EQ(write.items.size(), 2u);
+  EXPECT_EQ(write.items[1].literal, "%");
+}
+
+TEST(Parser, ControlFlowShapes) {
+  const auto r = parseClean(
+      "int main() {\n"
+      "  for (int i = 0; i < 3; i++) { continue; }\n"
+      "  int j = 0;\n"
+      "  while (j < 2) { j++; }\n"
+      "  do { j--; } while (j > 0);\n"
+      "  if (j == 0) { return 1; } else if (j == 1) { return 2; } else { "
+      "return 3; }\n"
+      "}\n");
+  const auto& stmts = r.unit.functions[0].body.stmts;
+  EXPECT_TRUE(stmts[0]->is<ForStmt>());
+  EXPECT_TRUE(stmts[2]->is<WhileStmt>());
+  EXPECT_TRUE(stmts[3]->is<DoWhileStmt>());
+  EXPECT_TRUE(stmts[4]->is<IfStmt>());
+  const auto& ifNode = stmts[4]->as<IfStmt>();
+  ASSERT_NE(ifNode.elseBranch, nullptr);
+  EXPECT_TRUE(ifNode.elseBranch->is<IfStmt>());
+}
+
+TEST(Parser, UnbracedBodiesCanonicalizedToBlocks) {
+  const auto r = parseClean(
+      "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i;\n"
+      "if (s > 3) s = 3; return s; }\n");
+  const auto& loop = r.unit.functions[0].body.stmts[1]->as<ForStmt>();
+  ASSERT_TRUE(loop.body->is<BlockStmt>());
+  EXPECT_EQ(loop.body->as<BlockStmt>().stmts.size(), 1u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  const auto r = parseClean("int main() { int x = 1 + 2 * 3; return x; }\n");
+  const auto& decl = r.unit.functions[0].body.stmts[0]->as<VarDeclStmt>();
+  const auto& add = decl.decls[0].init->as<Binary>();
+  EXPECT_EQ(add.op, BinaryOp::Add);
+  EXPECT_EQ(add.rhs->as<Binary>().op, BinaryOp::Mul);
+}
+
+TEST(Parser, TernaryAndCasts) {
+  const auto r = parseClean(
+      "int main() { int a = 1; double d = (double)a / double(2); "
+      "int m = a > 0 ? a : -a; return m; }\n");
+  const auto& dDecl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
+  const auto& division = dDecl.decls[0].init->as<Binary>();
+  EXPECT_TRUE(division.lhs->is<Cast>());
+  EXPECT_FALSE(division.lhs->as<Cast>().functionalStyle);
+  EXPECT_TRUE(division.rhs->is<Cast>());
+  EXPECT_TRUE(division.rhs->as<Cast>().functionalStyle);
+  const auto& mDecl = r.unit.functions[0].body.stmts[2]->as<VarDeclStmt>();
+  EXPECT_TRUE(mDecl.decls[0].init->is<Ternary>());
+}
+
+TEST(Parser, MemberCallsFoldToDottedCallee) {
+  const auto r = parseClean(
+      "int main() { vector<int> v; v.push_back(4); int n = v.size(); "
+      "return n; }\n");
+  const auto& callStmt = r.unit.functions[0].body.stmts[1]->as<ExprStmt>();
+  EXPECT_EQ(callStmt.expr->as<Call>().callee, "v.push_back");
+}
+
+TEST(Parser, StdQualifiersFoldAway) {
+  const auto r = parseClean(
+      "#include <iostream>\nint main() { int x; std::cin >> x; "
+      "std::cout << std::max(x, 2) << \"\\n\"; return 0; }\n");
+  EXPECT_FALSE(r.unit.usingNamespaceStd);
+  const auto& stmts = r.unit.functions[0].body.stmts;
+  EXPECT_TRUE(stmts[1]->is<ReadStmt>());
+  EXPECT_TRUE(stmts[2]->is<WriteStmt>());
+  EXPECT_EQ(stmts[2]->as<WriteStmt>().items[0].expr->as<Call>().callee,
+            "max");
+}
+
+TEST(Parser, FunctionWithParamsAndReferences) {
+  const auto r = parseClean(
+      "void solve(int n, vector<int>& v) { v.push_back(n); }\n"
+      "int main() { return 0; }\n");
+  const auto& fn = r.unit.functions[0];
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_FALSE(fn.params[0].byReference);
+  EXPECT_TRUE(fn.params[1].byReference);
+  EXPECT_TRUE(fn.params[1].type.isVector);
+}
+
+TEST(Parser, CommentsAttachAsStatements) {
+  const auto r = parseClean(
+      "int main() {\n  // read input\n  int x;\n  return 0;\n}\n");
+  const auto& stmts = r.unit.functions[0].body.stmts;
+  ASSERT_GE(stmts.size(), 3u);
+  EXPECT_TRUE(stmts[0]->is<CommentStmt>());
+  EXPECT_EQ(stmts[0]->as<CommentStmt>().text, " read input");
+}
+
+TEST(Parser, HeaderCommentCaptured) {
+  const auto r = parse(
+      "/* My solution */\n#include <iostream>\nint main() { return 0; }\n");
+  EXPECT_EQ(r.unit.headerComment, " My solution ");
+}
+
+TEST(Parser, GlobalVariablesKept) {
+  const auto r = parseClean("int cache[100];\nint main() { return 0; }\n");
+  ASSERT_EQ(r.unit.globals.size(), 1u);
+  EXPECT_TRUE(r.unit.globals[0]->is<VarDeclStmt>());
+}
+
+TEST(Parser, UnknownStatementDegradesToOpaque) {
+  const auto r = parse(
+      "int main() { goto done; done: return 0; }\n");
+  EXPECT_FALSE(r.clean);
+  bool sawOpaque = false;
+  forEachStmt(r.unit, [&](const Stmt& s) {
+    if (s.is<OpaqueStmt>()) sawOpaque = true;
+  });
+  EXPECT_TRUE(sawOpaque);
+  // The function itself still parsed.
+  ASSERT_EQ(r.unit.functions.size(), 1u);
+}
+
+TEST(Parser, NeverThrowsOnGarbage) {
+  EXPECT_NO_THROW({ auto r = parse("$$$ 1 2 3 }{ ++;; \"unterminated"); });
+  EXPECT_NO_THROW({ auto r = parse(""); });
+  EXPECT_NO_THROW({ auto r = parse("int main() {"); });
+}
+
+TEST(Parser, CompoundAssignOps) {
+  const auto r = parseClean(
+      "int main() { int x = 0; x += 2; x -= 1; x *= 3; x /= 2; x %= 5; "
+      "return x; }\n");
+  const auto& stmts = r.unit.functions[0].body.stmts;
+  EXPECT_EQ(stmts[1]->as<ExprStmt>().expr->as<Assign>().op,
+            AssignOp::AddAssign);
+  EXPECT_EQ(stmts[5]->as<ExprStmt>().expr->as<Assign>().op,
+            AssignOp::ModAssign);
+}
+
+TEST(Parser, VectorOfLongLongAndAliasedVectors) {
+  const auto r = parseClean(
+      "typedef long long ll;\nusing vll = vector<ll>;\n"
+      "int main() { vector<long long> a; vll b; ll x = 0; "
+      "a.push_back(x); b.push_back(x); return 0; }\n");
+  const auto& aDecl = r.unit.functions[0].body.stmts[0]->as<VarDeclStmt>();
+  EXPECT_TRUE(aDecl.type.isVector);
+  EXPECT_EQ(aDecl.type.base, BaseType::LongLong);
+  const auto& bDecl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
+  EXPECT_TRUE(bDecl.type.isVector);
+  EXPECT_EQ(bDecl.type.base, BaseType::LongLong);
+}
+
+TEST(Parser, UnbracedDoWhileBody) {
+  const auto r = parseClean(
+      "int main() { int i = 3; do i--; while (i > 0); return i; }\n");
+  const auto& loop = r.unit.functions[0].body.stmts[1]->as<DoWhileStmt>();
+  ASSERT_TRUE(loop.body->is<BlockStmt>());
+  EXPECT_EQ(loop.body->as<BlockStmt>().stmts.size(), 1u);
+}
+
+TEST(Parser, EmptyForClauses) {
+  const auto r = parseClean(
+      "int main() { int i = 0; for (;;) { i++; if (i > 3) { break; } } "
+      "for (; i > 0; ) { i--; } return i; }\n");
+  const auto& infinite = r.unit.functions[0].body.stmts[1]->as<ForStmt>();
+  EXPECT_EQ(infinite.init, nullptr);
+  EXPECT_EQ(infinite.cond, nullptr);
+  EXPECT_EQ(infinite.step, nullptr);
+  const auto& condOnly = r.unit.functions[0].body.stmts[2]->as<ForStmt>();
+  EXPECT_EQ(condOnly.init, nullptr);
+  EXPECT_NE(condOnly.cond, nullptr);
+}
+
+TEST(Parser, NestedTernary) {
+  const auto r = parseClean(
+      "int main() { int a = 5; int s = a > 0 ? 1 : a < 0 ? -1 : 0; "
+      "return s; }\n");
+  const auto& decl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
+  const auto& outer = decl.decls[0].init->as<Ternary>();
+  EXPECT_TRUE(outer.elseExpr->is<Ternary>());
+}
+
+TEST(Parser, LogicalPrecedence) {
+  const auto r = parseClean(
+      "int main() { int a = 1, b = 0; bool x = a > 0 && b > 0 || a < 0; "
+      "return x; }\n");
+  const auto& decl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
+  const auto& orNode = decl.decls[0].init->as<Binary>();
+  EXPECT_EQ(orNode.op, BinaryOp::LogicalOr);
+  EXPECT_EQ(orNode.lhs->as<Binary>().op, BinaryOp::LogicalAnd);
+}
+
+TEST(Parser, GetlineRemainsPlainCall) {
+  const auto r = parseClean(
+      "int main() { string line; getline(cin, line); return 0; }\n");
+  const auto& stmt = r.unit.functions[0].body.stmts[1]->as<ExprStmt>();
+  EXPECT_EQ(stmt.expr->as<Call>().callee, "getline");
+}
+
+TEST(Parser, CoutWithArithmeticItem) {
+  // "cout << a + b << x * 2" must split items at "<<", not fold them into
+  // shift expressions.
+  const auto r = parseClean(
+      "int main() { int a = 1, b = 2; cout << a + b << \" \" << a * 2 "
+      "<< \"\\n\"; return 0; }\n");
+  const auto& write = r.unit.functions[0].body.stmts[1]->as<WriteStmt>();
+  ASSERT_EQ(write.items.size(), 3u);
+  EXPECT_TRUE(write.items[0].expr->is<Binary>());
+  EXPECT_EQ(write.items[0].expr->as<Binary>().op, BinaryOp::Add);
+  EXPECT_EQ(write.items[2].expr->as<Binary>().op, BinaryOp::Mul);
+}
+
+TEST(Parser, BreakAndContinue) {
+  const auto r = parseClean(
+      "int main() { while (true) { break; } for (;;) { continue; } "
+      "return 0; }\n");
+  EXPECT_TRUE(r.clean);
+}
+
+}  // namespace
+}  // namespace sca::ast

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ast/parser.hpp"
+#include "ast/render.hpp"
+
+namespace sca::ast {
+namespace {
+
+/// Parses, re-renders under `options`, and returns the text.
+std::string rerender(std::string_view src, const RenderOptions& options) {
+  ParseResult r = parse(src);
+  EXPECT_TRUE(r.clean);
+  return render(r.unit, options);
+}
+
+const std::string kProgram =
+    "#include <iostream>\n"
+    "using namespace std;\n"
+    "int main() {\n"
+    "    int n;\n"
+    "    cin >> n;\n"
+    "    for (int i = 0; i < n; i++) {\n"
+    "        if (i % 2 == 0) {\n"
+    "            cout << i << \"\\n\";\n"
+    "        }\n"
+    "    }\n"
+    "    return 0;\n"
+    "}\n";
+
+TEST(Render, DefaultOptionsRoundTripStable) {
+  RenderOptions opt;
+  const std::string once = rerender(kProgram, opt);
+  const std::string twice = rerender(once, opt);
+  EXPECT_EQ(once, twice);  // idempotent fixed point
+}
+
+TEST(Render, IndentWidthRespected) {
+  RenderOptions opt;
+  opt.indentWidth = 2;
+  const std::string out = rerender(kProgram, opt);
+  EXPECT_NE(out.find("\n  int n;"), std::string::npos);
+  opt.indentWidth = 8;
+  const std::string wide = rerender(kProgram, opt);
+  EXPECT_NE(wide.find("\n        int n;"), std::string::npos);
+}
+
+TEST(Render, TabsRespected) {
+  RenderOptions opt;
+  opt.useTabs = true;
+  const std::string out = rerender(kProgram, opt);
+  EXPECT_NE(out.find("\n\tint n;"), std::string::npos);
+}
+
+TEST(Render, AllmanBraces) {
+  RenderOptions opt;
+  opt.allmanBraces = true;
+  const std::string out = rerender(kProgram, opt);
+  EXPECT_NE(out.find("int main()\n{"), std::string::npos);
+}
+
+TEST(Render, KeywordSpacing) {
+  RenderOptions opt;
+  opt.spaceAfterKeyword = false;
+  const std::string out = rerender(kProgram, opt);
+  EXPECT_NE(out.find("for(int"), std::string::npos);
+  EXPECT_NE(out.find("if(i"), std::string::npos);
+}
+
+TEST(Render, OperatorSpacing) {
+  RenderOptions opt;
+  opt.spaceAroundOps = false;
+  const std::string out = rerender(kProgram, opt);
+  EXPECT_NE(out.find("i%2==0"), std::string::npos);
+}
+
+TEST(Render, StdioStyleWritesScanfPrintf) {
+  RenderOptions opt;
+  opt.ioStyle = IoStyle::Stdio;
+  const std::string out = rerender(kProgram, opt);
+  EXPECT_NE(out.find("scanf(\"%d\", &n);"), std::string::npos);
+  EXPECT_NE(out.find("printf(\"%d\\n\", i);"), std::string::npos);
+  EXPECT_EQ(out.find("cout"), std::string::npos);
+}
+
+TEST(Render, EndlStyle) {
+  RenderOptions opt;
+  opt.useEndl = true;
+  const std::string out = rerender(kProgram, opt);
+  EXPECT_NE(out.find("<< endl;"), std::string::npos);
+}
+
+TEST(Render, PrecisionEmitsFixedSetprecision) {
+  const std::string src =
+      "#include <iostream>\n#include <iomanip>\nusing namespace std;\n"
+      "int main() { double x = 1; cout << fixed << setprecision(6) << x "
+      "<< \"\\n\"; return 0; }\n";
+  RenderOptions opt;
+  const std::string out = rerender(src, opt);
+  EXPECT_NE(out.find("fixed << setprecision(6)"), std::string::npos);
+  opt.ioStyle = IoStyle::Stdio;
+  const std::string stdio = rerender(src, opt);
+  EXPECT_NE(stdio.find("%.6lf"), std::string::npos);
+}
+
+TEST(Render, StdQualificationWithoutUsingNamespace) {
+  ParseResult r = parse(kProgram);
+  r.unit.usingNamespaceStd = false;
+  const std::string out = render(r.unit, RenderOptions{});
+  EXPECT_NE(out.find("std::cin >> n"), std::string::npos);
+  EXPECT_NE(out.find("std::cout"), std::string::npos);
+  EXPECT_EQ(out.find("using namespace std"), std::string::npos);
+}
+
+TEST(Render, AliasUsedForLongLong) {
+  const std::string src =
+      "typedef long long ll;\nint main() { ll x = 1; return 0; }\n";
+  const std::string out = rerender(src, RenderOptions{});
+  EXPECT_NE(out.find("typedef long long ll;"), std::string::npos);
+  EXPECT_NE(out.find("ll x = 1;"), std::string::npos);
+}
+
+TEST(Render, PrecedenceParenthesization) {
+  // (1 + 2) * 3 must keep its parens; 1 + 2 * 3 must not gain any.
+  const std::string src =
+      "int main() { int a = (1 + 2) * 3; int b = 1 + 2 * 3; return a + b; }\n";
+  const std::string out = rerender(src, RenderOptions{});
+  EXPECT_NE(out.find("(1 + 2) * 3"), std::string::npos);
+  EXPECT_NE(out.find("b = 1 + 2 * 3"), std::string::npos);
+}
+
+TEST(Render, SubtractionAssociativity) {
+  // a - (b - c) must keep parens; (a - b) - c may drop them.
+  const std::string src =
+      "int main() { int a=9,b=4,c=2; int x = a - (b - c); return x; }\n";
+  const std::string out = rerender(src, RenderOptions{});
+  EXPECT_NE(out.find("a - (b - c)"), std::string::npos);
+}
+
+TEST(Render, StringEscapes) {
+  EXPECT_EQ(escapeString("a\nb\t\"q\"\\"), "a\\nb\\t\\\"q\\\"\\\\");
+}
+
+TEST(Render, DoWhileShape) {
+  const std::string src =
+      "int main() { int i = 3; do { i--; } while (i > 0); return i; }\n";
+  const std::string out = rerender(src, RenderOptions{});
+  EXPECT_NE(out.find("do {"), std::string::npos);
+  EXPECT_NE(out.find("} while (i > 0);"), std::string::npos);
+}
+
+TEST(Render, ElseIfChainsStayFlat) {
+  const std::string src =
+      "int main() { int x = 1; if (x == 0) { return 0; } else if (x == 1) { "
+      "return 1; } else { return 2; } }\n";
+  const std::string out = rerender(src, RenderOptions{});
+  EXPECT_NE(out.find("} else if (x == 1) {"), std::string::npos);
+  EXPECT_NE(out.find("} else {"), std::string::npos);
+}
+
+TEST(Render, NormalizeIncludesIostream) {
+  ParseResult r = parse(
+      "int main() { int x; cin >> x; cout << x << \"\\n\"; return 0; }\n");
+  normalizeIncludes(r.unit, IoStyle::Iostream);
+  ASSERT_FALSE(r.unit.includes.empty());
+  EXPECT_EQ(r.unit.includes[0], "iostream");
+}
+
+TEST(Render, NormalizeIncludesStdioAndLibraries) {
+  ParseResult r = parse(
+      "int main() { vector<int> v; v.push_back(1); sort(v.begin(), v.end());"
+      " double d = sqrt(2.0); printf(\"%f\\n\", d); return 0; }\n");
+  normalizeIncludes(r.unit, IoStyle::Stdio);
+  const auto& inc = r.unit.includes;
+  EXPECT_NE(std::find(inc.begin(), inc.end(), "cstdio"), inc.end());
+  EXPECT_NE(std::find(inc.begin(), inc.end(), "vector"), inc.end());
+  EXPECT_NE(std::find(inc.begin(), inc.end(), "algorithm"), inc.end());
+  EXPECT_NE(std::find(inc.begin(), inc.end(), "cmath"), inc.end());
+}
+
+TEST(Render, NormalizeIncludesKeepsBitsHeader) {
+  ParseResult r = parse(
+      "#include <bits/stdc++.h>\nusing namespace std;\n"
+      "int main() { return 0; }\n");
+  normalizeIncludes(r.unit, IoStyle::Iostream);
+  ASSERT_EQ(r.unit.includes.size(), 1u);
+  EXPECT_EQ(r.unit.includes[0], "bits/stdc++.h");
+}
+
+TEST(Render, UnbracedSingleStatementBodies) {
+  RenderOptions opt;
+  opt.braceSingleStatements = false;
+  const std::string out = rerender(kProgram, opt);
+  // the single cout statement under if renders without braces
+  EXPECT_EQ(out.find("if (i % 2 == 0) {"), std::string::npos);
+}
+
+TEST(Render, MultiLineBlockCommentWrapped) {
+  ParseResult r = parse("int main() { return 0; }\n");
+  r.unit.headerComment = "line one\nline two";
+  const std::string out = render(r.unit, RenderOptions{});
+  EXPECT_NE(out.find("/*"), std::string::npos);
+  EXPECT_NE(out.find(" * line one"), std::string::npos);
+  EXPECT_NE(out.find(" * line two"), std::string::npos);
+}
+
+TEST(Render, BlankLinesBetweenFunctionsHonored) {
+  const std::string src =
+      "void a() { return; }\nvoid b() { return; }\nint main() { return 0; }\n";
+  RenderOptions opt;
+  opt.blankLinesBetweenFunctions = 2;
+  const std::string out = rerender(src, opt);
+  EXPECT_NE(out.find("}\n\n\nvoid b()"), std::string::npos);
+}
+
+TEST(Render, VectorConstructorInit) {
+  const std::string out = rerender(
+      "int main() { int n = 4; vector<int> v(n); vector<int> w; "
+      "return 0; }\n",
+      RenderOptions{});
+  EXPECT_NE(out.find("vector<int> v(n);"), std::string::npos);
+  EXPECT_NE(out.find("vector<int> w;"), std::string::npos);
+}
+
+TEST(Render, CharLiteralEscapes) {
+  const std::string out = rerender(
+      "int main() { char a = '\\n'; char b = '\\''; char c = 'x'; "
+      "return 0; }\n",
+      RenderOptions{});
+  EXPECT_NE(out.find("'\\n'"), std::string::npos);
+  EXPECT_NE(out.find("'\\''"), std::string::npos);
+  EXPECT_NE(out.find("'x'"), std::string::npos);
+}
+
+TEST(Render, ScanfSkipsStringsGracefully) {
+  // A string read target cannot go through scanf; the renderer falls back
+  // to cin for that statement even in stdio mode.
+  RenderOptions opt;
+  opt.ioStyle = IoStyle::Stdio;
+  const std::string out = rerender(
+      "#include <iostream>\nusing namespace std;\n"
+      "int main() { string s; cin >> s; cout << s << \"\\n\"; return 0; }\n",
+      opt);
+  EXPECT_NE(out.find("cin >> s;"), std::string::npos);
+  EXPECT_NE(out.find("printf(\"%s\\n\", s.c_str());"), std::string::npos);
+}
+
+TEST(Render, OpaqueStatementsEmittedVerbatim) {
+  ParseResult r = parse("int main() { goto x; return 0; }\n");
+  const std::string out = render(r.unit, RenderOptions{});
+  EXPECT_NE(out.find("goto x ;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sca::ast

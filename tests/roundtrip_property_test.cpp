@@ -1,0 +1,135 @@
+// Property sweeps over the style grid: for every challenge IR and a wide
+// sample of style profiles, render -> parse must be clean, re-render must be
+// a fixed point, and semantic IO structure must survive — the invariants
+// the whole measurement pipeline rests on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ast/parser.hpp"
+#include "ast/render.hpp"
+#include "ast/visit.hpp"
+#include "corpus/challenges.hpp"
+#include "style/apply.hpp"
+#include "style/profile.hpp"
+
+namespace sca {
+namespace {
+
+struct IoSignature {
+  std::size_t reads = 0;
+  std::size_t readTargets = 0;
+  std::size_t writes = 0;
+  std::size_t loops = 0;
+
+  friend bool operator==(const IoSignature&, const IoSignature&) = default;
+};
+
+IoSignature signatureOf(const ast::TranslationUnit& unit) {
+  IoSignature sig;
+  ast::forEachStmt(unit, [&](const ast::Stmt& s) {
+    if (s.is<ast::ReadStmt>()) {
+      ++sig.reads;
+      sig.readTargets += s.as<ast::ReadStmt>().targets.size();
+    }
+    if (s.is<ast::WriteStmt>()) ++sig.writes;
+    if (s.is<ast::ForStmt>() || s.is<ast::WhileStmt>() ||
+        s.is<ast::DoWhileStmt>()) {
+      ++sig.loops;
+    }
+  });
+  return sig;
+}
+
+// Parameter: (challenge index, profile seed).
+class StyleGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StyleGridTest, RenderParseRoundTripClean) {
+  const auto [challengeIdx, seed] = GetParam();
+  const corpus::Challenge& challenge =
+      corpus::catalogue()[static_cast<std::size_t>(challengeIdx)];
+  util::Rng profileRng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const style::StyleProfile profile = style::sampleProfile(profileRng);
+  util::Rng applyRng(static_cast<std::uint64_t>(seed) * 104729 + 7);
+
+  const std::string source =
+      style::applyStyle(challenge.ir, profile, applyRng);
+  const ast::ParseResult parsed = ast::parse(source);
+  ASSERT_TRUE(parsed.clean)
+      << challenge.id << " / " << profile.describe() << "\n"
+      << (parsed.warnings.empty() ? "" : parsed.warnings[0]) << "\n"
+      << source;
+
+  // Re-rendering the parse under the same options reproduces the text
+  // exactly (comment-free profiles only: comments round-trip structurally
+  // but the renderer re-wraps block comments).
+  if (profile.commentDensity == 0.0 && !profile.fileHeaderComment) {
+    const std::string again = ast::render(parsed.unit, profile.renderOptions());
+    EXPECT_EQ(source, again) << challenge.id << " / " << profile.describe();
+  }
+}
+
+TEST_P(StyleGridTest, IoStructureSurvivesStyling) {
+  const auto [challengeIdx, seed] = GetParam();
+  const corpus::Challenge& challenge =
+      corpus::catalogue()[static_cast<std::size_t>(challengeIdx)];
+  util::Rng profileRng(static_cast<std::uint64_t>(seed) * 31337 + 3);
+  const style::StyleProfile profile = style::sampleProfile(profileRng);
+  util::Rng applyRng(static_cast<std::uint64_t>(seed) * 27644437 + 11);
+
+  const IoSignature before = signatureOf(challenge.ir);
+  const std::string source =
+      style::applyStyle(challenge.ir, profile, applyRng);
+  const ast::ParseResult parsed = ast::parse(source);
+  ASSERT_TRUE(parsed.clean);
+  const IoSignature after = signatureOf(parsed.unit);
+
+  // Reads/writes must be preserved exactly: they ARE the program's
+  // observable behaviour. Loop count is preserved too (for<->while swaps
+  // keep the loop, decomposition moves but never deletes them).
+  EXPECT_EQ(before.reads, after.reads) << profile.describe() << "\n" << source;
+  EXPECT_EQ(before.readTargets, after.readTargets) << profile.describe();
+  EXPECT_EQ(before.writes, after.writes) << profile.describe();
+  EXPECT_EQ(before.loops, after.loops) << profile.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChallengesManyStyles, StyleGridTest,
+    ::testing::Combine(::testing::Range(0, 20), ::testing::Range(0, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return corpus::catalogue()[static_cast<std::size_t>(
+                                     std::get<0>(info.param))]
+                 .id +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+// Chained re-styling must stay clean arbitrarily deep (CT runs 50 deep in
+// the paper; we sweep a few chains of depth 12).
+class ChainDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainDepthTest, DeepChainsRemainParseable) {
+  const int chainSeed = GetParam();
+  const corpus::Challenge& challenge =
+      corpus::catalogue()[static_cast<std::size_t>(chainSeed) %
+                          corpus::catalogue().size()];
+  util::Rng rng(static_cast<std::uint64_t>(chainSeed));
+  std::string current = ast::render(challenge.ir, ast::RenderOptions{});
+  const IoSignature original = signatureOf(challenge.ir);
+  for (int depth = 0; depth < 12; ++depth) {
+    util::Rng profileRng = rng.derive(static_cast<std::uint64_t>(depth));
+    const style::StyleProfile profile = style::sampleProfile(profileRng);
+    ast::ParseResult parsed = ast::parse(current);
+    ASSERT_TRUE(parsed.clean) << "depth " << depth << "\n" << current;
+    util::Rng applyRng = rng.derive(1000 + static_cast<std::uint64_t>(depth));
+    current = style::applyStyle(parsed.unit, profile, applyRng);
+  }
+  const ast::ParseResult last = ast::parse(current);
+  ASSERT_TRUE(last.clean);
+  EXPECT_EQ(signatureOf(last.unit), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, ChainDepthTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sca

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "ast/parser.hpp"
+#include "ast/render.hpp"
+#include "ast/transforms.hpp"
+#include "ast/visit.hpp"
+
+namespace sca::ast {
+namespace {
+
+TranslationUnit parsed(std::string_view src) {
+  ParseResult r = parse(src);
+  EXPECT_TRUE(r.clean) << (r.warnings.empty() ? "" : r.warnings[0]);
+  return std::move(r.unit);
+}
+
+std::size_t countKind(const TranslationUnit& tu, std::string_view kind) {
+  std::size_t n = 0;
+  forEachStmt(tu, [&](const Stmt& s) {
+    if (stmtKindName(s) == kind) ++n;
+  });
+  return n;
+}
+
+TEST(Rename, RenamesDeclsUsesAndCalls) {
+  TranslationUnit tu = parsed(
+      "void helper(int x) { x++; }\n"
+      "int main() { int total = 0; helper(total); return total; }\n");
+  renameIdentifiers(tu, {{"total", "sum"}, {"helper", "process"}});
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_EQ(out.find("total"), std::string::npos);
+  EXPECT_EQ(out.find("helper"), std::string::npos);
+  EXPECT_NE(out.find("int sum = 0;"), std::string::npos);
+  EXPECT_NE(out.find("process(sum);"), std::string::npos);
+  EXPECT_NE(out.find("void process(int x)"), std::string::npos);
+}
+
+TEST(Rename, MainIsNeverRenamed) {
+  TranslationUnit tu = parsed("int main() { return 0; }\n");
+  renameIdentifiers(tu, {{"main", "start"}});
+  EXPECT_EQ(tu.functions[0].name, "main");
+}
+
+TEST(Rename, DottedMemberBaseRenamed) {
+  TranslationUnit tu = parsed(
+      "int main() { vector<int> v; v.push_back(1); int n = v.size(); "
+      "return n; }\n");
+  renameIdentifiers(tu, {{"v", "values"}});
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("values.push_back(1);"), std::string::npos);
+  EXPECT_NE(out.find("values.size()"), std::string::npos);
+}
+
+TEST(Loops, ForToWhileHoistsInitAndAppendsStep) {
+  TranslationUnit tu = parsed(
+      "int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } "
+      "return s; }\n");
+  convertForToWhile(tu);
+  EXPECT_EQ(countKind(tu, "for"), 0u);
+  EXPECT_EQ(countKind(tu, "while"), 1u);
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("int i = 0;"), std::string::npos);
+  EXPECT_NE(out.find("while (i < 4)"), std::string::npos);
+  EXPECT_NE(out.find("i++;"), std::string::npos);
+}
+
+TEST(Loops, ForToWhileSkipsCollidingSiblings) {
+  // Two sibling loops reuse "i": hoisting both would double-declare it.
+  TranslationUnit tu = parsed(
+      "int main() { int s = 0;\n"
+      "for (int i = 0; i < 4; i++) { s += i; }\n"
+      "for (int i = 0; i < 3; i++) { s -= i; }\n"
+      "return s; }\n");
+  convertForToWhile(tu);
+  EXPECT_EQ(countKind(tu, "for"), 1u);   // second loop untouched
+  EXPECT_EQ(countKind(tu, "while"), 1u);
+  // Result must still round-trip cleanly.
+  const ParseResult again = parse(render(tu, RenderOptions{}));
+  EXPECT_TRUE(again.clean);
+}
+
+TEST(Loops, ForToWhileSkipsLoopsWithContinue) {
+  TranslationUnit tu = parsed(
+      "int main() { int s = 0; for (int i = 0; i < 4; i++) { "
+      "if (i == 2) { continue; } s += i; } return s; }\n");
+  convertForToWhile(tu);
+  EXPECT_EQ(countKind(tu, "for"), 1u);  // untouched: continue would skip step
+}
+
+TEST(Loops, WhileToForProducesHeaderOnlyCondition) {
+  TranslationUnit tu = parsed(
+      "int main() { int i = 3; while (i > 0) { i--; } return i; }\n");
+  convertWhileToFor(tu);
+  EXPECT_EQ(countKind(tu, "while"), 0u);
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("for (; i > 0; )"), std::string::npos);
+}
+
+TEST(Increment, StatementAndForStepFlipped) {
+  TranslationUnit tu = parsed(
+      "int main() { int n = 0; for (int i = 0; i < 4; i++) { n++; } "
+      "return n; }\n");
+  setIncrementStyle(tu, IncrementStyle::PreIncrement);
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("++i)"), std::string::npos);
+  EXPECT_NE(out.find("++n;"), std::string::npos);
+  setIncrementStyle(tu, IncrementStyle::PostIncrement);
+  const std::string back = render(tu, RenderOptions{});
+  EXPECT_NE(back.find("i++)"), std::string::npos);
+}
+
+TEST(Increment, ValuePositionUntouched) {
+  TranslationUnit tu = parsed(
+      "int main() { int i = 0; int x = i++; return x; }\n");
+  setIncrementStyle(tu, IncrementStyle::PreIncrement);
+  const std::string out = render(tu, RenderOptions{});
+  // flipping would change the value of x
+  EXPECT_NE(out.find("x = i++"), std::string::npos);
+}
+
+TEST(CompoundAssign, BothDirections) {
+  TranslationUnit tu = parsed(
+      "int main() { int x = 1; x = x + 2; x = x * 3; return x; }\n");
+  preferCompoundAssign(tu, true);
+  std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("x += 2;"), std::string::npos);
+  EXPECT_NE(out.find("x *= 3;"), std::string::npos);
+  preferCompoundAssign(tu, false);
+  out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("x = x + 2;"), std::string::npos);
+  EXPECT_NE(out.find("x = x * 3;"), std::string::npos);
+}
+
+TEST(CompoundAssign, OnlySelfReferencingPatterns) {
+  TranslationUnit tu = parsed(
+      "int main() { int x = 1, y = 2; x = y + 2; return x; }\n");
+  preferCompoundAssign(tu, true);
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("x = y + 2;"), std::string::npos);
+}
+
+TEST(Comments, StripRemovesEverything) {
+  TranslationUnit tu = parsed(
+      "/* header */\n// lead\nint main() {\n  // inner\n  return 0;\n}\n");
+  stripComments(tu);
+  EXPECT_TRUE(tu.headerComment.empty());
+  EXPECT_TRUE(tu.functions[0].leadingComment.empty());
+  EXPECT_EQ(countKind(tu, "comment"), 0u);
+}
+
+TEST(Types, WidenIntToLongLong) {
+  TranslationUnit tu = parsed(
+      "int f(int a) { return a; }\n"
+      "int main() { int x; cin >> x; cout << f(x) << \"\\n\"; return 0; }\n");
+  widenIntToLongLong(tu);
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("long long f(long long a)"), std::string::npos);
+  EXPECT_NE(out.find("long long x;"), std::string::npos);
+  // main's return type must stay int
+  EXPECT_NE(out.find("int main()"), std::string::npos);
+}
+
+TEST(Types, AliasLongLongIdempotent) {
+  TranslationUnit tu = parsed("int main() { long long x = 1; return 0; }\n");
+  aliasLongLong(tu, "ll", true);
+  aliasLongLong(tu, "LL", false);  // second call must not add another alias
+  ASSERT_EQ(tu.aliases.size(), 1u);
+  EXPECT_EQ(tu.aliases[0].name, "ll");
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("ll x = 1;"), std::string::npos);
+}
+
+TEST(Extract, SolveFunctionPulledOutOfMain) {
+  TranslationUnit tu = parsed(
+      "int main() { int t; cin >> t; for (int i = 1; i <= t; i++) { "
+      "int n; cin >> n; int r = n * 2; cout << r << \"\\n\"; } return 0; }\n");
+  ASSERT_TRUE(extractSolveFunction(tu, "solve_case"));
+  ASSERT_EQ(tu.functions.size(), 2u);
+  EXPECT_EQ(tu.functions[0].name, "solve_case");
+  EXPECT_EQ(tu.functions[1].name, "main");
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("solve_case("), std::string::npos);
+  // Round-trips cleanly.
+  EXPECT_TRUE(parse(out).clean);
+}
+
+TEST(Extract, RefusesWhenBodyHasBreak) {
+  TranslationUnit tu = parsed(
+      "int main() { int t; cin >> t; for (int i = 0; i < t; i++) { "
+      "int n; cin >> n; if (n == 0) { break; } cout << n << \"\\n\"; } "
+      "return 0; }\n");
+  EXPECT_FALSE(extractSolveFunction(tu, "solve_case"));
+  ASSERT_EQ(tu.functions.size(), 1u);
+}
+
+TEST(Extract, InlineUndoesExtract) {
+  TranslationUnit tu = parsed(
+      "int main() { int t; cin >> t; for (int i = 1; i <= t; i++) { "
+      "int n; cin >> n; int r = n * 2; cout << r << \"\\n\"; } return 0; }\n");
+  ASSERT_TRUE(extractSolveFunction(tu, "solve_case"));
+  EXPECT_EQ(inlineHelperFunctions(tu), 1u);
+  ASSERT_EQ(tu.functions.size(), 1u);
+  EXPECT_EQ(tu.functions[0].name, "main");
+  EXPECT_TRUE(parse(render(tu, RenderOptions{})).clean);
+}
+
+TEST(Ternary, IfElseAssignToTernaryAndBack) {
+  TranslationUnit tu = parsed(
+      "int main() { int a = 1, b = 2, m; if (a > b) { m = a; } else { "
+      "m = b; } return m; }\n");
+  preferTernary(tu, true);
+  std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("m = a > b ? a : b;"), std::string::npos);
+  preferTernary(tu, false);
+  out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("} else {"), std::string::npos);
+  EXPECT_EQ(out.find("?"), std::string::npos);
+}
+
+TEST(Loops, CountingForRoundTrip) {
+  // for -> while -> for must reconstruct an equivalent counting loop.
+  TranslationUnit tu = parsed(
+      "int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } "
+      "return s; }\n");
+  convertForToWhile(tu);
+  ASSERT_EQ(countKind(tu, "while"), 1u);
+  EXPECT_EQ(convertWhileToCountingFor(tu), 1u);
+  EXPECT_EQ(countKind(tu, "while"), 0u);
+  EXPECT_EQ(countKind(tu, "for"), 1u);
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("for (int i = 0; i < 4; i++)"), std::string::npos);
+  EXPECT_TRUE(parse(out).clean);
+}
+
+TEST(Loops, CountingForSkipsWhenVariableUsedAfterLoop) {
+  TranslationUnit tu = parsed(
+      "int main() { int i = 0; while (i < 4) { i++; } return i; }\n");
+  EXPECT_EQ(convertWhileToCountingFor(tu), 0u);
+  EXPECT_EQ(countKind(tu, "while"), 1u);
+}
+
+TEST(Loops, CountingForSkipsWhenBodyHasContinue) {
+  TranslationUnit tu = parsed(
+      "int main() { int s = 0; int i = 0; while (i < 4) { "
+      "if (i == 2) { s++; } i++; } return s; }\n");
+  // Insert a continue via a source variant instead:
+  TranslationUnit tu2 = parsed(
+      "int main() { int s = 0; int i = 0; while (i < 9) { "
+      "if (s > 2) { continue; } i++; } return s; }\n");
+  EXPECT_EQ(convertWhileToCountingFor(tu2), 0u);
+  // The continue-free variant converts.
+  EXPECT_EQ(convertWhileToCountingFor(tu), 1u);
+}
+
+TEST(Loops, CountingForSkipsSentinelWhiles) {
+  TranslationUnit tu = parsed(
+      "int main() { int x; cin >> x; while (x > 0) { x /= 2; } "
+      "return 0; }\n");
+  // No immediately preceding single-declarator init => untouched.
+  EXPECT_EQ(convertWhileToCountingFor(tu), 0u);
+}
+
+TEST(Loops, CountingForHandlesCompoundStep) {
+  TranslationUnit tu = parsed(
+      "int main() { int total = 0; int k = 1; while (k <= 64) { "
+      "total += k; k *= 2; } cout << total << \"\\n\"; return 0; }\n");
+  EXPECT_EQ(convertWhileToCountingFor(tu), 1u);
+  const std::string out = render(tu, RenderOptions{});
+  EXPECT_NE(out.find("for (int k = 1; k <= 64; k *= 2)"),
+            std::string::npos);
+}
+
+TEST(DeclaredTypes, CoversParamsLocalsGlobalsArrays) {
+  TranslationUnit tu = parsed(
+      "int cache[10];\nvoid f(double d) { string s; }\n"
+      "int main() { vector<int> v; return 0; }\n");
+  const auto types = declaredTypes(tu);
+  EXPECT_TRUE(types.at("cache").isVector);  // arrays behave like vectors
+  EXPECT_EQ(types.at("d").base, BaseType::Double);
+  EXPECT_EQ(types.at("s").base, BaseType::String);
+  EXPECT_TRUE(types.at("v").isVector);
+}
+
+}  // namespace
+}  // namespace sca::ast

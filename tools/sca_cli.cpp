@@ -1,0 +1,156 @@
+// sca_cli — command-line front end for the library.
+//
+//   sca_cli generate <challenge-id> [year] [seed]   emit LLM code
+//   sca_cli transform <file.cpp> [year] [seed]      one GPT(.) rewrite
+//   sca_cli inspect <file.cpp>                      inferred style profile
+//   sca_cli train <model.txt> [year] [authors]      train + save an oracle
+//   sca_cli attribute <model.txt> <file.cpp>        predict the author
+//   sca_cli evade <model.txt> <file.cpp> <author>   style-space evasion
+//   sca_cli challenges                              list the catalogue
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/attribution_model.hpp"
+#include "corpus/dataset.hpp"
+#include "evasion/evasion.hpp"
+#include "llm/synthetic_llm.hpp"
+#include "style/archetypes.hpp"
+#include "style/infer.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace sca;
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  sca_cli generate <challenge-id> [year] [seed]\n"
+      "  sca_cli transform <file.cpp> [year] [seed]\n"
+      "  sca_cli inspect <file.cpp>\n"
+      "  sca_cli train <model.txt> [year] [authors]\n"
+      "  sca_cli attribute <model.txt> <file.cpp>\n"
+      "  sca_cli evade <model.txt> <file.cpp> <true-author-id>\n"
+      "  sca_cli challenges\n";
+  return 2;
+}
+
+int cmdGenerate(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  llm::LlmOptions options;
+  options.year = args.size() > 1 ? std::stoi(args[1]) : 2018;
+  options.seed = args.size() > 2 ? std::stoull(args[2]) : 1;
+  llm::SyntheticLlm llm(options);
+  std::cout << llm.generate(corpus::challengeById(args[0]));
+  return 0;
+}
+
+int cmdTransform(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  llm::LlmOptions options;
+  options.year = args.size() > 1 ? std::stoi(args[1]) : 2018;
+  options.seed = args.size() > 2 ? std::stoull(args[2]) : 1;
+  llm::SyntheticLlm llm(options);
+  std::cout << llm.transform(readFile(args[0]));
+  return 0;
+}
+
+int cmdInspect(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const style::StyleProfile profile =
+      style::inferProfileFromSource(readFile(args[0]));
+  std::cout << profile.describe() << '\n';
+  const style::NearestArchetype nearest = style::nearestArchetype(profile);
+  std::cout << "nearest LLM archetype #" << nearest.index << " at distance "
+            << nearest.distance << '\n';
+  return 0;
+}
+
+int cmdTrain(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const int year = args.size() > 1 ? std::stoi(args[1]) : 2018;
+  const std::size_t authors =
+      args.size() > 2 ? std::stoull(args[2]) : 60;
+  std::cerr << "training " << authors << "-author oracle for " << year
+            << "...\n";
+  const corpus::YearDataset ds = corpus::buildYearDataset(year, authors);
+  std::vector<std::string> sources;
+  std::vector<int> labels;
+  for (const corpus::CodeSample& sample : ds.samples) {
+    sources.push_back(sample.source);
+    labels.push_back(sample.authorId);
+  }
+  core::AttributionModel model;
+  model.train(sources, labels);
+  model.saveFile(args[0]);
+  std::cerr << "saved " << args[0] << " (" << model.classCount()
+            << " classes)\n";
+  return 0;
+}
+
+int cmdAttribute(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const core::AttributionModel model =
+      core::AttributionModel::loadFile(args[0]);
+  const std::string source = readFile(args[1]);
+  const int predicted = model.predict(source);
+  const std::vector<double> votes = model.predictProba(source);
+  std::cout << "A" << predicted << " (confidence "
+            << votes[static_cast<std::size_t>(predicted)] << ")\n";
+  return 0;
+}
+
+int cmdEvade(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const core::AttributionModel model =
+      core::AttributionModel::loadFile(args[0]);
+  evasion::StyleEvader evader(model, evasion::EvasionConfig{});
+  const evasion::EvasionResult result =
+      evader.evade(readFile(args[1]), std::stoi(args[2]));
+  std::cerr << "A" << result.originalPrediction << " -> A"
+            << result.finalPrediction << " in " << result.classifierQueries
+            << " queries (" << (result.evaded ? "evaded" : "NOT evaded")
+            << ")\n";
+  std::cout << result.source;
+  return result.evaded ? 0 : 1;
+}
+
+int cmdChallenges() {
+  for (const corpus::Challenge& ch : corpus::catalogue()) {
+    std::cout << ch.id << "  -  " << ch.title << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::setLogLevel(util::LogLevel::Warn);
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "generate") return cmdGenerate(args);
+    if (command == "transform") return cmdTransform(args);
+    if (command == "inspect") return cmdInspect(args);
+    if (command == "train") return cmdTrain(args);
+    if (command == "attribute") return cmdAttribute(args);
+    if (command == "evade") return cmdEvade(args);
+    if (command == "challenges") return cmdChallenges();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
