@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chain_depth.dir/ablation_chain_depth.cpp.o"
+  "CMakeFiles/ablation_chain_depth.dir/ablation_chain_depth.cpp.o.d"
+  "ablation_chain_depth"
+  "ablation_chain_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_features.cpp" "bench/CMakeFiles/ablation_features.dir/ablation_features.cpp.o" "gcc" "bench/CMakeFiles/ablation_features.dir/ablation_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evasion/CMakeFiles/sca_evasion.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/sca_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/sca_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/style/CMakeFiles/sca_style.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/sca_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sca_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/sca_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/sca_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

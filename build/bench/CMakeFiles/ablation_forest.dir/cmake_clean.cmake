@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_forest.dir/ablation_forest.cpp.o"
+  "CMakeFiles/ablation_forest.dir/ablation_forest.cpp.o.d"
+  "ablation_forest"
+  "ablation_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

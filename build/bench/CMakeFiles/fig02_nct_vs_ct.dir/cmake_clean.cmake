@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_nct_vs_ct.dir/fig02_nct_vs_ct.cpp.o"
+  "CMakeFiles/fig02_nct_vs_ct.dir/fig02_nct_vs_ct.cpp.o.d"
+  "fig02_nct_vs_ct"
+  "fig02_nct_vs_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_nct_vs_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_nct_vs_ct.
+# This may be replaced when dependencies are built.

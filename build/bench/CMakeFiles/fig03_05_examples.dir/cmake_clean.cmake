@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_05_examples.dir/fig03_05_examples.cpp.o"
+  "CMakeFiles/fig03_05_examples.dir/fig03_05_examples.cpp.o.d"
+  "fig03_05_examples"
+  "fig03_05_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_05_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

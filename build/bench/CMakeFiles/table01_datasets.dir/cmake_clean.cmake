@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_datasets.dir/table01_datasets.cpp.o"
+  "CMakeFiles/table01_datasets.dir/table01_datasets.cpp.o.d"
+  "table01_datasets"
+  "table01_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_transformed.dir/table02_transformed.cpp.o"
+  "CMakeFiles/table02_transformed.dir/table02_transformed.cpp.o.d"
+  "table02_transformed"
+  "table02_transformed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_transformed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

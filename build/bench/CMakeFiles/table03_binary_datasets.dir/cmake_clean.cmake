@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_binary_datasets.dir/table03_binary_datasets.cpp.o"
+  "CMakeFiles/table03_binary_datasets.dir/table03_binary_datasets.cpp.o.d"
+  "table03_binary_datasets"
+  "table03_binary_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_binary_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

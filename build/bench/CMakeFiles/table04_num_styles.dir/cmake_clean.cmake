@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_num_styles.dir/table04_num_styles.cpp.o"
+  "CMakeFiles/table04_num_styles.dir/table04_num_styles.cpp.o.d"
+  "table04_num_styles"
+  "table04_num_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_num_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table04_num_styles.
+# This may be replaced when dependencies are built.

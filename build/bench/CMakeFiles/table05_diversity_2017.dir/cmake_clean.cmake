@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_diversity_2017.dir/table05_diversity_2017.cpp.o"
+  "CMakeFiles/table05_diversity_2017.dir/table05_diversity_2017.cpp.o.d"
+  "table05_diversity_2017"
+  "table05_diversity_2017.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_diversity_2017.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_diversity_2018.dir/table06_diversity_2018.cpp.o"
+  "CMakeFiles/table06_diversity_2018.dir/table06_diversity_2018.cpp.o.d"
+  "table06_diversity_2018"
+  "table06_diversity_2018.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_diversity_2018.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

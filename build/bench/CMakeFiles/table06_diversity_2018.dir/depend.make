@@ -1,0 +1,2 @@
+# Empty dependencies file for table06_diversity_2018.
+# This may be replaced when dependencies are built.

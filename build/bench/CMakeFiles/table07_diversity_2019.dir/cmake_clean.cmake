@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_diversity_2019.dir/table07_diversity_2019.cpp.o"
+  "CMakeFiles/table07_diversity_2019.dir/table07_diversity_2019.cpp.o.d"
+  "table07_diversity_2019"
+  "table07_diversity_2019.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_diversity_2019.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table07_diversity_2019.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_naive.dir/table08_naive.cpp.o"
+  "CMakeFiles/table08_naive.dir/table08_naive.cpp.o.d"
+  "table08_naive"
+  "table08_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

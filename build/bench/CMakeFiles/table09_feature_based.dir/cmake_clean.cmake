@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_feature_based.dir/table09_feature_based.cpp.o"
+  "CMakeFiles/table09_feature_based.dir/table09_feature_based.cpp.o.d"
+  "table09_feature_based"
+  "table09_feature_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_feature_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_binary.dir/table10_binary.cpp.o"
+  "CMakeFiles/table10_binary.dir/table10_binary.cpp.o.d"
+  "table10_binary"
+  "table10_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

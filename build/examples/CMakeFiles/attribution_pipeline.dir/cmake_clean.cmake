@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribution_pipeline.dir/attribution_pipeline.cpp.o"
+  "CMakeFiles/attribution_pipeline.dir/attribution_pipeline.cpp.o.d"
+  "attribution_pipeline"
+  "attribution_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribution_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

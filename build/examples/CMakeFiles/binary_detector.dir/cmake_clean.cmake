@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_detector.dir/binary_detector.cpp.o"
+  "CMakeFiles/binary_detector.dir/binary_detector.cpp.o.d"
+  "binary_detector"
+  "binary_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

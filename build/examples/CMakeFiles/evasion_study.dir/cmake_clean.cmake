@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_study.dir/evasion_study.cpp.o"
+  "CMakeFiles/evasion_study.dir/evasion_study.cpp.o.d"
+  "evasion_study"
+  "evasion_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

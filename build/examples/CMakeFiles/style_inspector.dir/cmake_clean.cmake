@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/style_inspector.dir/style_inspector.cpp.o"
+  "CMakeFiles/style_inspector.dir/style_inspector.cpp.o.d"
+  "style_inspector"
+  "style_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/style_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cpp" "src/ast/CMakeFiles/sca_ast.dir/ast.cpp.o" "gcc" "src/ast/CMakeFiles/sca_ast.dir/ast.cpp.o.d"
+  "/root/repo/src/ast/parser.cpp" "src/ast/CMakeFiles/sca_ast.dir/parser.cpp.o" "gcc" "src/ast/CMakeFiles/sca_ast.dir/parser.cpp.o.d"
+  "/root/repo/src/ast/render.cpp" "src/ast/CMakeFiles/sca_ast.dir/render.cpp.o" "gcc" "src/ast/CMakeFiles/sca_ast.dir/render.cpp.o.d"
+  "/root/repo/src/ast/transforms.cpp" "src/ast/CMakeFiles/sca_ast.dir/transforms.cpp.o" "gcc" "src/ast/CMakeFiles/sca_ast.dir/transforms.cpp.o.d"
+  "/root/repo/src/ast/visit.cpp" "src/ast/CMakeFiles/sca_ast.dir/visit.cpp.o" "gcc" "src/ast/CMakeFiles/sca_ast.dir/visit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lexer/CMakeFiles/sca_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_ast.dir/ast.cpp.o"
+  "CMakeFiles/sca_ast.dir/ast.cpp.o.d"
+  "CMakeFiles/sca_ast.dir/parser.cpp.o"
+  "CMakeFiles/sca_ast.dir/parser.cpp.o.d"
+  "CMakeFiles/sca_ast.dir/render.cpp.o"
+  "CMakeFiles/sca_ast.dir/render.cpp.o.d"
+  "CMakeFiles/sca_ast.dir/transforms.cpp.o"
+  "CMakeFiles/sca_ast.dir/transforms.cpp.o.d"
+  "CMakeFiles/sca_ast.dir/visit.cpp.o"
+  "CMakeFiles/sca_ast.dir/visit.cpp.o.d"
+  "libsca_ast.a"
+  "libsca_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_core.dir/attribution_model.cpp.o"
+  "CMakeFiles/sca_core.dir/attribution_model.cpp.o.d"
+  "CMakeFiles/sca_core.dir/binary.cpp.o"
+  "CMakeFiles/sca_core.dir/binary.cpp.o.d"
+  "CMakeFiles/sca_core.dir/experiments.cpp.o"
+  "CMakeFiles/sca_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/sca_core.dir/grouping.cpp.o"
+  "CMakeFiles/sca_core.dir/grouping.cpp.o.d"
+  "libsca_core.a"
+  "libsca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/authors.cpp" "src/corpus/CMakeFiles/sca_corpus.dir/authors.cpp.o" "gcc" "src/corpus/CMakeFiles/sca_corpus.dir/authors.cpp.o.d"
+  "/root/repo/src/corpus/challenges.cpp" "src/corpus/CMakeFiles/sca_corpus.dir/challenges.cpp.o" "gcc" "src/corpus/CMakeFiles/sca_corpus.dir/challenges.cpp.o.d"
+  "/root/repo/src/corpus/dataset.cpp" "src/corpus/CMakeFiles/sca_corpus.dir/dataset.cpp.o" "gcc" "src/corpus/CMakeFiles/sca_corpus.dir/dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/style/CMakeFiles/sca_style.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/sca_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/sca_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

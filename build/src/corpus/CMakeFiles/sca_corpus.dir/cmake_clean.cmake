@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_corpus.dir/authors.cpp.o"
+  "CMakeFiles/sca_corpus.dir/authors.cpp.o.d"
+  "CMakeFiles/sca_corpus.dir/challenges.cpp.o"
+  "CMakeFiles/sca_corpus.dir/challenges.cpp.o.d"
+  "CMakeFiles/sca_corpus.dir/dataset.cpp.o"
+  "CMakeFiles/sca_corpus.dir/dataset.cpp.o.d"
+  "libsca_corpus.a"
+  "libsca_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

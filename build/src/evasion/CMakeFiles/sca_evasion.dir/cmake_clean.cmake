@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_evasion.dir/evasion.cpp.o"
+  "CMakeFiles/sca_evasion.dir/evasion.cpp.o.d"
+  "CMakeFiles/sca_evasion.dir/mcts.cpp.o"
+  "CMakeFiles/sca_evasion.dir/mcts.cpp.o.d"
+  "libsca_evasion.a"
+  "libsca_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/extractor.cpp" "src/features/CMakeFiles/sca_features.dir/extractor.cpp.o" "gcc" "src/features/CMakeFiles/sca_features.dir/extractor.cpp.o.d"
+  "/root/repo/src/features/selection.cpp" "src/features/CMakeFiles/sca_features.dir/selection.cpp.o" "gcc" "src/features/CMakeFiles/sca_features.dir/selection.cpp.o.d"
+  "/root/repo/src/features/vocabulary.cpp" "src/features/CMakeFiles/sca_features.dir/vocabulary.cpp.o" "gcc" "src/features/CMakeFiles/sca_features.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/sca_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/sca_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

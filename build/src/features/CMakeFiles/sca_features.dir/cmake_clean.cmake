@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_features.dir/extractor.cpp.o"
+  "CMakeFiles/sca_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/sca_features.dir/selection.cpp.o"
+  "CMakeFiles/sca_features.dir/selection.cpp.o.d"
+  "CMakeFiles/sca_features.dir/vocabulary.cpp.o"
+  "CMakeFiles/sca_features.dir/vocabulary.cpp.o.d"
+  "libsca_features.a"
+  "libsca_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_lexer.dir/layout.cpp.o"
+  "CMakeFiles/sca_lexer.dir/layout.cpp.o.d"
+  "CMakeFiles/sca_lexer.dir/lexer.cpp.o"
+  "CMakeFiles/sca_lexer.dir/lexer.cpp.o.d"
+  "CMakeFiles/sca_lexer.dir/token.cpp.o"
+  "CMakeFiles/sca_lexer.dir/token.cpp.o.d"
+  "libsca_lexer.a"
+  "libsca_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_llm.dir/archetypes.cpp.o"
+  "CMakeFiles/sca_llm.dir/archetypes.cpp.o.d"
+  "CMakeFiles/sca_llm.dir/pipelines.cpp.o"
+  "CMakeFiles/sca_llm.dir/pipelines.cpp.o.d"
+  "CMakeFiles/sca_llm.dir/synthetic_llm.cpp.o"
+  "CMakeFiles/sca_llm.dir/synthetic_llm.cpp.o.d"
+  "libsca_llm.a"
+  "libsca_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/sca_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/sca_ml.dir/dataset.cpp.o"
+  "CMakeFiles/sca_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/sca_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/sca_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/sca_ml.dir/metrics.cpp.o"
+  "CMakeFiles/sca_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/sca_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/sca_ml.dir/random_forest.cpp.o.d"
+  "libsca_ml.a"
+  "libsca_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/style/apply.cpp" "src/style/CMakeFiles/sca_style.dir/apply.cpp.o" "gcc" "src/style/CMakeFiles/sca_style.dir/apply.cpp.o.d"
+  "/root/repo/src/style/archetypes.cpp" "src/style/CMakeFiles/sca_style.dir/archetypes.cpp.o" "gcc" "src/style/CMakeFiles/sca_style.dir/archetypes.cpp.o.d"
+  "/root/repo/src/style/infer.cpp" "src/style/CMakeFiles/sca_style.dir/infer.cpp.o" "gcc" "src/style/CMakeFiles/sca_style.dir/infer.cpp.o.d"
+  "/root/repo/src/style/naming.cpp" "src/style/CMakeFiles/sca_style.dir/naming.cpp.o" "gcc" "src/style/CMakeFiles/sca_style.dir/naming.cpp.o.d"
+  "/root/repo/src/style/profile.cpp" "src/style/CMakeFiles/sca_style.dir/profile.cpp.o" "gcc" "src/style/CMakeFiles/sca_style.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/sca_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/sca_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

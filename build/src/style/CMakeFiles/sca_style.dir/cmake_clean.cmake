@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_style.dir/apply.cpp.o"
+  "CMakeFiles/sca_style.dir/apply.cpp.o.d"
+  "CMakeFiles/sca_style.dir/archetypes.cpp.o"
+  "CMakeFiles/sca_style.dir/archetypes.cpp.o.d"
+  "CMakeFiles/sca_style.dir/infer.cpp.o"
+  "CMakeFiles/sca_style.dir/infer.cpp.o.d"
+  "CMakeFiles/sca_style.dir/naming.cpp.o"
+  "CMakeFiles/sca_style.dir/naming.cpp.o.d"
+  "CMakeFiles/sca_style.dir/profile.cpp.o"
+  "CMakeFiles/sca_style.dir/profile.cpp.o.d"
+  "libsca_style.a"
+  "libsca_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

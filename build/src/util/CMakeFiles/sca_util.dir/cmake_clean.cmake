@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_util.dir/log.cpp.o"
+  "CMakeFiles/sca_util.dir/log.cpp.o.d"
+  "CMakeFiles/sca_util.dir/rng.cpp.o"
+  "CMakeFiles/sca_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sca_util.dir/stats.cpp.o"
+  "CMakeFiles/sca_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sca_util.dir/strings.cpp.o"
+  "CMakeFiles/sca_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sca_util.dir/table.cpp.o"
+  "CMakeFiles/sca_util.dir/table.cpp.o.d"
+  "libsca_util.a"
+  "libsca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archetype_test.dir/archetype_test.cpp.o"
+  "CMakeFiles/archetype_test.dir/archetype_test.cpp.o.d"
+  "archetype_test"
+  "archetype_test.pdb"
+  "archetype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archetype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_test.dir/evasion_test.cpp.o"
+  "CMakeFiles/evasion_test.dir/evasion_test.cpp.o.d"
+  "evasion_test"
+  "evasion_test.pdb"
+  "evasion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

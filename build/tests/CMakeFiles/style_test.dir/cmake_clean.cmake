@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/style_test.dir/style_test.cpp.o"
+  "CMakeFiles/style_test.dir/style_test.cpp.o.d"
+  "style_test"
+  "style_test.pdb"
+  "style_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/style_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_cli.dir/sca_cli.cpp.o"
+  "CMakeFiles/sca_cli.dir/sca_cli.cpp.o.d"
+  "sca_cli"
+  "sca_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
