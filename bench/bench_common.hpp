@@ -2,20 +2,88 @@
 //
 // Every bench prints the same row/column structure as the corresponding
 // table in the paper and mirrors it into bench_out/<name>.csv so results
-// can be diffed across runs.
+// can be diffed across runs. emit() also appends one timing record per
+// table to bench_out/bench_times.json (see below), which is the repo's
+// perf trajectory: phase wall-times per bench, per run, across PRs.
+//
+// bench_times.json format — JSON Lines, one self-contained object per
+// emitted table:
+//
+//   {"bench":"table09_feature_based","threads":8,
+//    "phases":{"corpus_build":1.23,"llm_transform":4.56,...},
+//    "total_s":12.34}
+//
+// `threads` is the shared pool's worker count (SCA_THREADS or hardware
+// concurrency); `phases` accumulates runtime::PhaseTimer scopes since the
+// previous emit (concurrent phases sum their per-task wall time, so phase
+// seconds can exceed total_s on multi-core hosts); `total_s` is process
+// wall-clock since the previous emit. The file is append-only: rerunning a
+// bench adds new lines rather than rewriting history.
 #pragma once
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace sca::bench {
 
-/// Prints the table and writes its CSV next to the binary.
+namespace detail {
+
+/// Wall-clock anchor for total_s: process start (static init), advanced
+/// after every emit so each record covers its own table only.
+inline std::chrono::steady_clock::time_point gEmitAnchor =
+    std::chrono::steady_clock::now();
+
+inline std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Appends the phase snapshot as one JSONL record, then resets the
+/// registry and the wall-clock anchor so the next emit reports its own
+/// phases only.
+inline void appendTimes(const std::string& name) {
+  const std::map<std::string, double> phases =
+      runtime::PhaseTimes::global().snapshot();
+  const auto now = std::chrono::steady_clock::now();
+  const double totalSeconds =
+      std::chrono::duration<double>(now - gEmitAnchor).count();
+
+  std::ofstream json("bench_out/bench_times.json", std::ios::app);
+  if (json) {
+    json << "{\"bench\":\"" << jsonEscape(name) << "\",\"threads\":"
+         << runtime::globalPool().size() << ",\"phases\":{";
+    bool first = true;
+    for (const auto& [phase, seconds] : phases) {
+      if (!first) json << ',';
+      first = false;
+      json << '"' << jsonEscape(phase) << "\":"
+           << util::formatDouble(seconds, 3);
+    }
+    json << "},\"total_s\":" << util::formatDouble(totalSeconds, 3) << "}\n";
+    std::cout << "[times] bench_out/bench_times.json\n";
+  }
+  runtime::PhaseTimes::global().reset();
+  gEmitAnchor = now;
+}
+
+}  // namespace detail
+
+/// Prints the table, writes its CSV next to the binary and appends the
+/// phase timing record for everything computed since the previous emit.
 inline void emit(const util::TablePrinter& table, const std::string& name) {
   table.print(std::cout);
   std::error_code ec;
@@ -24,6 +92,7 @@ inline void emit(const util::TablePrinter& table, const std::string& name) {
     std::ofstream csv("bench_out/" + name + ".csv");
     csv << table.toCsv();
     std::cout << "[csv] bench_out/" << name << ".csv\n";
+    detail::appendTimes(name);
   }
   std::cout << "\n";
 }

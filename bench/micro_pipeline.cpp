@@ -5,11 +5,14 @@
 
 #include "ast/parser.hpp"
 #include "ast/render.hpp"
+#include "core/attribution_model.hpp"
 #include "corpus/dataset.hpp"
 #include "features/extractor.hpp"
 #include "lexer/layout.hpp"
 #include "lexer/lexer.hpp"
+#include "llm/pipelines.hpp"
 #include "ml/random_forest.hpp"
+#include "runtime/thread_pool.hpp"
 #include "style/apply.hpp"
 #include "util/rng.hpp"
 
@@ -118,6 +121,66 @@ void BM_ForestPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestPredict);
+
+// ---------------------------------------------------- parallel pipeline --
+// The macro benchmarks below exercise the shared runtime pool end to end.
+// Compare SCA_THREADS=1 vs default to measure the parallel speedup of a
+// full table-style regeneration (corpus -> transform -> train -> predict).
+
+const corpus::YearDataset& miniCorpus() {
+  static const corpus::YearDataset kCorpus =
+      corpus::buildYearDataset(2018, 24);
+  return kCorpus;
+}
+
+void BM_BuildTransformedDataset(benchmark::State& state) {
+  const corpus::YearDataset& data = miniCorpus();
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llm::buildTransformedDataset(data, steps));
+  }
+  state.counters["threads"] =
+      static_cast<double>(runtime::globalPool().size());
+}
+BENCHMARK(BM_BuildTransformedDataset)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureTransformAll(benchmark::State& state) {
+  const corpus::YearDataset& data = miniCorpus();
+  std::vector<std::string> sources;
+  for (const corpus::CodeSample& sample : data.samples) {
+    sources.push_back(sample.source);
+  }
+  features::FeatureExtractor extractor;
+  extractor.fit(sources);
+  for (auto _ : state) {
+    features::clearAnalysisCache();  // measure extraction, not memoization
+    benchmark::DoNotOptimize(extractor.transformAll(sources));
+  }
+  state.counters["threads"] =
+      static_cast<double>(runtime::globalPool().size());
+}
+BENCHMARK(BM_FeatureTransformAll)->Unit(benchmark::kMillisecond);
+
+void BM_AttributionTrainPredict(benchmark::State& state) {
+  const corpus::YearDataset& data = miniCorpus();
+  std::vector<std::string> sources;
+  std::vector<int> labels;
+  for (const corpus::CodeSample& sample : data.samples) {
+    sources.push_back(sample.source);
+    labels.push_back(sample.authorId);
+  }
+  core::ModelConfig config;
+  config.forest.treeCount = 60;
+  for (auto _ : state) {
+    features::clearAnalysisCache();
+    core::AttributionModel model(config);
+    model.train(sources, labels);
+    benchmark::DoNotOptimize(model.predictAll(sources));
+  }
+  state.counters["threads"] =
+      static_cast<double>(runtime::globalPool().size());
+}
+BENCHMARK(BM_AttributionTrainPredict)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

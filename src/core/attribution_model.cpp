@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "ml/dataset.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/timer.hpp"
 
 namespace sca::core {
 
@@ -23,9 +25,14 @@ void AttributionModel::train(const std::vector<std::string>& sources,
   if (sources.empty()) {
     throw std::invalid_argument("AttributionModel::train: empty corpus");
   }
-  extractor_ = features::FeatureExtractor(config_.extractor);
-  extractor_.fit(sources);
-  std::vector<std::vector<double>> x = extractor_.transformAll(sources);
+  std::vector<std::vector<double>> x;
+  {
+    runtime::PhaseTimer timer("feature_extract");
+    extractor_ = features::FeatureExtractor(config_.extractor);
+    extractor_.fit(sources);
+    x = extractor_.transformAll(sources);
+  }
+  runtime::PhaseTimer timer("forest_train");
   selector_ = features::FeatureSelector();
   selector_.fit(x, labels, config_.selectTopK);
   ml::Dataset data;
@@ -41,11 +48,14 @@ int AttributionModel::predict(const std::string& source) const {
 
 std::vector<int> AttributionModel::predictAll(
     const std::vector<std::string>& sources) const {
-  std::vector<std::vector<double>> rows;
-  rows.reserve(sources.size());
-  for (const std::string& source : sources) {
-    rows.push_back(selector_.apply(extractor_.transform(source)));
-  }
+  runtime::PhaseTimer timer("predict");
+  std::vector<std::vector<double>> rows =
+      runtime::parallelMap<std::vector<double>>(
+          sources.size(),
+          [&](std::size_t i) {
+            return selector_.apply(extractor_.transform(sources[i]));
+          },
+          runtime::ParallelOptions{.maxWorkers = 0, .grain = 8});
   return forest_.predictAll(rows);
 }
 

@@ -6,6 +6,8 @@
 #include <set>
 
 #include "ml/metrics.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/timer.hpp"
 #include "util/log.hpp"
 
 namespace sca::core {
@@ -49,6 +51,7 @@ const corpus::YearDataset& YearExperiment::corpusData() {
   if (!corpus_.has_value()) {
     util::logInfo() << "building " << year_ << " corpus ("
                     << config_.authorCount << " authors)";
+    runtime::PhaseTimer timer("corpus_build");
     corpus_ = corpus::buildYearDataset(year_, config_.authorCount);
   }
   return *corpus_;
@@ -56,9 +59,11 @@ const corpus::YearDataset& YearExperiment::corpusData() {
 
 const llm::TransformedDataset& YearExperiment::transformedData() {
   if (!transformed_.has_value()) {
+    const corpus::YearDataset& data = corpusData();
     util::logInfo() << "transforming " << year_ << " ("
                     << config_.steps << " steps x 4 settings x 8 challenges)";
-    transformed_ = llm::buildTransformedDataset(corpusData(), config_.steps);
+    runtime::PhaseTimer timer("llm_transform");
+    transformed_ = llm::buildTransformedDataset(data, config_.steps);
   }
   return *transformed_;
 }
@@ -76,6 +81,7 @@ const AttributionModel& YearExperiment::oracle() {
     }
     util::logInfo() << "training " << year_ << " oracle on "
                     << sources.size() << " samples";
+    runtime::PhaseTimer timer("oracle_train");
     oracle_ = std::make_unique<AttributionModel>(config_.model);
     oracle_->train(sources, labels);
   }
@@ -93,6 +99,7 @@ const std::vector<int>& YearExperiment::oracleLabels() {
     }
     util::logInfo() << "labeling " << sources.size()
                     << " transformed samples with the oracle";
+    runtime::PhaseTimer timer("oracle_predict");
     oracleLabels_ = model.predictAll(sources);
   }
   return *oracleLabels_;
@@ -101,9 +108,9 @@ const std::vector<int>& YearExperiment::oracleLabels() {
 std::vector<double> YearExperiment::baselineFoldAccuracies() {
   const corpus::YearDataset& data = corpusData();
   const std::size_t challengeCount = data.challenges.size();
-  std::vector<double> accuracies;
-  accuracies.reserve(challengeCount);
-  for (std::size_t held = 0; held < challengeCount; ++held) {
+  // Each fold trains an independent model, so folds run concurrently on
+  // the shared pool; ordered collection keeps the per-challenge layout.
+  return runtime::parallelMap<double>(challengeCount, [&](std::size_t held) {
     std::vector<std::string> trainSources, testSources;
     std::vector<int> trainLabels, testLabels;
     for (const corpus::CodeSample& sample : data.samples) {
@@ -117,10 +124,8 @@ std::vector<double> YearExperiment::baselineFoldAccuracies() {
     }
     AttributionModel model(config_.model);
     model.train(trainSources, trainLabels);
-    accuracies.push_back(
-        ml::accuracy(testLabels, model.predictAll(testSources)));
-  }
-  return accuracies;
+    return ml::accuracy(testLabels, model.predictAll(testSources));
+  });
 }
 
 YearExperiment::StyleCounts YearExperiment::styleCounts() {
@@ -222,56 +227,64 @@ YearExperiment::AttributionResult YearExperiment::attribution(
   result.setSize = set.sampleIndices.size();
 
   const std::size_t challengeCount = data.challenges.size();
+  // One task per held-out challenge; each trains its own 205-class model.
+  // Ordered collection reproduces the serial C1..C8 fold order exactly.
+  result.folds = runtime::parallelMap<AttributionFold>(
+      challengeCount, [&](std::size_t held) {
+        std::vector<std::string> trainSources;
+        std::vector<int> trainLabels;
+        std::vector<std::string> testSources;
+        std::vector<int> testLabels;
+        std::vector<bool> testIsChatGpt;
+        for (const Row& row : rows) {
+          if (static_cast<std::size_t>(row.challenge) == held) {
+            testSources.push_back(*row.source);
+            testLabels.push_back(row.label);
+            testIsChatGpt.push_back(row.isChatGpt);
+          } else {
+            trainSources.push_back(*row.source);
+            trainLabels.push_back(row.label);
+          }
+        }
+        util::logInfo() << "attribution(" << approachName(approach)
+                        << ") year " << year_ << " fold C" << (held + 1)
+                        << ": train " << trainSources.size() << ", test "
+                        << testSources.size();
+        AttributionModel model(config_.model);
+        model.train(trainSources, trainLabels);
+        const std::vector<int> predicted = model.predictAll(testSources);
+
+        AttributionFold fold;
+        fold.challenge = static_cast<int>(held);
+        fold.accuracy205 = ml::accuracy(testLabels, predicted);
+
+        std::size_t chatgptTotal = 0, chatgptHits = 0;
+        std::size_t targetTotal = 0, targetHits = 0;
+        for (std::size_t i = 0; i < predicted.size(); ++i) {
+          if (testIsChatGpt[i]) {
+            ++chatgptTotal;
+            if (predicted[i] == chatgptClass) ++chatgptHits;
+          }
+          if (set.targetLabel >= 0 && testLabels[i] == set.targetLabel) {
+            ++targetTotal;
+            if (predicted[i] == testLabels[i]) ++targetHits;
+          }
+        }
+        // "Correctly classified" = a strict majority of the held-out samples
+        // carry the right label; an even split is a failure to recognize.
+        fold.chatgptTestCount = chatgptTotal;
+        fold.chatgptCorrect =
+            chatgptTotal > 0 && 2 * chatgptHits > chatgptTotal;
+        fold.targetCorrect = targetTotal > 0 && 2 * targetHits > targetTotal;
+        return fold;
+      });
+
   std::size_t chatgptHitFolds = 0, targetHitFolds = 0;
   double accuracySum = 0.0;
-  for (std::size_t held = 0; held < challengeCount; ++held) {
-    std::vector<std::string> trainSources;
-    std::vector<int> trainLabels;
-    std::vector<std::string> testSources;
-    std::vector<int> testLabels;
-    std::vector<bool> testIsChatGpt;
-    for (const Row& row : rows) {
-      if (static_cast<std::size_t>(row.challenge) == held) {
-        testSources.push_back(*row.source);
-        testLabels.push_back(row.label);
-        testIsChatGpt.push_back(row.isChatGpt);
-      } else {
-        trainSources.push_back(*row.source);
-        trainLabels.push_back(row.label);
-      }
-    }
-    util::logInfo() << "attribution(" << approachName(approach) << ") year "
-                    << year_ << " fold C" << (held + 1) << ": train "
-                    << trainSources.size() << ", test " << testSources.size();
-    AttributionModel model(config_.model);
-    model.train(trainSources, trainLabels);
-    const std::vector<int> predicted = model.predictAll(testSources);
-
-    AttributionFold fold;
-    fold.challenge = static_cast<int>(held);
-    fold.accuracy205 = ml::accuracy(testLabels, predicted);
-
-    std::size_t chatgptTotal = 0, chatgptHits = 0;
-    std::size_t targetTotal = 0, targetHits = 0;
-    for (std::size_t i = 0; i < predicted.size(); ++i) {
-      if (testIsChatGpt[i]) {
-        ++chatgptTotal;
-        if (predicted[i] == chatgptClass) ++chatgptHits;
-      }
-      if (set.targetLabel >= 0 && testLabels[i] == set.targetLabel) {
-        ++targetTotal;
-        if (predicted[i] == testLabels[i]) ++targetHits;
-      }
-    }
-    // "Correctly classified" = a strict majority of the held-out samples
-    // carry the right label; an even split is a failure to recognize.
-    fold.chatgptTestCount = chatgptTotal;
-    fold.chatgptCorrect = chatgptTotal > 0 && 2 * chatgptHits > chatgptTotal;
-    fold.targetCorrect = targetTotal > 0 && 2 * targetHits > targetTotal;
+  for (const AttributionFold& fold : result.folds) {
     if (fold.chatgptCorrect) ++chatgptHitFolds;
     if (fold.targetCorrect) ++targetHitFolds;
     accuracySum += fold.accuracy205;
-    result.folds.push_back(fold);
   }
   result.meanAccuracy = accuracySum / static_cast<double>(challengeCount);
   result.chatgptCorrectPercent =

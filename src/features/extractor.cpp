@@ -1,14 +1,20 @@
 #include "features/extractor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "ast/parser.hpp"
 #include "ast/visit.hpp"
 #include "lexer/layout.hpp"
 #include "lexer/lexer.hpp"
+#include "runtime/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace sca::features {
@@ -21,12 +27,60 @@ struct Analyzed {
   ast::ParseResult parsed;
 };
 
-Analyzed analyze(const std::string& source) {
-  Analyzed a;
-  a.tokens = lexer::tokenize(source);
-  a.layout = lexer::computeLayoutMetrics(source);
-  a.parsed = ast::parse(source);
-  return a;
+/// Process-global content-keyed memo of analyses (see extractor.hpp).
+/// Bounded: past kMaxEntries the cache is dropped wholesale rather than
+/// evicted piecemeal — the working set of one bench run (a few thousand
+/// samples) fits comfortably, so overflow only happens across unrelated
+/// corpora where stale entries would never hit again anyway.
+class AnalysisCache {
+ public:
+  static constexpr std::size_t kMaxEntries = 32768;
+
+  std::shared_ptr<const Analyzed> get(const std::string& source) {
+    {
+      std::shared_lock lock(mutex_);
+      const auto it = entries_.find(source);
+      if (it != entries_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    auto analyzed = std::make_shared<Analyzed>();
+    analyzed->tokens = lexer::tokenize(source);
+    analyzed->layout = lexer::computeLayoutMetrics(source);
+    analyzed->parsed = ast::parse(source);
+    std::unique_lock lock(mutex_);
+    ++misses_;
+    if (entries_.size() >= kMaxEntries) entries_.clear();
+    return entries_.try_emplace(source, std::move(analyzed)).first->second;
+  }
+
+  AnalysisCacheStats stats() const {
+    std::shared_lock lock(mutex_);
+    return {hits_.load(), misses_.load(), entries_.size()};
+  }
+
+  void clear() {
+    std::unique_lock lock(mutex_);
+    entries_.clear();
+    hits_.store(0);
+    misses_.store(0);
+  }
+
+  static AnalysisCache& global() {
+    static AnalysisCache instance;
+    return instance;
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Analyzed>> entries_;
+  std::atomic<std::size_t> hits_{0};    // atomics: bumped under shared lock
+  std::atomic<std::size_t> misses_{0};
+};
+
+std::shared_ptr<const Analyzed> analyze(const std::string& source) {
+  return AnalysisCache::global().get(source);
 }
 
 double ratio(std::size_t part, std::size_t whole) {
@@ -96,15 +150,25 @@ std::string_view familyName(FeatureFamily family) noexcept {
   return "?";
 }
 
-std::vector<std::string> identifierTerms(const std::string& source) {
+namespace {
+
+/// identifierTerms over an existing token stream (skips re-tokenizing).
+std::vector<std::string> identifierTermsFromTokens(
+    const std::vector<lexer::Token>& tokens) {
   std::vector<std::string> terms;
-  for (const lexer::Token& t : lexer::tokenize(source)) {
+  for (const lexer::Token& t : tokens) {
     if (!t.is(lexer::TokenKind::Identifier)) continue;
     for (std::string& word : util::splitIdentifier(t.text)) {
       terms.push_back(std::move(word));
     }
   }
   return terms;
+}
+
+}  // namespace
+
+std::vector<std::string> identifierTerms(const std::string& source) {
+  return identifierTermsFromTokens(lexer::tokenize(source));
 }
 
 FeatureExtractor::FeatureExtractor(ExtractorConfig config) : config_(config) {
@@ -122,14 +186,29 @@ FeatureExtractor::FeatureExtractor(ExtractorConfig config,
 }
 
 void FeatureExtractor::fit(const std::vector<std::string>& sources) {
+  // Per-source docs come straight off the shared analysis cache, in
+  // parallel; vocabulary fitting itself stays serial (term counting is
+  // order-independent but cheap).
+  struct Docs {
+    std::vector<std::string> identifiers;
+    std::vector<std::string> bigrams;
+  };
+  std::vector<Docs> docs = runtime::parallelMap<Docs>(
+      sources.size(),
+      [&](std::size_t i) {
+        const std::shared_ptr<const Analyzed> a = analyze(sources[i]);
+        return Docs{identifierTermsFromTokens(a->tokens),
+                    ast::stmtKindBigrams(a->parsed.unit)};
+      },
+      runtime::ParallelOptions{.maxWorkers = 0, .grain = 8});
+
   std::vector<std::vector<std::string>> identifierDocs;
   std::vector<std::vector<std::string>> bigramDocs;
   identifierDocs.reserve(sources.size());
   bigramDocs.reserve(sources.size());
-  for (const std::string& source : sources) {
-    identifierDocs.push_back(identifierTerms(source));
-    const ast::ParseResult parsed = ast::parse(source);
-    bigramDocs.push_back(ast::stmtKindBigrams(parsed.unit));
+  for (Docs& d : docs) {
+    identifierDocs.push_back(std::move(d.identifiers));
+    bigramDocs.push_back(std::move(d.bigrams));
   }
   identifierVocab_ =
       Vocabulary::fit(identifierDocs, config_.identifierVocabulary);
@@ -209,7 +288,8 @@ void FeatureExtractor::buildSchema() {
 
 std::vector<double> FeatureExtractor::transform(
     const std::string& source) const {
-  const Analyzed a = analyze(source);
+  const std::shared_ptr<const Analyzed> analyzed = analyze(source);
+  const Analyzed& a = *analyzed;
   std::vector<double> vec;
   vec.reserve(dimension());
 
@@ -255,7 +335,8 @@ std::vector<double> FeatureExtractor::transform(
     vec.push_back(ratio(stringLits, tokenCount));
     vec.push_back(ratio(charLits, tokenCount));
     vec.push_back(ratio(preprocessor, a.layout.lineCount));
-    for (const double v : identifierVocab_.vectorize(identifierTerms(source))) {
+    for (const double v :
+         identifierVocab_.vectorize(identifierTermsFromTokens(a.tokens))) {
       vec.push_back(v);
     }
   }
@@ -334,10 +415,15 @@ std::vector<double> FeatureExtractor::transform(
 
 std::vector<std::vector<double>> FeatureExtractor::transformAll(
     const std::vector<std::string>& sources) const {
-  std::vector<std::vector<double>> out;
-  out.reserve(sources.size());
-  for (const std::string& source : sources) out.push_back(transform(source));
-  return out;
+  return runtime::parallelMap<std::vector<double>>(
+      sources.size(), [&](std::size_t i) { return transform(sources[i]); },
+      runtime::ParallelOptions{.maxWorkers = 0, .grain = 8});
 }
+
+AnalysisCacheStats analysisCacheStats() {
+  return AnalysisCache::global().stats();
+}
+
+void clearAnalysisCache() { AnalysisCache::global().clear(); }
 
 }  // namespace sca::features

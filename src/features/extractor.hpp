@@ -86,4 +86,25 @@ class FeatureExtractor {
 [[nodiscard]] std::vector<std::string> identifierTerms(
     const std::string& source);
 
+// ------------------------------------------------------- analysis cache --
+// transform()/fit() front their lex+layout+parse work with a process-global
+// memoization cache keyed by source content. The cached analysis is
+// extractor-independent (vocabularies only affect the projection), so a
+// sample re-extracted across CV folds, oracle labeling and re-training pays
+// for lexing and parsing exactly once. Reads take a shared lock; the cache
+// is safe from parallel extraction tasks, and results are identical with
+// the cache cleared, cold or warm.
+
+struct AnalysisCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+
+/// Counters since process start (entries = current resident analyses).
+[[nodiscard]] AnalysisCacheStats analysisCacheStats();
+
+/// Drops every cached analysis and zeroes the hit/miss counters.
+void clearAnalysisCache();
+
 }  // namespace sca::features

@@ -1,5 +1,6 @@
 #include "llm/pipelines.hpp"
 
+#include "runtime/parallel.hpp"
 #include "style/archetypes.hpp"
 
 namespace sca::llm {
@@ -86,46 +87,78 @@ TransformedDataset buildTransformedDataset(const corpus::YearDataset& yearData,
   out.humanAuthorId = pick;
 
   const std::size_t challengeCount = yearData.challenges.size();
+
+  // Originals are independent per challenge: each generation conversation
+  // is seeded by the challenge index alone, so they parallelize without
+  // changing a byte of output.
+  struct Originals {
+    std::string chatgpt;
+    std::string human;
+  };
+  std::vector<Originals> originals = runtime::parallelMap<Originals>(
+      challengeCount, [&](std::size_t c) {
+        const corpus::Challenge& challenge = *yearData.challenges[c];
+        LlmOptions genOptions;
+        genOptions.year = yearData.year;
+        genOptions.seed = util::combine64(util::hash64("gen"), c);
+        SyntheticLlm genLlm(genOptions);
+        Originals o;
+        o.chatgpt = genLlm.generate(challenge);
+        o.human = corpus::renderSolution(
+            yearData.authors[static_cast<std::size_t>(out.humanAuthorId)],
+            challenge, yearData.year, static_cast<int>(c));
+        return o;
+      });
   out.chatgptOriginals.reserve(challengeCount);
   out.humanOriginals.reserve(challengeCount);
+  for (Originals& o : originals) {
+    out.chatgptOriginals.push_back(std::move(o.chatgpt));
+    out.humanOriginals.push_back(std::move(o.human));
+  }
 
   // A dedicated "conversation" per (setting, challenge) keeps the schedules
-  // independent, as separate ChatGPT sessions would be.
-  for (std::size_t c = 0; c < challengeCount; ++c) {
-    const corpus::Challenge& challenge = *yearData.challenges[c];
+  // independent, as separate ChatGPT sessions would be — which is also what
+  // makes them parallel tasks: each chain derives its seed from its own
+  // (setting, challenge) pair, stays internally sequential (CT feeds every
+  // output into the next step), and runs concurrently with the rest.
+  // Ordered collection + the serial assembly loop below reproduce the
+  // serial build byte for byte.
+  const std::vector<Setting>& settings = allSettings();
+  const std::size_t chainCount = challengeCount * settings.size();
+  const std::vector<std::vector<std::string>> chains =
+      runtime::parallelMap<std::vector<std::string>>(
+          chainCount, [&](std::size_t task) {
+            const std::size_t c = task / settings.size();
+            const Setting setting = settings[task % settings.size()];
+            const bool chatgptOrigin = setting == Setting::ChatGptNct ||
+                                       setting == Setting::ChatGptCt;
+            const bool chaining =
+                setting == Setting::ChatGptCt || setting == Setting::HumanCt;
+            const std::string& original = chatgptOrigin
+                                              ? out.chatgptOriginals[c]
+                                              : out.humanOriginals[c];
 
-    LlmOptions genOptions;
-    genOptions.year = yearData.year;
-    genOptions.seed = util::combine64(util::hash64("gen"), c);
-    SyntheticLlm genLlm(genOptions);
-    out.chatgptOriginals.push_back(genLlm.generate(challenge));
-    out.humanOriginals.push_back(corpus::renderSolution(
-        yearData.authors[static_cast<std::size_t>(out.humanAuthorId)],
-        challenge, yearData.year, static_cast<int>(c)));
+            LlmOptions llmOptions;
+            llmOptions.year = yearData.year;
+            llmOptions.seed =
+                util::combine64(util::hash64(settingLabel(setting)), c);
+            SyntheticLlm llm(llmOptions);
+            return chaining ? chainingTransform(llm, original, steps)
+                            : nonChainingTransform(llm, original, steps);
+          });
 
-    for (const Setting setting : allSettings()) {
-      const bool chatgptOrigin = setting == Setting::ChatGptNct ||
-                                 setting == Setting::ChatGptCt;
-      const bool chaining =
-          setting == Setting::ChatGptCt || setting == Setting::HumanCt;
-      const std::string& original =
-          chatgptOrigin ? out.chatgptOriginals[c] : out.humanOriginals[c];
-
-      LlmOptions llmOptions;
-      llmOptions.year = yearData.year;
-      llmOptions.seed = util::combine64(util::hash64(settingLabel(setting)), c);
-      SyntheticLlm llm(llmOptions);
-      const std::vector<std::string> transformed =
-          chaining ? chainingTransform(llm, original, steps)
-                   : nonChainingTransform(llm, original, steps);
-      for (std::size_t i = 0; i < transformed.size(); ++i) {
-        TransformedSample sample;
-        sample.source = transformed[i];
-        sample.challengeIndex = static_cast<int>(c);
-        sample.setting = setting;
-        sample.step = static_cast<int>(i) + 1;
-        out.samples.push_back(std::move(sample));
-      }
+  out.samples.reserve(chainCount * steps);
+  for (std::size_t task = 0; task < chainCount; ++task) {
+    const std::size_t c = task / settings.size();
+    const Setting setting = settings[task % settings.size()];
+    const std::vector<std::string>& transformed = chains[task];
+    for (std::size_t i = 0; i < transformed.size(); ++i) {
+      TransformedSample sample;
+      sample.source = transformed[i];
+      sample.challengeIndex = static_cast<int>(c);
+      sample.setting = setting;
+      sample.step = static_cast<int>(i) + 1;
+      out.samples.push_back(std::move(sample));
     }
   }
   return out;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "ml/metrics.hpp"
+#include "runtime/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace sca::ml {
@@ -25,25 +27,32 @@ std::vector<FoldResult> leaveOneGroupOut(
     throw std::invalid_argument("leaveOneGroupOut: dataset has no groups");
   }
   const auto byGroup = groupIndices(data.groups);
-  std::vector<FoldResult> results;
-  results.reserve(byGroup.size());
-  for (const auto& [group, testIdx] : byGroup) {
-    std::vector<std::size_t> trainIdx;
-    trainIdx.reserve(data.size() - testIdx.size());
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      if (data.groups[i] != group) trainIdx.push_back(i);
-    }
-    const Dataset train = data.subset(trainIdx);
-    const Dataset test = data.subset(testIdx);
-    FoldResult fold;
-    fold.group = group;
-    fold.yTrue = test.y;
-    fold.yPred = trainPredict(train, test);
-    fold.accuracy = accuracy(fold.yTrue, fold.yPred);
-    fold.testIndices = testIdx;
-    results.push_back(std::move(fold));
-  }
-  return results;
+  std::vector<std::pair<int, std::vector<std::size_t>>> folds(
+      byGroup.begin(), byGroup.end());
+
+  // Folds are independent (each trains its own model), so they run
+  // concurrently on the shared pool; parallelMap keeps the results in
+  // group order, identical to the serial loop. `trainPredict` is called
+  // from pool workers and must therefore be reentrant — every callback in
+  // this repository trains a fresh model per fold.
+  return runtime::parallelMap<FoldResult>(
+      folds.size(), [&](std::size_t f) {
+        const auto& [group, testIdx] = folds[f];
+        std::vector<std::size_t> trainIdx;
+        trainIdx.reserve(data.size() - testIdx.size());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          if (data.groups[i] != group) trainIdx.push_back(i);
+        }
+        const Dataset train = data.subset(trainIdx);
+        const Dataset test = data.subset(testIdx);
+        FoldResult fold;
+        fold.group = group;
+        fold.yTrue = test.y;
+        fold.yPred = trainPredict(train, test);
+        fold.accuracy = accuracy(fold.yTrue, fold.yPred);
+        fold.testIndices = testIdx;
+        return fold;
+      });
 }
 
 double meanAccuracy(const std::vector<FoldResult>& folds) {

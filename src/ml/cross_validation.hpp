@@ -28,7 +28,10 @@ struct FoldResult {
     const std::vector<int>& groups);
 
 /// Runs leave-one-group-out CV. `trainPredict` receives the train split and
-/// the test split and returns predictions for the test rows.
+/// the test split and returns predictions for the test rows. Folds run
+/// concurrently on the shared runtime pool (results stay in group order),
+/// so `trainPredict` must be reentrant: no shared mutable state across
+/// invocations beyond what it locks itself.
 [[nodiscard]] std::vector<FoldResult> leaveOneGroupOut(
     const Dataset& data,
     const std::function<std::vector<int>(const Dataset& train,

@@ -4,18 +4,10 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
-#include <thread>
+
+#include "runtime/parallel.hpp"
 
 namespace sca::ml {
-namespace {
-
-std::size_t workerCount(std::size_t configured) {
-  if (configured > 0) return configured;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 4 : hw;
-}
-
-}  // namespace
 
 RandomForest::RandomForest(ForestConfig config) : config_(config) {}
 
@@ -38,35 +30,24 @@ void RandomForest::fit(const Dataset& data) {
       1, static_cast<std::size_t>(config_.bootstrapFraction *
                                   static_cast<double>(data.size())));
 
-  auto fitRange = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t t = begin; t < end; ++t) {
-      util::Rng rng = treeRngs[t];
-      std::vector<std::size_t> bootstrap(bootstrapSize);
-      for (std::size_t i = 0; i < bootstrapSize; ++i) {
-        bootstrap[i] = static_cast<std::size_t>(rng.uniformInt(
-            0, static_cast<std::int64_t>(data.size()) - 1));
-      }
-      trees_[t].fit(data, bootstrap, classCount_, config_.tree,
-                    rng.derive("tree"));
-    }
-  };
-
-  const std::size_t workers =
-      std::min(workerCount(config_.threads), config_.treeCount);
-  if (workers <= 1) {
-    fitRange(0, trees_.size());
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    const std::size_t chunk = (trees_.size() + workers - 1) / workers;
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t begin = w * chunk;
-      const std::size_t end = std::min(trees_.size(), begin + chunk);
-      if (begin >= end) break;
-      pool.emplace_back(fitRange, begin, end);
-    }
-    for (std::thread& worker : pool) worker.join();
-  }
+  // Trees go through the shared pool (nested-guard aware: a forest fitted
+  // inside a parallel CV fold runs its trees serially on that fold's
+  // worker). Seeds are pre-derived per tree, so scheduling never matters.
+  runtime::ParallelOptions options;
+  options.maxWorkers = config_.threads;
+  runtime::parallelFor(
+      0, trees_.size(),
+      [&](std::size_t t) {
+        util::Rng rng = treeRngs[t];
+        std::vector<std::size_t> bootstrap(bootstrapSize);
+        for (std::size_t i = 0; i < bootstrapSize; ++i) {
+          bootstrap[i] = static_cast<std::size_t>(rng.uniformInt(
+              0, static_cast<std::int64_t>(data.size()) - 1));
+        }
+        trees_[t].fit(data, bootstrap, classCount_, config_.tree,
+                      rng.derive("tree"));
+      },
+      options);
 }
 
 void RandomForest::save(std::ostream& os) const {
@@ -128,23 +109,12 @@ int RandomForest::predict(const std::vector<double>& features) const {
 std::vector<int> RandomForest::predictAll(
     const std::vector<std::vector<double>>& rows) const {
   std::vector<int> out(rows.size(), 0);
-  const std::size_t workers =
-      std::min(workerCount(config_.threads), rows.size());
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < rows.size(); ++i) out[i] = predict(rows[i]);
-    return out;
-  }
-  std::vector<std::thread> pool;
-  const std::size_t chunk = (rows.size() + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(rows.size(), begin + chunk);
-    if (begin >= end) break;
-    pool.emplace_back([&, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) out[i] = predict(rows[i]);
-    });
-  }
-  for (std::thread& worker : pool) worker.join();
+  runtime::ParallelOptions options;
+  options.maxWorkers = config_.threads;
+  options.grain = 16;  // one row is microseconds; batch them
+  runtime::parallelFor(
+      0, rows.size(), [&](std::size_t i) { out[i] = predict(rows[i]); },
+      options);
   return out;
 }
 

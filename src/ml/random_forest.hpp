@@ -14,7 +14,8 @@ struct ForestConfig {
   std::size_t treeCount = 120;
   TreeConfig tree;
   std::uint64_t seed = 17;
-  /// Worker threads for fitting/prediction; 0 = hardware concurrency.
+  /// Cap on concurrent fit/predict tasks in the shared runtime pool;
+  /// 0 = no cap (pool size, i.e. SCA_THREADS or hardware concurrency).
   std::size_t threads = 0;
   /// Bootstrap sample size as a fraction of the training set.
   double bootstrapFraction = 1.0;

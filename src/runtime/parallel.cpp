@@ -1,0 +1,109 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "runtime/thread_pool.hpp"
+
+namespace sca::runtime {
+namespace {
+
+/// Depth of parallelFor chunk execution on this thread. Covers both pool
+/// workers and the calling thread (which participates in its own loop), so
+/// the nested guard fires for every thread currently running loop bodies.
+thread_local int tlsRegionDepth = 0;
+
+struct RegionGuard {
+  RegionGuard() { ++tlsRegionDepth; }
+  ~RegionGuard() { --tlsRegionDepth; }
+};
+
+/// Shared loop state: a dynamic chunk counter plus completion tracking for
+/// the helper tasks submitted to the pool.
+struct LoopState {
+  std::atomic<std::size_t> next{0};
+  std::size_t count = 0;
+  std::size_t begin = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t activeHelpers = 0;
+  std::exception_ptr error;  // first failure wins
+
+  void runChunks() {
+    RegionGuard guard;
+    for (;;) {
+      const std::size_t chunkBegin = next.fetch_add(grain);
+      if (chunkBegin >= count) return;
+      const std::size_t chunkEnd = std::min(count, chunkBegin + grain);
+      try {
+        for (std::size_t i = chunkBegin; i < chunkEnd; ++i) {
+          (*body)(begin + i);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+        }
+        next.store(count);  // abandon unstarted chunks
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool inParallelRegion() noexcept {
+  return tlsRegionDepth > 0 || ThreadPool::onWorkerThread();
+}
+
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 const ParallelOptions& options) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+
+  // Serial paths: nested region, a 1-thread pool (SCA_THREADS=1), an
+  // explicit cap of 1, or a single index. Exceptions propagate naturally.
+  std::size_t workers = inParallelRegion() ? 1 : globalPool().size();
+  if (options.maxWorkers > 0) workers = std::min(workers, options.maxWorkers);
+  const std::size_t grain = std::max<std::size_t>(1, options.grain);
+  const std::size_t chunks = (count + grain - 1) / grain;
+  workers = std::min(workers, chunks);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->count = count;
+  state->begin = begin;
+  state->grain = grain;
+  state->body = &body;
+  state->activeHelpers = workers - 1;  // the caller is the remaining worker
+
+  ThreadPool& pool = globalPool();
+  for (std::size_t w = 0; w + 1 < workers; ++w) {
+    pool.submit([state] {
+      state->runChunks();
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->activeHelpers == 0) state->done.notify_all();
+    });
+  }
+
+  state->runChunks();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->activeHelpers == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace sca::runtime

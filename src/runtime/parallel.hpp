@@ -1,0 +1,68 @@
+// Deterministic parallel loops over the global pool.
+//
+// Determinism contract: parallelFor(begin, end, body) runs body exactly
+// once per index; parallelMap writes result i from task i only. As long as
+// each task derives any randomness from its own index (taskSeed, or
+// util::Rng::derive on the index) and touches no shared mutable state, the
+// collected results are bit-identical for every thread count, including
+// SCA_THREADS=1. Every parallel region in this repository is built to that
+// rule, which is what keeps the paper tables byte-stable across machines.
+//
+// Nested parallelism: a parallelFor issued from inside another loop's body
+// — on a pool worker or on the calling thread, which participates in its
+// own loop — runs serially instead of re-submitting. Outer layers therefore
+// take the hardware and inner layers (a forest fit inside a CV fold)
+// degrade gracefully rather than oversubscribing or deadlocking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sca::runtime {
+
+struct ParallelOptions {
+  /// Cap on concurrent tasks for this loop; 0 = pool size.
+  std::size_t maxWorkers = 0;
+  /// Indices handed to one task at a time. 1 suits coarse tasks (folds,
+  /// transformation chains); raise it for per-row work so the scheduling
+  /// overhead amortizes.
+  std::size_t grain = 1;
+};
+
+/// True while the current thread is executing a pool task (nested guard).
+[[nodiscard]] bool inParallelRegion() noexcept;
+
+/// Calls body(i) for every i in [begin, end), spread over the global pool.
+/// The caller participates in the loop, so the pool is never waited on from
+/// idle. If any body throws, the first exception (in completion order) is
+/// rethrown after all running tasks drain; remaining unstarted indices are
+/// abandoned.
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body,
+                 const ParallelOptions& options = {});
+
+/// Ordered collection: out[i] = fn(i), independent of scheduling.
+/// T must be default-constructible (results are written in place).
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallelMap(std::size_t count, Fn&& fn,
+                                         const ParallelOptions& options = {}) {
+  std::vector<T> out(count);
+  parallelFor(
+      0, count, [&](std::size_t i) { out[i] = fn(i); }, options);
+  return out;
+}
+
+/// splitmix64-style per-task seed: statistically independent streams for
+/// (base, 0), (base, 1), ... so concurrent tasks never share generator
+/// state yet the derived seeds do not depend on scheduling.
+[[nodiscard]] constexpr std::uint64_t taskSeed(std::uint64_t base,
+                                               std::uint64_t index) noexcept {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace sca::runtime

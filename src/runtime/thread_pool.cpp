@@ -1,0 +1,133 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace sca::runtime {
+namespace {
+
+thread_local bool tlsOnWorkerThread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threadCount) {
+  if (threadCount == 0) threadCount = 1;
+  queues_.reserve(threadCount);
+  for (std::size_t i = 0; i < threadCount; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(threadCount);
+  for (std::size_t i = 0; i < threadCount; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wakeMutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(wakeMutex_);
+    target = nextQueue_;
+    nextQueue_ = (nextQueue_ + 1) % queues_.size();
+    ++pendingTasks_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::tryTake(std::size_t self, std::function<void()>& task) {
+  // Own queue first (back = most recently submitted, cache-warm)...
+  {
+    WorkQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // ...then steal from the front of a peer's queue (oldest task — the one
+  // most likely to be a large unstarted chunk).
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkQueue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  tlsOnWorkerThread = true;
+  for (;;) {
+    std::function<void()> task;
+    if (tryTake(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        --pendingTasks_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wakeMutex_);
+    wake_.wait(lock, [this] { return stopping_ || pendingTasks_ > 0; });
+    if (stopping_ && pendingTasks_ == 0) return;
+  }
+}
+
+bool ThreadPool::onWorkerThread() noexcept { return tlsOnWorkerThread; }
+
+std::size_t configuredThreadCount() {
+  // Absurd requests are clamped rather than honoured: std::thread throws
+  // std::system_error once the OS runs out of thread resources, and a
+  // mistyped SCA_THREADS should not abort the process.
+  constexpr long kMaxThreads = 512;
+  const char* raw = std::getenv("SCA_THREADS");
+  if (raw != nullptr && *raw != '\0') {
+    const long parsed = std::strtol(raw, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<std::size_t>(std::min(parsed, kMaxThreads));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+namespace {
+
+std::mutex gPoolMutex;
+std::unique_ptr<ThreadPool> gPool;
+
+}  // namespace
+
+ThreadPool& globalPool() {
+  std::lock_guard<std::mutex> lock(gPoolMutex);
+  if (gPool == nullptr) {
+    gPool = std::make_unique<ThreadPool>(configuredThreadCount());
+  }
+  return *gPool;
+}
+
+void setGlobalThreadCount(std::size_t threadCount) {
+  std::lock_guard<std::mutex> lock(gPoolMutex);
+  gPool.reset();  // joins the old workers before the new pool spins up
+  gPool = std::make_unique<ThreadPool>(
+      threadCount == 0 ? configuredThreadCount() : threadCount);
+}
+
+}  // namespace sca::runtime

@@ -1,0 +1,83 @@
+// Shared worker pool for every parallel region in the pipeline.
+//
+// One lazily-initialized process-global pool replaces the ad-hoc
+// std::thread spawning that used to live inside RandomForest: all layers
+// (corpus build, LLM transformation chains, feature extraction, CV folds,
+// forest fitting) submit to the same fixed set of workers, so concurrent
+// regions share the hardware instead of oversubscribing it.
+//
+// The pool is work-stealing: each worker owns a deque and pops from its
+// back; idle workers steal from the front of their peers' deques, which
+// keeps coarse tasks (a CV fold that trains a whole forest) from serializing
+// behind one busy worker.
+//
+// Sizing: SCA_THREADS environment variable when set to a positive integer,
+// otherwise std::thread::hardware_concurrency(). SCA_THREADS=1 disables
+// worker threads entirely — every parallelFor runs inline on the caller,
+// which is the reference schedule for the determinism invariant (see
+// parallel.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sca::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threadCount` workers (0 is clamped to 1). A pool of size 1
+  /// still accepts submissions; parallel.hpp simply never submits to it.
+  explicit ThreadPool(std::size_t threadCount);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks must not block on other pool tasks (the
+  /// parallel-for caller participates in its own work loop instead).
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// True on a thread owned by any ThreadPool — the nested-parallelism
+  /// guard keys off this so inner parallel regions degrade to serial.
+  [[nodiscard]] static bool onWorkerThread() noexcept;
+
+ private:
+  struct WorkQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void workerLoop(std::size_t self);
+  bool tryTake(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wakeMutex_;
+  std::condition_variable wake_;
+  std::size_t pendingTasks_ = 0;  // guarded by wakeMutex_
+  bool stopping_ = false;         // guarded by wakeMutex_
+  std::size_t nextQueue_ = 0;     // guarded by wakeMutex_ (round-robin)
+};
+
+/// Worker count the global pool will use (or uses): SCA_THREADS if set to a
+/// positive integer, else hardware concurrency, with a floor of 1.
+[[nodiscard]] std::size_t configuredThreadCount();
+
+/// The process-global pool, created on first use with
+/// configuredThreadCount() workers.
+[[nodiscard]] ThreadPool& globalPool();
+
+/// Replaces the global pool with one of `threadCount` workers (0 = resolve
+/// from the environment again). Intended for tests that compare schedules;
+/// must not race with in-flight parallel regions.
+void setGlobalThreadCount(std::size_t threadCount);
+
+}  // namespace sca::runtime

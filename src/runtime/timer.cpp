@@ -1,0 +1,30 @@
+#include "runtime/timer.hpp"
+
+namespace sca::runtime {
+
+PhaseTimes& PhaseTimes::global() {
+  static PhaseTimes instance;
+  return instance;
+}
+
+void PhaseTimes::add(std::string_view phase, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = seconds_.find(phase);
+  if (it == seconds_.end()) {
+    seconds_.emplace(std::string(phase), seconds);
+  } else {
+    it->second += seconds;
+  }
+}
+
+std::map<std::string, double> PhaseTimes::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {seconds_.begin(), seconds_.end()};
+}
+
+void PhaseTimes::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seconds_.clear();
+}
+
+}  // namespace sca::runtime

@@ -1,0 +1,61 @@
+// Lightweight phase timing for the benches.
+//
+// Pipeline stages record wall-clock seconds into a process-global registry
+// under a phase name ("corpus_build", "feature_extract", "forest_train",
+// "predict", ...). bench_common.hpp::emit snapshots the registry after each
+// table and appends one JSON record per bench to
+// bench_out/bench_times.json, which is how the repo tracks its perf
+// trajectory across PRs.
+//
+// Recording is a mutex-guarded map update per phase *exit* — nanoseconds
+// against phases that run for seconds — and is safe from pool workers.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace sca::runtime {
+
+class PhaseTimes {
+ public:
+  /// The process-global registry.
+  [[nodiscard]] static PhaseTimes& global();
+
+  /// Accumulates `seconds` onto `phase`.
+  void add(std::string_view phase, double seconds);
+
+  /// Phase -> accumulated seconds, for reporting.
+  [[nodiscard]] std::map<std::string, double> snapshot() const;
+
+  /// Clears all phases (emit() resets after writing so each bench table
+  /// reports the phases that produced it).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double, std::less<>> seconds_;
+};
+
+/// RAII: adds the scope's wall time to PhaseTimes::global() on destruction.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string phase)
+      : phase_(std::move(phase)), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    PhaseTimes::global().add(
+        phase_, std::chrono::duration<double>(elapsed).count());
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sca::runtime

@@ -28,7 +28,16 @@ LogLevel logLevel() noexcept { return gLevel.load(); }
 void logMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(gLevel.load())) return;
   if (level == LogLevel::Off) return;
-  std::cerr << '[' << levelName(level) << "] " << message << '\n';
+  // One formatted write per line: messages from concurrent pool workers
+  // (e.g. parallel CV folds) come out whole instead of interleaved.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += levelName(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::cerr << line;
 }
 
 }  // namespace sca::util

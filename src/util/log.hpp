@@ -1,9 +1,9 @@
 // Minimal leveled logger.
 //
 // Benches and examples log progress (model training over 205 classes takes
-// a few seconds); tests run with the logger silenced. Not thread-safe by
-// design: the pipeline's parallelism lives inside the random forest, which
-// does not log.
+// a few seconds); tests run with the logger silenced. Each message is
+// emitted as one stream write, so lines from concurrent pool workers
+// (parallel CV folds log their fold header) never interleave mid-line.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,120 @@
+// The hard invariant of the parallel runtime: every table-producing path
+// is bit-identical between SCA_THREADS=1 and N threads. These tests run
+// the transformed-dataset build and a full (scaled-down) LOGO attribution
+// experiment under both schedules and require exact equality — doubles are
+// compared with ==, not tolerances, because the parallel code paths must
+// perform the same arithmetic in the same order per task.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "corpus/dataset.hpp"
+#include "features/extractor.hpp"
+#include "llm/pipelines.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace sca {
+namespace {
+
+core::ExperimentConfig smallConfig() {
+  core::ExperimentConfig config;
+  config.authorCount = 12;
+  config.steps = 3;
+  config.chatgptSetPerChallenge = 3;
+  config.model.forest.treeCount = 15;
+  config.model.selectTopK = 60;
+  return config;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  ~DeterminismTest() override { runtime::setGlobalThreadCount(0); }
+};
+
+TEST_F(DeterminismTest, TransformedDatasetIsThreadCountInvariant) {
+  const corpus::YearDataset corpus = corpus::buildYearDataset(2018, 12);
+
+  runtime::setGlobalThreadCount(1);
+  const llm::TransformedDataset serial =
+      llm::buildTransformedDataset(corpus, 4);
+  runtime::setGlobalThreadCount(4);
+  const llm::TransformedDataset parallel =
+      llm::buildTransformedDataset(corpus, 4);
+
+  EXPECT_EQ(serial.year, parallel.year);
+  EXPECT_EQ(serial.humanAuthorId, parallel.humanAuthorId);
+  EXPECT_EQ(serial.chatgptOriginals, parallel.chatgptOriginals);
+  EXPECT_EQ(serial.humanOriginals, parallel.humanOriginals);
+  ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+    EXPECT_EQ(serial.samples[i].source, parallel.samples[i].source)
+        << "sample " << i;
+    EXPECT_EQ(serial.samples[i].challengeIndex,
+              parallel.samples[i].challengeIndex);
+    EXPECT_EQ(serial.samples[i].setting, parallel.samples[i].setting);
+    EXPECT_EQ(serial.samples[i].step, parallel.samples[i].step);
+  }
+}
+
+TEST_F(DeterminismTest, FullLogoExperimentIsThreadCountInvariant) {
+  // Serial run on a cold analysis cache vs parallel run on a warm one:
+  // covers seed derivation, ordered collection AND cache transparency in
+  // one comparison.
+  features::clearAnalysisCache();
+
+  runtime::setGlobalThreadCount(1);
+  core::YearExperiment serialExp(2017, smallConfig());
+  const std::vector<double> serialBaseline =
+      serialExp.baselineFoldAccuracies();
+  const auto serialResult = serialExp.attribution(core::Approach::Naive);
+
+  runtime::setGlobalThreadCount(4);
+  core::YearExperiment parallelExp(2017, smallConfig());
+  const std::vector<double> parallelBaseline =
+      parallelExp.baselineFoldAccuracies();
+  const auto parallelResult = parallelExp.attribution(core::Approach::Naive);
+
+  EXPECT_EQ(serialBaseline, parallelBaseline);
+  EXPECT_EQ(serialResult.targetLabel, parallelResult.targetLabel);
+  EXPECT_EQ(serialResult.setSize, parallelResult.setSize);
+  ASSERT_EQ(serialResult.folds.size(), parallelResult.folds.size());
+  for (std::size_t f = 0; f < serialResult.folds.size(); ++f) {
+    EXPECT_EQ(serialResult.folds[f].accuracy205,
+              parallelResult.folds[f].accuracy205)
+        << "fold " << f;
+    EXPECT_EQ(serialResult.folds[f].chatgptCorrect,
+              parallelResult.folds[f].chatgptCorrect);
+    EXPECT_EQ(serialResult.folds[f].targetCorrect,
+              parallelResult.folds[f].targetCorrect);
+    EXPECT_EQ(serialResult.folds[f].chatgptTestCount,
+              parallelResult.folds[f].chatgptTestCount);
+  }
+  EXPECT_EQ(serialResult.meanAccuracy, parallelResult.meanAccuracy);
+  EXPECT_EQ(serialResult.chatgptCorrectPercent,
+            parallelResult.chatgptCorrectPercent);
+  EXPECT_EQ(serialResult.targetCorrectPercent,
+            parallelResult.targetCorrectPercent);
+}
+
+TEST_F(DeterminismTest, StyleCountsAreThreadCountInvariant) {
+  runtime::setGlobalThreadCount(1);
+  core::YearExperiment serialExp(2019, smallConfig());
+  const auto serialCounts = serialExp.styleCounts();
+
+  runtime::setGlobalThreadCount(4);
+  core::YearExperiment parallelExp(2019, smallConfig());
+  const auto parallelCounts = parallelExp.styleCounts();
+
+  EXPECT_EQ(serialCounts.maxCount, parallelCounts.maxCount);
+  EXPECT_EQ(serialCounts.averages, parallelCounts.averages);
+  ASSERT_EQ(serialCounts.perChallenge.size(),
+            parallelCounts.perChallenge.size());
+  for (std::size_t c = 0; c < serialCounts.perChallenge.size(); ++c) {
+    EXPECT_EQ(serialCounts.perChallenge[c], parallelCounts.perChallenge[c])
+        << "challenge " << c;
+  }
+}
+
+}  // namespace
+}  // namespace sca

@@ -229,5 +229,56 @@ TEST(Selection, LabelEntropy) {
   EXPECT_NEAR(labelEntropy({0, 1}), std::log(2.0), 1e-9);
 }
 
+// -------------------------------------------------------- analysis cache --
+
+TEST(AnalysisCache, CountsHitsMissesAndEntries) {
+  clearAnalysisCache();
+  const AnalysisCacheStats empty = analysisCacheStats();
+  EXPECT_EQ(empty.hits, 0u);
+  EXPECT_EQ(empty.misses, 0u);
+  EXPECT_EQ(empty.entries, 0u);
+
+  FeatureExtractor extractor;
+  extractor.fit({kSampleA});  // first analysis of kSampleA: one miss
+  const AnalysisCacheStats afterFit = analysisCacheStats();
+  EXPECT_EQ(afterFit.misses, 1u);
+  EXPECT_EQ(afterFit.entries, 1u);
+
+  (void)extractor.transform(kSampleA);  // same content: a hit, no new entry
+  const AnalysisCacheStats afterHit = analysisCacheStats();
+  EXPECT_EQ(afterHit.hits, afterFit.hits + 1);
+  EXPECT_EQ(afterHit.misses, 1u);
+  EXPECT_EQ(afterHit.entries, 1u);
+
+  (void)extractor.transform(kSampleB);  // new content: a miss, new entry
+  const AnalysisCacheStats afterMiss = analysisCacheStats();
+  EXPECT_EQ(afterMiss.misses, 2u);
+  EXPECT_EQ(afterMiss.entries, 2u);
+
+  clearAnalysisCache();
+  const AnalysisCacheStats cleared = analysisCacheStats();
+  EXPECT_EQ(cleared.hits, 0u);
+  EXPECT_EQ(cleared.misses, 0u);
+  EXPECT_EQ(cleared.entries, 0u);
+}
+
+TEST(AnalysisCache, WarmCacheIsTransparent) {
+  FeatureExtractor extractor;
+  extractor.fit({kSampleA, kSampleB});
+  clearAnalysisCache();
+  const std::vector<double> cold = extractor.transform(kSampleA);
+  const std::vector<double> warm = extractor.transform(kSampleA);
+  EXPECT_EQ(cold, warm);
+  // A second extractor with different vocabularies shares the cache yet
+  // projects its own features — cached analyses are extractor-independent.
+  ExtractorConfig narrow;
+  narrow.identifierVocabulary = 5;
+  narrow.bigramVocabulary = 3;
+  FeatureExtractor other(narrow);
+  other.fit({kSampleB});
+  EXPECT_EQ(other.transform(kSampleA), other.transform(kSampleA));
+  EXPECT_NE(other.dimension(), extractor.dimension());
+}
+
 }  // namespace
 }  // namespace sca::features

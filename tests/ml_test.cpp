@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <set>
@@ -241,7 +242,7 @@ TEST(CrossValidation, GroupIndicesPartition) {
 
 TEST(CrossValidation, LeaveOneGroupOutUsesAllRowsOnce) {
   const Dataset data = blobs(12, 10);  // groups 0..3
-  std::size_t tested = 0;
+  std::atomic<std::size_t> tested{0};  // folds run concurrently
   const auto folds = leaveOneGroupOut(
       data, [&](const Dataset& train, const Dataset& test) {
         EXPECT_EQ(train.size() + test.size(), data.size());

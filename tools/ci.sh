@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the two configurations that gate a PR.
+#
+#   1. Release        — the tier-1 suite exactly as ROADMAP.md specifies.
+#   2. ThreadSanitizer — the same suite under -fsanitize=thread, proving the
+#      shared runtime pool, the feature analysis cache and the parallel
+#      fold/forest paths are race-free.
+#
+# Usage: tools/ci.sh [jobs]     (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local dir="$1"; shift
+  echo "=== configure $dir ($*) ==="
+  cmake -B "$dir" -S . "$@"
+  echo "=== build $dir ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== test $dir ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config build-release -DCMAKE_BUILD_TYPE=Release
+# TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
+# from the caller's environment turn the parallel paths off.
+SCA_THREADS="${SCA_TSAN_THREADS:-4}" \
+  run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCA_SANITIZE=thread
+
+echo "=== ci ok ==="
