@@ -6,30 +6,38 @@
 // table to bench_out/bench_times.json (see below), which is the repo's
 // perf trajectory: phase wall-times per bench, per run, across PRs.
 //
+// Both writers are crash-safe (util/io.hpp): CSVs go through temp-file +
+// atomic rename, so a killed bench never leaves a torn CSV behind; the
+// bench_times.json record is appended with a single O_APPEND write, so
+// two benches running concurrently interleave whole lines, never partial
+// ones.
+//
 // bench_times.json format — JSON Lines, one self-contained object per
 // emitted table:
 //
 //   {"bench":"table09_feature_based","threads":8,
 //    "phases":{"corpus_build":1.23,"llm_transform":4.56,...},
+//    "counters":{"llm_retries":12,"llm_faults_timeout":7,...},
 //    "total_s":12.34}
 //
 // `threads` is the shared pool's worker count (SCA_THREADS or hardware
 // concurrency); `phases` accumulates runtime::PhaseTimer scopes since the
 // previous emit (concurrent phases sum their per-task wall time, so phase
-// seconds can exceed total_s on multi-core hosts); `total_s` is process
-// wall-clock since the previous emit. The file is append-only: rerunning a
-// bench adds new lines rather than rewriting history.
+// seconds can exceed total_s on multi-core hosts); `counters` accumulates
+// runtime::Counters events — retry/fault/degradation/checkpoint telemetry
+// from the resilience layer — and is omitted when empty; `total_s` is
+// process wall-clock since the previous emit. The file is append-only:
+// rerunning a bench adds new lines rather than rewriting history.
 #pragma once
 
 #include <chrono>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
+#include "util/io.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -42,56 +50,60 @@ namespace detail {
 inline std::chrono::steady_clock::time_point gEmitAnchor =
     std::chrono::steady_clock::now();
 
-inline std::string jsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
-/// Appends the phase snapshot as one JSONL record, then resets the
-/// registry and the wall-clock anchor so the next emit reports its own
-/// phases only.
+/// Builds the phase+counter snapshot as one JSONL record, appends it with
+/// a single atomic write, then resets both registries and the wall-clock
+/// anchor so the next emit reports its own table only.
 inline void appendTimes(const std::string& name) {
   const std::map<std::string, double> phases =
       runtime::PhaseTimes::global().snapshot();
+  const std::map<std::string, std::uint64_t> counters =
+      runtime::Counters::global().snapshot();
   const auto now = std::chrono::steady_clock::now();
   const double totalSeconds =
       std::chrono::duration<double>(now - gEmitAnchor).count();
 
-  std::ofstream json("bench_out/bench_times.json", std::ios::app);
-  if (json) {
-    json << "{\"bench\":\"" << jsonEscape(name) << "\",\"threads\":"
-         << runtime::globalPool().size() << ",\"phases\":{";
-    bool first = true;
-    for (const auto& [phase, seconds] : phases) {
-      if (!first) json << ',';
+  std::string record = "{\"bench\":\"" + util::jsonEscape(name) +
+                       "\",\"threads\":" +
+                       std::to_string(runtime::globalPool().size()) +
+                       ",\"phases\":{";
+  bool first = true;
+  for (const auto& [phase, seconds] : phases) {
+    if (!first) record += ',';
+    first = false;
+    record += '"' + util::jsonEscape(phase) + "\":" +
+              util::formatDouble(seconds, 3);
+  }
+  record += '}';
+  if (!counters.empty()) {
+    record += ",\"counters\":{";
+    first = true;
+    for (const auto& [key, count] : counters) {
+      if (!first) record += ',';
       first = false;
-      json << '"' << jsonEscape(phase) << "\":"
-           << util::formatDouble(seconds, 3);
+      record += '"' + util::jsonEscape(key) + "\":" + std::to_string(count);
     }
-    json << "},\"total_s\":" << util::formatDouble(totalSeconds, 3) << "}\n";
+    record += '}';
+  }
+  record += ",\"total_s\":" + util::formatDouble(totalSeconds, 3) + '}';
+
+  if (util::appendLine("bench_out/bench_times.json", record).isOk()) {
     std::cout << "[times] bench_out/bench_times.json\n";
   }
   runtime::PhaseTimes::global().reset();
+  runtime::Counters::global().reset();
   gEmitAnchor = now;
 }
 
 }  // namespace detail
 
-/// Prints the table, writes its CSV next to the binary and appends the
-/// phase timing record for everything computed since the previous emit.
+/// Prints the table, atomically writes its CSV next to the binary and
+/// appends the telemetry record for everything computed since the
+/// previous emit.
 inline void emit(const util::TablePrinter& table, const std::string& name) {
   table.print(std::cout);
-  std::error_code ec;
-  std::filesystem::create_directories("bench_out", ec);
-  if (!ec) {
-    std::ofstream csv("bench_out/" + name + ".csv");
-    csv << table.toCsv();
-    std::cout << "[csv] bench_out/" << name << ".csv\n";
+  const std::string path = "bench_out/" + name + ".csv";
+  if (util::atomicWriteFile(path, table.toCsv()).isOk()) {
+    std::cout << "[csv] " << path << "\n";
     detail::appendTimes(name);
   }
   std::cout << "\n";

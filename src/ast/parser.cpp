@@ -50,7 +50,16 @@ class Parser {
   }
 
   ParseResult run() {
-    parseTopLevel();
+    // Belt and braces: no exception may escape parse(), whatever the
+    // input. Anything the recovery paths miss becomes a bailout warning
+    // and the caller gets whatever was parsed up to that point.
+    try {
+      parseTopLevel();
+    } catch (const std::exception& e) {
+      warn(std::string("parser bailout: ") + e.what());
+    } catch (...) {
+      warn("parser bailout: unknown exception");
+    }
     result_.unit = std::move(unit_);
     return std::move(result_);
   }
@@ -100,6 +109,22 @@ class Parser {
     result_.clean = false;
   }
 
+  // ------------------------------------------------------- depth guard --
+  /// Recursion ceiling: adversarial nesting ("((((…", "!!!!x",
+  /// vector<vector<…>, deeply nested blocks) must degrade into the
+  /// ParseError -> OpaqueStmt recovery path, not exhaust the stack.
+  static constexpr int kMaxDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int& depthRef) : depth(depthRef) {
+      if (depth >= kMaxDepth) throw ParseError("nesting too deep");
+      ++depth;
+    }
+    ~DepthGuard() { --depth; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    int& depth;
+  };
+
   // ------------------------------------------------------------- scopes --
   void pushScope() { scopes_.emplace_back(); }
   void popScope() { scopes_.pop_back(); }
@@ -143,12 +168,22 @@ class Parser {
         continue;
       }
       if (checkKeyword("typedef")) {
-        parseTypedef();
+        try {
+          parseTypedef();
+        } catch (const ParseError& e) {
+          warn(std::string("typedef fallback: ") + e.what());
+          skipToplevelNoise();
+        }
         flushHeaderComment(seenAnyDecl);
         continue;
       }
       if (checkKeyword("using")) {
-        parseUsingAlias();
+        try {
+          parseUsingAlias();
+        } catch (const ParseError& e) {
+          warn(std::string("using fallback: ") + e.what());
+          skipToplevelNoise();
+        }
         flushHeaderComment(seenAnyDecl);
         continue;
       }
@@ -246,6 +281,10 @@ class Parser {
 
   // -------------------------------------------------------------- types --
   [[nodiscard]] bool startsType(std::size_t ahead = 0) const {
+    // Lookahead ceiling: "const const const ..." chains recurse once per
+    // token, so adversarial input must hit a bound, not the stack guard
+    // page.
+    if (ahead > 64) return false;
     const Token& t = peek(ahead);
     if (t.isKeyword("const")) return startsType(ahead + 1);
     if (t.is(TokenKind::Keyword)) {
@@ -265,6 +304,7 @@ class Parser {
   }
 
   TypeRef parseType() {
+    const DepthGuard guard(depth_);
     matchKeyword("const");  // swallowed; constness is handled by caller
     if (peek().text == "std" && checkPunct("::", 1)) {
       advance();
@@ -361,7 +401,12 @@ class Parser {
     while (!checkPunct("}") && !atEnd()) {
       block.stmts.push_back(parseStmtSafe());
     }
-    matchPunct("}");
+    if (!matchPunct("}")) {
+      // Truncated input: the block ran out of file before its '}'. The
+      // statements parsed so far are kept, but the source must not count
+      // as clean — this is how cut-off completions are detected.
+      warn("unterminated block (missing '}')");
+    }
     return block;
   }
 
@@ -404,6 +449,7 @@ class Parser {
   }
 
   StmtPtr parseStmt() {
+    const DepthGuard guard(depth_);
     const Token& t = peek();
     if (t.is(TokenKind::LineComment) || t.is(TokenKind::BlockComment)) {
       advance();
@@ -870,6 +916,7 @@ class Parser {
   }
 
   ExprPtr parseUnary() {
+    const DepthGuard guard(depth_);
     if (matchPunct("-")) return unary(UnaryOp::Neg, parseUnary());
     if (matchPunct("!")) return unary(UnaryOp::Not, parseUnary());
     if (matchPunct("&")) return unary(UnaryOp::AddressOf, parseUnary());
@@ -1129,6 +1176,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   TranslationUnit unit_;
   ParseResult result_;
   std::vector<std::map<std::string, TypeRef>> scopes_;
@@ -1143,6 +1191,16 @@ class Parser {
 ParseResult parse(std::string_view source) {
   Parser parser(source);
   return parser.run();
+}
+
+util::Result<TranslationUnit> parseStrict(std::string_view source) {
+  ParseResult result = parse(source);
+  if (!result.clean) {
+    std::string detail = "source does not parse cleanly";
+    if (!result.warnings.empty()) detail += ": " + result.warnings.front();
+    return util::Status(util::StatusCode::kInvalidOutput, std::move(detail));
+  }
+  return std::move(result.unit);
 }
 
 }  // namespace sca::ast

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ast/ast.hpp"
+#include "util/status.hpp"
 
 namespace sca::ast {
 
@@ -29,7 +30,17 @@ struct ParseResult {
   bool clean = true;
 };
 
-/// Parses a whole source file. Never throws.
+/// Parses a whole source file. Never throws — malformed, truncated or
+/// garbage input degrades into OpaqueStmt fallbacks plus warnings, and
+/// adversarial nesting is cut off by an internal recursion ceiling.
 [[nodiscard]] ParseResult parse(std::string_view source);
+
+/// Strict front door for validating model output: OK only when the source
+/// parses with zero warnings and zero fallbacks (ParseResult::clean). The
+/// error Status is kInvalidOutput and carries the first warning — this is
+/// what the resilience layer's validator and any pipeline stage that must
+/// not ingest garbage call.
+[[nodiscard]] util::Result<TranslationUnit> parseStrict(
+    std::string_view source);
 
 }  // namespace sca::ast

@@ -1,0 +1,159 @@
+#include "llm/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/io.hpp"
+#include "util/strings.hpp"
+
+namespace sca::llm {
+namespace {
+
+constexpr std::string_view kMagic = "sca-chain-v1";
+
+std::string hex64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, value);
+  return buffer;
+}
+
+/// Extracts the string value of `"field":"..."` from a JSONL record,
+/// honoring backslash escapes. Empty optional-style: returns false when
+/// the field is absent or the record is torn.
+bool extractString(const std::string& line, std::string_view field,
+                   std::string* out) {
+  const std::string needle = "\"" + std::string(field) + "\":\"";
+  const std::size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  std::size_t i = start + needle.size();
+  std::string raw;
+  while (i < line.size()) {
+    if (line[i] == '\\') {
+      if (i + 1 >= line.size()) return false;  // torn mid-escape
+      raw += line[i];
+      raw += line[i + 1];
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"') {
+      *out = util::jsonUnescape(raw);
+      return true;
+    }
+    raw += line[i];
+    ++i;
+  }
+  return false;  // unterminated string: torn record
+}
+
+bool extractInt(const std::string& line, std::string_view field,
+                long long* out) {
+  const std::string needle = "\"" + std::string(field) + "\":";
+  const std::size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  const char* begin = line.c_str() + start + needle.size();
+  char* end = nullptr;
+  const long long value = std::strtoll(begin, &end, 10);
+  if (end == begin) return false;
+  *out = value;
+  return true;
+}
+
+util::Status stale(const std::string& why) {
+  return util::Status(util::StatusCode::kDataLoss, why);
+}
+
+}  // namespace
+
+std::string chainCheckpointPath(const std::string& dir, const ChainKey& key) {
+  return dir + "/chain_y" + std::to_string(key.year) + "_s" +
+         std::to_string(key.settingIndex) + "_c" +
+         std::to_string(key.challenge) + ".jsonl";
+}
+
+util::Status writeChainCheckpoint(const std::string& dir, const ChainKey& key,
+                                  const std::vector<std::string>& outputs) {
+  std::string content;
+  content.reserve(256 + outputs.size() * 64);
+  content += "{\"magic\":\"";
+  content += kMagic;
+  content += "\",\"year\":" + std::to_string(key.year);
+  content += ",\"setting\":\"" + util::jsonEscape(key.settingLabel) + "\"";
+  content += ",\"challenge\":" + std::to_string(key.challenge);
+  content += ",\"steps\":" + std::to_string(key.steps);
+  content += ",\"origin_hash\":\"" + hex64(key.originHash) + "\"";
+  content += ",\"fault_rate\":\"" + util::formatDouble(key.faultRate, 6) +
+             "\"}\n";
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    content += "{\"step\":" + std::to_string(i + 1) + ",\"source\":\"" +
+               util::jsonEscape(outputs[i]) + "\"}\n";
+  }
+  return util::atomicWriteFile(chainCheckpointPath(dir, key), content);
+}
+
+util::Result<std::vector<std::string>> loadChainCheckpoint(
+    const std::string& dir, const ChainKey& key) {
+  const std::string path = chainCheckpointPath(dir, key);
+  util::Result<std::string> file = util::readFile(path);
+  if (!file.ok()) return file.status();
+
+  const std::vector<std::string> lines = util::split(file.value(), '\n');
+  if (lines.empty()) return stale("empty checkpoint " + path);
+
+  // Header validation: every mismatch means "recompute", never "trust".
+  const std::string& header = lines[0];
+  std::string magic;
+  std::string setting;
+  std::string originHash;
+  std::string faultRate;
+  long long year = 0;
+  long long challenge = 0;
+  long long steps = 0;
+  if (!extractString(header, "magic", &magic) || magic != kMagic) {
+    return stale("bad magic in " + path);
+  }
+  if (!extractInt(header, "year", &year) || year != key.year) {
+    return stale("year mismatch in " + path);
+  }
+  if (!extractString(header, "setting", &setting) ||
+      setting != key.settingLabel) {
+    return stale("setting mismatch in " + path);
+  }
+  if (!extractInt(header, "challenge", &challenge) ||
+      challenge != key.challenge) {
+    return stale("challenge mismatch in " + path);
+  }
+  if (!extractInt(header, "steps", &steps) ||
+      steps != static_cast<long long>(key.steps)) {
+    return stale("step count mismatch in " + path);
+  }
+  if (!extractString(header, "origin_hash", &originHash) ||
+      originHash != hex64(key.originHash)) {
+    return stale("origin hash mismatch in " + path);
+  }
+  if (!extractString(header, "fault_rate", &faultRate) ||
+      faultRate != util::formatDouble(key.faultRate, 6)) {
+    return stale("fault rate mismatch in " + path);
+  }
+
+  std::vector<std::string> outputs;
+  outputs.reserve(key.steps);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;  // trailing newline
+    long long step = 0;
+    std::string source;
+    if (!extractInt(lines[i], "step", &step) ||
+        step != static_cast<long long>(outputs.size()) + 1 ||
+        !extractString(lines[i], "source", &source)) {
+      return stale("torn record at line " + std::to_string(i + 1) + " of " +
+                   path);
+    }
+    outputs.push_back(std::move(source));
+  }
+  if (outputs.size() != key.steps) {
+    return stale("incomplete chain in " + path);
+  }
+  return outputs;
+}
+
+}  // namespace sca::llm

@@ -1,0 +1,61 @@
+// Crash-safe checkpointing for buildTransformedDataset.
+//
+// A full Table II build is 4 settings x 8 challenges x 50 transformation
+// steps per year — against a real API, hours of work that a kill should
+// not throw away. The unit of checkpointing is one (setting, challenge)
+// chain: chains are independently seeded conversations, so a chain loaded
+// from disk is byte-identical to the chain recomputed, and a resumed build
+// equals an uninterrupted one bit for bit.
+//
+// Format: one JSONL file per chain in the checkpoint directory,
+//
+//   chain_y<year>_s<settingIndex>_c<challenge>.jsonl
+//     {"magic":"sca-chain-v1","year":2017,"setting":"+N","challenge":0,
+//      "steps":50,"origin_hash":"accf61...","fault_rate":"0.050000"}
+//     {"step":1,"source":"#include <bits\/stdc++.h>\n..."}
+//     ...
+//
+// The header pins everything the chain's bytes depend on: corpus year,
+// setting, challenge, step count, a hash of the original code (guards
+// against a corpus change making the checkpoint stale) and the fault rate
+// (degraded outputs depend on it). Any mismatch, short file, or torn line
+// invalidates the checkpoint — the chain is simply recomputed. Files are
+// written with util::atomicWriteFile, so a kill leaves no torn file, only
+// a missing one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sca::llm {
+
+struct ChainKey {
+  int year = 0;
+  std::size_t settingIndex = 0;  // index into allSettings() order
+  std::string settingLabel;      // "+N", "+C", "~N", "~C"
+  int challenge = 0;
+  std::size_t steps = 0;
+  std::uint64_t originHash = 0;  // util::hash64 of the chain's original
+  double faultRate = 0.0;
+};
+
+/// The checkpoint file path for a chain (inside `dir`).
+[[nodiscard]] std::string chainCheckpointPath(const std::string& dir,
+                                              const ChainKey& key);
+
+/// Atomically persists a completed chain. Failure is non-fatal to the
+/// build — the caller logs and moves on.
+[[nodiscard]] util::Status writeChainCheckpoint(
+    const std::string& dir, const ChainKey& key,
+    const std::vector<std::string>& outputs);
+
+/// Loads a chain if a valid, complete checkpoint matching `key` exists;
+/// kDataLoss otherwise (missing file, stale header, wrong step count,
+/// torn record).
+[[nodiscard]] util::Result<std::vector<std::string>> loadChainCheckpoint(
+    const std::string& dir, const ChainKey& key);
+
+}  // namespace sca::llm

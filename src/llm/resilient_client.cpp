@@ -1,0 +1,158 @@
+#include "llm/resilient_client.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ast/parser.hpp"
+#include "runtime/timer.hpp"
+#include "util/strings.hpp"
+
+namespace sca::llm {
+namespace {
+
+/// Refusals open with an apology in every provider's house style.
+bool looksLikeRefusal(const std::string& output) {
+  return util::startsWith(output, "I'm sorry") ||
+         util::startsWith(output, "I am sorry") ||
+         util::startsWith(output, "Sorry,");
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(LlmClient& inner, RetryPolicy retry,
+                                 BreakerPolicy breaker,
+                                 ValidationPolicy validation)
+    : inner_(inner),
+      retry_(retry),
+      breaker_(breaker),
+      validation_(validation),
+      jitterRng_(util::combine64(util::hash64("retry-jitter"), retry.seed)),
+      sleeper_([](double) {}) {}
+
+double ResilientClient::baseDelayFor(int retryIndex) const noexcept {
+  const double delay =
+      retry_.baseDelaySeconds *
+      std::pow(retry_.backoffMultiplier, static_cast<double>(retryIndex));
+  return std::min(delay, retry_.maxDelaySeconds);
+}
+
+util::Status ResilientClient::validate(const std::string& output) const {
+  if (validation_.rejectEmptyOrRefusal) {
+    if (output.empty()) {
+      return util::Status(util::StatusCode::kEmptyResponse,
+                          "empty completion");
+    }
+    if (looksLikeRefusal(output)) {
+      return util::Status(util::StatusCode::kEmptyResponse, "refusal");
+    }
+  }
+  if (validation_.requireCleanParse) {
+    const ast::ParseResult parsed = ast::parse(output);
+    if (!parsed.clean) {
+      std::string detail = "completion does not re-parse cleanly";
+      if (!parsed.warnings.empty()) {
+        detail += ": " + parsed.warnings.front();
+      }
+      return util::Status(util::StatusCode::kInvalidOutput, detail);
+    }
+  }
+  return util::Status::ok();
+}
+
+void ResilientClient::noteFailure() {
+  if (state_ == BreakerState::HalfOpen) {
+    // Failed probe: straight back to open, cooldown restarts.
+    state_ = BreakerState::Open;
+    openFastFails_ = 0;
+    return;
+  }
+  if (state_ == BreakerState::Closed) {
+    if (++consecutiveFailures_ >= breaker_.failureThreshold) {
+      state_ = BreakerState::Open;
+      openFastFails_ = 0;
+      consecutiveFailures_ = 0;
+      ++stats_.breakerOpens;
+      runtime::Counters::global().add("llm_breaker_opens");
+    }
+  }
+}
+
+void ResilientClient::noteSuccess() {
+  state_ = BreakerState::Closed;
+  consecutiveFailures_ = 0;
+  openFastFails_ = 0;
+}
+
+util::Result<std::string> ResilientClient::perform(
+    const std::function<util::Result<std::string>()>& request) {
+  ++stats_.requests;
+  util::Status last(util::StatusCode::kInternal, "no attempt made");
+
+  for (int attempt = 0; attempt < retry_.maxAttempts; ++attempt) {
+    if (attempt > 0) {
+      // Retrying costs budget; once the budget is gone the failure is
+      // final and the caller's degradation policy takes over.
+      if (retriesUsed_ >= retry_.retryBudget) {
+        ++stats_.budgetExhaustions;
+        runtime::Counters::global().add("llm_budget_exhaustions");
+        return util::Status(util::StatusCode::kResourceExhausted,
+                            "retry budget spent; last error: " +
+                                last.toString());
+      }
+      ++retriesUsed_;
+      ++stats_.retries;
+      runtime::Counters::global().add("llm_retries");
+
+      double delay = baseDelayFor(attempt - 1);
+      delay *= 1.0 + jitterRng_.uniformReal(-retry_.jitterFraction,
+                                            retry_.jitterFraction);
+      stats_.simulatedBackoffSeconds += delay;
+      if (backoffLog_.size() < 4096) backoffLog_.push_back(delay);
+      runtime::PhaseTimes::global().add("llm_backoff_sim", delay);
+      sleeper_(delay);
+    }
+    ++stats_.attempts;
+
+    // Circuit gate: an open circuit fails attempts fast until the
+    // cooldown admits a half-open probe.
+    if (state_ == BreakerState::Open) {
+      if (openFastFails_ < breaker_.cooldownAttempts) {
+        ++openFastFails_;
+        ++stats_.breakerFastFails;
+        last = util::Status(util::StatusCode::kUnavailable, "circuit open");
+        continue;
+      }
+      state_ = BreakerState::HalfOpen;
+    }
+
+    util::Result<std::string> result = request();
+    if (result.ok()) {
+      util::Status verdict = validate(result.value());
+      if (verdict.isOk()) {
+        noteSuccess();
+        return result;
+      }
+      ++stats_.validationFailures;
+      runtime::Counters::global().add("llm_validation_failures");
+      last = verdict;
+    } else {
+      last = result.status();
+    }
+    noteFailure();
+    if (!last.retryable()) return last;
+  }
+  return util::Status(util::StatusCode::kResourceExhausted,
+                      "attempts exhausted; last error: " + last.toString());
+}
+
+util::Result<std::string> ResilientClient::tryGenerate(
+    const corpus::Challenge& challenge) {
+  return perform([&] { return inner_.tryGenerate(challenge); });
+}
+
+util::Result<std::string> ResilientClient::tryTransform(
+    const std::string& source) {
+  return perform([&] { return inner_.tryTransform(source); });
+}
+
+}  // namespace sca::llm

@@ -1,0 +1,133 @@
+// ResilientClient: retry, circuit breaking, budgets and output validation
+// around any LlmClient.
+//
+// The layer turns the transient failures a real API emits (see
+// fault_injection.hpp for the taxonomy) into either a good completion or a
+// single, final Status the caller can degrade on. Four mechanisms:
+//
+//   * Retry with exponential backoff + deterministic jitter. Delays follow
+//     base * multiplier^k capped at max, each multiplied by a jitter factor
+//     drawn from a seeded stream — the schedule is a pure function of the
+//     seed, so reruns retry at identical (simulated) instants. Against the
+//     in-process model the delays are accounted, not slept: they accrue to
+//     the "llm_backoff_sim" phase and stats().simulatedBackoffSeconds; a
+//     real backend would install a sleeper via setSleeper().
+//
+//   * Circuit breaker, call-count based for determinism (wall-clock
+//     cooldowns would make reruns diverge). `failureThreshold` consecutive
+//     attempt failures open the circuit; while open, attempts fail fast
+//     with kUnavailable; after `cooldownAttempts` rejected attempts the
+//     circuit goes half-open and admits one probe — success closes it,
+//     failure re-opens it.
+//
+//   * Retry budget: a per-client cap on total retries across its lifetime,
+//     so a persistently bad backend cannot stall a chain forever. On
+//     exhaustion every subsequent failure is final (kResourceExhausted).
+//
+//   * Output validation: an OK completion is rejected (kEmptyResponse /
+//     kInvalidOutput) when it is empty, a refusal, or no longer parses
+//     cleanly through ast::parse — the contract a transformation must keep
+//     for the stylometry pipeline to measure anything.
+//
+// Instances are not thread-safe; the pipeline builds one client stack per
+// transformation chain (one conversation), which is also what keeps every
+// stream deterministic per (setting, challenge) task.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "llm/client.hpp"
+#include "util/rng.hpp"
+
+namespace sca::llm {
+
+struct RetryPolicy {
+  int maxAttempts = 6;             // first try + up to 5 retries per request
+  double baseDelaySeconds = 0.5;
+  double maxDelaySeconds = 30.0;
+  double backoffMultiplier = 2.0;
+  double jitterFraction = 0.25;    // delay *= 1 + U(-j, +j), deterministic
+  std::uint64_t seed = 1;          // jitter stream
+  std::uint64_t retryBudget = 256; // total retries over the client lifetime
+};
+
+struct BreakerPolicy {
+  int failureThreshold = 8;  // consecutive attempt failures -> open
+  int cooldownAttempts = 4;  // fast-fails while open before half-open probe
+};
+
+struct ValidationPolicy {
+  bool rejectEmptyOrRefusal = true;
+  bool requireCleanParse = true;  // re-parse via ast::parse, require clean
+};
+
+class ResilientClient : public LlmClient {
+ public:
+  enum class BreakerState { Closed, Open, HalfOpen };
+
+  ResilientClient(LlmClient& inner, RetryPolicy retry,
+                  BreakerPolicy breaker = {}, ValidationPolicy validation = {});
+
+  [[nodiscard]] util::Result<std::string> tryGenerate(
+      const corpus::Challenge& challenge) override;
+  [[nodiscard]] util::Result<std::string> tryTransform(
+      const std::string& source) override;
+  [[nodiscard]] std::string_view describe() const override {
+    return "resilient";
+  }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t validationFailures = 0;
+    std::uint64_t breakerOpens = 0;
+    std::uint64_t breakerFastFails = 0;
+    std::uint64_t budgetExhaustions = 0;
+    double simulatedBackoffSeconds = 0.0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] BreakerState breakerState() const noexcept { return state_; }
+
+  /// Every backoff delay issued so far, in order (capped at 4096 entries) —
+  /// the observable for schedule-determinism tests.
+  [[nodiscard]] const std::vector<double>& backoffLog() const noexcept {
+    return backoffLog_;
+  }
+
+  /// Replaces the no-op sleeper (a real backend would pass
+  /// std::this_thread::sleep_for here; tests pass a recorder).
+  void setSleeper(std::function<void(double)> sleeper) {
+    sleeper_ = std::move(sleeper);
+  }
+
+  /// The undecorated backoff curve: base * multiplier^retryIndex, capped.
+  /// Jitter is applied on top by the seeded stream at call time.
+  [[nodiscard]] double baseDelayFor(int retryIndex) const noexcept;
+
+ private:
+  [[nodiscard]] util::Status validate(const std::string& output) const;
+  [[nodiscard]] util::Result<std::string> perform(
+      const std::function<util::Result<std::string>()>& request);
+  void noteFailure();
+  void noteSuccess();
+
+  LlmClient& inner_;
+  RetryPolicy retry_;
+  BreakerPolicy breaker_;
+  ValidationPolicy validation_;
+  util::Rng jitterRng_;
+  std::function<void(double)> sleeper_;
+
+  BreakerState state_ = BreakerState::Closed;
+  int consecutiveFailures_ = 0;
+  int openFastFails_ = 0;
+  std::uint64_t retriesUsed_ = 0;
+  Stats stats_;
+  std::vector<double> backoffLog_;
+};
+
+}  // namespace sca::llm

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "corpus/challenges.hpp"
+#include "llm/client.hpp"
 #include "style/profile.hpp"
 #include "util/rng.hpp"
 
@@ -47,7 +48,7 @@ struct LlmOptions {
   double explorationTemper = 1.0; // exponent on weights for unfamiliar input
 };
 
-class SyntheticLlm {
+class SyntheticLlm : public LlmClient {
  public:
   explicit SyntheticLlm(LlmOptions options);
 
@@ -58,6 +59,22 @@ class SyntheticLlm {
   /// "Transform this code: change variable and function names, code
   /// structure, and so on, keeping behaviour identical." (paper Fig. 1 (2)).
   [[nodiscard]] std::string transform(const std::string& source);
+
+  // LlmClient: the in-process model is the always-healthy backend — its
+  // fallible face simply wraps the infallible calls, so the call sequence
+  // (and therefore every byte of output) is identical whether the pipeline
+  // holds a SyntheticLlm or an undecorated LlmClient.
+  [[nodiscard]] util::Result<std::string> tryGenerate(
+      const corpus::Challenge& challenge) override {
+    return generate(challenge);
+  }
+  [[nodiscard]] util::Result<std::string> tryTransform(
+      const std::string& source) override {
+    return transform(source);
+  }
+  [[nodiscard]] std::string_view describe() const override {
+    return "synthetic";
+  }
 
   /// Index of the archetype used by the most recent generate/transform —
   /// exposed for analyses and tests, never used by the attribution models.

@@ -27,4 +27,35 @@ void PhaseTimes::reset() {
   seconds_.clear();
 }
 
+Counters& Counters::global() {
+  static Counters instance;
+  return instance;
+}
+
+void Counters::add(std::string_view key, std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counts_.find(key);
+  if (it == counts_.end()) {
+    counts_.emplace(std::string(key), count);
+  } else {
+    it->second += count;
+  }
+}
+
+std::map<std::string, std::uint64_t> Counters::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {counts_.begin(), counts_.end()};
+}
+
+std::uint64_t Counters::value(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void Counters::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_.clear();
+}
+
 }  // namespace sca::runtime

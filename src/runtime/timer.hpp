@@ -12,6 +12,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -37,6 +38,34 @@ class PhaseTimes {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, double, std::less<>> seconds_;
+};
+
+/// Event counters, the integer sibling of PhaseTimes: resilience and
+/// checkpoint events ("llm_retries", "llm_faults_timeout",
+/// "llm_degraded_steps", "ckpt_chains_loaded", ...) accumulate here and are
+/// emitted as a "counters" object in each bench_times.json record. Counts
+/// are additive and order-independent, so they are identical for every
+/// SCA_THREADS value, like the phase seconds.
+class Counters {
+ public:
+  /// The process-global registry.
+  [[nodiscard]] static Counters& global();
+
+  /// Adds `count` onto `key`.
+  void add(std::string_view key, std::uint64_t count = 1);
+
+  /// Key -> accumulated count, for reporting.
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
+
+  /// Total for one key (0 if never counted) — convenience for tests.
+  [[nodiscard]] std::uint64_t value(std::string_view key) const;
+
+  /// Clears all counters (emit() resets after writing, like PhaseTimes).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
 };
 
 /// RAII: adds the scope's wall time to PhaseTimes::global() on destruction.

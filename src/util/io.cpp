@@ -1,0 +1,115 @@
+#include "util/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sca::util {
+namespace {
+
+Status errnoStatus(const std::string& what, const std::string& path) {
+  return Status(StatusCode::kInternal,
+                what + " " + path + ": " + std::strerror(errno));
+}
+
+void ensureParentDir(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+}
+
+/// Distinct temp names let two processes atomically replace the same target
+/// without clobbering each other's in-flight temp file.
+std::string tempNameFor(const std::string& path) {
+  static std::atomic<unsigned> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+Status atomicWriteFile(const std::string& path, std::string_view content) {
+  ensureParentDir(path);
+  const std::string temp = tempNameFor(path);
+
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errnoStatus("open", temp);
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = errnoStatus("write", temp);
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return status;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Flush file data before the rename publishes it: after a crash the
+  // target must never name an empty or partial inode.
+  if (::fsync(fd) != 0) {
+    const Status status = errnoStatus("fsync", temp);
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    const Status status = errnoStatus("close", temp);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const Status status = errnoStatus("rename", temp);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  return Status::ok();
+}
+
+Status appendLine(const std::string& path, std::string_view line) {
+  ensureParentDir(path);
+  std::string record(line);
+  if (record.empty() || record.back() != '\n') record += '\n';
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errnoStatus("open", path);
+
+  // One write() call for the whole record: O_APPEND makes the offset
+  // adjustment + write atomic with respect to other appenders.
+  ssize_t n;
+  do {
+    n = ::write(fd, record.data(), record.size());
+  } while (n < 0 && errno == EINTR);
+
+  Status status = Status::ok();
+  if (n < 0 || static_cast<std::size_t>(n) != record.size()) {
+    status = errnoStatus("append", path);
+  }
+  ::close(fd);
+  return status;
+}
+
+Result<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(StatusCode::kDataLoss, "cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status(StatusCode::kDataLoss, "read failed for " + path);
+  }
+  return buffer.str();
+}
+
+}  // namespace sca::util

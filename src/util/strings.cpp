@@ -149,4 +149,70 @@ std::string formatDouble(double value, int precision) {
   return buffer;
 }
 
+std::string jsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonUnescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (i + 1 >= text.size()) break;  // lone trailing backslash
+    ++i;
+    switch (text[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u':
+        if (i + 4 < text.size()) {
+          unsigned value = 0;
+          bool valid = true;
+          for (std::size_t k = 1; k <= 4; ++k) {
+            const char h = text[i + k];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else { valid = false; break; }
+          }
+          if (valid && value < 0x80) {
+            out += static_cast<char>(value);
+            i += 4;
+            break;
+          }
+        }
+        out += 'u';
+        break;
+      default: out += text[i];
+    }
+  }
+  return out;
+}
+
 }  // namespace sca::util

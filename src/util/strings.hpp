@@ -46,4 +46,14 @@ namespace sca::util {
 /// Formats a double with fixed precision (locale-independent).
 [[nodiscard]] std::string formatDouble(double value, int precision);
 
+/// Escapes a string for inclusion inside a JSON string literal: quotes,
+/// backslashes, and control characters (\n, \t, \r, and \u00XX for the
+/// rest). The result round-trips through jsonUnescape.
+[[nodiscard]] std::string jsonEscape(std::string_view text);
+
+/// Inverse of jsonEscape over its output (also accepts the standard JSON
+/// escapes \/ \b \f). Unknown escapes are kept verbatim without the
+/// backslash; a trailing lone backslash is dropped.
+[[nodiscard]] std::string jsonUnescape(std::string_view text);
+
 }  // namespace sca::util

@@ -1,0 +1,187 @@
+// Robustness stress for ast::parse: the attribution pipeline must accept
+// arbitrary adversarial input, so the parser must never crash, throw, or
+// loop forever — it degrades into OpaqueStmt fallbacks plus warnings.
+//
+// The corpus here is every archetype rendering of a real challenge, mutated
+// by randomized token deletion/duplication, truncation at every byte
+// boundary class, and raw byte garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ast/parser.hpp"
+#include "ast/render.hpp"
+#include "corpus/challenges.hpp"
+#include "lexer/lexer.hpp"
+#include "style/apply.hpp"
+#include "style/archetypes.hpp"
+#include "util/rng.hpp"
+
+namespace sca::ast {
+namespace {
+
+/// One source rendering per archetype: the realistic input space.
+std::vector<std::string> archetypeRenderings() {
+  std::vector<std::string> sources;
+  const corpus::Challenge& challenge = corpus::challengeById("race");
+  const std::vector<style::StyleProfile>& pool = style::archetypePool();
+  sources.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    util::Rng rng(util::combine64(util::hash64("parser-fuzz"), i));
+    sources.push_back(style::applyStyle(challenge.ir, pool[i], rng));
+  }
+  return sources;
+}
+
+/// Re-spells one token so a mutated token stream can be turned back into
+/// source text the lexer will accept.
+std::string spell(const lexer::Token& token) {
+  switch (token.kind) {
+    case lexer::TokenKind::LineComment:
+      return "//" + token.text + "\n";
+    case lexer::TokenKind::BlockComment:
+      return "/*" + token.text + "*/";
+    case lexer::TokenKind::Preprocessor:
+      return "\n" + token.text + "\n";
+    case lexer::TokenKind::StringLiteral:
+    case lexer::TokenKind::CharLiteral:
+    default:
+      return token.text;
+  }
+}
+
+std::string joinTokens(const std::vector<lexer::Token>& tokens) {
+  std::string out;
+  for (const lexer::Token& token : tokens) {
+    if (token.is(lexer::TokenKind::EndOfFile)) break;
+    out += spell(token);
+    out += ' ';
+  }
+  return out;
+}
+
+/// Deletes or duplicates `mutations` randomly chosen tokens.
+std::string mutateTokens(const std::string& source, util::Rng& rng,
+                         int mutations) {
+  std::vector<lexer::Token> tokens = lexer::tokenize(source);
+  for (int m = 0; m < mutations && tokens.size() > 2; ++m) {
+    const auto index = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(tokens.size()) - 2));
+    if (rng.uniformReal(0.0, 1.0) < 0.5) {
+      tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(index));
+    } else {
+      tokens.insert(tokens.begin() + static_cast<std::ptrdiff_t>(index),
+                    tokens[index]);
+    }
+  }
+  return joinTokens(tokens);
+}
+
+/// The invariant under test: parse() returns (no crash, no throw), and a
+/// non-clean result carries at least one warning explaining itself.
+void expectSurvives(const std::string& source) {
+  const ParseResult result = parse(source);
+  if (!result.clean) {
+    EXPECT_FALSE(result.warnings.empty()) << source.substr(0, 120);
+  }
+}
+
+TEST(ParserFuzz, CleanRenderingsStayClean) {
+  for (const std::string& source : archetypeRenderings()) {
+    const ParseResult result = parse(source);
+    EXPECT_TRUE(result.clean) << source.substr(0, 120);
+  }
+}
+
+TEST(ParserFuzz, SurvivesTokenDeletionAndDuplication) {
+  const std::vector<std::string> sources = archetypeRenderings();
+  util::Rng rng(util::hash64("token-mutation"));
+  for (const std::string& source : sources) {
+    for (int round = 0; round < 24; ++round) {
+      // Escalating damage: 1 mutation (nearly valid) up to 24 (shredded).
+      expectSurvives(mutateTokens(source, rng, 1 + round));
+    }
+  }
+}
+
+TEST(ParserFuzz, SurvivesTruncationAtEveryPrefix) {
+  const std::vector<std::string> sources = archetypeRenderings();
+  for (std::size_t i = 0; i < 2 && i < sources.size(); ++i) {
+    const std::string& source = sources[i];
+    for (std::size_t cut = 0; cut <= source.size(); ++cut) {
+      expectSurvives(source.substr(0, cut));
+    }
+  }
+}
+
+TEST(ParserFuzz, SurvivesRawByteGarbage) {
+  util::Rng rng(util::hash64("byte-garbage"));
+  for (int round = 0; round < 64; ++round) {
+    std::string junk;
+    const auto length = static_cast<std::size_t>(rng.uniformInt(0, 512));
+    junk.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      junk.push_back(static_cast<char>(rng.uniformInt(1, 255)));
+    }
+    expectSurvives(junk);
+  }
+}
+
+TEST(ParserFuzz, DeepNestingHitsTheCeilingNotTheStack) {
+  // Way past kMaxDepth: without the recursion guard each of these would
+  // overflow the stack; with it they must come back as non-clean parses.
+  const int depth = 20000;
+
+  std::string parens = "int main() {\n    int x = ";
+  parens.append(static_cast<std::size_t>(depth), '(');
+  parens += "1";
+  parens.append(static_cast<std::size_t>(depth), ')');
+  parens += ";\n    return 0;\n}\n";
+  EXPECT_FALSE(parse(parens).clean);
+
+  std::string unary = "int main() {\n    int x = ";
+  for (int i = 0; i < depth; ++i) unary += '!';
+  unary += "1;\n    return 0;\n}\n";
+  EXPECT_FALSE(parse(unary).clean);
+
+  std::string blocks = "int main() {\n";
+  for (int i = 0; i < depth; ++i) blocks += '{';
+  for (int i = 0; i < depth; ++i) blocks += '}';
+  blocks += "\n    return 0;\n}\n";
+  expectSurvives(blocks);
+
+  std::string vectors = "int main() {\n    ";
+  for (int i = 0; i < depth; ++i) vectors += "vector<";
+  vectors += "int";
+  for (int i = 0; i < depth; ++i) vectors += '>';
+  vectors += " v;\n    return 0;\n}\n";
+  expectSurvives(vectors);
+}
+
+TEST(ParserFuzz, ParseStrictContract) {
+  const auto ok = parseStrict("int main() {\n    return 0;\n}\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().functions.size(), 1u);
+
+  const auto truncated = parseStrict("int main() {\n    int x = ");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), util::StatusCode::kInvalidOutput);
+  EXPECT_FALSE(truncated.status().message().empty());
+
+  EXPECT_FALSE(parseStrict("@@ garbled completion @@").ok());
+}
+
+TEST(ParserFuzz, ParseIsDeterministic) {
+  // Same bytes in -> same warnings out, independent of prior parses.
+  util::Rng rng(util::hash64("determinism-fuzz"));
+  const std::string mutated =
+      mutateTokens(archetypeRenderings().front(), rng, 8);
+  const ParseResult a = parse(mutated);
+  const ParseResult b = parse(mutated);
+  EXPECT_EQ(a.clean, b.clean);
+  EXPECT_EQ(a.warnings, b.warnings);
+}
+
+}  // namespace
+}  // namespace sca::ast

@@ -1,0 +1,564 @@
+// Tests for the resilience layer: Status/Result plumbing, deterministic
+// fault injection, retry/backoff schedules, the circuit breaker state
+// machine, graceful degradation, and checkpoint/resume bit-identity.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "ast/parser.hpp"
+#include "corpus/dataset.hpp"
+#include "llm/checkpoint.hpp"
+#include "llm/client.hpp"
+#include "llm/fault_injection.hpp"
+#include "llm/pipelines.hpp"
+#include "llm/resilient_client.hpp"
+#include "llm/synthetic_llm.hpp"
+#include "util/io.hpp"
+#include "util/status.hpp"
+
+namespace sca::llm {
+namespace {
+
+/// A minimal completion that passes the resilient validator.
+constexpr std::string_view kGoodSource =
+    "int main() {\n    int x = 1;\n    return 0;\n}\n";
+
+/// Scripted backend: fails the first `failuresBeforeSuccess` attempts with
+/// `failure`, then succeeds forever with kGoodSource. Counts attempts.
+class ScriptedClient : public LlmClient {
+ public:
+  explicit ScriptedClient(int failuresBeforeSuccess = 0,
+                          util::Status failure = util::Status(
+                              util::StatusCode::kTimeout, "scripted"))
+      : remainingFailures_(failuresBeforeSuccess),
+        failure_(std::move(failure)) {}
+
+  util::Result<std::string> tryGenerate(const corpus::Challenge&) override {
+    return next();
+  }
+  util::Result<std::string> tryTransform(const std::string&) override {
+    return next();
+  }
+  [[nodiscard]] std::string_view describe() const override {
+    return "scripted";
+  }
+
+  int attempts = 0;
+
+ private:
+  util::Result<std::string> next() {
+    ++attempts;
+    if (remainingFailures_ > 0) {
+      --remainingFailures_;
+      return failure_;
+    }
+    return std::string(kGoodSource);
+  }
+
+  int remainingFailures_;
+  util::Status failure_;
+};
+
+/// A backend that always fails — for budget and degradation tests.
+class DeadClient : public LlmClient {
+ public:
+  util::Result<std::string> tryGenerate(const corpus::Challenge&) override {
+    ++attempts;
+    return util::Status(util::StatusCode::kTimeout, "dead");
+  }
+  util::Result<std::string> tryTransform(const std::string&) override {
+    ++attempts;
+    return util::Status(util::StatusCode::kTimeout, "dead");
+  }
+  [[nodiscard]] std::string_view describe() const override { return "dead"; }
+  int attempts = 0;
+};
+
+RetryPolicy fastRetry(std::uint64_t seed = 7) {
+  RetryPolicy policy;
+  policy.seed = seed;
+  return policy;
+}
+
+std::string tempDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("sca_" + name)).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ----------------------------------------------------------- Status/Result
+
+TEST(Status, DefaultIsOkAndCodesStringify) {
+  EXPECT_TRUE(util::Status().isOk());
+  const util::Status s(util::StatusCode::kRateLimited, "429");
+  EXPECT_FALSE(s.isOk());
+  EXPECT_EQ(s.toString(), "rate_limited: 429");
+  EXPECT_EQ(util::statusCodeName(util::StatusCode::kDataLoss), "data_loss");
+}
+
+TEST(Status, RetryableTaxonomy) {
+  using util::StatusCode;
+  EXPECT_TRUE(util::isRetryable(StatusCode::kTimeout));
+  EXPECT_TRUE(util::isRetryable(StatusCode::kRateLimited));
+  EXPECT_TRUE(util::isRetryable(StatusCode::kInvalidOutput));
+  EXPECT_FALSE(util::isRetryable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(util::isRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(util::isRetryable(StatusCode::kDataLoss));
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  util::Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(good.valueOr(-1), 42);
+
+  util::Result<int> bad(util::Status(util::StatusCode::kTimeout, "t"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kTimeout);
+  EXPECT_EQ(bad.valueOr(-1), -1);
+}
+
+// ------------------------------------------------------------ fault layer
+
+TEST(FaultInjection, ScaledMixSumsToTotal) {
+  const FaultOptions options = FaultOptions::scaled(0.05, 1);
+  EXPECT_NEAR(options.totalRate(), 0.05, 1e-12);
+  EXPECT_GT(options.timeoutRate, 0.0);
+  EXPECT_GT(options.garbageRate, 0.0);
+}
+
+TEST(FaultInjection, DeterministicUnderFixedSeed) {
+  for (int round = 0; round < 2; ++round) {
+    ScriptedClient innerA;
+    ScriptedClient innerB;
+    FaultInjectingClient a(innerA, FaultOptions::scaled(0.5, 99));
+    FaultInjectingClient b(innerB, FaultOptions::scaled(0.5, 99));
+    for (int i = 0; i < 64; ++i) {
+      const auto ra = a.tryTransform("int main() {}");
+      const auto rb = b.tryTransform("int main() {}");
+      ASSERT_EQ(ra.ok(), rb.ok()) << "attempt " << i;
+      if (ra.ok()) {
+        EXPECT_EQ(ra.value(), rb.value());
+      } else {
+        EXPECT_EQ(ra.status().code(), rb.status().code());
+      }
+    }
+    EXPECT_EQ(a.stats().total(), b.stats().total());
+    EXPECT_GT(a.stats().total(), 0u);
+  }
+}
+
+TEST(FaultInjection, PreCallFaultsNeverTouchTheModel) {
+  ScriptedClient inner;
+  FaultOptions options;
+  options.seed = 3;
+  options.timeoutRate = 0.6;
+  options.rateLimitRate = 0.4;  // every attempt faults before the call
+  FaultInjectingClient client(inner, options);
+  for (int i = 0; i < 32; ++i) {
+    const auto result = client.tryTransform("int main() {}");
+    EXPECT_FALSE(result.ok());
+  }
+  EXPECT_EQ(inner.attempts, 0);
+}
+
+TEST(FaultInjection, CorruptedCompletionIsStashedAndReplayed) {
+  ScriptedClient inner;
+  FaultOptions options;
+  options.seed = 11;
+  options.garbageRate = 1.0;  // first attempt always garbles
+  FaultInjectingClient client(inner, options);
+
+  const auto bad = client.tryTransform("int main() {}");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_NE(bad.value(), kGoodSource);
+  EXPECT_EQ(inner.attempts, 1);
+
+  // The retry of the same request is served the stashed good completion
+  // without advancing the model again.
+  const auto replay = client.tryTransform("int main() {}");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value(), kGoodSource);
+  EXPECT_EQ(inner.attempts, 1);
+}
+
+TEST(FaultInjection, CorruptionsNeverParseClean) {
+  SyntheticLlm llm([] {
+    LlmOptions o;
+    o.year = 2018;
+    o.seed = 21;
+    return o;
+  }());
+  const std::string good = llm.generate(corpus::challengeById("race"));
+  ASSERT_TRUE(ast::parse(good).clean);
+  for (const double fraction : {0.0, 0.3, 0.5, 0.7, 0.99}) {
+    const std::string cut =
+        FaultInjectingClient::truncateOutput(good, fraction);
+    EXPECT_FALSE(ast::parse(cut).clean && !cut.empty())
+        << "fraction " << fraction;
+  }
+  EXPECT_FALSE(ast::parse(FaultInjectingClient::garbleOutput(good)).clean);
+}
+
+// -------------------------------------------------------------- retries
+
+TEST(ResilientClient, RetriesUntilSuccess) {
+  ScriptedClient inner(3);
+  ResilientClient client(inner, fastRetry());
+  const auto result = client.tryTransform("x");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), kGoodSource);
+  EXPECT_EQ(inner.attempts, 4);
+  EXPECT_EQ(client.stats().retries, 3u);
+}
+
+TEST(ResilientClient, BackoffScheduleIsDeterministicUnderFixedSeed) {
+  ScriptedClient innerA(4);
+  ScriptedClient innerB(4);
+  ResilientClient a(innerA, fastRetry(123));
+  ResilientClient b(innerB, fastRetry(123));
+  ASSERT_TRUE(a.tryTransform("x").ok());
+  ASSERT_TRUE(b.tryTransform("x").ok());
+  ASSERT_EQ(a.backoffLog().size(), 4u);
+  EXPECT_EQ(a.backoffLog(), b.backoffLog());
+
+  // A different seed jitters differently around the same base curve.
+  ScriptedClient innerC(4);
+  ResilientClient c(innerC, fastRetry(456));
+  ASSERT_TRUE(c.tryTransform("x").ok());
+  EXPECT_NE(a.backoffLog(), c.backoffLog());
+}
+
+TEST(ResilientClient, BackoffCurveIsExponentialAndCapped) {
+  ScriptedClient inner;
+  RetryPolicy policy = fastRetry();
+  policy.baseDelaySeconds = 1.0;
+  policy.backoffMultiplier = 2.0;
+  policy.maxDelaySeconds = 8.0;
+  ResilientClient client(inner, policy);
+  EXPECT_DOUBLE_EQ(client.baseDelayFor(0), 1.0);
+  EXPECT_DOUBLE_EQ(client.baseDelayFor(1), 2.0);
+  EXPECT_DOUBLE_EQ(client.baseDelayFor(2), 4.0);
+  EXPECT_DOUBLE_EQ(client.baseDelayFor(3), 8.0);
+  EXPECT_DOUBLE_EQ(client.baseDelayFor(7), 8.0);  // capped
+
+  // Jitter stays inside the configured band around the base curve.
+  ScriptedClient flaky(3);
+  ResilientClient jittered(flaky, policy);
+  ASSERT_TRUE(jittered.tryTransform("x").ok());
+  for (std::size_t i = 0; i < jittered.backoffLog().size(); ++i) {
+    const double base = jittered.baseDelayFor(static_cast<int>(i));
+    EXPECT_GE(jittered.backoffLog()[i],
+              base * (1.0 - policy.jitterFraction));
+    EXPECT_LE(jittered.backoffLog()[i],
+              base * (1.0 + policy.jitterFraction));
+  }
+}
+
+TEST(ResilientClient, SleeperReceivesEveryBackoffDelay) {
+  ScriptedClient inner(2);
+  ResilientClient client(inner, fastRetry());
+  std::vector<double> slept;
+  client.setSleeper([&](double seconds) { slept.push_back(seconds); });
+  ASSERT_TRUE(client.tryTransform("x").ok());
+  EXPECT_EQ(slept, client.backoffLog());
+}
+
+TEST(ResilientClient, RetryBudgetExhaustionIsFinal) {
+  DeadClient inner;
+  RetryPolicy policy = fastRetry();
+  policy.maxAttempts = 4;
+  policy.retryBudget = 5;
+  ResilientClient client(inner, policy);
+
+  // First request: 4 attempts, 3 retries. Second request: budget allows 2
+  // more retries, then kResourceExhausted.
+  const auto first = client.tryTransform("x");
+  EXPECT_FALSE(first.ok());
+  const auto second = client.tryTransform("x");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(client.stats().retries, 5u);
+  EXPECT_EQ(client.stats().budgetExhaustions, 1u);
+
+  // Budget is spent: the next failure is immediately final.
+  const int attemptsBefore = inner.attempts;
+  const auto third = client.tryTransform("x");
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(inner.attempts, attemptsBefore + 1);
+}
+
+// ------------------------------------------------------- circuit breaker
+
+TEST(ResilientClient, BreakerOpensHalfOpensAndCloses) {
+  // 12 failures then success; threshold 3, cooldown 2, enough attempts for
+  // the whole arc to play out inside retry loops.
+  ScriptedClient inner(12);
+  RetryPolicy retry = fastRetry();
+  retry.maxAttempts = 40;
+  retry.retryBudget = 100;
+  BreakerPolicy breaker;
+  breaker.failureThreshold = 3;
+  breaker.cooldownAttempts = 2;
+  ResilientClient client(inner, retry, breaker);
+
+  EXPECT_EQ(client.breakerState(), ResilientClient::BreakerState::Closed);
+  const auto result = client.tryTransform("x");
+  ASSERT_TRUE(result.ok());
+  // Success closes the circuit again...
+  EXPECT_EQ(client.breakerState(), ResilientClient::BreakerState::Closed);
+  // ...but the arc passed through open at least once, fast-failing while
+  // open instead of hammering the backend.
+  EXPECT_GE(client.stats().breakerOpens, 1u);
+  EXPECT_GE(client.stats().breakerFastFails, 1u);
+  // Fast-fails do not reach the backend: 12 failures + probes + 1 success.
+  EXPECT_LT(inner.attempts,
+            static_cast<int>(client.stats().attempts));
+}
+
+TEST(ResilientClient, FailedProbeReopensTheCircuit) {
+  // threshold 2: two failures open it; cooldown 1: third attempt is the
+  // half-open probe, which also fails -> straight back to open.
+  DeadClient inner;
+  RetryPolicy retry = fastRetry();
+  retry.maxAttempts = 4;  // failures: real, real (open), fast-fail, probe
+  BreakerPolicy breaker;
+  breaker.failureThreshold = 2;
+  breaker.cooldownAttempts = 1;
+  ResilientClient client(inner, retry, breaker);
+  const auto result = client.tryTransform("x");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(client.breakerState(), ResilientClient::BreakerState::Open);
+  EXPECT_EQ(inner.attempts, 3);  // fast-fail attempt never reached it
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(ResilientClient, RejectsRefusalsAndGarbageThenRecovers) {
+  SyntheticLlm llm([] {
+    LlmOptions o;
+    o.year = 2017;
+    o.seed = 5;
+    return o;
+  }());
+  FaultOptions faults;
+  faults.seed = 17;
+  faults.emptyRate = 0.3;
+  faults.garbageRate = 0.3;
+  FaultInjectingClient faulty(llm, faults);
+  ResilientClient client(faulty, fastRetry());
+
+  const std::string original = llm.generate(corpus::challengeById("race"));
+  for (int i = 0; i < 20; ++i) {
+    const auto result = client.tryTransform(original);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_TRUE(ast::parse(result.value()).clean);
+  }
+  EXPECT_GT(client.stats().validationFailures, 0u);
+}
+
+// ----------------------------------------------------------- degradation
+
+TEST(TransformSchedules, NctDegradesToOriginal) {
+  DeadClient client;
+  const std::string original = "int main() {\n    return 0;\n}\n";
+  ResilientClient resilient(client, fastRetry());
+  const auto outputs = nonChainingTransform(resilient, original, 5);
+  ASSERT_TRUE(outputs.ok());
+  ASSERT_EQ(outputs.value().size(), 5u);
+  for (const std::string& out : outputs.value()) {
+    EXPECT_EQ(out, original);  // failed NCT step = untransformed original
+  }
+}
+
+TEST(TransformSchedules, CtDegradesToLastGoodOutput) {
+  // Succeeds twice, then dies: steps 3..5 must repeat step 2's output.
+  class TwoThenDead : public LlmClient {
+   public:
+    util::Result<std::string> tryGenerate(const corpus::Challenge&) override {
+      return util::Status(util::StatusCode::kInternal, "unused");
+    }
+    util::Result<std::string> tryTransform(const std::string&) override {
+      if (++calls <= 2) {
+        return "int main() {\n    int v" + std::to_string(calls) +
+               " = 0;\n    return 0;\n}\n";
+      }
+      return util::Status(util::StatusCode::kTimeout, "dead");
+    }
+    [[nodiscard]] std::string_view describe() const override { return "t"; }
+    int calls = 0;
+  };
+
+  TwoThenDead inner;
+  RetryPolicy policy = fastRetry();
+  policy.maxAttempts = 2;
+  policy.retryBudget = 2;
+  ResilientClient client(inner, policy);
+  const auto outputs =
+      chainingTransform(client, "int main() {\n    return 0;\n}\n", 5);
+  ASSERT_TRUE(outputs.ok());
+  const std::vector<std::string>& chain = outputs.value();
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_NE(chain[0], chain[1]);
+  EXPECT_EQ(chain[2], chain[1]);  // degraded: last good output
+  EXPECT_EQ(chain[3], chain[1]);
+  EXPECT_EQ(chain[4], chain[1]);
+}
+
+TEST(TransformSchedules, AbortPolicyPropagatesStatus) {
+  DeadClient client;
+  TransformPolicy policy;
+  policy.degradeOnFailure = false;
+  const auto result =
+      nonChainingTransform(client, "int main() {}", 3, policy);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kTimeout);
+}
+
+// ----------------------------------------------------------- checkpoints
+
+ChainKey testKey() {
+  ChainKey key;
+  key.year = 2018;
+  key.settingIndex = 1;
+  key.settingLabel = "+C";
+  key.challenge = 3;
+  key.steps = 3;
+  key.originHash = util::hash64("original");
+  key.faultRate = 0.05;
+  return key;
+}
+
+TEST(Checkpoint, RoundTripsExactBytes) {
+  const std::string dir = tempDir("ckpt_roundtrip");
+  const std::vector<std::string> outputs = {
+      "int main() {\n    return 0;\n}\n",
+      "line with \"quotes\" and \\ backslash\n\ttab",
+      "",
+  };
+  ASSERT_TRUE(writeChainCheckpoint(dir, testKey(), outputs).isOk());
+  const auto loaded = loadChainCheckpoint(dir, testKey());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+  EXPECT_EQ(loaded.value(), outputs);
+}
+
+TEST(Checkpoint, StaleHeadersAreRejected) {
+  const std::string dir = tempDir("ckpt_stale");
+  const std::vector<std::string> outputs = {"a", "b", "c"};
+  ASSERT_TRUE(writeChainCheckpoint(dir, testKey(), outputs).isOk());
+
+  ChainKey wrongSteps = testKey();
+  wrongSteps.steps = 4;
+  EXPECT_FALSE(loadChainCheckpoint(dir, wrongSteps).ok());
+
+  ChainKey wrongOrigin = testKey();
+  wrongOrigin.originHash = util::hash64("different original");
+  EXPECT_FALSE(loadChainCheckpoint(dir, wrongOrigin).ok());
+
+  ChainKey wrongRate = testKey();
+  wrongRate.faultRate = 0.0;
+  EXPECT_FALSE(loadChainCheckpoint(dir, wrongRate).ok());
+}
+
+TEST(Checkpoint, TornFilesAreRejected) {
+  const std::string dir = tempDir("ckpt_torn");
+  const std::vector<std::string> outputs = {"aaaa", "bbbb", "cccc"};
+  ASSERT_TRUE(writeChainCheckpoint(dir, testKey(), outputs).isOk());
+  const std::string path = chainCheckpointPath(dir, testKey());
+
+  // Simulate a kill mid-write of a non-atomic writer: chop the file mid
+  // final record.
+  const auto full = util::readFile(path);
+  ASSERT_TRUE(full.ok());
+  std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+  torn << full.value().substr(0, full.value().size() - 6);
+  torn.close();
+
+  EXPECT_FALSE(loadChainCheckpoint(dir, testKey()).ok());
+}
+
+TEST(Checkpoint, KillAndResumeIsBitIdentical) {
+  const corpus::YearDataset corpus = corpus::buildYearDataset(2018, 10);
+
+  BuildOptions plain;
+  plain.steps = 3;
+  const TransformedDataset uninterrupted =
+      buildTransformedDataset(corpus, plain);
+
+  // First run persists every chain.
+  BuildOptions checkpointed = plain;
+  checkpointed.checkpointDir = tempDir("ckpt_resume");
+  const TransformedDataset firstRun =
+      buildTransformedDataset(corpus, checkpointed);
+
+  // Simulate a mid-build kill: some chains checkpointed, one torn by a
+  // non-atomic writer, the rest never started.
+  std::size_t removed = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(checkpointed.checkpointDir)) {
+    if (removed < 5) {
+      std::filesystem::remove(entry.path());
+      ++removed;
+    } else if (removed == 5) {
+      std::ofstream torn(entry.path(), std::ios::binary | std::ios::trunc);
+      torn << "{\"magic\":\"sca-chain-v1\",\"year\":2018,\"set";
+      ++removed;
+    }
+  }
+  ASSERT_GE(removed, 6u);
+
+  const TransformedDataset resumed =
+      buildTransformedDataset(corpus, checkpointed);
+
+  ASSERT_EQ(resumed.samples.size(), uninterrupted.samples.size());
+  for (std::size_t i = 0; i < resumed.samples.size(); ++i) {
+    ASSERT_EQ(resumed.samples[i].source, uninterrupted.samples[i].source)
+        << "sample " << i;
+    ASSERT_EQ(resumed.samples[i].setting, uninterrupted.samples[i].setting);
+    ASSERT_EQ(resumed.samples[i].step, uninterrupted.samples[i].step);
+  }
+  ASSERT_EQ(firstRun.samples.size(), uninterrupted.samples.size());
+  for (std::size_t i = 0; i < firstRun.samples.size(); ++i) {
+    ASSERT_EQ(firstRun.samples[i].source, uninterrupted.samples[i].source);
+  }
+}
+
+// -------------------------------------------------- end-to-end invariants
+
+TEST(ResilientPipeline, FaultsOnReproducesFaultsOffByteForByte) {
+  const corpus::YearDataset corpus = corpus::buildYearDataset(2017, 10);
+
+  BuildOptions off;
+  off.steps = 3;
+  BuildOptions on = off;
+  on.faultRate = 0.05;
+
+  const TransformedDataset clean = buildTransformedDataset(corpus, off);
+  const TransformedDataset faulted = buildTransformedDataset(corpus, on);
+
+  ASSERT_EQ(clean.samples.size(), faulted.samples.size());
+  for (std::size_t i = 0; i < clean.samples.size(); ++i) {
+    ASSERT_EQ(clean.samples[i].source, faulted.samples[i].source)
+        << "sample " << i;
+  }
+}
+
+TEST(ResilientPipeline, HeavyFaultsStillCompleteEveryChain) {
+  const corpus::YearDataset corpus = corpus::buildYearDataset(2019, 10);
+  BuildOptions options;
+  options.steps = 2;
+  options.faultRate = 0.5;
+  const TransformedDataset dataset = buildTransformedDataset(corpus, options);
+  EXPECT_EQ(dataset.samples.size(),
+            corpus.challenges.size() * allSettings().size() * options.steps);
+  for (const TransformedSample& sample : dataset.samples) {
+    EXPECT_FALSE(sample.source.empty());
+  }
+}
+
+}  // namespace
+}  // namespace sca::llm

@@ -5,6 +5,10 @@
 #   2. ThreadSanitizer — the same suite under -fsanitize=thread, proving the
 #      shared runtime pool, the feature analysis cache and the parallel
 #      fold/forest paths are race-free.
+#   3. AddressSanitizer + fault injection — the same suite under
+#      -fsanitize=address with SCA_FAULT_RATE>0, so every env-driven
+#      pipeline exercises the fault-injection/retry/degradation stack and
+#      the parser-hardening paths while ASan watches for memory errors.
 #
 # Usage: tools/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -27,5 +31,11 @@ run_config build-release -DCMAKE_BUILD_TYPE=Release
 # from the caller's environment turn the parallel paths off.
 SCA_THREADS="${SCA_TSAN_THREADS:-4}" \
   run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCA_SANITIZE=thread
+# Faults-on pass: dataset builders read SCA_FAULT_RATE from the environment,
+# so the whole suite runs through the resilient client stack (injection,
+# retries, validation re-parses) under ASan. The determinism tests still
+# pass because retried output is byte-identical to a faults-off run.
+SCA_FAULT_RATE="${SCA_CI_FAULT_RATE:-0.05}" \
+  run_config build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCA_SANITIZE=address
 
 echo "=== ci ok ==="
