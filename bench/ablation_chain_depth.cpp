@@ -10,6 +10,7 @@
 #include "util/log.hpp"
 
 int main() {
+  sca::bench::Session session("ablation_chain_depth");
   using namespace sca;
   util::setLogLevel(util::LogLevel::Info);
   core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
@@ -56,5 +57,6 @@ int main() {
   bench::emit(table, "ablation_chain_depth");
   std::cout << "Converging curves confirm CT's absorbing behaviour "
                "(Table IV: +C averages stay near 1.5-2).\n";
+  session.complete();
   return 0;
 }

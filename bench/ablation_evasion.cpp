@@ -10,6 +10,7 @@
 #include "util/log.hpp"
 
 int main() {
+  sca::bench::Session session("ablation_evasion");
   using namespace sca;
   util::setLogLevel(util::LogLevel::Info);
   core::YearExperiment experiment(2018, core::ExperimentConfig::fromEnv());
@@ -73,5 +74,6 @@ int main() {
               << "% evaded\n";
   }
   bench::emit(table, "ablation_evasion");
+  session.complete();
   return 0;
 }

@@ -42,6 +42,7 @@ double foldAccuracy(const corpus::YearDataset& data,
 }  // namespace
 
 int main() {
+  sca::bench::Session session("ablation_features");
   util::setLogLevel(util::LogLevel::Info);
   const core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
   core::YearExperiment experiment(2018, config);
@@ -95,5 +96,6 @@ int main() {
     std::cout << "  " << name << "  " << sca::bench::pct(importance, 2)
               << "%\n";
   }
+  session.complete();
   return 0;
 }

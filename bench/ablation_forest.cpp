@@ -10,6 +10,7 @@
 #include "util/log.hpp"
 
 int main() {
+  sca::bench::Session session("ablation_forest");
   using namespace sca;
   using Clock = std::chrono::steady_clock;
   util::setLogLevel(util::LogLevel::Info);
@@ -62,5 +63,6 @@ int main() {
               << util::formatDouble(seconds, 2) << "s\n";
   }
   bench::emit(table, "ablation_forest");
+  session.complete();
   return 0;
 }

@@ -15,6 +15,7 @@ namespace sca::bench {
 inline int runAttributionTable(core::Approach approach,
                                const std::string& romanNumeral,
                                const std::string& outputName) {
+  Session session(outputName);
   util::setLogLevel(util::LogLevel::Info);
   const core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
   const bool featureBased = approach == core::Approach::FeatureBased;
@@ -81,6 +82,7 @@ inline int runAttributionTable(core::Approach approach,
     }
     std::cout << "\n";
   }
+  session.complete();
   return 0;
 }
 

@@ -24,17 +24,30 @@
 // concurrency); `phases` accumulates runtime::PhaseTimer scopes since the
 // previous emit (concurrent phases sum their per-task wall time, so phase
 // seconds can exceed total_s on multi-core hosts); `counters` accumulates
-// runtime::Counters events — retry/fault/degradation/checkpoint telemetry
-// from the resilience layer — and is omitted when empty; `total_s` is
+// every stable metrics-registry counter — retry/fault/degradation/
+// checkpoint telemetry from the resilience layer plus the rt_/ml_/
+// features_ instrumentation — and is omitted when empty; `total_s` is
 // process wall-clock since the previous emit. The file is append-only:
 // rerunning a bench adds new lines rather than rewriting history.
+//
+// Each bench main also holds a Session, which writes the versioned run
+// manifest (bench_out/manifest.json, or $SCA_MANIFEST) on exit and
+// flushes the $SCA_TRACE Chrome trace. The manifest schema is documented
+// in src/obs/manifest.hpp; unlike the per-table bench_times records it is
+// run-cumulative (lifetime scope, surviving the per-emit resets) and is
+// rewritten atomically per run, not appended. A Session destroyed before
+// complete() marks the manifest "status":"partial" so downstream tooling
+// never mistakes a crashed run for a finished one.
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
 #include "util/io.hpp"
@@ -42,6 +55,50 @@
 #include "util/table.hpp"
 
 namespace sca::bench {
+
+/// RAII run manifest: construct at the top of a bench main, call
+/// complete() as the last statement before a successful return. The
+/// destructor writes the manifest either way — reaching it without
+/// complete() (early return, exception unwind) records a partial run.
+class Session {
+ public:
+  explicit Session(std::string benchName) : benchName_(std::move(benchName)) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  void complete() noexcept { complete_ = true; }
+
+  ~Session() {
+    const util::Status traceStatus = obs::flushConfiguredTrace();
+    if (!traceStatus.isOk()) {
+      std::cerr << "[trace] write failed: " << traceStatus.toString() << "\n";
+    } else if (obs::Tracer::global().enabled()) {
+      std::cout << "[trace] " << obs::Tracer::global().configuredPath()
+                << "\n";
+    }
+
+    obs::RunManifestOptions options;
+    if (const char* path = std::getenv("SCA_MANIFEST");
+        path != nullptr && *path != '\0') {
+      options.path = path;
+    }
+    options.benchName = benchName_;
+    options.complete = complete_;
+    options.threads = runtime::globalPool().size();
+    const util::Status status = obs::writeRunManifest(options);
+    if (status.isOk()) {
+      std::cout << "[manifest] " << options.path
+                << (complete_ ? "" : " (partial)") << "\n";
+    } else {
+      std::cerr << "[manifest] write failed: " << status.toString() << "\n";
+    }
+  }
+
+ private:
+  std::string benchName_;
+  bool complete_ = false;
+};
 
 namespace detail {
 

@@ -13,6 +13,7 @@ namespace sca::bench {
 
 inline int runDiversityTable(int year, const std::string& romanNumeral,
                              const std::string& outputName) {
+  Session session(outputName);
   util::setLogLevel(util::LogLevel::Info);
   core::YearExperiment experiment(year,
                                   core::ExperimentConfig::fromEnv());
@@ -37,6 +38,7 @@ inline int runDiversityTable(int year, const std::string& romanNumeral,
   std::cout << "Top-1 share: "
             << (rows.empty() ? 0.0 : rows[0].percent) << "%, top-3 share: "
             << topShare << "%\n";
+  session.complete();
   return 0;
 }
 

@@ -11,6 +11,7 @@
 #include "style/infer.hpp"
 
 int main() {
+  sca::bench::Session session("fig02_nct_vs_ct");
   using namespace sca;
   const auto& challenge = corpus::figure3Challenge();
 
@@ -68,5 +69,6 @@ int main() {
   std::cout << "Distinct archetypes: NCT " << distinct(nctArch) << ", CT "
             << distinct(ctArch)
             << " (the paper's Table IV shape: NCT > CT)\n";
+  session.complete();
   return 0;
 }

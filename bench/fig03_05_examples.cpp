@@ -4,11 +4,13 @@
 #include <iostream>
 
 #include "ast/render.hpp"
+#include "bench_common.hpp"
 #include "corpus/challenges.hpp"
 #include "llm/pipelines.hpp"
 #include "style/apply.hpp"
 
 int main() {
+  sca::bench::Session session("fig03_05_examples");
   using namespace sca;
   const auto& challenge = corpus::figure3Challenge();
 
@@ -47,5 +49,6 @@ int main() {
   std::cout << "===== Figure 5b: second CT transformation (of Figure 5a) "
                "=====\n"
             << ctOut[1] << "\n";
+  session.complete();
   return 0;
 }

@@ -3,8 +3,11 @@
 // extraction and random-forest train/predict.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "ast/parser.hpp"
 #include "ast/render.hpp"
+#include "bench_common.hpp"
 #include "core/attribution_model.hpp"
 #include "corpus/dataset.hpp"
 #include "features/extractor.hpp"
@@ -182,6 +185,56 @@ void BM_AttributionTrainPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_AttributionTrainPredict)->Unit(benchmark::kMillisecond);
 
+/// SCA_PIPELINE_ONCE mode: exactly one deterministic pass over the mini
+/// pipeline (corpus -> transform -> train -> predict), each stage under a
+/// PhaseTimer. Unlike the google-benchmark path, whose adaptive iteration
+/// counts vary run to run, this mode performs a fixed event sequence — so
+/// the manifest's stable metrics section is byte-identical across
+/// SCA_THREADS values, which is what the CI observability smoke compares.
+int runPipelineOnce() {
+  const corpus::YearDataset* data = nullptr;
+  {
+    runtime::PhaseTimer timer("corpus_build");
+    data = &miniCorpus();
+  }
+  {
+    runtime::PhaseTimer timer("llm_transform");
+    benchmark::DoNotOptimize(llm::buildTransformedDataset(*data, 3));
+  }
+  std::vector<std::string> sources;
+  std::vector<int> labels;
+  for (const corpus::CodeSample& sample : data->samples) {
+    sources.push_back(sample.source);
+    labels.push_back(sample.authorId);
+  }
+  core::ModelConfig config;
+  config.forest.treeCount = 60;
+  core::AttributionModel model(config);
+  {
+    runtime::PhaseTimer timer("train");
+    model.train(sources, labels);
+  }
+  {
+    runtime::PhaseTimer timer("predict");
+    benchmark::DoNotOptimize(model.predictAll(sources));
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sca::bench::Session session("micro_pipeline");
+  if (const char* once = std::getenv("SCA_PIPELINE_ONCE");
+      once != nullptr && *once != '\0') {
+    const int rc = runPipelineOnce();
+    if (rc == 0) session.complete();
+    return rc;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  session.complete();
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "corpus/dataset.hpp"
 
 int main() {
+  sca::bench::Session session("table01_datasets");
   using namespace sca;
   util::TablePrinter table(
       "Table I: Non-ChatGPT code datasets used to train the authorship "
@@ -28,5 +29,6 @@ int main() {
     }
     std::cout << "\n";
   }
+  session.complete();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "core/experiments.hpp"
 
 int main() {
+  sca::bench::Session session("table02_transformed");
   using namespace sca;
   const core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
   util::TablePrinter table(
@@ -36,5 +37,6 @@ int main() {
     });
   }
   bench::emit(table, "table02_transformed");
+  session.complete();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "core/experiments.hpp"
 
 int main() {
+  sca::bench::Session session("table03_binary_datasets");
   using namespace sca;
   const core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
   util::TablePrinter table(
@@ -31,5 +32,6 @@ int main() {
                                (3 * combinedChallenges)),
                 "C++", std::to_string(combinedTotal)});
   bench::emit(table, "table03_binary_datasets");
+  session.complete();
   return 0;
 }

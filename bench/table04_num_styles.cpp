@@ -8,6 +8,7 @@
 #include "util/log.hpp"
 
 int main() {
+  sca::bench::Session session("table04_num_styles");
   using namespace sca;
   util::setLogLevel(util::LogLevel::Info);
   const core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
@@ -49,5 +50,6 @@ int main() {
 
   std::cout << "Maximum number of styles observed anywhere: " << maxStyles
             << " (paper: 12)\n";
+  session.complete();
   return 0;
 }

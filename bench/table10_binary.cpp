@@ -8,6 +8,7 @@
 #include "util/log.hpp"
 
 int main() {
+  sca::bench::Session session("table10_binary");
   using namespace sca;
   util::setLogLevel(util::LogLevel::Info);
   const core::ExperimentConfig config = core::ExperimentConfig::fromEnv();
@@ -52,5 +53,6 @@ int main() {
 
   std::cout << "Paper reference (A row): individual 90.9 / 89.7 / 93.8, "
                "combined 95.5 / 90.8 / 91.9, All 93.1\n";
+  session.complete();
   return 0;
 }

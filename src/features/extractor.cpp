@@ -1,7 +1,6 @@
 #include "features/extractor.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <map>
@@ -14,6 +13,7 @@
 #include "ast/visit.hpp"
 #include "lexer/layout.hpp"
 #include "lexer/lexer.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/parallel.hpp"
 #include "util/strings.hpp"
 
@@ -37,11 +37,12 @@ class AnalysisCache {
   static constexpr std::size_t kMaxEntries = 32768;
 
   std::shared_ptr<const Analyzed> get(const std::string& source) {
+    analyzeCalls_.add();
     {
       std::shared_lock lock(mutex_);
       const auto it = entries_.find(source);
       if (it != entries_.end()) {
-        ++hits_;
+        hits_.add();
         return it->second;
       }
     }
@@ -50,21 +51,26 @@ class AnalysisCache {
     analyzed->layout = lexer::computeLayoutMetrics(source);
     analyzed->parsed = ast::parse(source);
     std::unique_lock lock(mutex_);
-    ++misses_;
+    misses_.add();
     if (entries_.size() >= kMaxEntries) entries_.clear();
     return entries_.try_emplace(source, std::move(analyzed)).first->second;
   }
 
   AnalysisCacheStats stats() const {
+    auto& registry = obs::MetricsRegistry::global();
     std::shared_lock lock(mutex_);
-    return {hits_.load(), misses_.load(), entries_.size()};
+    return {registry.counterValue("features_cache_hits"),
+            registry.counterValue("features_cache_misses"), entries_.size()};
   }
 
   void clear() {
     std::unique_lock lock(mutex_);
     entries_.clear();
-    hits_.store(0);
-    misses_.store(0);
+    // Re-base rather than zero the shards: resetting must not race with a
+    // concurrent get() bumping its own thread's cells.
+    auto& registry = obs::MetricsRegistry::global();
+    registry.markResetCounter("features_cache_hits");
+    registry.markResetCounter("features_cache_misses");
   }
 
   static AnalysisCache& global() {
@@ -75,8 +81,15 @@ class AnalysisCache {
  private:
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const Analyzed>> entries_;
-  std::atomic<std::size_t> hits_{0};    // atomics: bumped under shared lock
-  std::atomic<std::size_t> misses_{0};
+  // Total analyze() calls are event-deterministic (stable); the hit/miss
+  // split is not — two threads can both miss one key before either inserts
+  // it — so hits/misses are kRuntime, kept out of the stable section.
+  obs::Counter analyzeCalls_ =
+      obs::MetricsRegistry::global().counter("features_analyze_calls");
+  obs::Counter hits_ = obs::MetricsRegistry::global().counter(
+      "features_cache_hits", obs::Stability::kRuntime);
+  obs::Counter misses_ = obs::MetricsRegistry::global().counter(
+      "features_cache_misses", obs::Stability::kRuntime);
 };
 
 std::shared_ptr<const Analyzed> analyze(const std::string& source) {

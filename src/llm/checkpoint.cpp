@@ -156,4 +156,63 @@ util::Result<std::vector<std::string>> loadChainCheckpoint(
   return outputs;
 }
 
+CheckpointInfo inspectChainCheckpoint(const std::string& path) {
+  CheckpointInfo info;
+  info.path = path;
+
+  util::Result<std::string> file = util::readFile(path);
+  if (!file.ok()) {
+    info.verdict = "unreadable: " + file.status().toString();
+    return info;
+  }
+  const std::vector<std::string> lines = util::split(file.value(), '\n');
+  if (lines.empty() || lines[0].empty()) {
+    info.verdict = "empty file";
+    return info;
+  }
+
+  // Header: unlike loadChainCheckpoint there is no expected key to match
+  // against, so the check is structural — all fields present, magic right.
+  const std::string& header = lines[0];
+  if (!extractString(header, "magic", &info.magic)) {
+    info.verdict = "no header";
+    return info;
+  }
+  if (info.magic != kMagic) {
+    info.verdict = "bad magic \"" + info.magic + "\"";
+    return info;
+  }
+  if (!extractInt(header, "year", &info.year) ||
+      !extractString(header, "setting", &info.setting) ||
+      !extractInt(header, "challenge", &info.challenge) ||
+      !extractInt(header, "steps", &info.steps) ||
+      !extractString(header, "origin_hash", &info.originHash) ||
+      !extractString(header, "fault_rate", &info.faultRate)) {
+    info.verdict = "incomplete header";
+    return info;
+  }
+  info.headerOk = true;
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;  // trailing newline
+    long long step = 0;
+    std::string source;
+    if (!extractInt(lines[i], "step", &step) ||
+        step != static_cast<long long>(info.entries) + 1 ||
+        !extractString(lines[i], "source", &source)) {
+      info.verdict = "torn record at line " + std::to_string(i + 1);
+      return info;
+    }
+    ++info.entries;
+  }
+  if (static_cast<long long>(info.entries) != info.steps) {
+    info.verdict = "incomplete: " + std::to_string(info.entries) + "/" +
+                   std::to_string(info.steps) + " steps";
+    return info;
+  }
+  info.complete = true;
+  info.verdict = "ok";
+  return info;
+}
+
 }  // namespace sca::llm

@@ -58,4 +58,29 @@ struct ChainKey {
 [[nodiscard]] util::Result<std::vector<std::string>> loadChainCheckpoint(
     const std::string& dir, const ChainKey& key);
 
+/// What `sca_cli checkpoints` reports about one chain file, without
+/// needing the original corpus: the header fields as stored, the entry
+/// count actually on disk, and a verdict string ("ok", "bad magic",
+/// "torn record at line N", "incomplete: 37/50 steps", ...). headerOk is
+/// false when the header itself cannot be trusted (the numeric fields are
+/// then whatever parsed before the failure).
+struct CheckpointInfo {
+  std::string path;
+  bool headerOk = false;
+  std::string magic;
+  std::string setting;
+  std::string originHash;  // 16 hex chars, as stored
+  std::string faultRate;   // formatted string, as stored
+  long long year = 0;
+  long long challenge = 0;
+  long long steps = 0;     // declared in the header
+  std::size_t entries = 0; // step records actually present and well-formed
+  bool complete = false;   // entries == steps and every record parsed
+  std::string verdict;
+};
+
+/// Inspects one checkpoint file. Never throws; I/O and parse failures are
+/// reported through headerOk/verdict.
+[[nodiscard]] CheckpointInfo inspectChainCheckpoint(const std::string& path);
+
 }  // namespace sca::llm

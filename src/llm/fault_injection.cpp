@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "runtime/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace sca::llm {
 namespace {
@@ -11,6 +11,12 @@ namespace {
 /// HTTP response, so it surfaces as an OK Result that fails validation.
 constexpr std::string_view kRefusalText =
     "I'm sorry, but I can't help with transforming this code.";
+
+/// Fault schedules are seeded per chain, so the global fault counts are
+/// stable across SCA_THREADS. Handles are cached per call site below.
+obs::Counter faultCounter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name);
+}
 
 }  // namespace
 
@@ -85,22 +91,33 @@ util::Result<std::string> FaultInjectingClient::dispatch(
   pendingGood_.reset();  // a different request invalidates the stash
 
   switch (roll()) {
-    case FaultKind::Timeout:
+    case FaultKind::Timeout: {
       ++stats_.timeouts;
-      runtime::Counters::global().add("llm_faults_timeout");
+      static const obs::Counter kTimeoutFaults =
+          faultCounter("llm_faults_timeout");
+      kTimeoutFaults.add();
       return util::Status(util::StatusCode::kTimeout, "injected timeout");
-    case FaultKind::RateLimit:
+    }
+    case FaultKind::RateLimit: {
       ++stats_.rateLimits;
-      runtime::Counters::global().add("llm_faults_rate_limit");
+      static const obs::Counter kRateLimitFaults =
+          faultCounter("llm_faults_rate_limit");
+      kRateLimitFaults.add();
       return util::Status(util::StatusCode::kRateLimited,
                           "injected rate limit");
-    case FaultKind::Empty:
+    }
+    case FaultKind::Empty: {
       ++stats_.empties;
-      runtime::Counters::global().add("llm_faults_empty");
+      static const obs::Counter kEmptyFaults =
+          faultCounter("llm_faults_empty");
+      kEmptyFaults.add();
       return std::string(kRefusalText);
+    }
     case FaultKind::Truncate: {
       ++stats_.truncations;
-      runtime::Counters::global().add("llm_faults_truncated");
+      static const obs::Counter kTruncatedFaults =
+          faultCounter("llm_faults_truncated");
+      kTruncatedFaults.add();
       std::string good = call();
       const double fraction = rng_.uniformReal(0.3, 0.9);
       std::string bad = truncateOutput(good, fraction);
@@ -110,7 +127,9 @@ util::Result<std::string> FaultInjectingClient::dispatch(
     }
     case FaultKind::Garbage: {
       ++stats_.garbled;
-      runtime::Counters::global().add("llm_faults_garbage");
+      static const obs::Counter kGarbageFaults =
+          faultCounter("llm_faults_garbage");
+      kGarbageFaults.add();
       std::string good = call();
       std::string bad = garbleOutput(good);
       pendingGood_ = std::move(good);

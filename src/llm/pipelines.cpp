@@ -6,6 +6,8 @@
 #include "llm/checkpoint.hpp"
 #include "llm/fault_injection.hpp"
 #include "llm/resilient_client.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/timer.hpp"
 #include "style/archetypes.hpp"
@@ -23,7 +25,9 @@ util::Result<std::string> transformStep(LlmClient& client,
   util::Result<std::string> result = client.tryTransform(input);
   if (result.ok()) return result;
   if (!policy.degradeOnFailure) return result.status();
-  runtime::Counters::global().add("llm_degraded_steps");
+  static const obs::Counter kDegradedSteps =
+      obs::MetricsRegistry::global().counter("llm_degraded_steps");
+  kDegradedSteps.add();
   util::logWarn() << "transform step degraded (" << result.status().toString()
                   << ")";
   return fallback;
@@ -221,6 +225,8 @@ TransformedDataset buildTransformedDataset(const corpus::YearDataset& yearData,
 
             const std::uint64_t chainSeed =
                 util::combine64(util::hash64(settingLabel(setting)), c);
+            obs::Span chainSpan(
+                "llm_chain_" + std::string(settingLabel(setting)), "llm");
 
             ChainKey key;
             key.year = yearData.year;
@@ -235,7 +241,10 @@ TransformedDataset buildTransformedDataset(const corpus::YearDataset& yearData,
               util::Result<std::vector<std::string>> loaded =
                   loadChainCheckpoint(options.checkpointDir, key);
               if (loaded.ok()) {
-                runtime::Counters::global().add("ckpt_chains_loaded");
+                static const obs::Counter kChainsLoaded =
+                    obs::MetricsRegistry::global().counter(
+                        "ckpt_chains_loaded");
+                kChainsLoaded.add();
                 return std::move(loaded.value());
               }
             }
@@ -273,7 +282,10 @@ TransformedDataset buildTransformedDataset(const corpus::YearDataset& yearData,
               const util::Status written =
                   writeChainCheckpoint(options.checkpointDir, key, outputs);
               if (written.isOk()) {
-                runtime::Counters::global().add("ckpt_chains_written");
+                static const obs::Counter kChainsWritten =
+                    obs::MetricsRegistry::global().counter(
+                        "ckpt_chains_written");
+                kChainsWritten.add();
               } else {
                 util::logWarn() << "checkpoint write failed: "
                                 << written.toString();

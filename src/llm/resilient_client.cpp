@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "ast/parser.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/timer.hpp"
 #include "util/strings.hpp"
 
@@ -15,6 +17,41 @@ bool looksLikeRefusal(const std::string& output) {
   return util::startsWith(output, "I'm sorry") ||
          util::startsWith(output, "I am sorry") ||
          util::startsWith(output, "Sorry,");
+}
+
+// Process-global aggregates live in the metrics registry (the per-instance
+// Stats struct remains the per-client view; both are fed below, no map
+// lookups on the hot path). Fault schedules and jitter are chain-seeded,
+// so these counts — and the backoff histogram — are stable across
+// SCA_THREADS.
+obs::Counter& breakerOpensCounter() {
+  static obs::Counter counter =
+      obs::MetricsRegistry::global().counter("llm_breaker_opens");
+  return counter;
+}
+
+obs::Counter& budgetExhaustionsCounter() {
+  static obs::Counter counter =
+      obs::MetricsRegistry::global().counter("llm_budget_exhaustions");
+  return counter;
+}
+
+obs::Counter& retriesCounter() {
+  static obs::Counter counter =
+      obs::MetricsRegistry::global().counter("llm_retries");
+  return counter;
+}
+
+obs::Counter& validationFailuresCounter() {
+  static obs::Counter counter =
+      obs::MetricsRegistry::global().counter("llm_validation_failures");
+  return counter;
+}
+
+obs::Histogram& backoffDelayHistogram() {
+  static obs::Histogram histogram = obs::MetricsRegistry::global().histogram(
+      "llm_backoff_delay_s", {0.25, 0.5, 1, 2, 4, 8, 16, 32});
+  return histogram;
 }
 
 }  // namespace
@@ -72,7 +109,7 @@ void ResilientClient::noteFailure() {
       openFastFails_ = 0;
       consecutiveFailures_ = 0;
       ++stats_.breakerOpens;
-      runtime::Counters::global().add("llm_breaker_opens");
+      breakerOpensCounter().add();
     }
   }
 }
@@ -86,6 +123,7 @@ void ResilientClient::noteSuccess() {
 util::Result<std::string> ResilientClient::perform(
     const std::function<util::Result<std::string>()>& request) {
   ++stats_.requests;
+  obs::Span span("llm_request", "llm");
   util::Status last(util::StatusCode::kInternal, "no attempt made");
 
   for (int attempt = 0; attempt < retry_.maxAttempts; ++attempt) {
@@ -94,20 +132,21 @@ util::Result<std::string> ResilientClient::perform(
       // final and the caller's degradation policy takes over.
       if (retriesUsed_ >= retry_.retryBudget) {
         ++stats_.budgetExhaustions;
-        runtime::Counters::global().add("llm_budget_exhaustions");
+        budgetExhaustionsCounter().add();
         return util::Status(util::StatusCode::kResourceExhausted,
                             "retry budget spent; last error: " +
                                 last.toString());
       }
       ++retriesUsed_;
       ++stats_.retries;
-      runtime::Counters::global().add("llm_retries");
+      retriesCounter().add();
 
       double delay = baseDelayFor(attempt - 1);
       delay *= 1.0 + jitterRng_.uniformReal(-retry_.jitterFraction,
                                             retry_.jitterFraction);
       stats_.simulatedBackoffSeconds += delay;
       if (backoffLog_.size() < 4096) backoffLog_.push_back(delay);
+      backoffDelayHistogram().observe(delay);
       runtime::PhaseTimes::global().add("llm_backoff_sim", delay);
       sleeper_(delay);
     }
@@ -133,7 +172,7 @@ util::Result<std::string> ResilientClient::perform(
         return result;
       }
       ++stats_.validationFailures;
-      runtime::Counters::global().add("llm_validation_failures");
+      validationFailuresCounter().add();
       last = verdict;
     } else {
       last = result.status();

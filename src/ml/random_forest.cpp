@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
 
 namespace sca::ml {
@@ -12,8 +14,13 @@ namespace sca::ml {
 RandomForest::RandomForest(ForestConfig config) : config_(config) {}
 
 void RandomForest::fit(const Dataset& data) {
+  obs::Span span("forest_fit", "ml");
   data.validate();
   if (data.size() == 0) throw std::invalid_argument("forest: empty dataset");
+  // Tree count is configuration, not scheduling, so the counter is stable.
+  static obs::Counter treesFitted =
+      obs::MetricsRegistry::global().counter("ml_trees_fitted");
+  treesFitted.add(config_.treeCount);
   classCount_ = data.classCount();
   trees_.assign(config_.treeCount, DecisionTree{});
 
@@ -108,6 +115,10 @@ int RandomForest::predict(const std::vector<double>& features) const {
 
 std::vector<int> RandomForest::predictAll(
     const std::vector<std::vector<double>>& rows) const {
+  obs::Span span("forest_predict", "ml");
+  static obs::Counter rowsPredicted =
+      obs::MetricsRegistry::global().counter("ml_rows_predicted");
+  rowsPredicted.add(rows.size());
   std::vector<int> out(rows.size(), 0);
   runtime::ParallelOptions options;
   options.maxWorkers = config_.threads;

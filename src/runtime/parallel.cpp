@@ -7,10 +7,20 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace sca::runtime {
 namespace {
+
+/// Region entries are deterministic — the call sites, not the schedule,
+/// decide how many loops run — so the counter is kStable.
+obs::Counter& parallelRegionsCounter() {
+  static obs::Counter counter =
+      obs::MetricsRegistry::global().counter("rt_parallel_regions");
+  return counter;
+}
 
 /// Depth of parallelFor chunk execution on this thread. Covers both pool
 /// workers and the calling thread (which participates in its own loop), so
@@ -68,6 +78,8 @@ void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& body,
                  const ParallelOptions& options) {
   if (begin >= end) return;
+  parallelRegionsCounter().add();
+  obs::Span span("parallel_for", "runtime");
   const std::size_t count = end - begin;
 
   // Serial paths: nested region, a 1-thread pool (SCA_THREADS=1), an

@@ -4,10 +4,41 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sca::runtime {
 namespace {
 
 thread_local bool tlsOnWorkerThread = false;
+
+// Pool telemetry is kRuntime: how many tasks exist, how deep the queues
+// get and who steals what all depend on SCA_THREADS and scheduling luck,
+// so none of it may enter the byte-comparable stable section.
+obs::Counter& tasksSubmittedCounter() {
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      "pool_tasks_submitted", obs::Stability::kRuntime);
+  return counter;
+}
+
+obs::Gauge& queueDepthGauge() {
+  static obs::Gauge gauge = obs::MetricsRegistry::global().gauge(
+      "pool_queue_depth_max", obs::GaugeKind::kMax);
+  return gauge;
+}
+
+obs::Counter& tasksStolenCounter() {
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      "pool_tasks_stolen", obs::Stability::kRuntime);
+  return counter;
+}
+
+obs::Histogram& taskMicrosHistogram() {
+  static obs::Histogram histogram = obs::MetricsRegistry::global().histogram(
+      "pool_task_us", {10, 100, 1000, 10000, 100000, 1000000},
+      obs::Stability::kRuntime);
+  return histogram;
+}
 
 }  // namespace
 
@@ -39,7 +70,9 @@ void ThreadPool::submit(std::function<void()> task) {
     target = nextQueue_;
     nextQueue_ = (nextQueue_ + 1) % queues_.size();
     ++pendingTasks_;
+    queueDepthGauge().recordMax(static_cast<double>(pendingTasks_));
   }
+  tasksSubmittedCounter().add();
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
@@ -66,6 +99,7 @@ bool ThreadPool::tryTake(std::size_t self, std::function<void()>& task) {
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      tasksStolenCounter().add();
       return true;
     }
   }
@@ -81,7 +115,14 @@ void ThreadPool::workerLoop(std::size_t self) {
         std::lock_guard<std::mutex> lock(wakeMutex_);
         --pendingTasks_;
       }
-      task();
+      {
+        obs::Span span("pool_task", "runtime");
+        const std::uint64_t startNs = obs::Tracer::global().nowNs();
+        task();
+        taskMicrosHistogram().observe(
+            static_cast<double>(obs::Tracer::global().nowNs() - startNs) /
+            1000.0);
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(wakeMutex_);

@@ -1,6 +1,19 @@
 #include "runtime/timer.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace sca::runtime {
+namespace {
+
+std::string phaseGaugeName(std::string_view phase) {
+  std::string name;
+  name.reserve(obs::kPhaseGaugePrefix.size() + phase.size());
+  name += obs::kPhaseGaugePrefix;
+  name += phase;
+  return name;
+}
+
+}  // namespace
 
 PhaseTimes& PhaseTimes::global() {
   static PhaseTimes instance;
@@ -8,24 +21,26 @@ PhaseTimes& PhaseTimes::global() {
 }
 
 void PhaseTimes::add(std::string_view phase, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = seconds_.find(phase);
-  if (it == seconds_.end()) {
-    seconds_.emplace(std::string(phase), seconds);
-  } else {
-    it->second += seconds;
-  }
+  obs::MetricsRegistry::global()
+      .gauge(phaseGaugeName(phase), obs::GaugeKind::kSum)
+      .add(seconds);
 }
 
 std::map<std::string, double> PhaseTimes::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return {seconds_.begin(), seconds_.end()};
+  const obs::MetricsSnapshot merged =
+      obs::MetricsRegistry::global().snapshot(obs::Scope::kSinceReset);
+  std::map<std::string, double> out;
+  for (const auto& [name, seconds] : merged.gauges) {
+    if (name.size() > obs::kPhaseGaugePrefix.size() &&
+        std::string_view(name).substr(0, obs::kPhaseGaugePrefix.size()) ==
+            obs::kPhaseGaugePrefix) {
+      out.emplace(name.substr(obs::kPhaseGaugePrefix.size()), seconds);
+    }
+  }
+  return out;
 }
 
-void PhaseTimes::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  seconds_.clear();
-}
+void PhaseTimes::reset() { obs::MetricsRegistry::global().markResetGauges(); }
 
 Counters& Counters::global() {
   static Counters instance;
@@ -33,29 +48,21 @@ Counters& Counters::global() {
 }
 
 void Counters::add(std::string_view key, std::uint64_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = counts_.find(key);
-  if (it == counts_.end()) {
-    counts_.emplace(std::string(key), count);
-  } else {
-    it->second += count;
-  }
+  obs::MetricsRegistry::global().counter(key, obs::Stability::kStable)
+      .add(count);
 }
 
 std::map<std::string, std::uint64_t> Counters::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return {counts_.begin(), counts_.end()};
+  return obs::MetricsRegistry::global()
+      .snapshot(obs::Scope::kSinceReset)
+      .counters;
 }
 
 std::uint64_t Counters::value(std::string_view key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = counts_.find(key);
-  return it == counts_.end() ? 0 : it->second;
+  return obs::MetricsRegistry::global().counterValue(key,
+                                                     obs::Scope::kSinceReset);
 }
 
-void Counters::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counts_.clear();
-}
+void Counters::reset() { obs::MetricsRegistry::global().markResetCounters(); }
 
 }  // namespace sca::runtime

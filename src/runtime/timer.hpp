@@ -1,78 +1,84 @@
-// Lightweight phase timing for the benches.
+// Lightweight phase timing for the benches — now a thin compatibility shim
+// over the unified obs::MetricsRegistry (src/obs/metrics.hpp).
 //
-// Pipeline stages record wall-clock seconds into a process-global registry
-// under a phase name ("corpus_build", "feature_extract", "forest_train",
-// "predict", ...). bench_common.hpp::emit snapshots the registry after each
-// table and appends one JSON record per bench to
-// bench_out/bench_times.json, which is how the repo tracks its perf
-// trajectory across PRs.
+// Pipeline stages record wall-clock seconds under a phase name
+// ("corpus_build", "feature_extract", "forest_train", "predict", ...).
+// PhaseTimes stores them as registry gauges under obs::kPhaseGaugePrefix,
+// so the same numbers surface in bench_out/bench_times.json (via
+// bench_common.hpp::emit), in the run manifest's "phases" section, and in
+// `sca_cli metrics` — one store, no duplicated bookkeeping.
 //
-// Recording is a mutex-guarded map update per phase *exit* — nanoseconds
-// against phases that run for seconds — and is safe from pool workers.
+// Counters is the integer sibling: resilience/checkpoint events
+// ("llm_retries", "ckpt_chains_loaded", ...) register as *stable* registry
+// counters, meaning their values are identical for every SCA_THREADS
+// setting (the repo's standing determinism invariant).
+//
+// Thread-safety note: registration used to be a mutex-guarded map update
+// in this file; two threads first-touching one phase could race on
+// emplace-vs-iterate in old snapshots. The registry's find-or-create is
+// fully serialized and recording is per-thread lock-free, which fixes that
+// while making phase *recording* cheaper, not dearer.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "obs/trace.hpp"
 
 namespace sca::runtime {
 
 class PhaseTimes {
  public:
-  /// The process-global registry.
+  /// The process-global registry view.
   [[nodiscard]] static PhaseTimes& global();
 
   /// Accumulates `seconds` onto `phase`.
   void add(std::string_view phase, double seconds);
 
-  /// Phase -> accumulated seconds, for reporting.
+  /// Phase -> accumulated seconds since the last reset (zero-valued phases
+  /// omitted), for reporting.
   [[nodiscard]] std::map<std::string, double> snapshot() const;
 
-  /// Clears all phases (emit() resets after writing so each bench table
-  /// reports the phases that produced it).
+  /// Re-bases the since-reset view (emit() resets after writing so each
+  /// bench table reports the phases that produced it). Non-destructive:
+  /// the manifest's lifetime scope still sees the full run.
   void reset();
-
- private:
-  mutable std::mutex mutex_;
-  std::map<std::string, double, std::less<>> seconds_;
 };
 
-/// Event counters, the integer sibling of PhaseTimes: resilience and
-/// checkpoint events ("llm_retries", "llm_faults_timeout",
-/// "llm_degraded_steps", "ckpt_chains_loaded", ...) accumulate here and are
-/// emitted as a "counters" object in each bench_times.json record. Counts
-/// are additive and order-independent, so they are identical for every
-/// SCA_THREADS value, like the phase seconds.
+/// Event counters, the integer sibling of PhaseTimes (see file comment).
+/// snapshot() now reports *every* stable counter in the registry — the
+/// llm/ckpt events plus the rt_/ml_/features_ counters the instrumented
+/// layers record — so bench_times.json got strictly richer.
 class Counters {
  public:
-  /// The process-global registry.
+  /// The process-global registry view.
   [[nodiscard]] static Counters& global();
 
   /// Adds `count` onto `key`.
   void add(std::string_view key, std::uint64_t count = 1);
 
-  /// Key -> accumulated count, for reporting.
+  /// Key -> accumulated count since the last reset (zeros omitted).
   [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
 
-  /// Total for one key (0 if never counted) — convenience for tests.
+  /// Total for one key since the last reset (0 if never counted).
   [[nodiscard]] std::uint64_t value(std::string_view key) const;
 
-  /// Clears all counters (emit() resets after writing, like PhaseTimes).
+  /// Re-bases the since-reset view (non-destructive, like PhaseTimes).
   void reset();
-
- private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t, std::less<>> counts_;
 };
 
-/// RAII: adds the scope's wall time to PhaseTimes::global() on destruction.
+/// RAII: adds the scope's wall time to PhaseTimes::global() on destruction,
+/// and brackets the scope with an obs::Span so phases show up in Chrome
+/// traces with parent linkage when SCA_TRACE is set.
 class PhaseTimer {
  public:
   explicit PhaseTimer(std::string phase)
-      : phase_(std::move(phase)), start_(std::chrono::steady_clock::now()) {}
+      : span_(phase, "phase"),
+        phase_(std::move(phase)),
+        start_(std::chrono::steady_clock::now()) {}
   ~PhaseTimer() {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     PhaseTimes::global().add(
@@ -83,6 +89,7 @@ class PhaseTimer {
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
  private:
+  obs::Span span_;  // first: opens before timing starts, closes after
   std::string phase_;
   std::chrono::steady_clock::time_point start_;
 };

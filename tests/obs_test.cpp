@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "llm/checkpoint.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+#include "util/io.hpp"
+
+namespace sca::obs {
+namespace {
+
+/// Tests drive explicit pool sizes and tracer state; restore both so the
+/// other suites sharing the process are unaffected.
+class ObsTest : public ::testing::Test {
+ protected:
+  ~ObsTest() override {
+    runtime::setGlobalThreadCount(0);
+    Tracer::global().setEnabled(false);
+    Tracer::global().clear();
+  }
+};
+
+// The registry's headline contract: the stable section of a snapshot is
+// byte-identical for every thread count, as long as the recorded *events*
+// are. This is exactly what the CI observability smoke compares between
+// whole micro_pipeline runs; here it is pinned at the unit level.
+TEST_F(ObsTest, StableSnapshotIsByteIdenticalAcrossThreadCounts) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  std::vector<std::string> renders;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    runtime::setGlobalThreadCount(threads);
+    registry.markReset();
+    const Counter items = registry.counter("obs_test_items");
+    const Histogram sizes =
+        registry.histogram("obs_test_sizes", {1.0, 4.0, 16.0});
+    runtime::parallelFor(0, 512, [&](std::size_t i) {
+      items.add();
+      sizes.observe(static_cast<double>(i % 20));
+    });
+    renders.push_back(stableMetricsJson(registry.snapshot()));
+  }
+  EXPECT_EQ(renders[0], renders[1]);
+  // And the section is not trivially empty.
+  EXPECT_NE(renders[0].find("\"obs_test_items\":512"), std::string::npos);
+}
+
+TEST_F(ObsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.markReset();
+  const Histogram h = registry.histogram("obs_test_edges", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 4.0, 4.1}) h.observe(v);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.histograms.count("obs_test_edges"), 1u);
+  const HistogramSnapshot& edges = snapshot.histograms.at("obs_test_edges");
+  ASSERT_EQ(edges.counts.size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(edges.counts[0], 2u);      // 0.5, 1.0  (bound inclusive)
+  EXPECT_EQ(edges.counts[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(edges.counts[2], 1u);      // 4.0
+  EXPECT_EQ(edges.counts[3], 1u);      // 4.1 overflows
+  EXPECT_EQ(edges.total(), 6u);
+}
+
+TEST_F(ObsTest, CounterResetIsNonDestructive) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  const Counter c = registry.counter("obs_test_rebase");
+  registry.markResetCounter("obs_test_rebase");
+  const std::uint64_t lifetimeBefore =
+      registry.counterValue("obs_test_rebase", Scope::kLifetime);
+  c.add(5);
+  registry.markResetCounter("obs_test_rebase");
+  c.add(2);
+  EXPECT_EQ(registry.counterValue("obs_test_rebase"), 2u);
+  EXPECT_EQ(registry.counterValue("obs_test_rebase", Scope::kLifetime),
+            lifetimeBefore + 7u);
+  // Unregistered names read as zero rather than erroring.
+  EXPECT_EQ(registry.counterValue("obs_test_never_registered"), 0u);
+}
+
+TEST_F(ObsTest, GaugeSumAccumulatesAndMaxKeepsHighWater) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.markReset();
+  const Gauge sum = registry.gauge("obs_test_sum", GaugeKind::kSum);
+  const Gauge max = registry.gauge("obs_test_max", GaugeKind::kMax);
+  sum.add(1.5);
+  sum.add(2.5);
+  max.recordMax(3.0);
+  max.recordMax(7.0);
+  max.recordMax(5.0);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("obs_test_sum"), 4.0);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("obs_test_max"), 7.0);
+  // Gauges are always runtime: never in the stable section.
+  EXPECT_EQ(stableMetricsJson(snapshot).find("obs_test_sum"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, ReRegisteringUnderADifferentTypeThrows) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  (void)registry.counter("obs_test_typed");
+  EXPECT_THROW((void)registry.gauge("obs_test_typed"), std::logic_error);
+  EXPECT_THROW((void)registry.histogram("obs_test_typed", {1.0}),
+               std::logic_error);
+  // Same type re-registration is find-or-create, not an error.
+  (void)registry.counter("obs_test_typed");
+}
+
+// Satellite: the runtime::PhaseTimes / runtime::Counters shims are thin
+// veneers over the registry — the same event is visible through both APIs,
+// with no second bookkeeping copy to drift.
+TEST_F(ObsTest, RuntimeShimsLandInTheRegistry) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.markReset();
+  runtime::Counters::global().add("obs_test_shim_counter", 3);
+  EXPECT_EQ(registry.counterValue("obs_test_shim_counter"), 3u);
+  EXPECT_EQ(runtime::Counters::global().value("obs_test_shim_counter"), 3u);
+
+  runtime::PhaseTimes::global().add("obs_test_shim_phase", 1.25);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const std::string gaugeName =
+      std::string(kPhaseGaugePrefix) + "obs_test_shim_phase";
+  ASSERT_EQ(snapshot.gauges.count(gaugeName), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at(gaugeName), 1.25);
+  // And the shim's own snapshot strips the prefix back off.
+  EXPECT_DOUBLE_EQ(
+      runtime::PhaseTimes::global().snapshot().at("obs_test_shim_phase"),
+      1.25);
+}
+
+TEST_F(ObsTest, SpanParentLinkageFollowsLexicalNesting) {
+  Tracer& tracer = Tracer::global();
+  tracer.setEnabled(true);
+  tracer.clear();
+  {
+    Span outer("obs_test_outer");
+    {
+      Span inner("obs_test_inner");
+      EXPECT_NE(inner.id(), 0u);
+      EXPECT_NE(inner.id(), outer.id());
+    }
+    { Span sibling("obs_test_sibling"); }
+  }
+  const std::vector<TraceEvent> events = tracer.snapshotEvents();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  const TraceEvent* sibling = nullptr;
+  for (const TraceEvent& e : events) {
+    if (e.name == "obs_test_outer") outer = &e;
+    if (e.name == "obs_test_inner") inner = &e;
+    if (e.name == "obs_test_sibling") sibling = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(outer->parentId, 0u);  // root span
+  EXPECT_EQ(inner->parentId, outer->id);
+  EXPECT_EQ(sibling->parentId, outer->id);
+  EXPECT_GE(inner->startNs, outer->startNs);
+  EXPECT_LE(inner->startNs + inner->durationNs,
+            outer->startNs + outer->durationNs);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::global();
+  tracer.setEnabled(false);
+  tracer.clear();
+  {
+    Span span("obs_test_invisible");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_TRUE(tracer.snapshotEvents().empty());
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIsWellFormedAndRoundTrips) {
+  Tracer& tracer = Tracer::global();
+  tracer.setEnabled(true);
+  tracer.clear();
+  {
+    Span outer("obs_test_trace_outer");
+    { Span inner("obs_test_trace_inner"); }
+  }
+  const std::string json = chromeTraceJson(tracer.snapshotEvents());
+  const std::string array = extractJsonArray(json, "traceEvents");
+  ASSERT_FALSE(array.empty());
+  std::vector<std::string> elements;
+  ASSERT_TRUE(topLevelElements(array, &elements));
+  ASSERT_EQ(elements.size(), 2u);
+  for (const std::string& e : elements) {
+    EXPECT_NE(e.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(e.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(e.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(e.find("\"dur\":"), std::string::npos);
+  }
+
+  const std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  ASSERT_TRUE(tracer.writeChromeTrace(path).isOk());
+  const util::Result<std::string> back = util::readFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), json);
+}
+
+TEST_F(ObsTest, RunManifestMarksPartialAndCompleteRuns) {
+  MetricsRegistry::global().markReset();
+  (void)MetricsRegistry::global().counter("obs_test_manifest").add(1);
+
+  RunManifestOptions options;
+  options.path = ::testing::TempDir() + "obs_test_manifest.json";
+  options.benchName = "obs_test_bench";
+  options.threads = 3;
+  options.scope = Scope::kSinceReset;
+
+  options.complete = false;
+  ASSERT_TRUE(writeRunManifest(options).isOk());
+  util::Result<std::string> manifest = util::readFile(options.path);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_NE(manifest.value().find("\"schema\":\"sca-manifest-v1\""),
+            std::string::npos);
+  EXPECT_NE(manifest.value().find("\"status\":\"partial\""),
+            std::string::npos);
+  EXPECT_NE(manifest.value().find("\"bench\":\"obs_test_bench\""),
+            std::string::npos);
+  EXPECT_NE(manifest.value().find("\"threads\":3"), std::string::npos);
+
+  options.complete = true;
+  ASSERT_TRUE(writeRunManifest(options).isOk());
+  manifest = util::readFile(options.path);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_NE(manifest.value().find("\"status\":\"complete\""),
+            std::string::npos);
+
+  // The embedded stable section is navigable with the bundled scanners —
+  // the same path sca_cli metrics walks.
+  const std::string metrics = extractJsonObject(manifest.value(), "metrics");
+  ASSERT_FALSE(metrics.empty());
+  const std::string counters = extractJsonObject(metrics, "counters");
+  ASSERT_FALSE(counters.empty());
+  EXPECT_NE(counters.find("\"obs_test_manifest\":1"), std::string::npos);
+  std::vector<std::pair<std::string, std::string>> entries;
+  ASSERT_TRUE(topLevelEntries(metrics, &entries));
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries[0].first, "counters");
+}
+
+TEST_F(ObsTest, JsonScannersHandleNestingEscapesAndMalformedInput) {
+  const std::string json =
+      "{\"a\":{\"nested\":{\"x\":1}},\"s\":\"br{ace \\\" quote\","
+      "\"arr\":[{\"k\":[1,2]},\"two\"],\"n\":7}";
+  EXPECT_EQ(extractJsonObject(json, "a"), "{\"nested\":{\"x\":1}}");
+  EXPECT_EQ(extractJsonArray(json, "arr"), "[{\"k\":[1,2]},\"two\"]");
+  EXPECT_TRUE(extractJsonObject(json, "missing").empty());
+  EXPECT_TRUE(extractJsonArray(json, "a").empty());  // object, not array
+
+  std::vector<std::pair<std::string, std::string>> entries;
+  ASSERT_TRUE(topLevelEntries(json, &entries));
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[1].first, "s");
+  EXPECT_EQ(entries[1].second, "\"br{ace \\\" quote\"");
+  EXPECT_EQ(entries[3].second, "7");
+
+  std::vector<std::string> elements;
+  ASSERT_TRUE(topLevelElements("[{\"k\":[1,2]},\"two\"]", &elements));
+  ASSERT_EQ(elements.size(), 2u);
+  EXPECT_EQ(elements[0], "{\"k\":[1,2]}");
+  EXPECT_EQ(elements[1], "\"two\"");
+
+  EXPECT_FALSE(topLevelEntries("{\"unterminated\":", &entries));
+  EXPECT_FALSE(topLevelElements("[1,2", &elements));
+}
+
+// Satellite: the checkpoint inspector behind `sca_cli checkpoints`.
+TEST_F(ObsTest, CheckpointInspectorClassifiesFiles) {
+  const std::string dir = ::testing::TempDir() + "obs_test_ckpt";
+  llm::ChainKey key;
+  key.year = 2018;
+  key.settingIndex = 1;
+  key.settingLabel = "+C";
+  key.challenge = 2;
+  key.steps = 3;
+  key.originHash = 0xabcdef0123456789ull;
+  key.faultRate = 0.05;
+  ASSERT_TRUE(
+      llm::writeChainCheckpoint(dir, key, {"int a;", "int b;", "int c;"})
+          .isOk());
+
+  const std::string path = llm::chainCheckpointPath(dir, key);
+  const llm::CheckpointInfo good = llm::inspectChainCheckpoint(path);
+  EXPECT_TRUE(good.headerOk);
+  EXPECT_TRUE(good.complete);
+  EXPECT_EQ(good.verdict, "ok");
+  EXPECT_EQ(good.year, 2018);
+  EXPECT_EQ(good.setting, "+C");
+  EXPECT_EQ(good.steps, 3);
+  EXPECT_EQ(good.entries, 3u);
+
+  // Truncate after the second record: header fine, chain incomplete.
+  const util::Result<std::string> full = util::readFile(path);
+  ASSERT_TRUE(full.ok());
+  std::string truncated = full.value();
+  truncated.resize(truncated.rfind("{\"step\":3"));
+  const std::string shortPath = dir + "/chain_truncated.jsonl";
+  ASSERT_TRUE(util::atomicWriteFile(shortPath, truncated).isOk());
+  const llm::CheckpointInfo partial = llm::inspectChainCheckpoint(shortPath);
+  EXPECT_TRUE(partial.headerOk);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.verdict, "incomplete: 2/3 steps");
+
+  const std::string badPath = dir + "/chain_bad.jsonl";
+  ASSERT_TRUE(
+      util::atomicWriteFile(badPath, "{\"magic\":\"wrong\"}\n").isOk());
+  EXPECT_EQ(llm::inspectChainCheckpoint(badPath).verdict,
+            "bad magic \"wrong\"");
+
+  const llm::CheckpointInfo missing =
+      llm::inspectChainCheckpoint(dir + "/chain_missing.jsonl");
+  EXPECT_FALSE(missing.headerOk);
+  EXPECT_EQ(missing.verdict.rfind("unreadable:", 0), 0u);
+}
+
+}  // namespace
+}  // namespace sca::obs

@@ -10,6 +10,13 @@
 #      pipeline exercises the fault-injection/retry/degradation stack and
 #      the parser-hardening paths while ASan watches for memory errors.
 #
+# After the Release configuration, an observability smoke runs the
+# deterministic one-shot pipeline (SCA_PIPELINE_ONCE) at 1 and 8 threads
+# with tracing and fault injection on, validates the emitted manifest and
+# Chrome trace with sca_cli (which exits nonzero on malformed files or an
+# empty metrics snapshot), and byte-compares the stable metrics sections —
+# the registry's thread-count-invariance contract, checked on every PR.
+#
 # Usage: tools/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
 
@@ -27,6 +34,35 @@ run_config() {
 }
 
 run_config build-release -DCMAKE_BUILD_TYPE=Release
+
+obs_smoke() {
+  echo "=== observability smoke (build-release) ==="
+  local dir=build-release/obs-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local t
+  for t in 1 8; do
+    # SCA_CHECKPOINT_DIR is cleared so a caller's checkpoint directory
+    # cannot turn the second run into a resume (written vs loaded chains
+    # would legitimately differ between the two runs).
+    (cd "$dir" &&
+     SCA_PIPELINE_ONCE=1 SCA_THREADS=$t SCA_FAULT_RATE=0.05 \
+       SCA_CHECKPOINT_DIR= \
+       SCA_TRACE="trace_t$t.json" SCA_MANIFEST="manifest_t$t.json" \
+       ../bench/micro_pipeline)
+    # Both inspectors fail on malformed input; --stable additionally fails
+    # on an empty metrics snapshot (lost telemetry).
+    build-release/tools/sca_cli metrics "$dir/manifest_t$t.json" --stable \
+      > "$dir/stable_t$t.json"
+    build-release/tools/sca_cli trace "$dir/trace_t$t.json" > /dev/null
+    grep -q '"status":"complete"' "$dir/manifest_t$t.json" ||
+      { echo "manifest_t$t.json not marked complete" >&2; exit 1; }
+  done
+  cmp "$dir/stable_t1.json" "$dir/stable_t8.json" ||
+    { echo "stable metrics differ between SCA_THREADS=1 and 8" >&2; exit 1; }
+  echo "=== observability smoke ok ==="
+}
+obs_smoke
+
 # TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
 # from the caller's environment turn the parallel paths off.
 SCA_THREADS="${SCA_TSAN_THREADS:-4}" \

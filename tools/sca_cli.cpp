@@ -7,8 +7,18 @@
 //   sca_cli attribute <model.txt> <file.cpp>        predict the author
 //   sca_cli evade <model.txt> <file.cpp> <author>   style-space evasion
 //   sca_cli challenges                              list the catalogue
+//   sca_cli metrics <manifest.json> [--stable]      inspect a run manifest
+//   sca_cli trace <trace.json>                      summarize a Chrome trace
+//   sca_cli checkpoints [dir]                       inspect chain checkpoints
+//
+// Every command flushes the $SCA_TRACE Chrome trace on exit, so any
+// invocation can be profiled: SCA_TRACE=t.json sca_cli train ...
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,10 +26,14 @@
 #include "core/attribution_model.hpp"
 #include "corpus/dataset.hpp"
 #include "evasion/evasion.hpp"
+#include "llm/checkpoint.hpp"
 #include "llm/synthetic_llm.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "style/archetypes.hpp"
 #include "style/infer.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -42,7 +56,10 @@ int usage() {
       "  sca_cli train <model.txt> [year] [authors]\n"
       "  sca_cli attribute <model.txt> <file.cpp>\n"
       "  sca_cli evade <model.txt> <file.cpp> <true-author-id>\n"
-      "  sca_cli challenges\n";
+      "  sca_cli challenges\n"
+      "  sca_cli metrics <manifest.json> [--stable]\n"
+      "  sca_cli trace <trace.json>\n"
+      "  sca_cli checkpoints [dir]   (default $SCA_CHECKPOINT_DIR)\n";
   return 2;
 }
 
@@ -133,6 +150,196 @@ int cmdChallenges() {
   return 0;
 }
 
+// --- observability inspectors ---------------------------------------------
+
+/// Top-level string/number field of one JSON object, unquoted ("" if
+/// absent).
+std::string manifestField(const std::string& json, const std::string& key) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  if (!obs::topLevelEntries(json, &entries)) return "";
+  for (const auto& [name, value] : entries) {
+    if (name != key) continue;
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      return value.substr(1, value.size() - 2);
+    }
+    return value;
+  }
+  return "";
+}
+
+void printObjectEntries(const std::string& objectJson,
+                        const std::string& indent) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  if (!obs::topLevelEntries(objectJson, &entries)) return;
+  for (const auto& [name, value] : entries) {
+    std::cout << indent << name << " = " << value << '\n';
+  }
+}
+
+int cmdMetrics(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const bool stableOnly =
+      std::find(args.begin(), args.end(), "--stable") != args.end();
+  const std::string manifest = readFile(args[0]);
+  const std::string metrics = obs::extractJsonObject(manifest, "metrics");
+  if (metrics.empty()) {
+    std::cerr << "error: " << args[0] << " has no \"metrics\" object\n";
+    return 1;
+  }
+
+  if (stableOnly) {
+    // Raw canonical bytes, so two manifests can be compared with cmp(1).
+    // An empty stable section is an error: an instrumented run always
+    // records something, so emptiness means telemetry was lost.
+    std::vector<std::pair<std::string, std::string>> counters;
+    if (!obs::topLevelEntries(obs::extractJsonObject(metrics, "counters"),
+                              &counters)) {
+      std::cerr << "error: malformed stable metrics in " << args[0] << '\n';
+      return 1;
+    }
+    if (counters.empty()) {
+      std::cerr << "error: empty stable metrics snapshot in " << args[0]
+                << '\n';
+      return 1;
+    }
+    std::cout << metrics << '\n';
+    return 0;
+  }
+
+  std::cout << "bench:    " << manifestField(manifest, "bench") << '\n'
+            << "status:   " << manifestField(manifest, "status") << '\n'
+            << "git_sha:  " << manifestField(manifest, "git_sha") << '\n'
+            << "threads:  " << manifestField(manifest, "threads") << '\n';
+  std::cout << "stable counters:\n";
+  printObjectEntries(obs::extractJsonObject(metrics, "counters"), "  ");
+  const std::string histograms = obs::extractJsonObject(metrics,
+                                                        "histograms");
+  if (histograms.size() > 2) {
+    std::cout << "stable histograms:\n";
+    printObjectEntries(histograms, "  ");
+  }
+  const std::string runtimeMetrics =
+      obs::extractJsonObject(manifest, "runtime_metrics");
+  if (!runtimeMetrics.empty()) {
+    std::cout << "runtime counters:\n";
+    printObjectEntries(obs::extractJsonObject(runtimeMetrics, "counters"),
+                       "  ");
+    std::cout << "gauges:\n";
+    printObjectEntries(obs::extractJsonObject(runtimeMetrics, "gauges"),
+                       "  ");
+  }
+  std::cout << "phases (s):\n";
+  printObjectEntries(obs::extractJsonObject(manifest, "phases"), "  ");
+  return 0;
+}
+
+int cmdTrace(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string trace = readFile(args[0]);
+  std::vector<std::string> events;
+  if (!obs::topLevelElements(obs::extractJsonArray(trace, "traceEvents"),
+                             &events)) {
+    std::cerr << "error: " << args[0]
+              << " is not a Chrome trace (no traceEvents array)\n";
+    return 1;
+  }
+  if (events.empty()) {
+    std::cerr << "error: " << args[0] << " contains no events\n";
+    return 1;
+  }
+
+  struct Row {
+    std::size_t count = 0;
+    double totalUs = 0.0;
+  };
+  std::map<std::string, Row> byName;
+  for (const std::string& event : events) {
+    const std::string name = manifestField(event, "name");
+    const std::string dur = manifestField(event, "dur");
+    if (name.empty() || dur.empty()) {
+      std::cerr << "error: malformed event in " << args[0] << '\n';
+      return 1;
+    }
+    Row& row = byName[name];
+    ++row.count;
+    row.totalUs += std::strtod(dur.c_str(), nullptr);
+  }
+  std::cout << events.size() << " events\n";
+  for (const auto& [name, row] : byName) {
+    std::cout << "  " << name << ": " << row.count << " spans, "
+              << util::formatDouble(row.totalUs / 1e6, 6) << " s\n";
+  }
+  return 0;
+}
+
+int cmdCheckpoints(const std::vector<std::string>& args) {
+  std::string dir;
+  if (!args.empty()) {
+    dir = args[0];
+  } else if (const char* env = std::getenv("SCA_CHECKPOINT_DIR");
+             env != nullptr && *env != '\0') {
+    dir = env;
+  } else {
+    std::cerr << "error: no directory given and SCA_CHECKPOINT_DIR unset\n";
+    return 2;
+  }
+  if (!std::filesystem::is_directory(dir)) {
+    std::cerr << "error: " << dir << " is not a directory\n";
+    return 1;
+  }
+
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("chain_", 0) == 0 &&
+        entry.path().extension() == ".jsonl") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::cout << "no chain checkpoints in " << dir << '\n';
+    return 0;
+  }
+
+  std::size_t complete = 0;
+  for (const std::string& path : paths) {
+    const llm::CheckpointInfo info = llm::inspectChainCheckpoint(path);
+    std::cout << std::filesystem::path(path).filename().string() << ": ";
+    if (info.headerOk) {
+      std::cout << "y" << info.year << " " << info.setting << " c"
+                << info.challenge << " steps " << info.entries << "/"
+                << info.steps << " origin " << info.originHash
+                << " fault_rate " << info.faultRate << " - " << info.verdict
+                << '\n';
+    } else {
+      std::cout << info.verdict << '\n';
+    }
+    if (info.complete) ++complete;
+  }
+  std::cout << complete << "/" << paths.size() << " chains complete\n";
+  return 0;
+}
+
+}  // namespace
+
+namespace {
+
+int dispatch(const std::string& command,
+             const std::vector<std::string>& args) {
+  if (command == "generate") return cmdGenerate(args);
+  if (command == "transform") return cmdTransform(args);
+  if (command == "inspect") return cmdInspect(args);
+  if (command == "train") return cmdTrain(args);
+  if (command == "attribute") return cmdAttribute(args);
+  if (command == "evade") return cmdEvade(args);
+  if (command == "challenges") return cmdChallenges();
+  if (command == "metrics") return cmdMetrics(args);
+  if (command == "trace") return cmdTrace(args);
+  if (command == "checkpoints") return cmdCheckpoints(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,17 +347,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+  int rc = 0;
   try {
-    if (command == "generate") return cmdGenerate(args);
-    if (command == "transform") return cmdTransform(args);
-    if (command == "inspect") return cmdInspect(args);
-    if (command == "train") return cmdTrain(args);
-    if (command == "attribute") return cmdAttribute(args);
-    if (command == "evade") return cmdEvade(args);
-    if (command == "challenges") return cmdChallenges();
+    rc = dispatch(command, args);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
-    return 1;
+    rc = 1;
   }
-  return usage();
+  const util::Status traceStatus = obs::flushConfiguredTrace();
+  if (!traceStatus.isOk()) {
+    std::cerr << "[trace] write failed: " << traceStatus.toString() << '\n';
+  }
+  return rc;
 }
