@@ -23,10 +23,11 @@
 // `threads` is the shared pool's worker count (SCA_THREADS or hardware
 // concurrency); `phases` accumulates runtime::PhaseTimer scopes since the
 // previous emit (concurrent phases sum their per-task wall time, so phase
-// seconds can exceed total_s on multi-core hosts); `counters` accumulates
-// every stable metrics-registry counter — retry/fault/degradation/
-// checkpoint telemetry from the resilience layer plus the rt_/ml_/
-// features_ instrumentation — and is omitted when empty; `total_s` is
+// seconds can exceed total_s on multi-core hosts); `counters` merges every
+// stable AND runtime metrics-registry counter — retry/fault/degradation/
+// checkpoint telemetry from the resilience layer, the rt_/ml_/features_
+// instrumentation and the cache_/llm_cache_ effectiveness counts — and is
+// omitted when empty; `total_s` is
 // process wall-clock since the previous emit. The file is append-only:
 // rerunning a bench adds new lines rather than rewriting history.
 //
@@ -47,6 +48,7 @@
 #include <string>
 
 #include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
@@ -109,41 +111,40 @@ inline std::chrono::steady_clock::time_point gEmitAnchor =
 
 /// Builds the phase+counter snapshot as one JSONL record, appends it with
 /// a single atomic write, then resets both registries and the wall-clock
-/// anchor so the next emit reports its own table only.
+/// anchor so the next emit reports its own table only. Counters merge the
+/// registry's stable AND runtime sections (names are disjoint): warm-cache
+/// runs move most transport work behind cache_/llm_cache_ counters, and
+/// the perf trajectory should show that, not hide it.
 inline void appendTimes(const std::string& name) {
   const std::map<std::string, double> phases =
       runtime::PhaseTimes::global().snapshot();
-  const std::map<std::string, std::uint64_t> counters =
-      runtime::Counters::global().snapshot();
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::global().snapshot();
+  std::map<std::string, std::uint64_t> counters = metrics.counters;
+  counters.insert(metrics.runtimeCounters.begin(),
+                  metrics.runtimeCounters.end());
   const auto now = std::chrono::steady_clock::now();
   const double totalSeconds =
       std::chrono::duration<double>(now - gEmitAnchor).count();
 
-  std::string record = "{\"bench\":\"" + util::jsonEscape(name) +
-                       "\",\"threads\":" +
-                       std::to_string(runtime::globalPool().size()) +
-                       ",\"phases\":{";
-  bool first = true;
+  util::JsonObjectBuilder record;
+  record.add("bench", name);
+  record.addUint("threads", runtime::globalPool().size());
+  util::JsonObjectBuilder phasesJson;
   for (const auto& [phase, seconds] : phases) {
-    if (!first) record += ',';
-    first = false;
-    record += '"' + util::jsonEscape(phase) + "\":" +
-              util::formatDouble(seconds, 3);
+    phasesJson.addDouble(phase, seconds, 3);
   }
-  record += '}';
+  record.addRaw("phases", phasesJson.str());
   if (!counters.empty()) {
-    record += ",\"counters\":{";
-    first = true;
+    util::JsonObjectBuilder countersJson;
     for (const auto& [key, count] : counters) {
-      if (!first) record += ',';
-      first = false;
-      record += '"' + util::jsonEscape(key) + "\":" + std::to_string(count);
+      countersJson.addUint(key, count);
     }
-    record += '}';
+    record.addRaw("counters", countersJson.str());
   }
-  record += ",\"total_s\":" + util::formatDouble(totalSeconds, 3) + '}';
+  record.addDouble("total_s", totalSeconds, 3);
 
-  if (util::appendLine("bench_out/bench_times.json", record).isOk()) {
+  if (util::appendLine("bench_out/bench_times.json", record.str()).isOk()) {
     std::cout << "[times] bench_out/bench_times.json\n";
   }
   runtime::PhaseTimes::global().reset();

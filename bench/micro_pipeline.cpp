@@ -197,9 +197,10 @@ int runPipelineOnce() {
     runtime::PhaseTimer timer("corpus_build");
     data = &miniCorpus();
   }
+  llm::TransformedDataset transformed;
   {
     runtime::PhaseTimer timer("llm_transform");
-    benchmark::DoNotOptimize(llm::buildTransformedDataset(*data, 3));
+    transformed = llm::buildTransformedDataset(*data, 3);
   }
   std::vector<std::string> sources;
   std::vector<int> labels;
@@ -214,10 +215,34 @@ int runPipelineOnce() {
     runtime::PhaseTimer timer("train");
     model.train(sources, labels);
   }
+  std::vector<int> predictions;
   {
     runtime::PhaseTimer timer("predict");
-    benchmark::DoNotOptimize(model.predictAll(sources));
+    predictions = model.predictAll(sources);
   }
+
+  // Deterministic digest of everything the pass produced — every
+  // transformed sample byte and every predicted label. This line must be
+  // byte-identical with the result cache off, cold or warm, at any
+  // SCA_THREADS; the CI cache smoke compares it across those runs.
+  std::uint64_t digest = util::hash64("pipeline");
+  for (const llm::TransformedSample& sample : transformed.samples) {
+    digest = util::combine64(digest, util::hash64(sample.source));
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    digest = util::combine64(digest,
+                             static_cast<std::uint64_t>(predictions[i]));
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  const double accuracy =
+      predictions.empty()
+          ? 0.0
+          : static_cast<double>(correct) /
+                static_cast<double>(predictions.size());
+  std::cout << "[pipeline] digest=" << util::toHex64(digest)
+            << " transformed=" << transformed.samples.size()
+            << " accuracy=" << util::formatDouble(accuracy, 6) << "\n";
   return 0;
 }
 

@@ -1,0 +1,82 @@
+// Exact binary encoding for cache value payloads.
+//
+// Cached values must round-trip *bit for bit* — the repo's standing
+// invariant is that results are byte-identical with the cache off, cold or
+// warm, and a double squeezed through decimal formatting would break that.
+// So payloads are little-endian fixed-width fields: integers verbatim,
+// doubles as their IEEE-754 bit pattern, strings length-prefixed.
+//
+// The reader is the deserializer's safety net: every read is bounds
+// checked, and the first overrun latches ok() to false while subsequent
+// reads return zeros/empties. Callers check ok() && atEnd() once at the
+// end and treat failure as a cache miss — a truncated or corrupt value
+// file can cost a recompute, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sca::cache {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  /// Exact IEEE-754 bit pattern; round-trips every value including -0.0,
+  /// infinities and NaN payloads.
+  void f64(double v);
+
+  /// u32 byte length + raw bytes.
+  void str(std::string_view v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_.append(v);
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  bool boolean() { return u8() != 0; }
+
+  /// True while no read has run past the end of the buffer.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True when the whole buffer has been consumed (trailing garbage in a
+  /// value file is as suspect as truncation).
+  [[nodiscard]] bool atEnd() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sca::cache

@@ -1,31 +1,241 @@
 #include "features/extractor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 
 #include "ast/parser.hpp"
 #include "ast/visit.hpp"
+#include "cache/codec.hpp"
+#include "cache/store.hpp"
 #include "lexer/layout.hpp"
 #include "lexer/lexer.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/parallel.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace sca::features {
 namespace {
 
+/// Everything the syntactic feature block needs, precomputed from the AST.
+/// The AST itself does not serialize losslessly, so the analysis cache
+/// stores this flat summary instead: kind counts are aligned to the
+/// allStmt/ExprKindNames() tables, doubles are carried verbatim.
+struct SyntacticSummary {
+  std::vector<std::uint64_t> stmtKindCounts;  // aligned to allStmtKindNames()
+  std::uint64_t stmtTotal = 0;
+  std::vector<std::uint64_t> exprKindCounts;  // aligned to allExprKindNames()
+  std::uint64_t exprTotal = 0;
+  std::uint64_t maxDepth = 0;
+  double meanDepth = 0.0;
+  std::uint64_t functionCount = 0;
+  double paramSum = 0.0;
+  std::uint64_t aliasCount = 0;
+  bool usingNamespaceStd = false;
+  std::uint64_t includeCount = 0;
+  bool bitsHeader = false;
+  std::vector<std::string> bigrams;  // ast::stmtKindBigrams(unit)
+};
+
 /// Everything transform() needs, computed once per source.
 struct Analyzed {
   std::vector<lexer::Token> tokens;
   lexer::LayoutMetrics layout;
-  ast::ParseResult parsed;
+  SyntacticSummary syntax;
 };
+
+std::size_t kindIndex(const std::vector<std::string>& names,
+                      std::string_view kind) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == kind) return i;
+  }
+  return names.size();  // unreachable for well-formed kind tables
+}
+
+SyntacticSummary summarize(const ast::TranslationUnit& unit) {
+  SyntacticSummary s;
+  const std::vector<std::string>& stmtNames = ast::allStmtKindNames();
+  const std::vector<std::string>& exprNames = ast::allExprKindNames();
+  s.stmtKindCounts.assign(stmtNames.size(), 0);
+  s.exprKindCounts.assign(exprNames.size(), 0);
+  ast::forEachStmt(unit, [&](const ast::Stmt& stmt) {
+    const std::size_t i = kindIndex(stmtNames, ast::stmtKindName(stmt));
+    if (i < s.stmtKindCounts.size()) ++s.stmtKindCounts[i];
+    ++s.stmtTotal;
+  });
+  ast::forEachExpr(unit, [&](const ast::Expr& expr) {
+    const std::size_t i = kindIndex(exprNames, ast::exprKindName(expr));
+    if (i < s.exprKindCounts.size()) ++s.exprKindCounts[i];
+    ++s.exprTotal;
+  });
+  s.maxDepth = ast::maxStmtDepth(unit);
+  s.meanDepth = ast::meanStmtDepth(unit);
+  s.functionCount = unit.functions.size();
+  for (const ast::Function& fn : unit.functions) {
+    s.paramSum += static_cast<double>(fn.params.size());
+  }
+  s.aliasCount = unit.aliases.size();
+  s.usingNamespaceStd = unit.usingNamespaceStd;
+  s.includeCount = unit.includes.size();
+  s.bitsHeader = std::find(unit.includes.begin(), unit.includes.end(),
+                           "bits/stdc++.h") != unit.includes.end();
+  s.bigrams = ast::stmtKindBigrams(unit);
+  return s;
+}
+
+// ---------------------------------------------------- analysis (de)serde --
+// Exact binary encoding (cache/codec.hpp): integers and IEEE-754 bit
+// patterns, so a restored analysis reproduces every feature double bit for
+// bit. Token line/column are NOT persisted — the extractor never reads
+// them. The leading version byte plus the kind-table length checks below
+// make any schema drift a miss, never a misread.
+
+constexpr std::uint8_t kAnalysisVersion = 1;
+
+std::string serializeAnalysis(const Analyzed& a) {
+  cache::ByteWriter w;
+  w.u8(kAnalysisVersion);
+
+  w.u32(static_cast<std::uint32_t>(a.tokens.size()));
+  for (const lexer::Token& t : a.tokens) {
+    w.u8(static_cast<std::uint8_t>(t.kind));
+    w.str(t.text);
+  }
+
+  const lexer::LayoutMetrics& m = a.layout;
+  w.u64(m.lineCount);
+  w.u64(m.blankLines);
+  w.u64(m.commentChars);
+  w.u64(m.totalChars);
+  w.u64(m.lineComments);
+  w.u64(m.blockComments);
+  w.u64(m.indentedLines);
+  w.u64(m.tabIndentedLines);
+  w.f64(m.meanIndentWidth);
+  w.u64(m.indentWidth2);
+  w.u64(m.indentWidth4);
+  w.u64(m.indentWidth8);
+  w.u64(m.bracesOwnLine);
+  w.u64(m.bracesEndOfLine);
+  w.u64(m.spacedBinaryOps);
+  w.u64(m.tightBinaryOps);
+  w.u64(m.spaceAfterComma);
+  w.u64(m.noSpaceAfterComma);
+  w.u64(m.spaceAfterKeyword);
+  w.u64(m.noSpaceAfterKeyword);
+  w.f64(m.meanLineLength);
+  w.u64(m.maxLineLength);
+
+  const SyntacticSummary& s = a.syntax;
+  w.u32(static_cast<std::uint32_t>(s.stmtKindCounts.size()));
+  for (const std::uint64_t c : s.stmtKindCounts) w.u64(c);
+  w.u64(s.stmtTotal);
+  w.u32(static_cast<std::uint32_t>(s.exprKindCounts.size()));
+  for (const std::uint64_t c : s.exprKindCounts) w.u64(c);
+  w.u64(s.exprTotal);
+  w.u64(s.maxDepth);
+  w.f64(s.meanDepth);
+  w.u64(s.functionCount);
+  w.f64(s.paramSum);
+  w.u64(s.aliasCount);
+  w.boolean(s.usingNamespaceStd);
+  w.u64(s.includeCount);
+  w.boolean(s.bitsHeader);
+  w.u32(static_cast<std::uint32_t>(s.bigrams.size()));
+  for (const std::string& b : s.bigrams) w.str(b);
+
+  return w.take();
+}
+
+std::shared_ptr<const Analyzed> deserializeAnalysis(std::string_view bytes) {
+  cache::ByteReader r(bytes);
+  if (r.u8() != kAnalysisVersion) return nullptr;
+  auto a = std::make_shared<Analyzed>();
+
+  const std::uint32_t tokenCount = r.u32();
+  if (!r.ok()) return nullptr;
+  a->tokens.reserve(tokenCount);
+  for (std::uint32_t i = 0; i < tokenCount && r.ok(); ++i) {
+    lexer::Token t;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(lexer::TokenKind::EndOfFile)) {
+      return nullptr;
+    }
+    t.kind = static_cast<lexer::TokenKind>(kind);
+    t.text = r.str();
+    a->tokens.push_back(std::move(t));
+  }
+
+  lexer::LayoutMetrics& m = a->layout;
+  m.lineCount = r.u64();
+  m.blankLines = r.u64();
+  m.commentChars = r.u64();
+  m.totalChars = r.u64();
+  m.lineComments = r.u64();
+  m.blockComments = r.u64();
+  m.indentedLines = r.u64();
+  m.tabIndentedLines = r.u64();
+  m.meanIndentWidth = r.f64();
+  m.indentWidth2 = r.u64();
+  m.indentWidth4 = r.u64();
+  m.indentWidth8 = r.u64();
+  m.bracesOwnLine = r.u64();
+  m.bracesEndOfLine = r.u64();
+  m.spacedBinaryOps = r.u64();
+  m.tightBinaryOps = r.u64();
+  m.spaceAfterComma = r.u64();
+  m.noSpaceAfterComma = r.u64();
+  m.spaceAfterKeyword = r.u64();
+  m.noSpaceAfterKeyword = r.u64();
+  m.meanLineLength = r.f64();
+  m.maxLineLength = r.u64();
+
+  SyntacticSummary& s = a->syntax;
+  const std::uint32_t stmtKinds = r.u32();
+  if (!r.ok() || stmtKinds != ast::allStmtKindNames().size()) return nullptr;
+  s.stmtKindCounts.resize(stmtKinds);
+  for (std::uint32_t i = 0; i < stmtKinds; ++i) s.stmtKindCounts[i] = r.u64();
+  s.stmtTotal = r.u64();
+  const std::uint32_t exprKinds = r.u32();
+  if (!r.ok() || exprKinds != ast::allExprKindNames().size()) return nullptr;
+  s.exprKindCounts.resize(exprKinds);
+  for (std::uint32_t i = 0; i < exprKinds; ++i) s.exprKindCounts[i] = r.u64();
+  s.exprTotal = r.u64();
+  s.maxDepth = r.u64();
+  s.meanDepth = r.f64();
+  s.functionCount = r.u64();
+  s.paramSum = r.f64();
+  s.aliasCount = r.u64();
+  s.usingNamespaceStd = r.boolean();
+  s.includeCount = r.u64();
+  s.bitsHeader = r.boolean();
+  const std::uint32_t bigramCount = r.u32();
+  if (!r.ok()) return nullptr;
+  s.bigrams.reserve(bigramCount);
+  for (std::uint32_t i = 0; i < bigramCount && r.ok(); ++i) {
+    s.bigrams.push_back(r.str());
+  }
+
+  if (!r.ok() || !r.atEnd()) return nullptr;
+  return a;
+}
+
+cache::CacheKey analysisKey(const std::string& source) {
+  // hi = namespace + format half (size folds in as a cheap discriminator),
+  // lo = content fingerprint.
+  return cache::CacheKey{
+      util::combine64(util::hash64("sca-analysis-v1"), source.size()),
+      util::hash64(source)};
+}
 
 /// Process-global content-keyed memo of analyses (see extractor.hpp).
 /// Bounded: past kMaxEntries the cache is dropped wholesale rather than
@@ -35,6 +245,8 @@ struct Analyzed {
 class AnalysisCache {
  public:
   static constexpr std::size_t kMaxEntries = 32768;
+
+  AnalysisCache() : disk_(cache::DiskCache::processCache()) {}
 
   std::shared_ptr<const Analyzed> get(const std::string& source) {
     analyzeCalls_.add();
@@ -46,10 +258,30 @@ class AnalysisCache {
         return it->second;
       }
     }
-    auto analyzed = std::make_shared<Analyzed>();
-    analyzed->tokens = lexer::tokenize(source);
-    analyzed->layout = lexer::computeLayoutMetrics(source);
-    analyzed->parsed = ast::parse(source);
+
+    // In-memory miss: a disk restore replaces lex+layout+parse outright.
+    std::shared_ptr<const Analyzed> analyzed;
+    cache::DiskCache* disk = disk_.load(std::memory_order_acquire);
+    if (disk != nullptr) {
+      if (const std::optional<std::string> blob = disk->get(analysisKey(source))) {
+        analyzed = deserializeAnalysis(*blob);
+        if (analyzed != nullptr) diskRestores_.add();
+      }
+    }
+    if (analyzed == nullptr) {
+      auto fresh = std::make_shared<Analyzed>();
+      fresh->tokens = lexer::tokenize(source);
+      fresh->layout = lexer::computeLayoutMetrics(source);
+      fresh->syntax = summarize(ast::parse(source).unit);
+      if (disk != nullptr) {
+        // Best effort: a failed spill only costs the next process a
+        // recompute.
+        (void)disk->put(analysisKey(source), serializeAnalysis(*fresh));
+        diskSpills_.add();
+      }
+      analyzed = std::move(fresh);
+    }
+
     std::unique_lock lock(mutex_);
     misses_.add();
     if (entries_.size() >= kMaxEntries) entries_.clear();
@@ -59,8 +291,13 @@ class AnalysisCache {
   AnalysisCacheStats stats() const {
     auto& registry = obs::MetricsRegistry::global();
     std::shared_lock lock(mutex_);
-    return {registry.counterValue("features_cache_hits"),
-            registry.counterValue("features_cache_misses"), entries_.size()};
+    AnalysisCacheStats out;
+    out.hits = registry.counterValue("features_cache_hits");
+    out.misses = registry.counterValue("features_cache_misses");
+    out.entries = entries_.size();
+    out.diskRestores = registry.counterValue("features_cache_restores");
+    out.diskSpills = registry.counterValue("features_cache_spills");
+    return out;
   }
 
   void clear() {
@@ -71,6 +308,12 @@ class AnalysisCache {
     auto& registry = obs::MetricsRegistry::global();
     registry.markResetCounter("features_cache_hits");
     registry.markResetCounter("features_cache_misses");
+    registry.markResetCounter("features_cache_restores");
+    registry.markResetCounter("features_cache_spills");
+  }
+
+  void setDisk(cache::DiskCache* store) {
+    disk_.store(store, std::memory_order_release);
   }
 
   static AnalysisCache& global() {
@@ -81,15 +324,21 @@ class AnalysisCache {
  private:
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const Analyzed>> entries_;
+  std::atomic<cache::DiskCache*> disk_{nullptr};
   // Total analyze() calls are event-deterministic (stable); the hit/miss
   // split is not — two threads can both miss one key before either inserts
-  // it — so hits/misses are kRuntime, kept out of the stable section.
+  // it — and the disk split additionally depends on what previous processes
+  // left behind, so all four are kRuntime, kept out of the stable section.
   obs::Counter analyzeCalls_ =
       obs::MetricsRegistry::global().counter("features_analyze_calls");
   obs::Counter hits_ = obs::MetricsRegistry::global().counter(
       "features_cache_hits", obs::Stability::kRuntime);
   obs::Counter misses_ = obs::MetricsRegistry::global().counter(
       "features_cache_misses", obs::Stability::kRuntime);
+  obs::Counter diskRestores_ = obs::MetricsRegistry::global().counter(
+      "features_cache_restores", obs::Stability::kRuntime);
+  obs::Counter diskSpills_ = obs::MetricsRegistry::global().counter(
+      "features_cache_spills", obs::Stability::kRuntime);
 };
 
 std::shared_ptr<const Analyzed> analyze(const std::string& source) {
@@ -211,7 +460,7 @@ void FeatureExtractor::fit(const std::vector<std::string>& sources) {
       [&](std::size_t i) {
         const std::shared_ptr<const Analyzed> a = analyze(sources[i]);
         return Docs{identifierTermsFromTokens(a->tokens),
-                    ast::stmtKindBigrams(a->parsed.unit)};
+                    a->syntax.bigrams};
       },
       runtime::ParallelOptions{.maxWorkers = 0, .grain = 8});
 
@@ -375,50 +624,29 @@ std::vector<double> FeatureExtractor::transform(
   }
 
   if (config_.useSyntactic) {
-    const ast::TranslationUnit& unit = a.parsed.unit;
-    std::map<std::string, std::size_t> stmtCounts;
-    std::size_t stmtTotal = 0;
-    ast::forEachStmt(unit, [&](const ast::Stmt& stmt) {
-      ++stmtCounts[std::string(ast::stmtKindName(stmt))];
-      ++stmtTotal;
-    });
-    std::map<std::string, std::size_t> exprCounts;
-    std::size_t exprTotal = 0;
-    ast::forEachExpr(unit, [&](const ast::Expr& expr) {
-      ++exprCounts[std::string(ast::exprKindName(expr))];
-      ++exprTotal;
-    });
-    for (const std::string& kind : ast::allStmtKindNames()) {
-      const auto it = stmtCounts.find(kind);
-      vec.push_back(ratio(it == stmtCounts.end() ? 0 : it->second, stmtTotal));
+    const SyntacticSummary& s = a.syntax;
+    for (const std::uint64_t count : s.stmtKindCounts) {
+      vec.push_back(ratio(count, s.stmtTotal));
     }
-    for (const std::string& kind : ast::allExprKindNames()) {
-      const auto it = exprCounts.find(kind);
-      vec.push_back(ratio(it == exprCounts.end() ? 0 : it->second, exprTotal));
+    for (const std::uint64_t count : s.exprKindCounts) {
+      vec.push_back(ratio(count, s.exprTotal));
     }
-    vec.push_back(static_cast<double>(ast::maxStmtDepth(unit)) / 10.0);
-    vec.push_back(ast::meanStmtDepth(unit) / 5.0);
-    vec.push_back(static_cast<double>(unit.functions.size()) / 5.0);
-    double paramSum = 0.0;
-    for (const ast::Function& fn : unit.functions) {
-      paramSum += static_cast<double>(fn.params.size());
-    }
-    vec.push_back(unit.functions.empty()
+    vec.push_back(static_cast<double>(s.maxDepth) / 10.0);
+    vec.push_back(s.meanDepth / 5.0);
+    vec.push_back(static_cast<double>(s.functionCount) / 5.0);
+    vec.push_back(s.functionCount == 0
                       ? 0.0
-                      : static_cast<double>(stmtTotal) /
-                            (30.0 * static_cast<double>(unit.functions.size())));
-    vec.push_back(unit.functions.empty()
+                      : static_cast<double>(s.stmtTotal) /
+                            (30.0 * static_cast<double>(s.functionCount)));
+    vec.push_back(s.functionCount == 0
                       ? 0.0
-                      : paramSum / static_cast<double>(unit.functions.size()) /
+                      : s.paramSum / static_cast<double>(s.functionCount) /
                             4.0);
-    vec.push_back(static_cast<double>(unit.aliases.size()));
-    vec.push_back(unit.usingNamespaceStd ? 1.0 : 0.0);
-    vec.push_back(static_cast<double>(unit.includes.size()) / 6.0);
-    const bool bits = std::find(unit.includes.begin(), unit.includes.end(),
-                                "bits/stdc++.h") != unit.includes.end();
-    vec.push_back(bits ? 1.0 : 0.0);
-    for (const double v :
-         bigramVocab_.vectorize(ast::stmtKindBigrams(unit))) {
+    vec.push_back(static_cast<double>(s.aliasCount));
+    vec.push_back(s.usingNamespaceStd ? 1.0 : 0.0);
+    vec.push_back(static_cast<double>(s.includeCount) / 6.0);
+    vec.push_back(s.bitsHeader ? 1.0 : 0.0);
+    for (const double v : bigramVocab_.vectorize(s.bigrams)) {
       vec.push_back(v);
     }
   }
@@ -438,5 +666,9 @@ AnalysisCacheStats analysisCacheStats() {
 }
 
 void clearAnalysisCache() { AnalysisCache::global().clear(); }
+
+void setAnalysisDiskCache(cache::DiskCache* store) {
+  AnalysisCache::global().setDisk(store);
+}
 
 }  // namespace sca::features

@@ -1,9 +1,5 @@
 #include "llm/checkpoint.hpp"
 
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
-
 #include "util/io.hpp"
 #include "util/strings.hpp"
 
@@ -11,53 +7,6 @@ namespace sca::llm {
 namespace {
 
 constexpr std::string_view kMagic = "sca-chain-v1";
-
-std::string hex64(std::uint64_t value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, value);
-  return buffer;
-}
-
-/// Extracts the string value of `"field":"..."` from a JSONL record,
-/// honoring backslash escapes. Empty optional-style: returns false when
-/// the field is absent or the record is torn.
-bool extractString(const std::string& line, std::string_view field,
-                   std::string* out) {
-  const std::string needle = "\"" + std::string(field) + "\":\"";
-  const std::size_t start = line.find(needle);
-  if (start == std::string::npos) return false;
-  std::size_t i = start + needle.size();
-  std::string raw;
-  while (i < line.size()) {
-    if (line[i] == '\\') {
-      if (i + 1 >= line.size()) return false;  // torn mid-escape
-      raw += line[i];
-      raw += line[i + 1];
-      i += 2;
-      continue;
-    }
-    if (line[i] == '"') {
-      *out = util::jsonUnescape(raw);
-      return true;
-    }
-    raw += line[i];
-    ++i;
-  }
-  return false;  // unterminated string: torn record
-}
-
-bool extractInt(const std::string& line, std::string_view field,
-                long long* out) {
-  const std::string needle = "\"" + std::string(field) + "\":";
-  const std::size_t start = line.find(needle);
-  if (start == std::string::npos) return false;
-  const char* begin = line.c_str() + start + needle.size();
-  char* end = nullptr;
-  const long long value = std::strtoll(begin, &end, 10);
-  if (end == begin) return false;
-  *out = value;
-  return true;
-}
 
 util::Status stale(const std::string& why) {
   return util::Status(util::StatusCode::kDataLoss, why);
@@ -75,18 +24,22 @@ util::Status writeChainCheckpoint(const std::string& dir, const ChainKey& key,
                                   const std::vector<std::string>& outputs) {
   std::string content;
   content.reserve(256 + outputs.size() * 64);
-  content += "{\"magic\":\"";
-  content += kMagic;
-  content += "\",\"year\":" + std::to_string(key.year);
-  content += ",\"setting\":\"" + util::jsonEscape(key.settingLabel) + "\"";
-  content += ",\"challenge\":" + std::to_string(key.challenge);
-  content += ",\"steps\":" + std::to_string(key.steps);
-  content += ",\"origin_hash\":\"" + hex64(key.originHash) + "\"";
-  content += ",\"fault_rate\":\"" + util::formatDouble(key.faultRate, 6) +
-             "\"}\n";
+  content += util::JsonObjectBuilder()
+                 .add("magic", kMagic)
+                 .addInt("year", key.year)
+                 .add("setting", key.settingLabel)
+                 .addInt("challenge", key.challenge)
+                 .addUint("steps", key.steps)
+                 .add("origin_hash", util::toHex64(key.originHash))
+                 .add("fault_rate", util::formatDouble(key.faultRate, 6))
+                 .str();
+  content += '\n';
   for (std::size_t i = 0; i < outputs.size(); ++i) {
-    content += "{\"step\":" + std::to_string(i + 1) + ",\"source\":\"" +
-               util::jsonEscape(outputs[i]) + "\"}\n";
+    content += util::JsonObjectBuilder()
+                   .addUint("step", i + 1)
+                   .add("source", outputs[i])
+                   .str();
+    content += '\n';
   }
   return util::atomicWriteFile(chainCheckpointPath(dir, key), content);
 }
@@ -109,29 +62,29 @@ util::Result<std::vector<std::string>> loadChainCheckpoint(
   long long year = 0;
   long long challenge = 0;
   long long steps = 0;
-  if (!extractString(header, "magic", &magic) || magic != kMagic) {
+  if (!util::jsonStringField(header, "magic", &magic) || magic != kMagic) {
     return stale("bad magic in " + path);
   }
-  if (!extractInt(header, "year", &year) || year != key.year) {
+  if (!util::jsonIntField(header, "year", &year) || year != key.year) {
     return stale("year mismatch in " + path);
   }
-  if (!extractString(header, "setting", &setting) ||
+  if (!util::jsonStringField(header, "setting", &setting) ||
       setting != key.settingLabel) {
     return stale("setting mismatch in " + path);
   }
-  if (!extractInt(header, "challenge", &challenge) ||
+  if (!util::jsonIntField(header, "challenge", &challenge) ||
       challenge != key.challenge) {
     return stale("challenge mismatch in " + path);
   }
-  if (!extractInt(header, "steps", &steps) ||
+  if (!util::jsonIntField(header, "steps", &steps) ||
       steps != static_cast<long long>(key.steps)) {
     return stale("step count mismatch in " + path);
   }
-  if (!extractString(header, "origin_hash", &originHash) ||
-      originHash != hex64(key.originHash)) {
+  if (!util::jsonStringField(header, "origin_hash", &originHash) ||
+      originHash != util::toHex64(key.originHash)) {
     return stale("origin hash mismatch in " + path);
   }
-  if (!extractString(header, "fault_rate", &faultRate) ||
+  if (!util::jsonStringField(header, "fault_rate", &faultRate) ||
       faultRate != util::formatDouble(key.faultRate, 6)) {
     return stale("fault rate mismatch in " + path);
   }
@@ -142,9 +95,9 @@ util::Result<std::vector<std::string>> loadChainCheckpoint(
     if (lines[i].empty()) continue;  // trailing newline
     long long step = 0;
     std::string source;
-    if (!extractInt(lines[i], "step", &step) ||
+    if (!util::jsonIntField(lines[i], "step", &step) ||
         step != static_cast<long long>(outputs.size()) + 1 ||
-        !extractString(lines[i], "source", &source)) {
+        !util::jsonStringField(lines[i], "source", &source)) {
       return stale("torn record at line " + std::to_string(i + 1) + " of " +
                    path);
     }
@@ -174,7 +127,7 @@ CheckpointInfo inspectChainCheckpoint(const std::string& path) {
   // Header: unlike loadChainCheckpoint there is no expected key to match
   // against, so the check is structural — all fields present, magic right.
   const std::string& header = lines[0];
-  if (!extractString(header, "magic", &info.magic)) {
+  if (!util::jsonStringField(header, "magic", &info.magic)) {
     info.verdict = "no header";
     return info;
   }
@@ -182,12 +135,12 @@ CheckpointInfo inspectChainCheckpoint(const std::string& path) {
     info.verdict = "bad magic \"" + info.magic + "\"";
     return info;
   }
-  if (!extractInt(header, "year", &info.year) ||
-      !extractString(header, "setting", &info.setting) ||
-      !extractInt(header, "challenge", &info.challenge) ||
-      !extractInt(header, "steps", &info.steps) ||
-      !extractString(header, "origin_hash", &info.originHash) ||
-      !extractString(header, "fault_rate", &info.faultRate)) {
+  if (!util::jsonIntField(header, "year", &info.year) ||
+      !util::jsonStringField(header, "setting", &info.setting) ||
+      !util::jsonIntField(header, "challenge", &info.challenge) ||
+      !util::jsonIntField(header, "steps", &info.steps) ||
+      !util::jsonStringField(header, "origin_hash", &info.originHash) ||
+      !util::jsonStringField(header, "fault_rate", &info.faultRate)) {
     info.verdict = "incomplete header";
     return info;
   }
@@ -197,9 +150,9 @@ CheckpointInfo inspectChainCheckpoint(const std::string& path) {
     if (lines[i].empty()) continue;  // trailing newline
     long long step = 0;
     std::string source;
-    if (!extractInt(lines[i], "step", &step) ||
+    if (!util::jsonIntField(lines[i], "step", &step) ||
         step != static_cast<long long>(info.entries) + 1 ||
-        !extractString(lines[i], "source", &source)) {
+        !util::jsonStringField(lines[i], "source", &source)) {
       info.verdict = "torn record at line " + std::to_string(i + 1);
       return info;
     }

@@ -23,34 +23,37 @@ bool looksLikeRefusal(const std::string& output) {
 // Stats struct remains the per-client view; both are fed below, no map
 // lookups on the hot path). Fault schedules and jitter are chain-seeded,
 // so these counts — and the backoff histogram — are stable across
-// SCA_THREADS.
+// SCA_THREADS, but NOT across cache states: a warm result cache serves
+// completions without retrying anything, so the retry-layer telemetry is
+// runtime-tagged and stays out of the stable (byte-compared) section.
 obs::Counter& breakerOpensCounter() {
-  static obs::Counter counter =
-      obs::MetricsRegistry::global().counter("llm_breaker_opens");
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      "llm_breaker_opens", obs::Stability::kRuntime);
   return counter;
 }
 
 obs::Counter& budgetExhaustionsCounter() {
-  static obs::Counter counter =
-      obs::MetricsRegistry::global().counter("llm_budget_exhaustions");
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      "llm_budget_exhaustions", obs::Stability::kRuntime);
   return counter;
 }
 
 obs::Counter& retriesCounter() {
-  static obs::Counter counter =
-      obs::MetricsRegistry::global().counter("llm_retries");
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      "llm_retries", obs::Stability::kRuntime);
   return counter;
 }
 
 obs::Counter& validationFailuresCounter() {
-  static obs::Counter counter =
-      obs::MetricsRegistry::global().counter("llm_validation_failures");
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      "llm_validation_failures", obs::Stability::kRuntime);
   return counter;
 }
 
 obs::Histogram& backoffDelayHistogram() {
   static obs::Histogram histogram = obs::MetricsRegistry::global().histogram(
-      "llm_backoff_delay_s", {0.25, 0.5, 1, 2, 4, 8, 16, 32});
+      "llm_backoff_delay_s", {0.25, 0.5, 1, 2, 4, 8, 16, 32},
+      obs::Stability::kRuntime);
   return histogram;
 }
 

@@ -215,4 +215,115 @@ std::string jsonUnescape(std::string_view text) {
   return out;
 }
 
+std::string toHex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+bool parseHex64(std::string_view text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool jsonStringField(std::string_view record, std::string_view field,
+                     std::string* out) {
+  const std::string needle = "\"" + std::string(field) + "\":\"";
+  const std::size_t start = record.find(needle);
+  if (start == std::string_view::npos) return false;
+  std::size_t i = start + needle.size();
+  std::string raw;
+  while (i < record.size()) {
+    if (record[i] == '\\') {
+      if (i + 1 >= record.size()) return false;  // torn mid-escape
+      raw += record[i];
+      raw += record[i + 1];
+      i += 2;
+      continue;
+    }
+    if (record[i] == '"') {
+      *out = jsonUnescape(raw);
+      return true;
+    }
+    raw += record[i];
+    ++i;
+  }
+  return false;  // unterminated string: torn record
+}
+
+bool jsonIntField(std::string_view record, std::string_view field,
+                  long long* out) {
+  const std::string needle = "\"" + std::string(field) + "\":";
+  const std::size_t start = record.find(needle);
+  if (start == std::string_view::npos) return false;
+  std::size_t i = start + needle.size();
+  bool negative = false;
+  if (i < record.size() && record[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  if (i >= record.size() || record[i] < '0' || record[i] > '9') return false;
+  long long value = 0;
+  for (; i < record.size() && record[i] >= '0' && record[i] <= '9'; ++i) {
+    value = value * 10 + (record[i] - '0');
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::key(std::string_view key) {
+  if (!first_) body_ += ',';
+  first_ = false;
+  body_ += '"';
+  body_ += jsonEscape(key);
+  body_ += "\":";
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::add(std::string_view key,
+                                          std::string_view value) {
+  this->key(key);
+  body_ += '"';
+  body_ += jsonEscape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::addUint(std::string_view key,
+                                              std::uint64_t value) {
+  this->key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::addInt(std::string_view key,
+                                             long long value) {
+  this->key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::addDouble(std::string_view key,
+                                                double value, int precision) {
+  this->key(key);
+  body_ += formatDouble(value, precision);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::addRaw(std::string_view key,
+                                             std::string_view rawJson) {
+  this->key(key);
+  body_ += rawJson;
+  return *this;
+}
+
 }  // namespace sca::util

@@ -2,6 +2,7 @@
 // identifiers into words, joining, trimming, simple formatting).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,5 +56,53 @@ namespace sca::util {
 /// escapes \/ \b \f). Unknown escapes are kept verbatim without the
 /// backslash; a trailing lone backslash is dropped.
 [[nodiscard]] std::string jsonUnescape(std::string_view text);
+
+/// Fixed-width lowercase hex of a 64-bit value ("00ff..." — 16 chars).
+[[nodiscard]] std::string toHex64(std::uint64_t value);
+
+/// Parses exactly toHex64's output (16 lowercase hex chars). False on any
+/// length or character mismatch, `*out` untouched.
+[[nodiscard]] bool parseHex64(std::string_view text, std::uint64_t* out);
+
+// ------------------------------------------------ line-record JSON idioms --
+// The checkpoint, cache-index and bench-telemetry files are all JSONL: one
+// self-contained object per line, written by JsonObjectBuilder and read
+// back with the two field scanners. The scanners are deliberately not a
+// JSON parser: a field is located by its `"name":` needle, so they only
+// read formats this repo itself emits — but that also makes a torn or
+// truncated record fail loudly (false) instead of yielding half a value.
+
+/// Extracts the string value of `"field":"..."` from one record, honoring
+/// backslash escapes (result is jsonUnescape'd). False when the field is
+/// absent or the record is torn mid-string.
+[[nodiscard]] bool jsonStringField(std::string_view record,
+                                   std::string_view field, std::string* out);
+
+/// Extracts the integer value of `"field":123`. False when absent or
+/// non-numeric.
+[[nodiscard]] bool jsonIntField(std::string_view record,
+                                std::string_view field, long long* out);
+
+/// Builds `{"k":v,...}` incrementally with the repo's canonical idioms:
+/// keys and string values jsonEscape'd, doubles via formatDouble, nested
+/// objects spliced in raw. str() may be called at any point; the builder
+/// stays usable afterwards.
+class JsonObjectBuilder {
+ public:
+  JsonObjectBuilder& add(std::string_view key, std::string_view value);
+  JsonObjectBuilder& addUint(std::string_view key, std::uint64_t value);
+  JsonObjectBuilder& addInt(std::string_view key, long long value);
+  JsonObjectBuilder& addDouble(std::string_view key, double value,
+                               int precision);
+  /// `rawJson` is spliced verbatim (caller guarantees it is valid JSON).
+  JsonObjectBuilder& addRaw(std::string_view key, std::string_view rawJson);
+
+  [[nodiscard]] std::string str() const { return body_ + "}"; }
+
+ private:
+  JsonObjectBuilder& key(std::string_view key);
+  std::string body_ = "{";
+  bool first_ = true;
+};
 
 }  // namespace sca::util

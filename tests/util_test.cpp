@@ -198,6 +198,67 @@ TEST(Strings, FormatDouble) {
   EXPECT_EQ(formatDouble(100.0, 1), "100.0");
 }
 
+TEST(Strings, Hex64RoundTrip) {
+  EXPECT_EQ(toHex64(0), "0000000000000000");
+  EXPECT_EQ(toHex64(0xdeadbeefcafef00dull), "deadbeefcafef00d");
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parseHex64("deadbeefcafef00d", &value));
+  EXPECT_EQ(value, 0xdeadbeefcafef00dull);
+  EXPECT_TRUE(parseHex64(toHex64(~0ull), &value));
+  EXPECT_EQ(value, ~0ull);
+}
+
+TEST(Strings, ParseHex64RejectsMalformedInput) {
+  std::uint64_t value = 99;
+  EXPECT_FALSE(parseHex64("", &value));
+  EXPECT_FALSE(parseHex64("deadbeef", &value));            // too short
+  EXPECT_FALSE(parseHex64("deadbeefcafef00d00", &value));  // too long
+  EXPECT_FALSE(parseHex64("DEADBEEFCAFEF00D", &value));    // uppercase
+  EXPECT_FALSE(parseHex64("deadbeefcafef00g", &value));    // non-hex
+  EXPECT_EQ(value, 99u);  // out untouched on failure
+}
+
+TEST(Strings, JsonObjectBuilderProducesParseableRecord) {
+  const std::string record = JsonObjectBuilder()
+                                 .add("name", "a \"b\"\nc")
+                                 .addUint("count", 18446744073709551615ull)
+                                 .addInt("delta", -42)
+                                 .addDouble("ratio", 0.125, 3)
+                                 .addRaw("nested", "{\"x\":1}")
+                                 .str();
+  EXPECT_EQ(record,
+            "{\"name\":\"a \\\"b\\\"\\nc\",\"count\":18446744073709551615,"
+            "\"delta\":-42,\"ratio\":0.125,\"nested\":{\"x\":1}}");
+
+  std::string text;
+  EXPECT_TRUE(jsonStringField(record, "name", &text));
+  EXPECT_EQ(text, "a \"b\"\nc");
+  long long number = 0;
+  EXPECT_TRUE(jsonIntField(record, "delta", &number));
+  EXPECT_EQ(number, -42);
+}
+
+TEST(Strings, JsonFieldExtractorsFailSoftOnTornRecords) {
+  const std::string record =
+      JsonObjectBuilder().add("key", "value").addInt("n", 7).str();
+  // Any truncation must return false, never crash or return garbage.
+  for (std::size_t cut = 0; cut < record.size(); ++cut) {
+    const std::string torn = record.substr(0, cut);
+    std::string text;
+    long long number = 0;
+    if (jsonStringField(torn, "key", &text)) {
+      EXPECT_EQ(text, "value");
+    }
+    if (jsonIntField(torn, "n", &number)) {
+      EXPECT_EQ(number, 7);
+    }
+  }
+  std::string text;
+  EXPECT_FALSE(jsonStringField(record, "missing", &text));
+  long long number = 0;
+  EXPECT_FALSE(jsonIntField(record, "key", &number));  // string, not int
+}
+
 // ----------------------------------------------------------------- stats --
 
 TEST(Stats, MeanAndStddev) {

@@ -17,6 +17,13 @@
 # empty metrics snapshot), and byte-compares the stable metrics sections —
 # the registry's thread-count-invariance contract, checked on every PR.
 #
+# A warm-cache smoke then runs the same pipeline with the persistent cache
+# off, cold and warm (SCA_CACHE_DIR), byte-compares outputs and stable
+# metrics across all three states and both thread counts, verifies the
+# store with `sca_cli cache verify`, and runs the micro_cache bench (which
+# exits nonzero unless warm is >= 3x faster than cold with identical
+# digests).
+#
 # Usage: tools/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
 
@@ -41,12 +48,12 @@ obs_smoke() {
   rm -rf "$dir" && mkdir -p "$dir"
   local t
   for t in 1 8; do
-    # SCA_CHECKPOINT_DIR is cleared so a caller's checkpoint directory
-    # cannot turn the second run into a resume (written vs loaded chains
-    # would legitimately differ between the two runs).
+    # SCA_CHECKPOINT_DIR and SCA_CACHE_DIR are cleared so a caller's warm
+    # directories cannot change what work the two runs actually perform
+    # (resumed or cache-served chains would legitimately differ).
     (cd "$dir" &&
      SCA_PIPELINE_ONCE=1 SCA_THREADS=$t SCA_FAULT_RATE=0.05 \
-       SCA_CHECKPOINT_DIR= \
+       SCA_CHECKPOINT_DIR= SCA_CACHE_DIR= \
        SCA_TRACE="trace_t$t.json" SCA_MANIFEST="manifest_t$t.json" \
        ../bench/micro_pipeline)
     # Both inspectors fail on malformed input; --stable additionally fails
@@ -62,6 +69,56 @@ obs_smoke() {
   echo "=== observability smoke ok ==="
 }
 obs_smoke
+
+# Warm-cache smoke: the persistent cache's hard invariant is that results
+# are byte-identical with the cache off, cold, or warm — at any thread
+# count. Run the deterministic one-shot pipeline in all three states at 1
+# and 8 threads, byte-compare the "[pipeline]" digest lines and the stable
+# metrics sections, and require the warm manifest to show actual hits.
+cache_smoke() {
+  echo "=== warm-cache smoke (build-release) ==="
+  local dir=build-release/cache-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local t mode cachedir
+  for t in 1 8; do
+    for mode in off cold warm; do
+      cachedir="$PWD/$dir/store_t$t"
+      [ "$mode" = off ] && cachedir=
+      (cd "$dir" &&
+       SCA_PIPELINE_ONCE=1 SCA_THREADS=$t SCA_FAULT_RATE=0.05 \
+         SCA_CHECKPOINT_DIR= SCA_CACHE_DIR="$cachedir" \
+         SCA_MANIFEST="manifest_${mode}_t$t.json" \
+         ../bench/micro_pipeline) | grep '^\[pipeline\]' \
+        > "$dir/pipeline_${mode}_t$t.txt"
+      build-release/tools/sca_cli metrics "$dir/manifest_${mode}_t$t.json" \
+        --stable > "$dir/stable_${mode}_t$t.json"
+    done
+    for mode in cold warm; do
+      cmp "$dir/pipeline_off_t$t.txt" "$dir/pipeline_${mode}_t$t.txt" ||
+        { echo "pipeline output differs cache-$mode vs off (t=$t)" >&2
+          exit 1; }
+      cmp "$dir/stable_off_t$t.json" "$dir/stable_${mode}_t$t.json" ||
+        { echo "stable metrics differ cache-$mode vs off (t=$t)" >&2
+          exit 1; }
+    done
+    grep -Eq '"cache_hits":[1-9]' "$dir/manifest_warm_t$t.json" ||
+      { echo "warm manifest shows no cache hits (t=$t)" >&2; exit 1; }
+    build-release/tools/sca_cli cache verify "$dir/store_t$t" ||
+      { echo "cache verify failed (t=$t)" >&2; exit 1; }
+    build-release/tools/sca_cli cache stats "$dir/store_t$t" \
+      "$dir/manifest_warm_t$t.json"
+  done
+  # Thread-count invariance across cache states, not just within one.
+  cmp "$dir/pipeline_warm_t1.txt" "$dir/pipeline_warm_t8.txt" ||
+    { echo "pipeline output differs between SCA_THREADS=1 and 8" >&2
+      exit 1; }
+  # The dedicated bench enforces the warm >= 3x speedup and the off/cold/
+  # warm digest identity on a larger workload (exits nonzero otherwise).
+  (cd "$dir" && SCA_CACHE_DIR="$PWD/bench_store" SCA_THREADS= \
+     ../bench/micro_cache)
+  echo "=== warm-cache smoke ok ==="
+}
+cache_smoke
 
 # TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
 # from the caller's environment turn the parallel paths off.

@@ -10,6 +10,8 @@
 //   sca_cli metrics <manifest.json> [--stable]      inspect a run manifest
 //   sca_cli trace <trace.json>                      summarize a Chrome trace
 //   sca_cli checkpoints [dir]                       inspect chain checkpoints
+//   sca_cli cache stats|verify|purge [dir] [manifest.json]
+//                                                   inspect the result cache
 //
 // Every command flushes the $SCA_TRACE Chrome trace on exit, so any
 // invocation can be profiled: SCA_TRACE=t.json sca_cli train ...
@@ -23,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "core/attribution_model.hpp"
 #include "corpus/dataset.hpp"
 #include "evasion/evasion.hpp"
@@ -59,7 +62,9 @@ int usage() {
       "  sca_cli challenges\n"
       "  sca_cli metrics <manifest.json> [--stable]\n"
       "  sca_cli trace <trace.json>\n"
-      "  sca_cli checkpoints [dir]   (default $SCA_CHECKPOINT_DIR)\n";
+      "  sca_cli checkpoints [dir]   (default $SCA_CHECKPOINT_DIR)\n"
+      "  sca_cli cache stats|verify|purge [dir] [manifest.json]\n"
+      "                              (default dir: $SCA_CACHE_DIR)\n";
   return 2;
 }
 
@@ -321,6 +326,93 @@ int cmdCheckpoints(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmdCache(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& action = args[0];
+  std::string dir;
+  if (args.size() > 1) {
+    dir = args[1];
+  } else if (const char* env = std::getenv("SCA_CACHE_DIR");
+             env != nullptr && *env != '\0') {
+    dir = env;
+  } else {
+    std::cerr << "error: no directory given and SCA_CACHE_DIR unset\n";
+    return 2;
+  }
+
+  cache::StoreOptions options;
+  options.dir = dir;
+  cache::DiskCache store(options);
+
+  if (action == "stats") {
+    const cache::DiskCache::Stats stats = store.stats();
+    std::cout << "dir:       " << dir << '\n'
+              << "entries:   " << store.entryCount() << '\n'
+              << "bytes:     " << store.totalBytes() << '\n';
+    if (stats.skippedIndexLines > 0) {
+      std::cout << "skipped:   " << stats.skippedIndexLines
+                << " torn index line(s)\n";
+    }
+    // With a manifest, report the run's cache effectiveness (the store's
+    // counters land in the manifest's runtime_metrics section).
+    if (args.size() > 2) {
+      const std::string manifest = readFile(args[2]);
+      const std::string runtimeMetrics =
+          obs::extractJsonObject(manifest, "runtime_metrics");
+      std::vector<std::pair<std::string, std::string>> counters;
+      if (runtimeMetrics.empty() ||
+          !obs::topLevelEntries(
+              obs::extractJsonObject(runtimeMetrics, "counters"), &counters)) {
+        std::cerr << "error: " << args[2] << " has no runtime counters\n";
+        return 1;
+      }
+      double hits = 0.0;
+      double misses = 0.0;
+      std::cout << "run " << manifestField(manifest, "bench") << ":\n";
+      for (const auto& [name, value] : counters) {
+        if (name.rfind("cache_", 0) == 0 || name.rfind("llm_cache_", 0) == 0 ||
+            name.rfind("features_cache_", 0) == 0) {
+          std::cout << "  " << name << " = " << value << '\n';
+        }
+        if (name == "cache_hits") hits = std::strtod(value.c_str(), nullptr);
+        if (name == "cache_misses") {
+          misses = std::strtod(value.c_str(), nullptr);
+        }
+      }
+      if (hits + misses > 0.0) {
+        std::cout << "  hit ratio = "
+                  << util::formatDouble(hits / (hits + misses), 4) << '\n';
+      }
+    }
+    return 0;
+  }
+
+  if (action == "verify") {
+    const cache::DiskCache::VerifyReport report = store.verify();
+    std::cout << "dir:      " << dir << '\n'
+              << "entries:  " << report.entries << '\n'
+              << "bytes:    " << report.bytes << '\n'
+              << "orphans:  " << report.orphanValues << '\n';
+    for (const std::string& problem : report.problems) {
+      std::cout << "PROBLEM:  " << problem << '\n';
+    }
+    std::cout << (report.ok() ? "ok" : "CORRUPT") << '\n';
+    return report.ok() ? 0 : 1;
+  }
+
+  if (action == "purge") {
+    const util::Status status = store.purge();
+    if (!status.isOk()) {
+      std::cerr << "error: " << status.toString() << '\n';
+      return 1;
+    }
+    std::cout << "purged " << dir << '\n';
+    return 0;
+  }
+
+  return usage();
+}
+
 }  // namespace
 
 namespace {
@@ -337,6 +429,7 @@ int dispatch(const std::string& command,
   if (command == "metrics") return cmdMetrics(args);
   if (command == "trace") return cmdTrace(args);
   if (command == "checkpoints") return cmdCheckpoints(args);
+  if (command == "cache") return cmdCache(args);
   return usage();
 }
 
