@@ -47,6 +47,8 @@
 #include <map>
 #include <string>
 
+#include "obs/history.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -58,13 +60,22 @@
 
 namespace sca::bench {
 
-/// RAII run manifest: construct at the top of a bench main, call
-/// complete() as the last statement before a successful return. The
-/// destructor writes the manifest either way — reaching it without
-/// complete() (early return, exception unwind) records a partial run.
+/// RAII run manifest + history record: construct at the top of a bench
+/// main, call complete() as the last statement before a successful return.
+/// The destructor writes the manifest either way — reaching it without
+/// complete() (early return, exception unwind) records a partial run —
+/// and appends one sca-history-v1 record to the run-history store so the
+/// bench trajectory accumulates across runs (`sca_cli history`).
 class Session {
  public:
-  explicit Session(std::string benchName) : benchName_(std::move(benchName)) {}
+  explicit Session(std::string benchName)
+      : benchName_(std::move(benchName)),
+        start_(std::chrono::steady_clock::now()) {
+    obs::logEvent(obs::LogLevel::kInfo, "bench", "session_start",
+                  [&](util::JsonObjectBuilder& fields) {
+                    fields.add("bench", benchName_);
+                  });
+  }
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -80,25 +91,69 @@ class Session {
                 << "\n";
     }
 
+    // Memory/CPU gauges land before the manifest snapshot so both the
+    // manifest's runtime section and the history record carry them.
+    obs::recordProcessRusage();
+
     obs::RunManifestOptions options;
-    if (const char* path = std::getenv("SCA_MANIFEST");
-        path != nullptr && *path != '\0') {
-      options.path = path;
-    }
     options.benchName = benchName_;
     options.complete = complete_;
     options.threads = runtime::globalPool().size();
-    const util::Status status = obs::writeRunManifest(options);
+    if (const char* path = std::getenv("SCA_MANIFEST");
+        path != nullptr && *path != '\0') {
+      // Explicit override: exactly one file, wherever the caller said.
+      options.path = path;
+      report(util::atomicWriteFile(options.path,
+                                   obs::runManifestJson(options)),
+             options.path);
+    } else {
+      // Per-bench manifest plus a latest-run copy: sequential benches in
+      // one sweep no longer clobber each other, so `sca_cli diff` can
+      // compare any two of them afterwards.
+      const std::string json = obs::runManifestJson(options);
+      options.path = "bench_out/manifest." + benchName_ + ".json";
+      report(util::atomicWriteFile(options.path, json), options.path);
+      report(util::atomicWriteFile("bench_out/manifest.json", json),
+             "bench_out/manifest.json");
+    }
+
+    const double totalSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (const std::string historyPath = obs::configuredHistoryPath();
+        !historyPath.empty()) {
+      obs::HistoryStore store(historyPath);
+      const util::Status status = obs::appendRunHistory(
+          store, benchName_, runtime::globalPool().size(), complete_,
+          totalSeconds);
+      if (status.isOk()) {
+        std::cout << "[history] " << historyPath << "\n";
+      } else {
+        std::cerr << "[history] append failed: " << status.toString()
+                  << "\n";
+      }
+    }
+    obs::logEvent(obs::LogLevel::kInfo, "bench", "session_end",
+                  [&](util::JsonObjectBuilder& fields) {
+                    fields.add("bench", benchName_);
+                    fields.add("status",
+                               complete_ ? "complete" : "partial");
+                    fields.addDouble("total_s", totalSeconds, 3);
+                  });
+  }
+
+ private:
+  static void report(const util::Status& status, const std::string& path) {
     if (status.isOk()) {
-      std::cout << "[manifest] " << options.path
-                << (complete_ ? "" : " (partial)") << "\n";
+      std::cout << "[manifest] " << path << "\n";
     } else {
       std::cerr << "[manifest] write failed: " << status.toString() << "\n";
     }
   }
 
- private:
   std::string benchName_;
+  std::chrono::steady_clock::time_point start_;
   bool complete_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "obs/log.hpp"
 #include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -134,6 +135,13 @@ void DiskCache::load() {
   stats_.loadedEntries = entries_.size();
   global.loadedEntries.add(entries_.size());
   global.bytesHighWater.recordMax(static_cast<double>(totalBytes_));
+  if (stats_.skippedIndexLines > 0) {
+    obs::logEvent(obs::LogLevel::kWarn, "cache", "index_lines_skipped",
+                  [&](util::JsonObjectBuilder& fields) {
+                    fields.add("dir", options_.dir);
+                    fields.addUint("skipped", stats_.skippedIndexLines);
+                  });
+  }
 
   // The capacity may have shrunk since the index was written.
   evictLocked();
@@ -163,6 +171,11 @@ void DiskCache::evictLocked() {
     dropLocked(victim, /*deleteFile=*/true);
     ++stats_.evictions;
     global.evictions.add();
+    obs::logEvent(obs::LogLevel::kDebug, "cache", "eviction",
+                  [&](util::JsonObjectBuilder& fields) {
+                    fields.add("key", formatKey(victim));
+                    fields.addUint("bytes_after", totalBytes_);
+                  });
   }
 }
 
@@ -189,6 +202,10 @@ std::optional<std::string> DiskCache::get(const CacheKey& key) {
     ++stats_.misses;
     global.corruptValues.add();
     global.misses.add();
+    obs::logEvent(obs::LogLevel::kWarn, "cache", "value_corrupt",
+                  [&](util::JsonObjectBuilder& fields) {
+                    fields.add("key", formatKey(key));
+                  });
     return std::nullopt;
   }
 
@@ -268,6 +285,11 @@ util::Status DiskCache::flush() {
 
 util::Status DiskCache::purge() {
   std::lock_guard lock(mutex_);
+  obs::logEvent(obs::LogLevel::kInfo, "cache", "purge",
+                [&](util::JsonObjectBuilder& fields) {
+                  fields.add("dir", options_.dir);
+                  fields.addUint("entries", entries_.size());
+                });
   entries_.clear();
   byGeneration_.clear();
   totalBytes_ = 0;

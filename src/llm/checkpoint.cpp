@@ -1,5 +1,6 @@
 #include "llm/checkpoint.hpp"
 
+#include "obs/log.hpp"
 #include "util/io.hpp"
 #include "util/strings.hpp"
 
@@ -9,6 +10,10 @@ namespace {
 constexpr std::string_view kMagic = "sca-chain-v1";
 
 util::Status stale(const std::string& why) {
+  obs::logEvent(obs::LogLevel::kInfo, "checkpoint", "stale",
+                [&](util::JsonObjectBuilder& fields) {
+                  fields.add("reason", why);
+                });
   return util::Status(util::StatusCode::kDataLoss, why);
 }
 
@@ -41,7 +46,16 @@ util::Status writeChainCheckpoint(const std::string& dir, const ChainKey& key,
                    .str();
     content += '\n';
   }
-  return util::atomicWriteFile(chainCheckpointPath(dir, key), content);
+  const std::string path = chainCheckpointPath(dir, key);
+  const util::Status status = util::atomicWriteFile(path, content);
+  if (status.isOk()) {
+    obs::logEvent(obs::LogLevel::kDebug, "checkpoint", "written",
+                  [&](util::JsonObjectBuilder& fields) {
+                    fields.add("path", path);
+                    fields.addUint("steps", outputs.size());
+                  });
+  }
+  return status;
 }
 
 util::Result<std::vector<std::string>> loadChainCheckpoint(
@@ -106,6 +120,11 @@ util::Result<std::vector<std::string>> loadChainCheckpoint(
   if (outputs.size() != key.steps) {
     return stale("incomplete chain in " + path);
   }
+  obs::logEvent(obs::LogLevel::kDebug, "checkpoint", "resumed",
+                [&](util::JsonObjectBuilder& fields) {
+                  fields.add("path", path);
+                  fields.addUint("steps", outputs.size());
+                });
   return outputs;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace sca::llm {
@@ -94,7 +95,17 @@ util::Result<std::string> FaultInjectingClient::dispatch(
   }
   pendingGood_.reset();  // a different request invalidates the stash
 
-  switch (roll()) {
+  const FaultKind kind = roll();
+  if (kind != FaultKind::None) {
+    obs::logEvent(obs::LogLevel::kDebug, "llm", "fault_injected",
+                  [&](util::JsonObjectBuilder& fields) {
+                    static constexpr const char* kNames[] = {
+                        "none", "timeout", "rate_limit", "empty",
+                        "truncated", "garbage"};
+                    fields.add("kind", kNames[static_cast<int>(kind)]);
+                  });
+  }
+  switch (kind) {
     case FaultKind::Timeout: {
       ++stats_.timeouts;
       static const obs::Counter kTimeoutFaults =

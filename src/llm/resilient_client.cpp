@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ast/parser.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/timer.hpp"
@@ -104,6 +105,7 @@ void ResilientClient::noteFailure() {
     // Failed probe: straight back to open, cooldown restarts.
     state_ = BreakerState::Open;
     openFastFails_ = 0;
+    obs::logEvent(obs::LogLevel::kWarn, "llm", "breaker_reopened");
     return;
   }
   if (state_ == BreakerState::Closed) {
@@ -113,11 +115,19 @@ void ResilientClient::noteFailure() {
       consecutiveFailures_ = 0;
       ++stats_.breakerOpens;
       breakerOpensCounter().add();
+      obs::logEvent(obs::LogLevel::kWarn, "llm", "breaker_opened",
+                    [&](util::JsonObjectBuilder& fields) {
+                      fields.addInt("failure_threshold",
+                                    breaker_.failureThreshold);
+                    });
     }
   }
 }
 
 void ResilientClient::noteSuccess() {
+  if (state_ != BreakerState::Closed) {
+    obs::logEvent(obs::LogLevel::kInfo, "llm", "breaker_closed");
+  }
   state_ = BreakerState::Closed;
   consecutiveFailures_ = 0;
   openFastFails_ = 0;
@@ -136,6 +146,11 @@ util::Result<std::string> ResilientClient::perform(
       if (retriesUsed_ >= retry_.retryBudget) {
         ++stats_.budgetExhaustions;
         budgetExhaustionsCounter().add();
+        obs::logEvent(obs::LogLevel::kError, "llm", "retry_budget_exhausted",
+                      [&](util::JsonObjectBuilder& fields) {
+                        fields.addUint("budget", retry_.retryBudget);
+                        fields.add("last_error", last.toString());
+                      });
         return util::Status(util::StatusCode::kResourceExhausted,
                             "retry budget spent; last error: " +
                                 last.toString());
@@ -151,6 +166,12 @@ util::Result<std::string> ResilientClient::perform(
       if (backoffLog_.size() < 4096) backoffLog_.push_back(delay);
       backoffDelayHistogram().observe(delay);
       runtime::PhaseTimes::global().add("llm_backoff_sim", delay);
+      obs::logEvent(obs::LogLevel::kInfo, "llm", "retry",
+                    [&](util::JsonObjectBuilder& fields) {
+                      fields.addInt("attempt", attempt);
+                      fields.addDouble("delay_s", delay, 3);
+                      fields.add("last_error", last.toString());
+                    });
       sleeper_(delay);
     }
     ++stats_.attempts;
@@ -165,6 +186,7 @@ util::Result<std::string> ResilientClient::perform(
         continue;
       }
       state_ = BreakerState::HalfOpen;
+      obs::logEvent(obs::LogLevel::kInfo, "llm", "breaker_half_open");
     }
 
     util::Result<std::string> result = request();
@@ -176,6 +198,10 @@ util::Result<std::string> ResilientClient::perform(
       }
       ++stats_.validationFailures;
       validationFailuresCounter().add();
+      obs::logEvent(obs::LogLevel::kDebug, "llm", "validation_failure",
+                    [&](util::JsonObjectBuilder& fields) {
+                      fields.add("error", verdict.toString());
+                    });
       last = verdict;
     } else {
       last = result.status();

@@ -1,5 +1,7 @@
 #include "obs/manifest.hpp"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -116,7 +118,27 @@ std::string phasesJson(const MetricsSnapshot& snapshot) {
 
 }  // namespace
 
-util::Status writeRunManifest(const RunManifestOptions& options) {
+std::string runGitSha() { return resolveGitSha(); }
+
+void recordProcessRusage() {
+  struct rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return;
+  MetricsRegistry& registry = MetricsRegistry::global();
+  // ru_maxrss is kilobytes on Linux. All three are cumulative process
+  // totals, so max-gauges make repeated sampling idempotent.
+  registry.gauge("rusage_max_rss_kb", GaugeKind::kMax)
+      .recordMax(static_cast<double>(usage.ru_maxrss));
+  const auto seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  registry.gauge("rusage_user_s", GaugeKind::kMax)
+      .recordMax(seconds(usage.ru_utime));
+  registry.gauge("rusage_sys_s", GaugeKind::kMax)
+      .recordMax(seconds(usage.ru_stime));
+}
+
+std::string runManifestJson(const RunManifestOptions& options) {
   const MetricsSnapshot snapshot =
       MetricsRegistry::global().snapshot(options.scope);
   const Tracer& tracer = Tracer::global();
@@ -140,7 +162,11 @@ util::Status writeRunManifest(const RunManifestOptions& options) {
     }
   }
   out += "\n}\n";
-  return util::atomicWriteFile(options.path, out);
+  return out;
+}
+
+util::Status writeRunManifest(const RunManifestOptions& options) {
+  return util::atomicWriteFile(options.path, runManifestJson(options));
 }
 
 // --- JSON scanners --------------------------------------------------------

@@ -56,6 +56,22 @@ struct RunManifestOptions {
 
 [[nodiscard]] util::Status writeRunManifest(const RunManifestOptions& options);
 
+/// The manifest document as a string — for callers (bench::Session) that
+/// write the same run to more than one path.
+[[nodiscard]] std::string runManifestJson(const RunManifestOptions& options);
+
+/// The SHA the manifest/history records pin: SCA_GIT_SHA override, else
+/// `git rev-parse HEAD`, else "unknown".
+[[nodiscard]] std::string runGitSha();
+
+/// Samples getrusage(RUSAGE_SELF) into runtime max-gauges — peak RSS
+/// ("rusage_max_rss_kb") and cumulative user/system CPU seconds
+/// ("rusage_user_s"/"rusage_sys_s") — so manifests and history records
+/// capture memory and CPU cost, not just wall time. Idempotent: the
+/// values are cumulative high-water marks, so repeated calls only raise
+/// them.
+void recordProcessRusage();
+
 // --- minimal JSON navigation for the sca_cli inspectors -------------------
 // These are scanners, not a parser: they understand object/array nesting
 // and string escapes, which is all the self-emitted formats above need.

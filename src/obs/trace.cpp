@@ -94,6 +94,8 @@ void Tracer::detachBuffer(Buffer* buffer) {
   delete buffer;
 }
 
+std::uint64_t Tracer::currentSpanId() noexcept { return tlsCurrentSpan; }
+
 std::uint64_t Tracer::nowNs() const {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

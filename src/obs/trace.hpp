@@ -73,6 +73,11 @@ class Tracer {
   /// Steady-clock nanoseconds since the tracer epoch.
   [[nodiscard]] std::uint64_t nowNs() const;
 
+  /// Id of the innermost live span on the calling thread (0 = none). The
+  /// event log stamps this on every record so log lines can be joined to
+  /// the trace they were emitted under.
+  [[nodiscard]] static std::uint64_t currentSpanId() noexcept;
+
   /// Atomically writes the Chrome trace JSON for every event so far.
   [[nodiscard]] util::Status writeChromeTrace(const std::string& path) const;
 

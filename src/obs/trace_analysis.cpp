@@ -1,0 +1,160 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+#include "obs/manifest.hpp"
+#include "util/strings.hpp"
+
+namespace sca::obs {
+namespace {
+
+/// Sum of direct children's durations per parent id.
+std::unordered_map<std::uint64_t, std::uint64_t> childTimeByParent(
+    const std::vector<TraceEvent>& events) {
+  std::unordered_map<std::uint64_t, std::uint64_t> childNs;
+  for (const TraceEvent& e : events) {
+    if (e.parentId != 0) childNs[e.parentId] += e.durationNs;
+  }
+  return childNs;
+}
+
+std::uint64_t selfTime(const TraceEvent& e,
+                       const std::unordered_map<std::uint64_t, std::uint64_t>&
+                           childNs) {
+  const auto it = childNs.find(e.id);
+  const std::uint64_t children = it == childNs.end() ? 0 : it->second;
+  return e.durationNs > children ? e.durationNs - children : 0;
+}
+
+std::uint64_t endNs(const TraceEvent& e) { return e.startNs + e.durationNs; }
+
+/// The deterministic "bigger" span: later end, then longer, then smaller
+/// id (ids are assigned in creation order, so ties resolve to the span
+/// that started first).
+bool dominates(const TraceEvent& a, const TraceEvent& b) {
+  if (endNs(a) != endNs(b)) return endNs(a) > endNs(b);
+  if (a.durationNs != b.durationNs) return a.durationNs > b.durationNs;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+std::vector<SpanStats> spanHotspots(const std::vector<TraceEvent>& events,
+                                    std::size_t topN) {
+  const auto childNs = childTimeByParent(events);
+  std::map<std::string, SpanStats> byName;
+  for (const TraceEvent& e : events) {
+    SpanStats& stats = byName[e.name];
+    stats.name = e.name;
+    ++stats.count;
+    stats.totalNs += e.durationNs;
+    stats.selfNs += selfTime(e, childNs);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(byName.size());
+  for (auto& [name, stats] : byName) out.push_back(std::move(stats));
+  std::sort(out.begin(), out.end(), [](const SpanStats& a,
+                                       const SpanStats& b) {
+    if (a.selfNs != b.selfNs) return a.selfNs > b.selfNs;
+    return a.name < b.name;
+  });
+  if (topN > 0 && out.size() > topN) out.resize(topN);
+  return out;
+}
+
+std::vector<CriticalPathStep> criticalPath(
+    const std::vector<TraceEvent>& events) {
+  std::vector<CriticalPathStep> path;
+  if (events.empty()) return path;
+  const auto childNs = childTimeByParent(events);
+
+  std::unordered_map<std::uint64_t, const TraceEvent*> byId;
+  std::unordered_map<std::uint64_t, std::vector<const TraceEvent*>> children;
+  for (const TraceEvent& e : events) byId.emplace(e.id, &e);
+  const TraceEvent* root = nullptr;
+  for (const TraceEvent& e : events) {
+    // A parent missing from the event set (still open when the snapshot
+    // was taken) makes its children roots of what we *can* see.
+    if (e.parentId != 0 && byId.count(e.parentId) != 0) {
+      children[e.parentId].push_back(&e);
+    } else if (root == nullptr ||
+               e.durationNs > root->durationNs ||
+               (e.durationNs == root->durationNs && dominates(e, *root))) {
+      root = &e;
+    }
+  }
+
+  for (const TraceEvent* node = root; node != nullptr;) {
+    path.push_back({node->name, node->durationNs, selfTime(*node, childNs)});
+    const auto kids = children.find(node->id);
+    if (kids == children.end()) break;
+    const TraceEvent* next = nullptr;
+    for (const TraceEvent* child : kids->second) {
+      if (next == nullptr || dominates(*child, *next)) next = child;
+    }
+    node = next;
+  }
+  return path;
+}
+
+util::Result<std::vector<TraceEvent>> parseChromeTrace(std::string_view json) {
+  std::vector<std::string> elements;
+  const std::string array = extractJsonArray(json, "traceEvents");
+  if (array.empty() || !topLevelElements(array, &elements)) {
+    return util::Status(util::StatusCode::kDataLoss,
+                        "no traceEvents array in trace document");
+  }
+  std::vector<TraceEvent> events;
+  events.reserve(elements.size());
+  for (const std::string& element : elements) {
+    std::vector<std::pair<std::string, std::string>> entries;
+    if (!topLevelEntries(element, &entries)) {
+      return util::Status(util::StatusCode::kDataLoss,
+                          "malformed trace event");
+    }
+    TraceEvent event;
+    bool sawName = false;
+    bool sawTiming = false;
+    for (const auto& [key, raw] : entries) {
+      if (key == "name") {
+        if (raw.size() >= 2 && raw.front() == '"' && raw.back() == '"') {
+          event.name = util::jsonUnescape(
+              std::string_view(raw).substr(1, raw.size() - 2));
+          sawName = true;
+        }
+      } else if (key == "ts") {
+        event.startNs = static_cast<std::uint64_t>(
+            std::strtod(raw.c_str(), nullptr) * 1000.0 + 0.5);
+        sawTiming = true;
+      } else if (key == "dur") {
+        event.durationNs = static_cast<std::uint64_t>(
+            std::strtod(raw.c_str(), nullptr) * 1000.0 + 0.5);
+      } else if (key == "tid") {
+        event.tid = static_cast<std::uint32_t>(
+            std::strtoul(raw.c_str(), nullptr, 10));
+      } else if (key == "args") {
+        std::vector<std::pair<std::string, std::string>> args;
+        if (topLevelEntries(raw, &args)) {
+          for (const auto& [argKey, argRaw] : args) {
+            if (argKey == "id") {
+              event.id = std::strtoull(argRaw.c_str(), nullptr, 10);
+            } else if (argKey == "parent") {
+              event.parentId = std::strtoull(argRaw.c_str(), nullptr, 10);
+            }
+          }
+        }
+      }
+    }
+    if (!sawName || !sawTiming) {
+      return util::Status(util::StatusCode::kDataLoss,
+                          "trace event missing name/ts");
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace sca::obs

@@ -1,0 +1,65 @@
+// Trace analytics: post-processing for the span data the tracer records.
+//
+// The Chrome trace viewer answers questions interactively; these helpers
+// answer the two questions CI and a terminal need answered mechanically:
+//
+//   * Where did the time go?  Per-span *self* time (duration minus the
+//     duration of direct children), aggregated by span name — the top-N
+//     hotspot list. Total time double-counts parents; self time does not.
+//
+//   * What bounded the run?  The critical path: starting from the
+//     longest root span, repeatedly descend into the child whose interval
+//     ends last — the chain of spans that had to finish for the run to
+//     finish. Shortening anything off this path cannot shorten the run.
+//
+// Both operate on TraceEvent vectors, which come either from the live
+// tracer (Tracer::snapshotEvents) or from a Chrome trace file written by
+// an earlier run (parseChromeTrace reads exactly what chromeTraceJson
+// writes — args.id/args.parent carry the span linkage).
+//
+// Tie-breaking is deterministic everywhere (duration, then start, then id)
+// so the same trace always yields the same report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/status.hpp"
+
+namespace sca::obs {
+
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t totalNs = 0;
+  std::uint64_t selfNs = 0;  // total minus direct children's durations
+};
+
+/// Per-name aggregation sorted by self time (desc; ties by name), truncated
+/// to `topN` (0 = all). A child that outlives its parent clamps to zero
+/// rather than underflowing.
+[[nodiscard]] std::vector<SpanStats> spanHotspots(
+    const std::vector<TraceEvent>& events, std::size_t topN = 0);
+
+struct CriticalPathStep {
+  std::string name;
+  std::uint64_t durationNs = 0;
+  std::uint64_t selfNs = 0;
+};
+
+/// Root-to-leaf chain: the longest root span, then at each level the child
+/// whose interval ends last (ties: longer duration, then smaller id).
+/// Empty when there are no events.
+[[nodiscard]] std::vector<CriticalPathStep> criticalPath(
+    const std::vector<TraceEvent>& events);
+
+/// Reads a Chrome trace document produced by chromeTraceJson back into
+/// events (name, ts/dur restored to nanoseconds, tid, args.id/args.parent).
+/// kDataLoss when the document has no traceEvents array or an event is
+/// missing its fields.
+[[nodiscard]] util::Result<std::vector<TraceEvent>> parseChromeTrace(
+    std::string_view json);
+
+}  // namespace sca::obs

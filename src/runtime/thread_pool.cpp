@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -52,6 +53,10 @@ ThreadPool::ThreadPool(std::size_t threadCount) {
   for (std::size_t i = 0; i < threadCount; ++i) {
     workers_.emplace_back([this, i] { workerLoop(i); });
   }
+  obs::logEvent(obs::LogLevel::kInfo, "runtime", "pool_start",
+                [&](util::JsonObjectBuilder& fields) {
+                  fields.addUint("threads", threadCount);
+                });
 }
 
 ThreadPool::~ThreadPool() {

@@ -1,8 +1,26 @@
 #include "runtime/timer.hpp"
 
+#include <cstdlib>
+#include <thread>
+
 #include "obs/metrics.hpp"
 
 namespace sca::runtime {
+
+namespace detail {
+
+void applyPhaseTestDelay() {
+  static const int delayMs = [] {
+    const char* env = std::getenv("SCA_OBS_TEST_DELAY_MS");
+    return env != nullptr && *env != '\0' ? std::atoi(env) : 0;
+  }();
+  if (delayMs > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+  }
+}
+
+}  // namespace detail
+
 namespace {
 
 std::string phaseGaugeName(std::string_view phase) {

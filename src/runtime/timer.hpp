@@ -70,6 +70,14 @@ class Counters {
   void reset();
 };
 
+namespace detail {
+/// CI slowdown-injection hook: sleeps SCA_OBS_TEST_DELAY_MS milliseconds
+/// (cached; 0/unset = free no-op). Called inside every PhaseTimer scope so
+/// the injected delay lands in the phase's recorded wall time — the lever
+/// tools/ci.sh uses to prove `sca_cli history check` catches a regression.
+void applyPhaseTestDelay();
+}  // namespace detail
+
 /// RAII: adds the scope's wall time to PhaseTimes::global() on destruction,
 /// and brackets the scope with an obs::Span so phases show up in Chrome
 /// traces with parent linkage when SCA_TRACE is set.
@@ -80,6 +88,7 @@ class PhaseTimer {
         phase_(std::move(phase)),
         start_(std::chrono::steady_clock::now()) {}
   ~PhaseTimer() {
+    detail::applyPhaseTestDelay();
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     PhaseTimes::global().add(
         phase_, std::chrono::duration<double>(elapsed).count());

@@ -5,25 +5,29 @@
 #include <vector>
 
 #include "llm/checkpoint.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
 #include "util/io.hpp"
+#include "util/strings.hpp"
 
 namespace sca::obs {
 namespace {
 
-/// Tests drive explicit pool sizes and tracer state; restore both so the
-/// other suites sharing the process are unaffected.
+/// Tests drive explicit pool sizes, tracer and event-log state; restore
+/// all three so the other suites sharing the process are unaffected.
 class ObsTest : public ::testing::Test {
  protected:
   ~ObsTest() override {
     runtime::setGlobalThreadCount(0);
     Tracer::global().setEnabled(false);
     Tracer::global().clear();
+    EventLog::global().configure("", LogLevel::kInfo);
   }
 };
 
@@ -272,6 +276,147 @@ TEST_F(ObsTest, JsonScannersHandleNestingEscapesAndMalformedInput) {
 
   EXPECT_FALSE(topLevelEntries("{\"unterminated\":", &entries));
   EXPECT_FALSE(topLevelElements("[1,2", &elements));
+}
+
+TEST_F(ObsTest, EventLogFiltersByLevelAndRecordsFields) {
+  EventLog& log = EventLog::global();
+  const std::string path = ::testing::TempDir() + "obs_test_events.jsonl";
+  ASSERT_TRUE(util::atomicWriteFile(path, "").isOk());
+  log.configure(path, LogLevel::kWarn);
+  EXPECT_FALSE(log.enabledFor(LogLevel::kDebug));
+  EXPECT_FALSE(log.enabledFor(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabledFor(LogLevel::kWarn));
+  EXPECT_TRUE(log.enabledFor(LogLevel::kError));
+
+  logEvent(LogLevel::kInfo, "test", "filtered_out");
+  logEvent(LogLevel::kWarn, "test", "kept",
+           [](util::JsonObjectBuilder& fields) { fields.addInt("n", 7); });
+  log.configure("", LogLevel::kInfo);
+
+  const util::Result<std::string> content = util::readFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value().find("filtered_out"), std::string::npos);
+  EXPECT_NE(content.value().find("\"event\":\"kept\""), std::string::npos);
+  EXPECT_NE(content.value().find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(content.value().find("\"component\":\"test\""),
+            std::string::npos);
+  EXPECT_NE(content.value().find("\"fields\":{\"n\":7}"), std::string::npos);
+}
+
+TEST_F(ObsTest, EventLogStampsTheInnermostLiveSpan) {
+  Tracer::global().setEnabled(true);
+  Tracer::global().clear();
+  EventLog& log = EventLog::global();
+  const std::string path = ::testing::TempDir() + "obs_test_span_log.jsonl";
+  ASSERT_TRUE(util::atomicWriteFile(path, "").isOk());
+  log.configure(path, LogLevel::kDebug);
+
+  std::uint64_t spanId = 0;
+  {
+    Span span("obs_test_log_span");
+    spanId = span.id();
+    logEvent(LogLevel::kInfo, "test", "inside");
+  }
+  logEvent(LogLevel::kInfo, "test", "outside");
+  log.configure("", LogLevel::kInfo);
+
+  ASSERT_NE(spanId, 0u);
+  const util::Result<std::string> content = util::readFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(
+      content.value().find("\"span\":\"" + util::toHex64(spanId) + "\""),
+      std::string::npos);
+  EXPECT_NE(content.value().find("\"span\":\"" + util::toHex64(0) + "\""),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledEventLogWritesNothing) {
+  EventLog& log = EventLog::global();
+  log.configure("", LogLevel::kDebug);
+  EXPECT_FALSE(log.enabledFor(LogLevel::kError));
+  // Call sites stay armed; with no sink they must be inert and crash-free.
+  logEvent(LogLevel::kError, "test", "dropped",
+           [](util::JsonObjectBuilder& fields) { fields.addInt("n", 1); });
+}
+
+// --- trace analytics ------------------------------------------------------
+
+/// Hand-built span tree with known self times:
+///   root [0,100)       self 10 (children cover 60+30)
+///     childA [0,60)    self 60
+///     childB [65,95)   self 10 (grand covers 20)
+///       grand [70,90)  self 20
+std::vector<TraceEvent> spanFixture() {
+  std::vector<TraceEvent> events(4);
+  events[0].name = "root";
+  events[0].startNs = 0;
+  events[0].durationNs = 100;
+  events[0].id = 1;
+  events[1].name = "childA";
+  events[1].startNs = 0;
+  events[1].durationNs = 60;
+  events[1].id = 2;
+  events[1].parentId = 1;
+  events[2].name = "childB";
+  events[2].startNs = 65;
+  events[2].durationNs = 30;
+  events[2].id = 3;
+  events[2].parentId = 1;
+  events[3].name = "grand";
+  events[3].startNs = 70;
+  events[3].durationNs = 20;
+  events[3].id = 4;
+  events[3].parentId = 3;
+  return events;
+}
+
+TEST_F(ObsTest, SpanHotspotsRankBySelfTime) {
+  const std::vector<SpanStats> hotspots = spanHotspots(spanFixture());
+  ASSERT_EQ(hotspots.size(), 4u);
+  EXPECT_EQ(hotspots[0].name, "childA");
+  EXPECT_EQ(hotspots[0].selfNs, 60u);
+  EXPECT_EQ(hotspots[1].name, "grand");
+  EXPECT_EQ(hotspots[1].selfNs, 20u);
+  // Equal self times (10) rank alphabetically: deterministic reports.
+  EXPECT_EQ(hotspots[2].name, "childB");
+  EXPECT_EQ(hotspots[3].name, "root");
+  EXPECT_EQ(hotspots[3].totalNs, 100u);
+
+  EXPECT_EQ(spanHotspots(spanFixture(), 2).size(), 2u);
+}
+
+TEST_F(ObsTest, CriticalPathDescendsIntoTheLastFinishingChild) {
+  const std::vector<CriticalPathStep> path = criticalPath(spanFixture());
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0].name, "root");
+  EXPECT_EQ(path[1].name, "childB");  // ends at 95, after childA's 60
+  EXPECT_EQ(path[2].name, "grand");
+  EXPECT_EQ(path[1].selfNs, 10u);
+  EXPECT_EQ(path[2].durationNs, 20u);
+  EXPECT_TRUE(criticalPath({}).empty());
+}
+
+TEST_F(ObsTest, ChromeTraceParsesBackToTheSameEvents) {
+  std::vector<TraceEvent> events = spanFixture();
+  for (TraceEvent& e : events) {  // µs-grid values round-trip exactly
+    e.startNs *= 1000;
+    e.durationNs *= 1000;
+    e.tid = 2;
+  }
+  const util::Result<std::vector<TraceEvent>> parsed =
+      parseChromeTrace(chromeTraceJson(events));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i].name, events[i].name);
+    EXPECT_EQ(parsed.value()[i].startNs, events[i].startNs);
+    EXPECT_EQ(parsed.value()[i].durationNs, events[i].durationNs);
+    EXPECT_EQ(parsed.value()[i].tid, events[i].tid);
+    EXPECT_EQ(parsed.value()[i].id, events[i].id);
+    EXPECT_EQ(parsed.value()[i].parentId, events[i].parentId);
+  }
+
+  EXPECT_FALSE(parseChromeTrace("{\"notATrace\":[]}").ok());
 }
 
 // Satellite: the checkpoint inspector behind `sca_cli checkpoints`.

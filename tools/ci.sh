@@ -24,6 +24,11 @@
 # exits nonzero unless warm is >= 3x faster than cold with identical
 # digests).
 #
+# A perf-history smoke then proves the regression gate in both directions:
+# identical re-runs of the one-shot pipeline must pass `sca_cli history
+# check`, a slowdown injected via SCA_OBS_TEST_DELAY_MS must trip it, and
+# a tampered stable digest must fail it regardless of timing.
+#
 # Usage: tools/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
 
@@ -119,6 +124,45 @@ cache_smoke() {
   echo "=== warm-cache smoke ok ==="
 }
 cache_smoke
+
+# Perf-history smoke: the regression gate must have both a demonstrated
+# pass and a demonstrated failure, or it gates nothing. Three clean runs
+# build the baseline; `history check` must accept a fourth identical run,
+# reject one slowed down by the SCA_OBS_TEST_DELAY_MS test hook (excluded
+# from the env comparability class precisely so the delayed run baselines
+# against the clean ones), and reject a tampered stable digest outright.
+history_smoke() {
+  echo "=== perf-history smoke (build-release) ==="
+  local dir=build-release/history-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local hist="$PWD/$dir/history.jsonl"
+  local cli=build-release/tools/sca_cli
+  run_pipeline() {
+    (cd "$dir" &&
+     SCA_PIPELINE_ONCE=1 SCA_THREADS=2 SCA_FAULT_RATE=0.05 \
+       SCA_CHECKPOINT_DIR= SCA_CACHE_DIR= SCA_HISTORY="$hist" \
+       SCA_OBS_TEST_DELAY_MS="${1:-}" \
+       ../bench/micro_pipeline > /dev/null)
+  }
+  local i
+  for i in 1 2 3; do run_pipeline; done
+  "$cli" history check "$hist" ||
+    { echo "history check failed on identical re-runs" >&2; exit 1; }
+  run_pipeline 400
+  if "$cli" history check "$hist" > /dev/null; then
+    echo "history check missed the injected slowdown" >&2; exit 1
+  fi
+  sed '$ s/"digest":"[0-9a-f]*"/"digest":"0000000000000000"/' "$hist" \
+    > "$dir/tampered.jsonl"
+  if "$cli" history check "$dir/tampered.jsonl" --factor 1000 > /dev/null
+  then
+    echo "history check missed a stable-digest change" >&2; exit 1
+  fi
+  "$cli" history gc "$hist" --keep 2
+  "$cli" history list "$hist"
+  echo "=== perf-history smoke ok ==="
+}
+history_smoke
 
 # TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
 # from the caller's environment turn the parallel paths off.

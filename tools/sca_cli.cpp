@@ -8,10 +8,15 @@
 //   sca_cli evade <model.txt> <file.cpp> <author>   style-space evasion
 //   sca_cli challenges                              list the catalogue
 //   sca_cli metrics <manifest.json> [--stable]      inspect a run manifest
-//   sca_cli trace <trace.json>                      summarize a Chrome trace
+//   sca_cli diff <manifestA> <manifestB>            compare two manifests
+//   sca_cli trace <trace.json> [--summary]          summarize a Chrome trace
+//   sca_cli history list|check|gc [path]            cross-run perf history
 //   sca_cli checkpoints [dir]                       inspect chain checkpoints
 //   sca_cli cache stats|verify|purge [dir] [manifest.json]
 //                                                   inspect the result cache
+//
+// No arguments (or `help`) prints the full usage listing and exits 0; an
+// unknown subcommand prints the same listing to stderr and exits nonzero.
 //
 // Every command flushes the $SCA_TRACE Chrome trace on exit, so any
 // invocation can be profiled: SCA_TRACE=t.json sca_cli train ...
@@ -31,8 +36,10 @@
 #include "evasion/evasion.hpp"
 #include "llm/checkpoint.hpp"
 #include "llm/synthetic_llm.hpp"
+#include "obs/history.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
 #include "style/archetypes.hpp"
 #include "style/infer.hpp"
 #include "util/log.hpp"
@@ -50,21 +57,38 @@ std::string readFile(const std::string& path) {
   return buffer.str();
 }
 
+void printUsage(std::ostream& out) {
+  out <<
+      "usage: sca_cli <command> [args]\n"
+      "\n"
+      "  generate <challenge-id> [year] [seed]     emit LLM code\n"
+      "  transform <file.cpp> [year] [seed]        one GPT(.) rewrite\n"
+      "  inspect <file.cpp>                        inferred style profile\n"
+      "  train <model.txt> [year] [authors]        train + save an oracle\n"
+      "  attribute <model.txt> <file.cpp>          predict the author\n"
+      "  evade <model.txt> <file.cpp> <author-id>  style-space evasion\n"
+      "  challenges                                list the catalogue\n"
+      "  metrics <manifest.json> [--stable]        inspect a run manifest\n"
+      "  diff <manifestA> <manifestB>              compare two manifests\n"
+      "                              (exit 0 iff stable metrics byte-equal)\n"
+      "  trace <trace.json> [--summary [--top N]]  summarize a Chrome trace\n"
+      "                              (--summary: self-time hotspots and the\n"
+      "                               critical path)\n"
+      "  history list|check|gc [path] [--window K --factor F --min-delta S\n"
+      "                               --min-seconds S --keep N --no-digest]\n"
+      "                              cross-run perf history; default path\n"
+      "                              $SCA_HISTORY or\n"
+      "                              bench_out/history/history.jsonl\n"
+      "  checkpoints [dir]           inspect chain checkpoints\n"
+      "                              (default $SCA_CHECKPOINT_DIR)\n"
+      "  cache stats|verify|purge [dir] [manifest.json]\n"
+      "                              inspect the result cache\n"
+      "                              (default dir: $SCA_CACHE_DIR)\n"
+      "  help                        this listing\n";
+}
+
 int usage() {
-  std::cerr <<
-      "usage:\n"
-      "  sca_cli generate <challenge-id> [year] [seed]\n"
-      "  sca_cli transform <file.cpp> [year] [seed]\n"
-      "  sca_cli inspect <file.cpp>\n"
-      "  sca_cli train <model.txt> [year] [authors]\n"
-      "  sca_cli attribute <model.txt> <file.cpp>\n"
-      "  sca_cli evade <model.txt> <file.cpp> <true-author-id>\n"
-      "  sca_cli challenges\n"
-      "  sca_cli metrics <manifest.json> [--stable]\n"
-      "  sca_cli trace <trace.json>\n"
-      "  sca_cli checkpoints [dir]   (default $SCA_CHECKPOINT_DIR)\n"
-      "  sca_cli cache stats|verify|purge [dir] [manifest.json]\n"
-      "                              (default dir: $SCA_CACHE_DIR)\n";
+  printUsage(std::cerr);
   return 2;
 }
 
@@ -238,18 +262,71 @@ int cmdMetrics(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `trace <file> --summary [--top N]`: the analytics view — per-name self
+/// time hotspots plus the critical path, both from trace_analysis.hpp.
+int cmdTraceSummary(const std::string& path, std::size_t topN) {
+  const util::Result<std::vector<obs::TraceEvent>> parsed =
+      obs::parseChromeTrace(readFile(path));
+  if (!parsed.ok()) {
+    std::cerr << "error: " << path << ": " << parsed.status().toString()
+              << '\n';
+    return 1;
+  }
+  const std::vector<obs::TraceEvent>& events = parsed.value();
+  std::cout << events.size() << " spans\n";
+
+  std::cout << "hotspots (by self time):\n";
+  for (const obs::SpanStats& stats : obs::spanHotspots(events, topN)) {
+    std::cout << "  " << stats.name << ": " << stats.count << " spans, self "
+              << util::formatDouble(static_cast<double>(stats.selfNs) / 1e9,
+                                    6)
+              << " s, total "
+              << util::formatDouble(static_cast<double>(stats.totalNs) / 1e9,
+                                    6)
+              << " s\n";
+  }
+
+  std::cout << "critical path:\n";
+  for (const obs::CriticalPathStep& step : obs::criticalPath(events)) {
+    std::cout << "  " << step.name << " ("
+              << util::formatDouble(
+                     static_cast<double>(step.durationNs) / 1e9, 6)
+              << " s, self "
+              << util::formatDouble(static_cast<double>(step.selfNs) / 1e9, 6)
+              << " s)\n";
+  }
+  return 0;
+}
+
 int cmdTrace(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  const std::string trace = readFile(args[0]);
+  std::string path;
+  bool summary = false;
+  std::size_t topN = 10;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--summary") {
+      summary = true;
+    } else if (args[i] == "--top") {
+      if (i + 1 >= args.size()) return usage();
+      topN = std::stoull(args[++i]);
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+  if (summary) return cmdTraceSummary(path, topN);
+
+  const std::string trace = readFile(path);
   std::vector<std::string> events;
   if (!obs::topLevelElements(obs::extractJsonArray(trace, "traceEvents"),
                              &events)) {
-    std::cerr << "error: " << args[0]
+    std::cerr << "error: " << path
               << " is not a Chrome trace (no traceEvents array)\n";
     return 1;
   }
   if (events.empty()) {
-    std::cerr << "error: " << args[0] << " contains no events\n";
+    std::cerr << "error: " << path << " contains no events\n";
     return 1;
   }
 
@@ -262,7 +339,7 @@ int cmdTrace(const std::vector<std::string>& args) {
     const std::string name = manifestField(event, "name");
     const std::string dur = manifestField(event, "dur");
     if (name.empty() || dur.empty()) {
-      std::cerr << "error: malformed event in " << args[0] << '\n';
+      std::cerr << "error: malformed event in " << path << '\n';
       return 1;
     }
     Row& row = byName[name];
@@ -275,6 +352,182 @@ int cmdTrace(const std::vector<std::string>& args) {
               << util::formatDouble(row.totalUs / 1e6, 6) << " s\n";
   }
   return 0;
+}
+
+/// Numeric top-level entries of one JSON object as a name->double map
+/// (non-numeric values parse as 0, which never occurs in these sections).
+std::map<std::string, double> numericEntries(const std::string& objectJson) {
+  std::map<std::string, double> out;
+  std::vector<std::pair<std::string, std::string>> entries;
+  if (!obs::topLevelEntries(objectJson, &entries)) return out;
+  for (const auto& [name, value] : entries) {
+    out.emplace(name, std::strtod(value.c_str(), nullptr));
+  }
+  return out;
+}
+
+/// `diff <manifestA> <manifestB>`: exit 0 iff the stable metrics sections
+/// are byte-equal; either way, print per-counter and per-phase deltas so
+/// "what changed" never requires eyeballing raw JSON.
+int cmdDiff(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string manifestA = readFile(args[0]);
+  const std::string manifestB = readFile(args[1]);
+  const std::string metricsA = obs::extractJsonObject(manifestA, "metrics");
+  const std::string metricsB = obs::extractJsonObject(manifestB, "metrics");
+  if (metricsA.empty() || metricsB.empty()) {
+    std::cerr << "error: "
+              << (metricsA.empty() ? args[0] : args[1])
+              << " has no \"metrics\" object\n";
+    return 2;
+  }
+
+  std::cout << "A: " << args[0] << " (bench "
+            << manifestField(manifestA, "bench") << ", "
+            << manifestField(manifestA, "status") << ")\n"
+            << "B: " << args[1] << " (bench "
+            << manifestField(manifestB, "bench") << ", "
+            << manifestField(manifestB, "status") << ")\n";
+
+  const std::map<std::string, double> countersA =
+      numericEntries(obs::extractJsonObject(metricsA, "counters"));
+  const std::map<std::string, double> countersB =
+      numericEntries(obs::extractJsonObject(metricsB, "counters"));
+  std::map<std::string, std::pair<double, double>> merged;
+  for (const auto& [name, value] : countersA) merged[name].first = value;
+  for (const auto& [name, value] : countersB) merged[name].second = value;
+  std::size_t differing = 0;
+  for (const auto& [name, values] : merged) {
+    if (values.first == values.second) continue;
+    ++differing;
+    std::cout << "  counter " << name << ": "
+              << util::formatDouble(values.first, 0) << " -> "
+              << util::formatDouble(values.second, 0) << '\n';
+  }
+  if (differing == 0) std::cout << "  stable counters: identical\n";
+
+  const std::map<std::string, double> phasesA =
+      numericEntries(obs::extractJsonObject(manifestA, "phases"));
+  const std::map<std::string, double> phasesB =
+      numericEntries(obs::extractJsonObject(manifestB, "phases"));
+  std::map<std::string, std::pair<double, double>> phases;
+  for (const auto& [name, value] : phasesA) phases[name].first = value;
+  for (const auto& [name, value] : phasesB) phases[name].second = value;
+  for (const auto& [name, values] : phases) {
+    std::cout << "  phase " << name << ": "
+              << util::formatDouble(values.first, 3) << " s -> "
+              << util::formatDouble(values.second, 3) << " s ("
+              << (values.second >= values.first ? "+" : "")
+              << util::formatDouble(values.second - values.first, 3)
+              << ")\n";
+  }
+
+  const bool identical = metricsA == metricsB;
+  std::cout << (identical ? "stable metrics identical\n"
+                          : "stable metrics DIFFER\n");
+  return identical ? 0 : 1;
+}
+
+/// `history list|check|gc`: the cross-run perf history inspectors.
+int cmdHistory(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& action = args[0];
+  if (action != "list" && action != "check" && action != "gc") {
+    return usage();
+  }
+
+  std::string path;
+  obs::RegressionPolicy policy;
+  std::size_t keep = 20;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool hasValue = i + 1 < args.size();
+    if (arg == "--no-digest") {
+      policy.checkDigest = false;
+    } else if (arg == "--window" && hasValue) {
+      policy.window = std::stoull(args[++i]);
+    } else if (arg == "--factor" && hasValue) {
+      policy.factor = std::stod(args[++i]);
+    } else if (arg == "--min-delta" && hasValue) {
+      policy.minDeltaSeconds = std::stod(args[++i]);
+    } else if (arg == "--min-seconds" && hasValue) {
+      policy.minPhaseSeconds = std::stod(args[++i]);
+    } else if (arg == "--keep" && hasValue) {
+      keep = std::stoull(args[++i]);
+    } else if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) path = obs::configuredHistoryPath();
+  if (path.empty()) {
+    std::cerr << "error: history disabled (SCA_HISTORY=off) and no path "
+                 "given\n";
+    return 2;
+  }
+
+  obs::HistoryStore store(path);
+
+  if (action == "gc") {
+    const util::Result<std::size_t> dropped = store.gc(keep);
+    if (!dropped.ok()) {
+      std::cerr << "error: " << dropped.status().toString() << '\n';
+      return 1;
+    }
+    std::cout << "dropped " << dropped.value()
+              << " record(s), kept the newest " << keep << " per group\n";
+    return 0;
+  }
+
+  const obs::HistoryStore::LoadResult loaded = store.load();
+  if (loaded.skippedLines > 0) {
+    std::cout << "note: skipped " << loaded.skippedLines
+              << " torn line(s) in " << path << '\n';
+  }
+  if (!loaded.magicOk || loaded.records.empty()) {
+    // An absent history is not a failure: the first run of a fresh
+    // checkout has nothing to baseline against.
+    std::cout << "no history at " << path << '\n';
+    return 0;
+  }
+
+  if (action == "list") {
+    for (const obs::HistoryRecord& record : loaded.records) {
+      std::cout << record.bench << "  threads=" << record.threads
+                << "  " << (record.complete ? "complete" : "partial ")
+                << "  total "
+                << util::formatDouble(record.totalSeconds, 3)
+                << " s  digest " << record.digest;
+      if (!record.gitSha.empty()) {
+        std::cout << "  git " << record.gitSha.substr(0, 8);
+      }
+      if (record.maxRssKb > 0) {
+        std::cout << "  rss " << record.maxRssKb << " kB";
+      }
+      std::cout << '\n';
+    }
+    std::cout << loaded.records.size() << " record(s) in " << path << '\n';
+    return 0;
+  }
+
+  // check
+  const obs::RegressionReport report =
+      obs::checkRegressions(loaded.records, policy);
+  std::cout << report.groupsChecked << " group(s) checked, "
+            << report.groupsSkipped << " skipped (too few baselines)\n";
+  for (const obs::RegressionFinding& finding : report.findings) {
+    std::cout << "REGRESSION [" << finding.kind << "] " << finding.bench
+              << " (" << finding.group << ")";
+    if (!finding.phase.empty()) {
+      std::cout << " " << finding.phase << ": baseline "
+                << util::formatDouble(finding.baseline, 3) << " s -> "
+                << util::formatDouble(finding.current, 3) << " s";
+    }
+    std::cout << "  " << finding.detail << '\n';
+  }
+  std::cout << (report.ok() ? "ok" : "FAIL") << '\n';
+  return report.ok() ? 0 : 1;
 }
 
 int cmdCheckpoints(const std::vector<std::string>& args) {
@@ -427,9 +680,16 @@ int dispatch(const std::string& command,
   if (command == "evade") return cmdEvade(args);
   if (command == "challenges") return cmdChallenges();
   if (command == "metrics") return cmdMetrics(args);
+  if (command == "diff") return cmdDiff(args);
   if (command == "trace") return cmdTrace(args);
+  if (command == "history") return cmdHistory(args);
   if (command == "checkpoints") return cmdCheckpoints(args);
   if (command == "cache") return cmdCache(args);
+  if (command == "help" || command == "--help" || command == "-h") {
+    printUsage(std::cout);
+    return 0;
+  }
+  std::cerr << "error: unknown command \"" << command << "\"\n";
   return usage();
 }
 
@@ -437,7 +697,11 @@ int dispatch(const std::string& command,
 
 int main(int argc, char** argv) {
   util::setLogLevel(util::LogLevel::Warn);
-  if (argc < 2) return usage();
+  if (argc < 2) {
+    // Bare invocation is a request for orientation, not a mistake.
+    printUsage(std::cout);
+    return 0;
+  }
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   int rc = 0;
