@@ -1,0 +1,123 @@
+// Microbenchmarks (google-benchmark) for the analysis front end in
+// isolation: zero-copy lexing, trivia filtering, parsing into the arena and
+// the full analyze() path (lex + layout + parse + summarize), each swept
+// over every rendering of a seeded mini corpus rather than a single sample.
+// This is the harness behind the lexer/AST perf work: the per-stage rows
+// show where analysis-phase time goes, and bench_out history keeps the
+// trajectory across runs.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/parser.hpp"
+#include "bench_common.hpp"
+#include "corpus/dataset.hpp"
+#include "features/extractor.hpp"
+#include "lexer/layout.hpp"
+#include "lexer/lexer.hpp"
+
+namespace {
+
+using namespace sca;
+
+/// Every source rendering in a small deterministic corpus: the realistic
+/// mix of styles and sizes the analysis phase sees in the pipeline.
+const std::vector<std::string>& corpusSources() {
+  static const std::vector<std::string> kSources = [] {
+    const corpus::YearDataset data = corpus::buildYearDataset(2018, 24);
+    std::vector<std::string> sources;
+    sources.reserve(data.samples.size());
+    for (const corpus::CodeSample& sample : data.samples) {
+      sources.push_back(sample.source);
+    }
+    return sources;
+  }();
+  return kSources;
+}
+
+void BM_LexCorpus(benchmark::State& state) {
+  const std::vector<std::string>& sources = corpusSources();
+  std::size_t bytes = 0;
+  for (const std::string& s : sources) bytes += s.size();
+  for (auto _ : state) {
+    std::size_t tokens = 0;
+    for (const std::string& source : sources) {
+      const lexer::TokenStream stream = lexer::tokenize(source);
+      tokens += stream.size();
+    }
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_LexCorpus)->Unit(benchmark::kMillisecond);
+
+void BM_WithoutTriviaCorpus(benchmark::State& state) {
+  const std::vector<std::string>& sources = corpusSources();
+  std::vector<lexer::TokenStream> streams;
+  streams.reserve(sources.size());
+  for (const std::string& source : sources) {
+    streams.push_back(lexer::tokenize(source));
+  }
+  for (auto _ : state) {
+    std::size_t kept = 0;
+    for (const lexer::TokenStream& stream : streams) {
+      kept += lexer::withoutTrivia(stream).size();
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+}
+BENCHMARK(BM_WithoutTriviaCorpus)->Unit(benchmark::kMillisecond);
+
+void BM_LayoutCorpus(benchmark::State& state) {
+  const std::vector<std::string>& sources = corpusSources();
+  for (auto _ : state) {
+    for (const std::string& source : sources) {
+      benchmark::DoNotOptimize(lexer::computeLayoutMetrics(source));
+    }
+  }
+}
+BENCHMARK(BM_LayoutCorpus)->Unit(benchmark::kMillisecond);
+
+void BM_ParseCorpus(benchmark::State& state) {
+  const std::vector<std::string>& sources = corpusSources();
+  for (auto _ : state) {
+    std::size_t functions = 0;
+    for (const std::string& source : sources) {
+      functions += ast::parse(source).unit.functions.size();
+    }
+    benchmark::DoNotOptimize(functions);
+  }
+}
+BENCHMARK(BM_ParseCorpus)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeCorpus(benchmark::State& state) {
+  // The full analyze() path (lex + layout + parse + summarize) plus the
+  // feature-vector assembly, via the extractor front door.
+  const std::vector<std::string>& sources = corpusSources();
+  features::FeatureExtractor extractor;
+  extractor.fit(sources);
+  for (auto _ : state) {
+    features::clearAnalysisCache();  // measure analysis, not memoization
+    std::size_t dims = 0;
+    for (const std::string& source : sources) {
+      dims += extractor.transform(source).size();
+    }
+    benchmark::DoNotOptimize(dims);
+  }
+}
+BENCHMARK(BM_AnalyzeCorpus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sca::bench::Session session("micro_lex");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  session.complete();
+  return 0;
+}

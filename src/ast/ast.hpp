@@ -8,12 +8,19 @@
 //   3. the synthetic LLM's "transformation" is an AST -> AST rewrite
 //      followed by a re-render under a different style.
 //
-// Nodes are value-like tagged variants owning children through
-// std::unique_ptr; deepCopy() clones whole trees (the transformer mutates
-// copies, never its input).
+// Storage model: nodes are value-like tagged variants living in the
+// contiguous pools of an ast::Arena; children are linked through 32-bit
+// ExprId/StmtId handles indexing those pools. A TranslationUnit owns its
+// Arena by value, so ids are arena-relative and copying a whole unit is a
+// plain pool copy — no pointer rebase, no per-node allocation. Lifetime
+// rule: node references borrow from the Arena; they are invalidated by
+// appends (factory/clone calls), so hold ids across mutations, not
+// references. Subtrees detached by a rewrite simply become unreferenced
+// pool slots — arena garbage is reclaimed when the unit dies, never
+// individually.
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <string>
 #include <variant>
 #include <vector>
@@ -36,6 +43,32 @@ struct TypeRef {
 
 [[nodiscard]] std::string typeName(const TypeRef& type);
 
+// ------------------------------------------------------------ node ids --
+
+/// 32-bit handle into an Arena's expression pool. Default-constructed =
+/// null (absent child). Contextually convertible to bool like the
+/// unique_ptr links it replaced: `if (stmt.init) ...`.
+struct ExprId {
+  std::uint32_t index = UINT32_MAX;
+
+  [[nodiscard]] constexpr bool isNull() const noexcept {
+    return index == UINT32_MAX;
+  }
+  constexpr explicit operator bool() const noexcept { return !isNull(); }
+  friend constexpr bool operator==(ExprId, ExprId) = default;
+};
+
+/// 32-bit handle into an Arena's statement pool.
+struct StmtId {
+  std::uint32_t index = UINT32_MAX;
+
+  [[nodiscard]] constexpr bool isNull() const noexcept {
+    return index == UINT32_MAX;
+  }
+  constexpr explicit operator bool() const noexcept { return !isNull(); }
+  friend constexpr bool operator==(StmtId, StmtId) = default;
+};
+
 // ----------------------------------------------------------- expressions --
 
 enum class BinaryOp {
@@ -52,9 +85,6 @@ enum class AssignOp { Assign, AddAssign, SubAssign, MulAssign, DivAssign, ModAss
 [[nodiscard]] std::string_view binaryOpSpelling(BinaryOp op) noexcept;
 [[nodiscard]] std::string_view assignOpSpelling(AssignOp op) noexcept;
 
-struct Expr;
-using ExprPtr = std::unique_ptr<Expr>;
-
 struct IntLit { long long value = 0; };
 struct FloatLit {
   double value = 0.0;
@@ -66,34 +96,34 @@ struct BoolLit { bool value = false; };
 struct Ident { std::string name; };
 struct Unary {
   UnaryOp op = UnaryOp::Neg;
-  ExprPtr operand;
+  ExprId operand;
 };
 struct Binary {
   BinaryOp op = BinaryOp::Add;
-  ExprPtr lhs;
-  ExprPtr rhs;
+  ExprId lhs;
+  ExprId rhs;
 };
 struct Assign {
   AssignOp op = AssignOp::Assign;
-  ExprPtr target;
-  ExprPtr value;
+  ExprId target;
+  ExprId value;
 };
 struct Call {
   std::string callee;  // may be a member chain, e.g. "v.push_back"
-  std::vector<ExprPtr> args;
+  std::vector<ExprId> args;
 };
 struct Index {
-  ExprPtr base;
-  ExprPtr index;
+  ExprId base;
+  ExprId index;
 };
 struct Ternary {
-  ExprPtr cond;
-  ExprPtr thenExpr;
-  ExprPtr elseExpr;
+  ExprId cond;
+  ExprId thenExpr;
+  ExprId elseExpr;
 };
 struct Cast {
   TypeRef type;
-  ExprPtr operand;
+  ExprId operand;
   bool functionalStyle = false;  // double(x) vs (double)x
 };
 
@@ -114,48 +144,45 @@ struct Expr {
 
 // ------------------------------------------------------------ statements --
 
-struct Stmt;
-using StmtPtr = std::unique_ptr<Stmt>;
-
 /// One declared variable within a declaration statement.
 struct Declarator {
   std::string name;
-  ExprPtr init;       // null when uninitialized / vector ctor arg below
-  ExprPtr arraySize;  // non-null for C arrays: "int a[100];"
+  ExprId init;       // null when uninitialized / vector ctor arg below
+  ExprId arraySize;  // non-null for C arrays: "int a[100];"
 };
 
-struct BlockStmt { std::vector<StmtPtr> stmts; };
+struct BlockStmt { std::vector<StmtId> stmts; };
 struct VarDeclStmt {
   TypeRef type;
   bool isConst = false;
   std::vector<Declarator> decls;
 };
-struct ExprStmt { ExprPtr expr; };
+struct ExprStmt { ExprId expr; };
 struct IfStmt {
-  ExprPtr cond;
-  StmtPtr thenBranch;   // always non-null
-  StmtPtr elseBranch;   // may be null
+  ExprId cond;
+  StmtId thenBranch;   // always non-null
+  StmtId elseBranch;   // may be null
 };
 struct ForStmt {
-  StmtPtr init;  // VarDeclStmt or ExprStmt; may be null
-  ExprPtr cond;  // may be null
-  ExprPtr step;  // may be null
-  StmtPtr body;
+  StmtId init;  // VarDeclStmt or ExprStmt; may be null
+  ExprId cond;  // may be null
+  ExprId step;  // may be null
+  StmtId body;
 };
 struct WhileStmt {
-  ExprPtr cond;
-  StmtPtr body;
+  ExprId cond;
+  StmtId body;
 };
 struct DoWhileStmt {
-  StmtPtr body;
-  ExprPtr cond;
+  StmtId body;
+  ExprId cond;
 };
-struct ReturnStmt { ExprPtr value; };  // null for bare "return;"
+struct ReturnStmt { ExprId value; };  // null for bare "return;"
 
 /// One console-input statement, IO-style agnostic.
 /// Renders as "cin >> a >> b;" or "scanf("%d %d", &a, &b);".
 struct ReadTarget {
-  ExprPtr lvalue;
+  ExprId lvalue;
   TypeRef type;  // drives the scanf format specifier
 };
 struct ReadStmt { std::vector<ReadTarget> targets; };
@@ -164,7 +191,7 @@ struct ReadStmt { std::vector<ReadTarget> targets; };
 struct WriteItem {
   bool isLiteral = false;
   std::string literal;   // when isLiteral
-  ExprPtr expr;          // when !isLiteral
+  ExprId expr;           // when !isLiteral
   TypeRef type;          // printf format selection
   int precision = -1;    // >= 0: fixed decimal places (doubles)
 };
@@ -202,6 +229,108 @@ struct Stmt {
   [[nodiscard]] const T& as() const { return std::get<T>(node); }
 };
 
+// ----------------------------------------------------------------- arena --
+
+/// Flat node store: all Expr/Stmt nodes of one tree family live in two
+/// contiguous vectors, linked by 32-bit ids. The factory members mirror
+/// the node constructors ("a.intLit(3)"), so building IR reads the same
+/// as it did with owning pointers — they just append to the pools.
+class Arena {
+ public:
+  [[nodiscard]] ExprId add(Expr expr) {
+    const ExprId id{static_cast<std::uint32_t>(exprs_.size())};
+    exprs_.push_back(std::move(expr));
+    return id;
+  }
+  [[nodiscard]] StmtId add(Stmt stmt) {
+    const StmtId id{static_cast<std::uint32_t>(stmts_.size())};
+    stmts_.push_back(std::move(stmt));
+    return id;
+  }
+
+  [[nodiscard]] Expr& operator[](ExprId id) noexcept {
+    return exprs_[id.index];
+  }
+  [[nodiscard]] const Expr& operator[](ExprId id) const noexcept {
+    return exprs_[id.index];
+  }
+  [[nodiscard]] Stmt& operator[](StmtId id) noexcept {
+    return stmts_[id.index];
+  }
+  [[nodiscard]] const Stmt& operator[](StmtId id) const noexcept {
+    return stmts_[id.index];
+  }
+
+  [[nodiscard]] std::size_t exprCount() const noexcept {
+    return exprs_.size();
+  }
+  [[nodiscard]] std::size_t stmtCount() const noexcept {
+    return stmts_.size();
+  }
+  void reserve(std::size_t exprs, std::size_t stmts) {
+    exprs_.reserve(exprs);
+    stmts_.reserve(stmts);
+  }
+
+  // ---- expression factories ----
+  [[nodiscard]] ExprId intLit(long long value);
+  [[nodiscard]] ExprId floatLit(double value, std::string spelling = "");
+  [[nodiscard]] ExprId stringLit(std::string value);
+  [[nodiscard]] ExprId charLit(char value);
+  [[nodiscard]] ExprId boolLit(bool value);
+  [[nodiscard]] ExprId ident(std::string name);
+  [[nodiscard]] ExprId unary(UnaryOp op, ExprId operand);
+  [[nodiscard]] ExprId binary(BinaryOp op, ExprId lhs, ExprId rhs);
+  [[nodiscard]] ExprId assign(AssignOp op, ExprId target, ExprId value);
+  [[nodiscard]] ExprId call(std::string callee, std::vector<ExprId> args = {});
+  [[nodiscard]] ExprId index(ExprId base, ExprId idx);
+  [[nodiscard]] ExprId ternary(ExprId cond, ExprId thenExpr, ExprId elseExpr);
+  [[nodiscard]] ExprId cast(TypeRef type, ExprId operand,
+                            bool functionalStyle = false);
+
+  // ---- statement factories ----
+  [[nodiscard]] StmtId makeStmt(BlockStmt block);
+  [[nodiscard]] StmtId varDecl(TypeRef type, std::vector<Declarator> decls,
+                               bool isConst = false);
+  [[nodiscard]] StmtId varDecl1(TypeRef type, std::string name,
+                                ExprId init = {});
+  [[nodiscard]] StmtId exprStmt(ExprId expr);
+  [[nodiscard]] StmtId ifStmt(ExprId cond, StmtId thenBranch,
+                              StmtId elseBranch = {});
+  [[nodiscard]] StmtId forStmt(StmtId init, ExprId cond, ExprId step,
+                               StmtId body);
+  [[nodiscard]] StmtId whileStmt(ExprId cond, StmtId body);
+  [[nodiscard]] StmtId doWhileStmt(StmtId body, ExprId cond);
+  [[nodiscard]] StmtId returnStmt(ExprId value = {});
+  [[nodiscard]] StmtId readStmt(std::vector<ReadTarget> targets);
+  [[nodiscard]] StmtId writeStmt(std::vector<WriteItem> items,
+                                 bool trailingNewline = true);
+  [[nodiscard]] StmtId breakStmt();
+  [[nodiscard]] StmtId continueStmt();
+  [[nodiscard]] StmtId commentStmt(std::string text, bool block = false);
+  [[nodiscard]] StmtId opaqueStmt(std::string text);
+
+  /// writeExpr needs node access for the type, so it lives here; writeText
+  /// stays a free function (no nodes involved).
+  [[nodiscard]] WriteItem writeExpr(ExprId expr, TypeRef type,
+                                    int precision = -1);
+  [[nodiscard]] ReadTarget readTarget(std::string name, TypeRef type);
+  [[nodiscard]] ReadTarget readTargetExpr(ExprId lvalue, TypeRef type);
+
+  // ---- subtree clones ----
+  // Deep-copies a subtree out of `src` (which may be *this or a different
+  // arena) into this arena and returns the new root. Null ids pass
+  // through. This is the id-world deepCopy: the whole-unit case needs no
+  // walk at all (TranslationUnit's copy constructor copies the pools).
+  [[nodiscard]] ExprId clone(const Arena& src, ExprId id);
+  [[nodiscard]] StmtId clone(const Arena& src, StmtId id);
+  [[nodiscard]] BlockStmt clone(const Arena& src, const BlockStmt& block);
+
+ private:
+  std::vector<Expr> exprs_;
+  std::vector<Stmt> stmts_;
+};
+
 // ------------------------------------------------------------- top level --
 
 struct Param {
@@ -226,63 +355,25 @@ struct TypeAlias {
 };
 
 struct TranslationUnit {
+  Arena arena;                        // owns every node the ids reference
   std::string headerComment;          // optional file-top comment
   std::vector<std::string> includes;  // header names without <>
   bool usingNamespaceStd = true;
   std::vector<TypeAlias> aliases;
-  std::vector<StmtPtr> globals;       // global declarations (VarDeclStmt)
+  std::vector<StmtId> globals;        // global declarations (VarDeclStmt)
   std::vector<Function> functions;
 };
 
-// ------------------------------------------------------------- factories --
+/// Deep-copies a function from one unit's arena into another ("dst" is the
+/// arena of the unit the copy will live in).
+[[nodiscard]] Function cloneFunction(Arena& dst, const Arena& src,
+                                     const Function& function);
 
-[[nodiscard]] ExprPtr intLit(long long value);
-[[nodiscard]] ExprPtr floatLit(double value, std::string spelling = "");
-[[nodiscard]] ExprPtr stringLit(std::string value);
-[[nodiscard]] ExprPtr charLit(char value);
-[[nodiscard]] ExprPtr boolLit(bool value);
-[[nodiscard]] ExprPtr ident(std::string name);
-[[nodiscard]] ExprPtr unary(UnaryOp op, ExprPtr operand);
-[[nodiscard]] ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
-[[nodiscard]] ExprPtr assign(AssignOp op, ExprPtr target, ExprPtr value);
-[[nodiscard]] ExprPtr call(std::string callee, std::vector<ExprPtr> args = {});
-[[nodiscard]] ExprPtr index(ExprPtr base, ExprPtr idx);
-[[nodiscard]] ExprPtr ternary(ExprPtr cond, ExprPtr thenExpr, ExprPtr elseExpr);
-[[nodiscard]] ExprPtr cast(TypeRef type, ExprPtr operand,
-                           bool functionalStyle = false);
-
-[[nodiscard]] StmtPtr makeStmt(BlockStmt block);
-[[nodiscard]] StmtPtr varDecl(TypeRef type, std::vector<Declarator> decls,
-                              bool isConst = false);
-[[nodiscard]] StmtPtr varDecl1(TypeRef type, std::string name,
-                               ExprPtr init = nullptr);
-[[nodiscard]] StmtPtr exprStmt(ExprPtr expr);
-[[nodiscard]] StmtPtr ifStmt(ExprPtr cond, StmtPtr thenBranch,
-                             StmtPtr elseBranch = nullptr);
-[[nodiscard]] StmtPtr forStmt(StmtPtr init, ExprPtr cond, ExprPtr step,
-                              StmtPtr body);
-[[nodiscard]] StmtPtr whileStmt(ExprPtr cond, StmtPtr body);
-[[nodiscard]] StmtPtr doWhileStmt(StmtPtr body, ExprPtr cond);
-[[nodiscard]] StmtPtr returnStmt(ExprPtr value = nullptr);
-[[nodiscard]] StmtPtr readStmt(std::vector<ReadTarget> targets);
-[[nodiscard]] StmtPtr writeStmt(std::vector<WriteItem> items,
-                                bool trailingNewline = true);
-[[nodiscard]] StmtPtr breakStmt();
-[[nodiscard]] StmtPtr continueStmt();
-[[nodiscard]] StmtPtr commentStmt(std::string text, bool block = false);
-[[nodiscard]] StmtPtr opaqueStmt(std::string text);
+/// Whole-unit deep copy — now just the unit's copy constructor (pool copy;
+/// ids are arena-relative so no rebase is needed). Kept as a named
+/// function because "deepCopy" documents intent at call sites.
+[[nodiscard]] TranslationUnit deepCopy(const TranslationUnit& unit);
 
 [[nodiscard]] WriteItem writeText(std::string literal);
-[[nodiscard]] WriteItem writeExpr(ExprPtr expr, TypeRef type,
-                                  int precision = -1);
-[[nodiscard]] ReadTarget readTarget(std::string name, TypeRef type);
-[[nodiscard]] ReadTarget readTargetExpr(ExprPtr lvalue, TypeRef type);
-
-// ------------------------------------------------------------ deep copy --
-
-[[nodiscard]] ExprPtr deepCopy(const Expr& expr);
-[[nodiscard]] StmtPtr deepCopy(const Stmt& stmt);
-[[nodiscard]] Function deepCopy(const Function& function);
-[[nodiscard]] TranslationUnit deepCopy(const TranslationUnit& unit);
 
 }  // namespace sca::ast

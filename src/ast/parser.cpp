@@ -45,9 +45,11 @@ std::string unescape(std::string_view quoted) {
 
 class Parser {
  public:
-  explicit Parser(std::string_view source) {
-    tokens_ = lexer::tokenize(source);
-  }
+  explicit Parser(std::string_view source)
+      : owned_(lexer::tokenize(source)), stream_(owned_) {}
+  // Borrowed-stream parse: the caller already lexed (e.g. the feature
+  // extractor keeps the stream for lexical features) — no second tokenize.
+  explicit Parser(const lexer::TokenStream& stream) : stream_(stream) {}
 
   ParseResult run() {
     // Belt and braces: no exception may escape parse(), whatever the
@@ -65,14 +67,17 @@ class Parser {
   }
 
  private:
+  /// The arena every parsed node goes into (the result unit's own pools).
+  [[nodiscard]] Arena& a() noexcept { return unit_.arena; }
+
   // ------------------------------------------------------------- cursor --
   [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
     const std::size_t i = pos_ + ahead;
-    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    return i < stream_.size() ? stream_[i] : stream_[stream_.size() - 1];
   }
   const Token& advance() {
     const Token& t = peek();
-    if (pos_ + 1 < tokens_.size()) ++pos_;
+    if (pos_ + 1 < stream_.size()) ++pos_;
     return t;
   }
   [[nodiscard]] bool atEnd() const { return peek().is(TokenKind::EndOfFile); }
@@ -100,7 +105,7 @@ class Parser {
   void expectPunct(std::string_view p) {
     if (!matchPunct(p)) {
       throw ParseError("expected '" + std::string(p) + "' got '" +
-                       peek().text + "'");
+                       std::string(peek().text) + "'");
     }
   }
 
@@ -153,7 +158,8 @@ class Parser {
         continue;
       }
       if (t.is(TokenKind::LineComment) || t.is(TokenKind::BlockComment)) {
-        pendingComment_ += pendingComment_.empty() ? t.text : "\n" + t.text;
+        if (!pendingComment_.empty()) pendingComment_ += '\n';
+        pendingComment_ += t.text;
         pendingCommentBlock_ = t.is(TokenKind::BlockComment);
         advance();
         continue;
@@ -198,8 +204,8 @@ class Parser {
             continue;
           }
           pos_ = save;
-          StmtPtr decl = parseVarDecl();
-          unit_.globals.push_back(std::move(decl));
+          StmtId decl = parseVarDecl();
+          unit_.globals.push_back(decl);
           flushHeaderComment(seenAnyDecl);
           continue;
         } catch (const ParseError& e) {
@@ -209,7 +215,8 @@ class Parser {
           continue;
         }
       }
-      warn("skipping unexpected top-level token '" + t.text + "'");
+      warn("skipping unexpected top-level token '" + std::string(t.text) +
+           "'");
       advance();
     }
     popScope();
@@ -238,7 +245,7 @@ class Parser {
     }
   }
 
-  void parsePreprocessor(const std::string& text) {
+  void parsePreprocessor(std::string_view text) {
     const std::string_view trimmed = util::trim(text);
     if (util::startsWith(trimmed, "#include")) {
       std::string_view rest = util::trim(trimmed.substr(8));
@@ -260,7 +267,7 @@ class Parser {
     if (!peek().is(TokenKind::Identifier)) {
       throw ParseError("typedef without alias name");
     }
-    std::string name = advance().text;
+    std::string name(advance().text);
     matchPunct(";");
     unit_.aliases.push_back(TypeAlias{name, type, /*usesTypedef=*/true});
     aliasTypes_[name] = type;
@@ -271,7 +278,7 @@ class Parser {
     if (!peek().is(TokenKind::Identifier)) {
       throw ParseError("unsupported using-declaration");
     }
-    std::string name = advance().text;
+    std::string name(advance().text);
     expectPunct("=");
     TypeRef type = parseType();
     matchPunct(";");
@@ -337,7 +344,7 @@ class Parser {
       if (matchKeyword("char")) return TypeRef{BaseType::Char, false};
       if (matchKeyword("void")) return TypeRef{BaseType::Void, false};
       if (matchKeyword("auto")) return TypeRef{BaseType::Auto, false};
-      throw ParseError("not a type keyword: " + t.text);
+      throw ParseError("not a type keyword: " + std::string(t.text));
     }
     if (t.is(TokenKind::Identifier)) {
       if (t.text == "string") {
@@ -357,14 +364,14 @@ class Parser {
         return alias->second;
       }
     }
-    throw ParseError("not a type: " + t.text);
+    throw ParseError("not a type: " + std::string(t.text));
   }
 
   // ----------------------------------------------------------- functions --
   void parseFunction(TypeRef returnType) {
     Function fn;
     fn.returnType = returnType;
-    fn.name = advance().text;
+    fn.name = std::string(advance().text);
     if (!fn.leadingComment.empty()) fn.leadingComment.clear();
     if (!pendingComment_.empty()) {
       if (unit_.functions.empty() && unit_.headerComment.empty() &&
@@ -383,7 +390,9 @@ class Parser {
       Param param;
       param.type = parseType();
       if (matchPunct("&")) param.byReference = true;
-      if (peek().is(TokenKind::Identifier)) param.name = advance().text;
+      if (peek().is(TokenKind::Identifier)) {
+        param.name = std::string(advance().text);
+      }
       declare(param.name, param.type);
       fn.params.push_back(std::move(param));
       if (!matchPunct(",")) break;
@@ -411,7 +420,7 @@ class Parser {
   }
 
   // ----------------------------------------------------------- statements --
-  StmtPtr parseStmtSafe() {
+  StmtId parseStmtSafe() {
     const std::size_t save = pos_;
     try {
       return parseStmt();
@@ -424,7 +433,7 @@ class Parser {
 
   /// Consumes a broken statement into an OpaqueStmt (to ';' or balanced
   /// braces) so that re-rendering retains its tokens.
-  StmtPtr recoverOpaque() {
+  StmtId recoverOpaque() {
     std::string text;
     int braceDepth = 0;
     int parenDepth = 0;
@@ -433,11 +442,7 @@ class Parser {
       if (braceDepth == 0 && t.isPunct("}")) break;
       advance();
       if (!text.empty()) text += ' ';
-      if (t.is(TokenKind::StringLiteral) || t.is(TokenKind::CharLiteral)) {
-        text += t.text;  // spelling already includes quotes
-      } else {
-        text += t.text;
-      }
+      text += t.text;  // literal spellings already include their quotes
       if (t.isPunct("{")) ++braceDepth;
       if (t.isPunct("}")) --braceDepth;
       if (t.isPunct("(")) ++parenDepth;
@@ -445,46 +450,47 @@ class Parser {
       if (t.isPunct(";") && braceDepth == 0 && parenDepth == 0) break;
       if (braceDepth < 0) break;
     }
-    return opaqueStmt(text);
+    return a().opaqueStmt(std::move(text));
   }
 
-  StmtPtr parseStmt() {
+  StmtId parseStmt() {
     const DepthGuard guard(depth_);
     const Token& t = peek();
     if (t.is(TokenKind::LineComment) || t.is(TokenKind::BlockComment)) {
       advance();
-      return commentStmt(t.text, t.is(TokenKind::BlockComment));
+      return a().commentStmt(std::string(t.text),
+                             t.is(TokenKind::BlockComment));
     }
     if (t.is(TokenKind::Preprocessor)) {
       advance();
       warn("preprocessor inside function body kept opaque");
-      return opaqueStmt(t.text);
+      return a().opaqueStmt(std::string(t.text));
     }
     if (matchPunct("{")) {
       pushScope();
       BlockStmt block = parseBlockBody();
       popScope();
-      return makeStmt(std::move(block));
+      return a().makeStmt(std::move(block));
     }
-    if (matchPunct(";")) return makeStmt(BlockStmt{});  // empty stmt
+    if (matchPunct(";")) return a().makeStmt(BlockStmt{});  // empty stmt
     if (checkKeyword("if")) return parseIf();
     if (checkKeyword("for")) return parseFor();
     if (checkKeyword("while")) return parseWhile();
     if (checkKeyword("do")) return parseDoWhile();
     if (checkKeyword("return")) {
       advance();
-      if (matchPunct(";")) return returnStmt();
-      ExprPtr value = parseExpr();
+      if (matchPunct(";")) return a().returnStmt();
+      ExprId value = parseExpr();
       expectPunct(";");
-      return returnStmt(std::move(value));
+      return a().returnStmt(value);
     }
     if (matchKeyword("break")) {
       expectPunct(";");
-      return breakStmt();
+      return a().breakStmt();
     }
     if (matchKeyword("continue")) {
       expectPunct(";");
-      return continueStmt();
+      return a().continueStmt();
     }
     if (checkKeyword("const") || startsType()) {
       // Distinguish declaration from expression like "max(a, b);" — types
@@ -510,22 +516,22 @@ class Parser {
     if (isIdent("scanf")) return parseScanfStmt();
     if (isIdent("printf")) return parsePrintfStmt();
 
-    ExprPtr expr = parseExpr();
+    ExprId expr = parseExpr();
     expectPunct(";");
-    return exprStmt(std::move(expr));
+    return a().exprStmt(expr);
   }
 
   [[nodiscard]] bool isIdent(std::string_view name, std::size_t ahead = 0) const {
     return peek(ahead).is(TokenKind::Identifier) && peek(ahead).text == name;
   }
 
-  StmtPtr parseIf() {
+  StmtId parseIf() {
     advance();  // if
     expectPunct("(");
-    ExprPtr cond = parseExpr();
+    ExprId cond = parseExpr();
     expectPunct(")");
-    StmtPtr thenBranch = parseBranchBody();
-    StmtPtr elseBranch;
+    StmtId thenBranch = parseBranchBody();
+    StmtId elseBranch;
     if (matchKeyword("else")) {
       if (checkKeyword("if")) {
         elseBranch = parseIf();
@@ -533,75 +539,73 @@ class Parser {
         elseBranch = parseBranchBody();
       }
     }
-    return ifStmt(std::move(cond), std::move(thenBranch),
-                  std::move(elseBranch));
+    return a().ifStmt(cond, thenBranch, elseBranch);
   }
 
   /// Wraps single-statement bodies in a block for a canonical tree shape.
-  StmtPtr parseBranchBody() {
+  StmtId parseBranchBody() {
     if (matchPunct("{")) {
       pushScope();
       BlockStmt block = parseBlockBody();
       popScope();
-      return makeStmt(std::move(block));
+      return a().makeStmt(std::move(block));
     }
     BlockStmt block;
     block.stmts.push_back(parseStmtSafe());
-    return makeStmt(std::move(block));
+    return a().makeStmt(std::move(block));
   }
 
-  StmtPtr parseFor() {
+  StmtId parseFor() {
     advance();  // for
     expectPunct("(");
     pushScope();
-    StmtPtr init;
+    StmtId init;
     if (!matchPunct(";")) {
       if (startsType()) {
         init = parseVarDeclNoSemi();
       } else {
-        init = exprStmt(parseExpr());
+        init = a().exprStmt(parseExpr());
       }
       expectPunct(";");
     }
-    ExprPtr cond;
+    ExprId cond;
     if (!checkPunct(";")) cond = parseExpr();
     expectPunct(";");
-    ExprPtr step;
+    ExprId step;
     if (!checkPunct(")")) step = parseExpr();
     expectPunct(")");
-    StmtPtr body = parseBranchBody();
+    StmtId body = parseBranchBody();
     popScope();
-    return forStmt(std::move(init), std::move(cond), std::move(step),
-                   std::move(body));
+    return a().forStmt(init, cond, step, body);
   }
 
-  StmtPtr parseWhile() {
+  StmtId parseWhile() {
     advance();  // while
     expectPunct("(");
-    ExprPtr cond = parseExpr();
+    ExprId cond = parseExpr();
     expectPunct(")");
-    StmtPtr body = parseBranchBody();
-    return whileStmt(std::move(cond), std::move(body));
+    StmtId body = parseBranchBody();
+    return a().whileStmt(cond, body);
   }
 
-  StmtPtr parseDoWhile() {
+  StmtId parseDoWhile() {
     advance();  // do
-    StmtPtr body = parseBranchBody();
+    StmtId body = parseBranchBody();
     if (!matchKeyword("while")) throw ParseError("do without while");
     expectPunct("(");
-    ExprPtr cond = parseExpr();
+    ExprId cond = parseExpr();
     expectPunct(")");
     matchPunct(";");
-    return doWhileStmt(std::move(body), std::move(cond));
+    return a().doWhileStmt(body, cond);
   }
 
-  StmtPtr parseVarDecl() {
-    StmtPtr decl = parseVarDeclNoSemi();
+  StmtId parseVarDecl() {
+    StmtId decl = parseVarDeclNoSemi();
     expectPunct(";");
     return decl;
   }
 
-  StmtPtr parseVarDeclNoSemi() {
+  StmtId parseVarDeclNoSemi() {
     bool isConst = false;
     if (checkKeyword("const")) {
       isConst = true;
@@ -610,11 +614,11 @@ class Parser {
     std::vector<Declarator> decls;
     while (true) {
       if (!peek().is(TokenKind::Identifier)) {
-        throw ParseError("declaration without name, got '" + peek().text +
-                         "'");
+        throw ParseError("declaration without name, got '" +
+                         std::string(peek().text) + "'");
       }
       Declarator d;
-      d.name = advance().text;
+      d.name = std::string(advance().text);
       TypeRef declared = type;
       if (matchPunct("[")) {
         d.arraySize = parseExpr();
@@ -632,7 +636,7 @@ class Parser {
       decls.push_back(std::move(d));
       if (!matchPunct(",")) break;
     }
-    return varDecl(type, std::move(decls), isConst);
+    return a().varDecl(type, std::move(decls), isConst);
   }
 
   // -------------------------------------------------------- IO statements --
@@ -643,20 +647,19 @@ class Parser {
     }
   }
 
-  StmtPtr parseCinStmt() {
+  StmtId parseCinStmt() {
     skipStdQualifier();
     advance();  // cin
     std::vector<ReadTarget> targets;
     while (matchPunct(">>")) {
-      ExprPtr lvalue = parsePostfix();
-      targets.push_back(ReadTarget{std::move(lvalue), TypeRef{}});
-      targets.back().type = typeOf(*targets.back().lvalue);
+      ExprId lvalue = parsePostfix();
+      targets.push_back(ReadTarget{lvalue, typeOf(lvalue)});
     }
     expectPunct(";");
-    return readStmt(std::move(targets));
+    return a().readStmt(std::move(targets));
   }
 
-  StmtPtr parseCoutStmt() {
+  StmtId parseCoutStmt() {
     skipStdQualifier();
     advance();  // cout
     std::vector<WriteItem> items;
@@ -681,18 +684,20 @@ class Parser {
       if (isIdent("setprecision")) {
         advance();
         expectPunct("(");
-        ExprPtr p = parseExpr();
+        ExprId p = parseExpr();
         expectPunct(")");
-        if (p->is<IntLit>()) pendingPrecision = static_cast<int>(p->as<IntLit>().value);
+        if (a()[p].is<IntLit>()) {
+          pendingPrecision = static_cast<int>(a()[p].as<IntLit>().value);
+        }
         continue;
       }
       // Items bind tighter than "<<": parse below shift precedence so the
       // next "<<" stays a stream separator, not a left-shift operator.
-      ExprPtr expr = parseBinary(6);
-      TypeRef type = typeOf(*expr);
+      ExprId expr = parseBinary(6);
+      TypeRef type = typeOf(expr);
       const int precision =
           type.base == BaseType::Double ? pendingPrecision : -1;
-      items.push_back(writeExpr(std::move(expr), type, precision));
+      items.push_back(a().writeExpr(expr, type, precision));
     }
     expectPunct(";");
     // Fold a final "\n" (or endl-produced "\n") literal into the flag.
@@ -702,10 +707,10 @@ class Parser {
       trailingNewline = true;
       if (items.back().literal.empty()) items.pop_back();
     }
-    return writeStmt(std::move(items), trailingNewline);
+    return a().writeStmt(std::move(items), trailingNewline);
   }
 
-  StmtPtr parseScanfStmt() {
+  StmtId parseScanfStmt() {
     advance();  // scanf
     expectPunct("(");
     if (!peek().is(TokenKind::StringLiteral)) {
@@ -716,25 +721,24 @@ class Parser {
     while (matchPunct(",")) {
       bool addressed = matchPunct("&");
       (void)addressed;
-      ExprPtr lvalue = parsePostfix();
-      TypeRef type = typeOf(*lvalue);
-      targets.push_back(ReadTarget{std::move(lvalue), type});
+      ExprId lvalue = parsePostfix();
+      targets.push_back(ReadTarget{lvalue, typeOf(lvalue)});
     }
     expectPunct(")");
     expectPunct(";");
     // Cross-check format spec count; fall back to symtab types regardless.
     (void)format;
-    return readStmt(std::move(targets));
+    return a().readStmt(std::move(targets));
   }
 
-  StmtPtr parsePrintfStmt() {
+  StmtId parsePrintfStmt() {
     advance();  // printf
     expectPunct("(");
     if (!peek().is(TokenKind::StringLiteral)) {
       throw ParseError("printf without literal format");
     }
     const std::string format = unescape(advance().text);
-    std::vector<ExprPtr> args;
+    std::vector<ExprId> args;
     while (matchPunct(",")) args.push_back(parseExpr());
     expectPunct(")");
     expectPunct(";");
@@ -796,16 +800,16 @@ class Parser {
       }
       flushLiteral();
       if (argIndex < args.size()) {
-        ExprPtr arg = std::move(args[argIndex++]);
+        ExprId arg = args[argIndex++];
         // printf("%s", s.c_str()) -> the string itself.
-        if (type.base == BaseType::String && arg->is<Call>() &&
-            util::endsWith(arg->as<Call>().callee, ".c_str")) {
-          const std::string base = arg->as<Call>().callee.substr(
-              0, arg->as<Call>().callee.size() - 6);
-          arg = ident(base);
+        if (type.base == BaseType::String && a()[arg].is<Call>() &&
+            util::endsWith(a()[arg].as<Call>().callee, ".c_str")) {
+          const std::string base = a()[arg].as<Call>().callee.substr(
+              0, a()[arg].as<Call>().callee.size() - 6);
+          arg = a().ident(base);
         }
         if (type.base != BaseType::Double) precision = -1;
-        items.push_back(writeExpr(std::move(arg), type, precision));
+        items.push_back(a().writeExpr(arg, type, precision));
       }
       i = j;
     }
@@ -814,14 +818,14 @@ class Parser {
       trailingNewline = true;
     }
     flushLiteral();
-    return writeStmt(std::move(items), trailingNewline);
+    return a().writeStmt(std::move(items), trailingNewline);
   }
 
   // ---------------------------------------------------------- expressions --
-  ExprPtr parseExpr() { return parseAssign(); }
+  ExprId parseExpr() { return parseAssign(); }
 
-  ExprPtr parseAssign() {
-    ExprPtr lhs = parseTernary();
+  ExprId parseAssign() {
+    ExprId lhs = parseTernary();
     static const std::pair<const char*, AssignOp> kAssignOps[] = {
         {"=", AssignOp::Assign},    {"+=", AssignOp::AddAssign},
         {"-=", AssignOp::SubAssign}, {"*=", AssignOp::MulAssign},
@@ -830,21 +834,20 @@ class Parser {
     for (const auto& [spelling, op] : kAssignOps) {
       if (checkPunct(spelling)) {
         advance();
-        ExprPtr rhs = parseAssign();
-        return assign(op, std::move(lhs), std::move(rhs));
+        ExprId rhs = parseAssign();
+        return a().assign(op, lhs, rhs);
       }
     }
     return lhs;
   }
 
-  ExprPtr parseTernary() {
-    ExprPtr cond = parseBinary(15);
+  ExprId parseTernary() {
+    ExprId cond = parseBinary(15);
     if (matchPunct("?")) {
-      ExprPtr thenExpr = parseExpr();
+      ExprId thenExpr = parseExpr();
       expectPunct(":");
-      ExprPtr elseExpr = parseTernary();
-      return ternary(std::move(cond), std::move(thenExpr),
-                     std::move(elseExpr));
+      ExprId elseExpr = parseTernary();
+      return a().ternary(cond, thenExpr, elseExpr);
     }
     return cond;
   }
@@ -893,36 +896,36 @@ class Parser {
   }
 
   /// Precedence-climbing over binary operators up to `maxPrec`.
-  ExprPtr parseBinary(int maxPrec) {
-    ExprPtr lhs = parseUnary();
+  ExprId parseBinary(int maxPrec) {
+    ExprId lhs = parseUnary();
     while (true) {
       const auto op = binaryOpFor(peek(), maxPrec);
       if (!op.has_value()) return lhs;
       advance();
-      ExprPtr rhs = parseBinaryRhs(precOf(*op) - 1);
-      lhs = binary(*op, std::move(lhs), std::move(rhs));
+      ExprId rhs = parseBinaryRhs(precOf(*op) - 1);
+      lhs = a().binary(*op, lhs, rhs);
     }
   }
 
-  ExprPtr parseBinaryRhs(int maxPrec) {
-    ExprPtr lhs = parseUnary();
+  ExprId parseBinaryRhs(int maxPrec) {
+    ExprId lhs = parseUnary();
     while (true) {
       const auto op = binaryOpFor(peek(), maxPrec);
       if (!op.has_value()) return lhs;
       advance();
-      ExprPtr rhs = parseBinaryRhs(precOf(*op) - 1);
-      lhs = binary(*op, std::move(lhs), std::move(rhs));
+      ExprId rhs = parseBinaryRhs(precOf(*op) - 1);
+      lhs = a().binary(*op, lhs, rhs);
     }
   }
 
-  ExprPtr parseUnary() {
+  ExprId parseUnary() {
     const DepthGuard guard(depth_);
-    if (matchPunct("-")) return unary(UnaryOp::Neg, parseUnary());
-    if (matchPunct("!")) return unary(UnaryOp::Not, parseUnary());
-    if (matchPunct("&")) return unary(UnaryOp::AddressOf, parseUnary());
+    if (matchPunct("-")) return a().unary(UnaryOp::Neg, parseUnary());
+    if (matchPunct("!")) return a().unary(UnaryOp::Not, parseUnary());
+    if (matchPunct("&")) return a().unary(UnaryOp::AddressOf, parseUnary());
     if (matchPunct("+")) return parseUnary();  // unary plus is a no-op
-    if (matchPunct("++")) return unary(UnaryOp::PreInc, parseUnary());
-    if (matchPunct("--")) return unary(UnaryOp::PreDec, parseUnary());
+    if (matchPunct("++")) return a().unary(UnaryOp::PreInc, parseUnary());
+    if (matchPunct("--")) return a().unary(UnaryOp::PreDec, parseUnary());
     // C-style cast: "(" type ")" expr
     if (checkPunct("(") && startsType(1)) {
       // Ensure it really closes as a cast, e.g. "(double)x", not "(n)".
@@ -931,8 +934,8 @@ class Parser {
       try {
         TypeRef type = parseType();
         if (matchPunct(")")) {
-          ExprPtr operand = parseUnary();
-          return cast(type, std::move(operand), /*functionalStyle=*/false);
+          ExprId operand = parseUnary();
+          return a().cast(type, operand, /*functionalStyle=*/false);
         }
       } catch (const ParseError&) {
         // fall through
@@ -942,27 +945,29 @@ class Parser {
     return parsePostfix();
   }
 
-  ExprPtr parsePostfix() {
-    ExprPtr expr = parsePrimary();
+  ExprId parsePostfix() {
+    ExprId expr = parsePrimary();
     while (true) {
       if (checkPunct("(")) {
-        if (!expr->is<Ident>()) throw ParseError("call on non-identifier");
-        std::string callee = expr->as<Ident>().name;
+        if (!a()[expr].is<Ident>()) {
+          throw ParseError("call on non-identifier");
+        }
+        std::string callee = a()[expr].as<Ident>().name;
         advance();
-        std::vector<ExprPtr> args;
+        std::vector<ExprId> args;
         while (!checkPunct(")") && !atEnd()) {
           args.push_back(parseExpr());
           if (!matchPunct(",")) break;
         }
         expectPunct(")");
-        expr = call(std::move(callee), std::move(args));
+        expr = a().call(std::move(callee), std::move(args));
         continue;
       }
       if (checkPunct("[")) {
         advance();
-        ExprPtr idx = parseExpr();
+        ExprId idx = parseExpr();
         expectPunct("]");
-        expr = index(std::move(expr), std::move(idx));
+        expr = a().index(expr, idx);
         continue;
       }
       if (checkPunct(".")) {
@@ -970,20 +975,20 @@ class Parser {
         if (!peek().is(TokenKind::Identifier)) {
           throw ParseError("member access without name");
         }
-        const std::string member = advance().text;
+        const std::string member(advance().text);
         // Fold "base.member" into a dotted identifier used as a callee or
         // value; base must have a simple spelling.
-        expr = ident(simpleSpelling(*expr) + "." + member);
+        expr = a().ident(simpleSpelling(expr) + "." + member);
         continue;
       }
       if (checkPunct("++")) {
         advance();
-        expr = unary(UnaryOp::PostInc, std::move(expr));
+        expr = a().unary(UnaryOp::PostInc, expr);
         continue;
       }
       if (checkPunct("--")) {
         advance();
-        expr = unary(UnaryOp::PostDec, std::move(expr));
+        expr = a().unary(UnaryOp::PostDec, expr);
         continue;
       }
       return expr;
@@ -991,60 +996,62 @@ class Parser {
   }
 
   /// Spelling of simple lvalues for dotted-name folding ("v", "arr[i]").
-  [[nodiscard]] std::string simpleSpelling(const Expr& expr) const {
+  [[nodiscard]] std::string simpleSpelling(ExprId id) {
+    const Expr& expr = a()[id];
     if (expr.is<Ident>()) return expr.as<Ident>().name;
     if (expr.is<Index>()) {
       const Index& ix = expr.as<Index>();
-      if (ix.base->is<Ident>() && ix.index->is<Ident>()) {
-        return ix.base->as<Ident>().name + "[" +
-               ix.index->as<Ident>().name + "]";
+      const Expr& base = a()[ix.base];
+      const Expr& index = a()[ix.index];
+      if (base.is<Ident>() && index.is<Ident>()) {
+        return base.as<Ident>().name + "[" + index.as<Ident>().name + "]";
       }
-      if (ix.base->is<Ident>() && ix.index->is<IntLit>()) {
-        return ix.base->as<Ident>().name + "[" +
-               std::to_string(ix.index->as<IntLit>().value) + "]";
+      if (base.is<Ident>() && index.is<IntLit>()) {
+        return base.as<Ident>().name + "[" +
+               std::to_string(index.as<IntLit>().value) + "]";
       }
     }
     throw ParseError("unsupported member-access base");
   }
 
-  ExprPtr parsePrimary() {
+  ExprId parsePrimary() {
     const Token& t = peek();
     if (t.is(TokenKind::IntLiteral)) {
       advance();
       long long value = 0;
       try {
-        value = std::stoll(t.text, nullptr, 0);
+        value = std::stoll(std::string(t.text), nullptr, 0);
       } catch (...) {
-        throw ParseError("bad int literal " + t.text);
+        throw ParseError("bad int literal " + std::string(t.text));
       }
-      return intLit(value);
+      return a().intLit(value);
     }
     if (t.is(TokenKind::FloatLiteral)) {
       advance();
       double value = 0.0;
       try {
-        value = std::stod(t.text);
+        value = std::stod(std::string(t.text));
       } catch (...) {
-        throw ParseError("bad float literal " + t.text);
+        throw ParseError("bad float literal " + std::string(t.text));
       }
-      return floatLit(value, t.text);
+      return a().floatLit(value, std::string(t.text));
     }
     if (t.is(TokenKind::StringLiteral)) {
       advance();
-      return stringLit(unescape(t.text));
+      return a().stringLit(unescape(t.text));
     }
     if (t.is(TokenKind::CharLiteral)) {
       advance();
       const std::string inner = unescape(t.text);
-      return charLit(inner.empty() ? '\0' : inner[0]);
+      return a().charLit(inner.empty() ? '\0' : inner[0]);
     }
     if (t.isKeyword("true")) {
       advance();
-      return boolLit(true);
+      return a().boolLit(true);
     }
     if (t.isKeyword("false")) {
       advance();
-      return boolLit(false);
+      return a().boolLit(false);
     }
     if (t.isKeyword("sizeof")) {
       advance();
@@ -1062,9 +1069,9 @@ class Parser {
         if (!inner.empty()) inner += ' ';
         inner += tk.text;
       }
-      std::vector<ExprPtr> args;
-      args.push_back(ident(inner));
-      return call("sizeof", std::move(args));
+      std::vector<ExprId> args;
+      args.push_back(a().ident(std::move(inner)));
+      return a().call("sizeof", std::move(args));
     }
     // Functional cast: double(x), int(y).
     if (t.is(TokenKind::Keyword) &&
@@ -1073,9 +1080,9 @@ class Parser {
         checkPunct("(", 1)) {
       TypeRef type = parseType();
       expectPunct("(");
-      ExprPtr operand = parseExpr();
+      ExprId operand = parseExpr();
       expectPunct(")");
-      return cast(type, std::move(operand), /*functionalStyle=*/true);
+      return a().cast(type, operand, /*functionalStyle=*/true);
     }
     if (t.is(TokenKind::Identifier)) {
       // std:: qualification folds away (canonical form).
@@ -1085,17 +1092,23 @@ class Parser {
         return parsePrimary();
       }
       advance();
-      return ident(t.text);
+      return a().ident(std::string(t.text));
     }
     if (matchPunct("(")) {
-      ExprPtr inner = parseExpr();
+      ExprId inner = parseExpr();
       expectPunct(")");
       return inner;
     }
-    throw ParseError("unexpected token '" + t.text + "' in expression");
+    throw ParseError("unexpected token '" + std::string(t.text) +
+                     "' in expression");
   }
 
   // --------------------------------------------------------- type inference --
+  [[nodiscard]] TypeRef typeOf(ExprId id) const {
+    if (!id) return TypeRef{BaseType::Int, false};
+    return typeOf(unit_.arena[id]);
+  }
+
   [[nodiscard]] TypeRef typeOf(const Expr& expr) const {
     return std::visit(
         [&](const auto& node) -> TypeRef {
@@ -1114,10 +1127,10 @@ class Parser {
             if (const auto found = lookup(node.name)) return *found;
             return TypeRef{BaseType::Int, false};
           } else if constexpr (std::is_same_v<T, Unary>) {
-            return typeOf(*node.operand);
+            return typeOf(node.operand);
           } else if constexpr (std::is_same_v<T, Binary>) {
-            const TypeRef lhs = typeOf(*node.lhs);
-            const TypeRef rhs = typeOf(*node.rhs);
+            const TypeRef lhs = typeOf(node.lhs);
+            const TypeRef rhs = typeOf(node.rhs);
             switch (node.op) {
               case BinaryOp::Lt: case BinaryOp::Gt: case BinaryOp::Le:
               case BinaryOp::Ge: case BinaryOp::Eq: case BinaryOp::Ne:
@@ -1138,7 +1151,7 @@ class Parser {
             }
             return TypeRef{BaseType::Int, false};
           } else if constexpr (std::is_same_v<T, Assign>) {
-            return typeOf(*node.target);
+            return typeOf(node.target);
           } else if constexpr (std::is_same_v<T, Call>) {
             static const std::map<std::string, BaseType> kKnown = {
                 {"sqrt", BaseType::Double}, {"pow", BaseType::Double},
@@ -1157,15 +1170,15 @@ class Parser {
             if (!node.args.empty() &&
                 (node.callee == "max" || node.callee == "min" ||
                  node.callee == "abs")) {
-              return typeOf(*node.args[0]);
+              return typeOf(node.args[0]);
             }
             return TypeRef{BaseType::Int, false};
           } else if constexpr (std::is_same_v<T, Index>) {
-            TypeRef base = typeOf(*node.base);
+            TypeRef base = typeOf(node.base);
             base.isVector = false;
             return base;
           } else if constexpr (std::is_same_v<T, Ternary>) {
-            return typeOf(*node.thenExpr);
+            return typeOf(node.thenExpr);
           } else {
             static_assert(std::is_same_v<T, Cast>);
             return node.type;
@@ -1174,14 +1187,15 @@ class Parser {
         expr.node);
   }
 
-  std::vector<Token> tokens_;
+  lexer::TokenStream owned_;  // empty when parsing a borrowed stream
+  const lexer::TokenStream& stream_;
   std::size_t pos_ = 0;
   int depth_ = 0;
   TranslationUnit unit_;
   ParseResult result_;
-  std::vector<std::map<std::string, TypeRef>> scopes_;
-  std::map<std::string, TypeRef> aliasTypes_;
-  std::map<std::string, TypeRef> functionReturnTypes_;
+  std::vector<std::map<std::string, TypeRef, std::less<>>> scopes_;
+  std::map<std::string, TypeRef, std::less<>> aliasTypes_;
+  std::map<std::string, TypeRef, std::less<>> functionReturnTypes_;
   std::string pendingComment_;
   bool pendingCommentBlock_ = false;
 };
@@ -1190,6 +1204,11 @@ class Parser {
 
 ParseResult parse(std::string_view source) {
   Parser parser(source);
+  return parser.run();
+}
+
+ParseResult parse(const lexer::TokenStream& stream) {
+  Parser parser(stream);
   return parser.run();
 }
 

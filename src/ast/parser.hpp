@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ast/ast.hpp"
+#include "lexer/lexer.hpp"
 #include "util/status.hpp"
 
 namespace sca::ast {
@@ -34,6 +35,10 @@ struct ParseResult {
 /// garbage input degrades into OpaqueStmt fallbacks plus warnings, and
 /// adversarial nesting is cut off by an internal recursion ceiling.
 [[nodiscard]] ParseResult parse(std::string_view source);
+
+/// Parses from an already-lexed stream (no second tokenize). The stream is
+/// borrowed for the duration of the call only.
+[[nodiscard]] ParseResult parse(const lexer::TokenStream& stream);
 
 /// Strict front door for validating model output: OK only when the source
 /// parses with zero warnings and zero fallbacks (ParseResult::clean). The

@@ -47,8 +47,9 @@ const std::set<std::string>& stdNames() {
 
 class Renderer {
  public:
-  Renderer(const TranslationUnit& unit, const RenderOptions& opt)
-      : unit_(unit), opt_(opt) {
+  Renderer(const TranslationUnit& unit, const Arena& arena,
+           const RenderOptions& opt)
+      : unit_(unit), a_(arena), opt_(opt) {
     for (const TypeAlias& alias : unit.aliases) {
       if (!alias.aliased.isVector) aliasFor_[alias.aliased.base] = alias.name;
     }
@@ -72,8 +73,8 @@ class Renderer {
       }
     }
     if (!unit_.aliases.empty()) out_ += '\n';
-    for (const StmtPtr& global : unit_.globals) {
-      if (global) emitStmt(*global);
+    for (const StmtId global : unit_.globals) {
+      if (global) emitStmt(global);
     }
     if (!unit_.globals.empty()) out_ += '\n';
 
@@ -88,7 +89,7 @@ class Renderer {
     return std::move(out_);
   }
 
-  [[nodiscard]] std::string exprToString(const Expr& expr) {
+  [[nodiscard]] std::string exprToString(ExprId expr) {
     emitExpr(expr, 100);
     return std::move(out_);
   }
@@ -150,7 +151,8 @@ class Renderer {
   }
 
   // --------------------------------------------------------- expressions --
-  void emitExpr(const Expr& expr, int parentPrec) {
+  void emitExpr(ExprId id, int parentPrec) {
+    if (!id) return;
     std::visit(
         [&](const auto& node) {
           using T = std::decay_t<decltype(node)>;
@@ -172,39 +174,39 @@ class Renderer {
             emitBinary(node, parentPrec);
           } else if constexpr (std::is_same_v<T, Assign>) {
             maybeParen(parentPrec, kAssignPrec, [&] {
-              emitExpr(*node.target, kAssignPrec - 1);
+              emitExpr(node.target, kAssignPrec - 1);
               out_ += ' ';
               out_ += assignOpSpelling(node.op);
               out_ += ' ';
-              emitExpr(*node.value, kAssignPrec);
+              emitExpr(node.value, kAssignPrec);
             });
           } else if constexpr (std::is_same_v<T, Call>) {
             out_ += qualify(node.callee);
             out_ += '(';
             for (std::size_t i = 0; i < node.args.size(); ++i) {
               if (i > 0) out_ += comma();
-              emitExpr(*node.args[i], kAssignPrec);
+              emitExpr(node.args[i], kAssignPrec);
             }
             out_ += ')';
           } else if constexpr (std::is_same_v<T, Index>) {
-            emitExpr(*node.base, kPostfixPrec);
+            emitExpr(node.base, kPostfixPrec);
             out_ += '[';
-            emitExpr(*node.index, kAssignPrec);
+            emitExpr(node.index, kAssignPrec);
             out_ += ']';
           } else if constexpr (std::is_same_v<T, Ternary>) {
             maybeParen(parentPrec, kTernaryPrec, [&] {
-              emitExpr(*node.cond, kTernaryPrec - 1);
+              emitExpr(node.cond, kTernaryPrec - 1);
               out_ += " ? ";
-              emitExpr(*node.thenExpr, kTernaryPrec);
+              emitExpr(node.thenExpr, kTernaryPrec);
               out_ += " : ";
-              emitExpr(*node.elseExpr, kTernaryPrec);
+              emitExpr(node.elseExpr, kTernaryPrec);
             });
           } else {
             static_assert(std::is_same_v<T, Cast>);
             emitCast(node, parentPrec);
           }
         },
-        expr.node);
+        a_[id].node);
   }
 
   template <typename Fn>
@@ -218,13 +220,13 @@ class Renderer {
   void emitUnary(const Unary& node, int parentPrec) {
     maybeParen(parentPrec, kUnaryPrec, [&] {
       switch (node.op) {
-        case UnaryOp::Neg: out_ += '-'; emitExpr(*node.operand, kUnaryPrec); break;
-        case UnaryOp::Not: out_ += '!'; emitExpr(*node.operand, kUnaryPrec); break;
-        case UnaryOp::AddressOf: out_ += '&'; emitExpr(*node.operand, kUnaryPrec); break;
-        case UnaryOp::PreInc: out_ += "++"; emitExpr(*node.operand, kUnaryPrec); break;
-        case UnaryOp::PreDec: out_ += "--"; emitExpr(*node.operand, kUnaryPrec); break;
-        case UnaryOp::PostInc: emitExpr(*node.operand, kPostfixPrec); out_ += "++"; break;
-        case UnaryOp::PostDec: emitExpr(*node.operand, kPostfixPrec); out_ += "--"; break;
+        case UnaryOp::Neg: out_ += '-'; emitExpr(node.operand, kUnaryPrec); break;
+        case UnaryOp::Not: out_ += '!'; emitExpr(node.operand, kUnaryPrec); break;
+        case UnaryOp::AddressOf: out_ += '&'; emitExpr(node.operand, kUnaryPrec); break;
+        case UnaryOp::PreInc: out_ += "++"; emitExpr(node.operand, kUnaryPrec); break;
+        case UnaryOp::PreDec: out_ += "--"; emitExpr(node.operand, kUnaryPrec); break;
+        case UnaryOp::PostInc: emitExpr(node.operand, kPostfixPrec); out_ += "++"; break;
+        case UnaryOp::PostDec: emitExpr(node.operand, kPostfixPrec); out_ += "--"; break;
       }
     });
   }
@@ -232,13 +234,13 @@ class Renderer {
   void emitBinary(const Binary& node, int parentPrec) {
     const int prec = binaryPrecedence(node.op);
     maybeParen(parentPrec, prec, [&] {
-      emitExpr(*node.lhs, prec);
+      emitExpr(node.lhs, prec);
       out_ += opPad();
       out_ += binaryOpSpelling(node.op);
       out_ += opPad();
       // Right operand of a left-associative operator needs parens at equal
       // precedence.
-      emitExpr(*node.rhs, prec - 1);
+      emitExpr(node.rhs, prec - 1);
     });
   }
 
@@ -249,7 +251,7 @@ class Renderer {
       if (node.type.base != BaseType::LongLong && !node.type.isVector) {
         out_ += renderTypeName(node.type);
         out_ += '(';
-        emitExpr(*node.operand, kAssignPrec);
+        emitExpr(node.operand, kAssignPrec);
         out_ += ')';
         return;
       }
@@ -258,7 +260,7 @@ class Renderer {
       out_ += '(';
       out_ += renderTypeName(node.type);
       out_ += ')';
-      emitExpr(*node.operand, kUnaryPrec);
+      emitExpr(node.operand, kUnaryPrec);
     });
   }
 
@@ -320,35 +322,34 @@ class Renderer {
     line("}" + std::string(suffix));
   }
 
-  void emitStmtList(const std::vector<StmtPtr>& stmts) {
-    for (const StmtPtr& stmt : stmts) {
-      if (stmt) emitStmt(*stmt);
+  void emitStmtList(const std::vector<StmtId>& stmts) {
+    for (const StmtId stmt : stmts) {
+      if (stmt) emitStmt(stmt);
     }
   }
 
   /// Renders a loop/if body. Returns through braces or as a single indented
   /// statement depending on options and body shape.
-  void emitBody(const std::string& head, const Stmt* body,
+  void emitBody(const std::string& head, StmtId body,
                 const std::string& closeSuffix = "") {
-    const BlockStmt* block = body && body->is<BlockStmt>()
-                                 ? &body->as<BlockStmt>()
-                                 : nullptr;
+    const BlockStmt* block =
+        body && a_[body].is<BlockStmt>() ? &a_[body].as<BlockStmt>() : nullptr;
     const bool singleSimple =
         !opt_.braceSingleStatements && block != nullptr &&
-        block->stmts.size() == 1 && block->stmts[0] != nullptr &&
-        isSimple(*block->stmts[0]) && closeSuffix.empty();
+        block->stmts.size() == 1 && static_cast<bool>(block->stmts[0]) &&
+        isSimple(a_[block->stmts[0]]) && closeSuffix.empty();
     if (singleSimple) {
       line(head);
       ++depth_;
-      emitStmt(*block->stmts[0]);
+      emitStmt(block->stmts[0]);
       --depth_;
       return;
     }
     openBrace(head);
     if (block != nullptr) {
       emitStmtList(block->stmts);
-    } else if (body != nullptr) {
-      emitStmt(*body);
+    } else if (body) {
+      emitStmt(body);
     }
     closeBrace(closeSuffix);
   }
@@ -374,7 +375,7 @@ class Renderer {
     }
   }
 
-  void emitStmt(const Stmt& stmt) {
+  void emitStmt(StmtId id) {
     std::visit(
         [&](const auto& node) {
           using T = std::decay_t<decltype(node)>;
@@ -386,32 +387,32 @@ class Renderer {
             line(declText(node) + ";");
           } else if constexpr (std::is_same_v<T, ExprStmt>) {
             indent();
-            if (node.expr) emitExpr(*node.expr, 100);
+            if (node.expr) emitExpr(node.expr, 100);
             out_ += ";\n";
           } else if constexpr (std::is_same_v<T, IfStmt>) {
             emitIf(node);
           } else if constexpr (std::is_same_v<T, ForStmt>) {
             std::string head = keywordParen("for");
-            if (node.init) head += inlineStmt(*node.init);
+            if (node.init) head += inlineStmt(node.init);
             head += "; ";
-            if (node.cond) head += inlineExpr(*node.cond);
+            if (node.cond) head += inlineExpr(node.cond);
             head += "; ";
-            if (node.step) head += inlineExpr(*node.step);
+            if (node.step) head += inlineExpr(node.step);
             head += ")";
-            emitBody(head, node.body.get());
+            emitBody(head, node.body);
           } else if constexpr (std::is_same_v<T, WhileStmt>) {
-            emitBody(keywordParen("while") + inlineExpr(*node.cond) + ")",
-                     node.body.get());
+            emitBody(keywordParen("while") + inlineExpr(node.cond) + ")",
+                     node.body);
           } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
-            emitBody("do", node.body.get(),
-                     " " + keywordParen("while") + inlineExpr(*node.cond) +
+            emitBody("do", node.body,
+                     " " + keywordParen("while") + inlineExpr(node.cond) +
                          ");");
           } else if constexpr (std::is_same_v<T, ReturnStmt>) {
             indent();
             out_ += "return";
             if (node.value) {
               out_ += ' ';
-              emitExpr(*node.value, 100);
+              emitExpr(node.value, 100);
             }
             out_ += ";\n";
           } else if constexpr (std::is_same_v<T, ReadStmt>) {
@@ -431,62 +432,63 @@ class Renderer {
             }
           }
         },
-        stmt.node);
+        a_[id].node);
   }
 
-  void emitInnerBody(const Stmt* body) {
-    if (body == nullptr) return;
-    if (body->is<BlockStmt>()) {
-      emitStmtList(body->as<BlockStmt>().stmts);
+  void emitInnerBody(StmtId body) {
+    if (!body) return;
+    if (a_[body].is<BlockStmt>()) {
+      emitStmtList(a_[body].as<BlockStmt>().stmts);
     } else {
-      emitStmt(*body);
+      emitStmt(body);
     }
   }
 
   void emitIf(const IfStmt& node) {
-    std::string head = keywordParen("if") + inlineExpr(*node.cond) + ")";
+    std::string head = keywordParen("if") + inlineExpr(node.cond) + ")";
     const IfStmt* current = &node;
     while (true) {
-      if (current->elseBranch == nullptr) {
-        emitBody(head, current->thenBranch.get());
+      if (!current->elseBranch) {
+        emitBody(head, current->thenBranch);
         return;
       }
       // Then-branch: open a brace and leave the closing '}' to the else
       // head so K&R reads "} else ...".
       openBrace(head);
-      emitInnerBody(current->thenBranch.get());
+      emitInnerBody(current->thenBranch);
       --depth_;
-      if (current->elseBranch->is<IfStmt>()) {
-        const IfStmt& next = current->elseBranch->as<IfStmt>();
+      if (a_[current->elseBranch].is<IfStmt>()) {
+        const IfStmt& next = a_[current->elseBranch].as<IfStmt>();
         if (opt_.allmanBraces) {
           line("}");
-          head = "else " + keywordParen("if") + inlineExpr(*next.cond) + ")";
+          head = "else " + keywordParen("if") + inlineExpr(next.cond) + ")";
         } else {
-          head = "} else " + keywordParen("if") + inlineExpr(*next.cond) + ")";
+          head = "} else " + keywordParen("if") + inlineExpr(next.cond) + ")";
         }
         current = &next;
         continue;
       }
       if (opt_.allmanBraces) {
         line("}");
-        emitBody("else", current->elseBranch.get());
+        emitBody("else", current->elseBranch);
       } else {
-        emitBody("} else", current->elseBranch.get());
+        emitBody("} else", current->elseBranch);
       }
       return;
     }
   }
 
-  [[nodiscard]] std::string inlineExpr(const Expr& expr) {
-    Renderer sub(unit_, opt_);
+  [[nodiscard]] std::string inlineExpr(ExprId expr) {
+    Renderer sub(unit_, a_, opt_);
     return sub.exprToString(expr);
   }
 
   /// Declaration or expression statement without trailing ";\n" (for-init).
-  [[nodiscard]] std::string inlineStmt(const Stmt& stmt) {
+  [[nodiscard]] std::string inlineStmt(StmtId id) {
+    const Stmt& stmt = a_[id];
     if (stmt.is<VarDeclStmt>()) return declText(stmt.as<VarDeclStmt>());
     if (stmt.is<ExprStmt>() && stmt.as<ExprStmt>().expr) {
-      return inlineExpr(*stmt.as<ExprStmt>().expr);
+      return inlineExpr(stmt.as<ExprStmt>().expr);
     }
     return "";
   }
@@ -502,15 +504,15 @@ class Renderer {
       text += d.name;
       if (d.arraySize) {
         text += '[';
-        text += inlineExpr(*d.arraySize);
+        text += inlineExpr(d.arraySize);
         text += ']';
       }
       if (d.init) {
         if (node.type.isVector) {
-          text += '(' + inlineExpr(*d.init) + ')';
+          text += '(' + inlineExpr(d.init) + ')';
         } else {
           text += opt_.spaceAroundOps ? " = " : "=";
-          text += inlineExpr(*d.init);
+          text += inlineExpr(d.init);
         }
       }
     }
@@ -528,7 +530,7 @@ class Renderer {
       out_ += qualify("cin");
       for (const ReadTarget& t : node.targets) {
         out_ += " >> ";
-        emitExpr(*t.lvalue, 7 - 1);
+        emitExpr(t.lvalue, 7 - 1);
       }
       out_ += ";\n";
       return;
@@ -543,7 +545,7 @@ class Renderer {
     for (const ReadTarget& t : node.targets) {
       out_ += comma();
       out_ += '&';
-      emitExpr(*t.lvalue, kUnaryPrec);
+      emitExpr(t.lvalue, kUnaryPrec);
     }
     out_ += ");\n";
   }
@@ -575,7 +577,7 @@ class Renderer {
           activePrecision = item.precision;
         }
         out_ += " << ";
-        emitExpr(*item.expr, 7 - 1);
+        emitExpr(item.expr, 7 - 1);
       }
       if (node.trailingNewline) {
         out_ += opt_.useEndl ? " << " + qualify("endl") : " << \"\\n\"";
@@ -602,10 +604,10 @@ class Renderer {
       out_ += comma();
       const bool needsCStr = item->type.base == BaseType::String;
       if (needsCStr) {
-        emitExpr(*item->expr, kPostfixPrec);
+        emitExpr(item->expr, kPostfixPrec);
         out_ += ".c_str()";
       } else {
-        emitExpr(*item->expr, kAssignPrec);
+        emitExpr(item->expr, kAssignPrec);
       }
     }
     out_ += ");\n";
@@ -627,6 +629,7 @@ class Renderer {
   }
 
   const TranslationUnit& unit_;
+  const Arena& a_;
   const RenderOptions& opt_;
   std::map<BaseType, std::string> aliasFor_;
   std::string out_;
@@ -636,15 +639,15 @@ class Renderer {
 }  // namespace
 
 std::string render(const TranslationUnit& unit, const RenderOptions& options) {
-  Renderer renderer(unit, options);
+  Renderer renderer(unit, unit.arena, options);
   return renderer.run();
 }
 
-std::string renderExpr(const Expr& expr, const RenderOptions& options,
-                       bool stdQualified) {
+std::string renderExpr(const Arena& arena, ExprId expr,
+                       const RenderOptions& options, bool stdQualified) {
   TranslationUnit unit;
   unit.usingNamespaceStd = !stdQualified;
-  Renderer renderer(unit, options);
+  Renderer renderer(unit, arena, options);
   return renderer.exprToString(expr);
 }
 

@@ -33,7 +33,8 @@ struct RenderOptions {
                                  const RenderOptions& options);
 
 /// Renders one expression (used by tests and by OpaqueStmt construction).
-[[nodiscard]] std::string renderExpr(const Expr& expr,
+/// The arena is whichever one the expression's ids index into.
+[[nodiscard]] std::string renderExpr(const Arena& arena, ExprId expr,
                                      const RenderOptions& options,
                                      bool stdQualified = false);
 

@@ -34,6 +34,63 @@ std::string renameName(const std::string& name,
   return base + rest;
 }
 
+/// Direct child statement ids of a node, in traversal order.
+void collectChildren(const Stmt& stmt, std::vector<StmtId>& out) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, BlockStmt>) {
+          out.insert(out.end(), node.stmts.begin(), node.stmts.end());
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          out.push_back(node.thenBranch);
+          out.push_back(node.elseBranch);
+        } else if constexpr (std::is_same_v<T, ForStmt>) {
+          out.push_back(node.init);
+          out.push_back(node.body);
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          out.push_back(node.body);
+        } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+          out.push_back(node.body);
+        }
+      },
+      stmt.node);
+}
+
+/// Pre-order walk that tolerates arena appends from the callback: the
+/// child list is snapshotted AFTER fn ran (so rewrites that replace a
+/// child are traversed in their new shape), and no node reference is held
+/// across a callback or recursion. forEachStmt cannot be used for these
+/// rewrites — its walk holds pool references across the callback, which a
+/// factory/clone append would invalidate.
+template <typename Fn>
+void mutatingWalk(Arena& arena, StmtId id, const Fn& fn) {
+  if (!id) return;
+  fn(id);
+  std::vector<StmtId> children;
+  collectChildren(arena[id], children);
+  for (const StmtId child : children) mutatingWalk(arena, child, fn);
+}
+
+template <typename Fn>
+void mutatingWalkUnit(TranslationUnit& unit, const Fn& fn) {
+  for (Function& function : unit.functions) {
+    // Snapshot: fn may append to the function's own statement list via the
+    // per-list rewrites, though none of the current callers do.
+    const std::vector<StmtId> top = function.body.stmts;
+    for (const StmtId stmt : top) mutatingWalk(unit.arena, stmt, fn);
+  }
+}
+
+/// Runs `fn` over a block node's statement list with the list moved OUT of
+/// the pool first: `fn` may append nodes (pool reallocation would move the
+/// vector header if it still lived inside the node).
+template <typename Fn>
+void withBlockList(Arena& arena, StmtId id, const Fn& fn) {
+  std::vector<StmtId> list = std::move(arena[id].as<BlockStmt>().stmts);
+  fn(list);
+  arena[id].as<BlockStmt>().stmts = std::move(list);
+}
+
 }  // namespace
 
 void renameIdentifiers(TranslationUnit& unit,
@@ -53,9 +110,11 @@ void renameIdentifiers(TranslationUnit& unit,
       }
     }
   });
-  for (StmtPtr& g : unit.globals) {
-    if (g && g->is<VarDeclStmt>()) {
-      for (Declarator& d : g->as<VarDeclStmt>().decls) d.name = renamed(d.name);
+  for (const StmtId g : unit.globals) {
+    if (g && unit.arena[g].is<VarDeclStmt>()) {
+      for (Declarator& d : unit.arena[g].as<VarDeclStmt>().decls) {
+        d.name = renamed(d.name);
+      }
     }
   }
   forEachExpr(unit, [&](Expr& expr) {
@@ -76,45 +135,46 @@ namespace {
 /// name that is already visible at this block level (a sibling declaration
 /// or a previously hoisted loop variable) is left as-is — hoisting it would
 /// create a duplicate declaration.
-void rewriteForListToWhile(std::vector<StmtPtr>& stmts) {
+void rewriteForListToWhile(Arena& a, std::vector<StmtId>& stmts) {
   std::set<std::string> blockNames;
-  for (const StmtPtr& child : stmts) {
-    if (child && child->is<VarDeclStmt>()) {
-      for (const Declarator& d : child->as<VarDeclStmt>().decls) {
+  for (const StmtId child : stmts) {
+    if (child && a[child].is<VarDeclStmt>()) {
+      for (const Declarator& d : a[child].as<VarDeclStmt>().decls) {
         blockNames.insert(d.name);
       }
     }
   }
-  std::vector<StmtPtr> rewritten;
+  std::vector<StmtId> rewritten;
   rewritten.reserve(stmts.size());
-  for (StmtPtr& child : stmts) {
-    if (child && child->is<ForStmt>()) {
-      ForStmt& loop = child->as<ForStmt>();
+  for (const StmtId child : stmts) {
+    if (child && a[child].is<ForStmt>()) {
+      const ForStmt loop = a[child].as<ForStmt>();  // ids, safe across appends
       bool hoistable = loop.init && loop.cond && loop.step && loop.body &&
-                       loop.body->is<BlockStmt>();
+                       a[loop.body].is<BlockStmt>();
       if (hoistable) {
         // "continue" inside the body would skip the appended step and turn
         // a counting loop into an infinite one; leave such loops alone.
-        forEachStmt(*loop.body, [&](Stmt& inner) {
+        forEachStmt(a, loop.body, [&](Stmt& inner) {
           if (inner.is<ContinueStmt>()) hoistable = false;
         });
       }
-      if (hoistable && loop.init->is<VarDeclStmt>()) {
-        for (const Declarator& d : loop.init->as<VarDeclStmt>().decls) {
+      if (hoistable && a[loop.init].is<VarDeclStmt>()) {
+        for (const Declarator& d : a[loop.init].as<VarDeclStmt>().decls) {
           if (!blockNames.insert(d.name).second) hoistable = false;
         }
       }
       if (hoistable) {
-        BlockStmt& body = loop.body->as<BlockStmt>();
-        body.stmts.push_back(exprStmt(deepCopy(*loop.step)));
-        StmtPtr whileLoop =
-            whileStmt(std::move(loop.cond), std::move(loop.body));
-        rewritten.push_back(std::move(loop.init));
-        rewritten.push_back(std::move(whileLoop));
+        // The ForStmt node is dropped from the tree, so its step expression
+        // can be reused directly as the appended body statement.
+        const StmtId stepStmt = a.exprStmt(loop.step);
+        a[loop.body].as<BlockStmt>().stmts.push_back(stepStmt);
+        const StmtId whileLoop = a.whileStmt(loop.cond, loop.body);
+        rewritten.push_back(loop.init);
+        rewritten.push_back(whileLoop);
         continue;
       }
     }
-    rewritten.push_back(std::move(child));
+    rewritten.push_back(child);
   }
   stmts = std::move(rewritten);
 }
@@ -122,38 +182,44 @@ void rewriteForListToWhile(std::vector<StmtPtr>& stmts) {
 }  // namespace
 
 void convertForToWhile(TranslationUnit& unit) {
-  forEachStmt(unit, [](Stmt& stmt) {
-    if (stmt.is<BlockStmt>()) rewriteForListToWhile(stmt.as<BlockStmt>().stmts);
+  Arena& a = unit.arena;
+  mutatingWalkUnit(unit, [&](StmtId id) {
+    if (!a[id].is<BlockStmt>()) return;
+    withBlockList(a, id, [&](std::vector<StmtId>& list) {
+      rewriteForListToWhile(a, list);
+    });
   });
   // Function bodies are BlockStmt values, not visited as Stmt nodes.
-  for (Function& fn : unit.functions) rewriteForListToWhile(fn.body.stmts);
+  for (Function& fn : unit.functions) rewriteForListToWhile(a, fn.body.stmts);
 }
 
 void convertWhileToFor(TranslationUnit& unit) {
-  auto rewrite = [](StmtPtr& child) {
-    if (child && child->is<WhileStmt>()) {
-      WhileStmt& loop = child->as<WhileStmt>();
-      child = forStmt(nullptr, std::move(loop.cond), nullptr,
-                      std::move(loop.body));
+  Arena& a = unit.arena;
+  auto rewrite = [&](StmtId& child) {
+    if (child && a[child].is<WhileStmt>()) {
+      const WhileStmt loop = a[child].as<WhileStmt>();
+      child = a.forStmt({}, loop.cond, {}, loop.body);
     }
   };
-  forEachStmt(unit, [&](Stmt& stmt) {
-    if (!stmt.is<BlockStmt>()) return;
-    for (StmtPtr& child : stmt.as<BlockStmt>().stmts) rewrite(child);
+  mutatingWalkUnit(unit, [&](StmtId id) {
+    if (!a[id].is<BlockStmt>()) return;
+    withBlockList(a, id, [&](std::vector<StmtId>& list) {
+      for (StmtId& child : list) rewrite(child);
+    });
   });
   for (Function& fn : unit.functions) {
-    for (StmtPtr& child : fn.body.stmts) rewrite(child);
+    for (StmtId& child : fn.body.stmts) rewrite(child);
   }
 }
 
 namespace {
 
 /// True when `name` is referenced anywhere inside the statement.
-bool referencesName(Stmt& stmt, const std::string& name) {
+bool referencesName(Arena& a, StmtId root, const std::string& name) {
   bool found = false;
-  forEachStmt(stmt, [&](Stmt& inner) {
-    auto check = [&](Expr& e) {
-      forEachExpr(e, [&](Expr& sub) {
+  forEachStmt(a, root, [&](Stmt& inner) {
+    auto check = [&](ExprId e) {
+      forEachExpr(a, e, [&](Expr& sub) {
         if (sub.is<Ident>() && sub.as<Ident>().name == name) found = true;
         if (sub.is<Call>()) {
           const std::string& callee = sub.as<Call>().callee;
@@ -170,30 +236,26 @@ bool referencesName(Stmt& stmt, const std::string& name) {
           using T = std::decay_t<decltype(node)>;
           if constexpr (std::is_same_v<T, VarDeclStmt>) {
             for (auto& d : node.decls) {
-              if (d.init) check(*d.init);
-              if (d.arraySize) check(*d.arraySize);
+              check(d.init);
+              check(d.arraySize);
             }
           } else if constexpr (std::is_same_v<T, ExprStmt>) {
-            if (node.expr) check(*node.expr);
+            check(node.expr);
           } else if constexpr (std::is_same_v<T, IfStmt>) {
-            if (node.cond) check(*node.cond);
+            check(node.cond);
           } else if constexpr (std::is_same_v<T, ForStmt>) {
-            if (node.cond) check(*node.cond);
-            if (node.step) check(*node.step);
+            check(node.cond);
+            check(node.step);
           } else if constexpr (std::is_same_v<T, WhileStmt>) {
-            if (node.cond) check(*node.cond);
+            check(node.cond);
           } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
-            if (node.cond) check(*node.cond);
+            check(node.cond);
           } else if constexpr (std::is_same_v<T, ReturnStmt>) {
-            if (node.value) check(*node.value);
+            check(node.value);
           } else if constexpr (std::is_same_v<T, ReadStmt>) {
-            for (auto& t : node.targets) {
-              if (t.lvalue) check(*t.lvalue);
-            }
+            for (auto& t : node.targets) check(t.lvalue);
           } else if constexpr (std::is_same_v<T, WriteStmt>) {
-            for (auto& item : node.items) {
-              if (item.expr) check(*item.expr);
-            }
+            for (auto& item : node.items) check(item.expr);
           }
         },
         inner.node);
@@ -202,80 +264,85 @@ bool referencesName(Stmt& stmt, const std::string& name) {
 }
 
 /// True when `expr` is "name++", "++name", "name += k" or similar step.
-bool isStepOf(const Expr& expr, const std::string& name) {
+bool isStepOf(const Arena& a, ExprId id, const std::string& name) {
+  const Expr& expr = a[id];
   if (expr.is<Unary>()) {
     const Unary& u = expr.as<Unary>();
     return (u.op == UnaryOp::PostInc || u.op == UnaryOp::PreInc ||
             u.op == UnaryOp::PostDec || u.op == UnaryOp::PreDec) &&
-           u.operand->is<Ident>() && u.operand->as<Ident>().name == name;
+           u.operand && a[u.operand].is<Ident>() &&
+           a[u.operand].as<Ident>().name == name;
   }
   if (expr.is<Assign>()) {
-    const Assign& a = expr.as<Assign>();
-    return a.op != AssignOp::Assign && a.target->is<Ident>() &&
-           a.target->as<Ident>().name == name;
+    const Assign& asn = expr.as<Assign>();
+    return asn.op != AssignOp::Assign && asn.target &&
+           a[asn.target].is<Ident>() &&
+           a[asn.target].as<Ident>().name == name;
   }
   return false;
 }
 
-std::size_t rebuildCountingFors(std::vector<StmtPtr>& stmts) {
+std::size_t rebuildCountingFors(Arena& a, std::vector<StmtId>& stmts) {
   std::size_t rebuilt = 0;
   for (std::size_t i = 0; i + 1 < stmts.size(); ++i) {
-    StmtPtr& declStmt = stmts[i];
-    StmtPtr& loopStmt = stmts[i + 1];
-    if (!declStmt || !loopStmt || !declStmt->is<VarDeclStmt>() ||
-        !loopStmt->is<WhileStmt>()) {
+    const StmtId declId = stmts[i];
+    const StmtId loopId = stmts[i + 1];
+    if (!declId || !loopId || !a[declId].is<VarDeclStmt>() ||
+        !a[loopId].is<WhileStmt>()) {
       continue;
     }
-    VarDeclStmt& decl = declStmt->as<VarDeclStmt>();
-    if (decl.decls.size() != 1 || decl.decls[0].init == nullptr ||
-        decl.decls[0].arraySize != nullptr || decl.type.isVector) {
-      continue;
+    {
+      const VarDeclStmt& decl = a[declId].as<VarDeclStmt>();
+      if (decl.decls.size() != 1 || !decl.decls[0].init ||
+          decl.decls[0].arraySize || decl.type.isVector) {
+        continue;
+      }
     }
-    const std::string& var = decl.decls[0].name;
-    WhileStmt& loop = loopStmt->as<WhileStmt>();
-    if (!loop.body || !loop.body->is<BlockStmt>()) continue;
-    BlockStmt& body = loop.body->as<BlockStmt>();
+    const std::string var = a[declId].as<VarDeclStmt>().decls[0].name;
+    const WhileStmt loop = a[loopId].as<WhileStmt>();
+    if (!loop.body || !a[loop.body].is<BlockStmt>()) continue;
     // Condition must mention the variable.
     bool inCond = false;
-    forEachExpr(*loop.cond, [&](Expr& e) {
+    forEachExpr(a, loop.cond, [&](Expr& e) {
       if (e.is<Ident>() && e.as<Ident>().name == var) inCond = true;
     });
     if (!inCond) continue;
     // Last (non-comment) body statement must be the step.
-    std::size_t lastIdx = body.stmts.size();
+    const std::vector<StmtId>& body = a[loop.body].as<BlockStmt>().stmts;
+    std::size_t lastIdx = body.size();
     while (lastIdx > 0) {
       --lastIdx;
-      if (body.stmts[lastIdx] && !body.stmts[lastIdx]->is<CommentStmt>()) {
-        break;
-      }
+      if (body[lastIdx] && !a[body[lastIdx]].is<CommentStmt>()) break;
     }
-    if (lastIdx >= body.stmts.size() || !body.stmts[lastIdx] ||
-        !body.stmts[lastIdx]->is<ExprStmt>()) {
+    if (lastIdx >= body.size() || !body[lastIdx] ||
+        !a[body[lastIdx]].is<ExprStmt>()) {
       continue;
     }
-    const ExprPtr& stepExpr = body.stmts[lastIdx]->as<ExprStmt>().expr;
-    if (!stepExpr || !isStepOf(*stepExpr, var)) continue;
+    const ExprId stepExpr = a[body[lastIdx]].as<ExprStmt>().expr;
+    if (!stepExpr || !isStepOf(a, stepExpr, var)) continue;
     // The variable must be dead after the loop (it moves into for-scope).
     bool usedAfter = false;
     for (std::size_t j = i + 2; j < stmts.size(); ++j) {
-      if (stmts[j] && referencesName(*stmts[j], var)) usedAfter = true;
+      if (stmts[j] && referencesName(a, stmts[j], var)) usedAfter = true;
     }
     if (usedAfter) continue;
     // The body must not `continue` (it would re-route around the step once
     // the step moves into the for-header — semantics would change the
     // other way here: for re-runs the step, the original while did not).
     bool hasContinue = false;
-    forEachStmt(*loop.body, [&](Stmt& inner) {
+    forEachStmt(a, loop.body, [&](Stmt& inner) {
       if (inner.is<ContinueStmt>()) hasContinue = true;
     });
     if (hasContinue) continue;
 
-    ExprPtr step = deepCopy(*stepExpr);
-    body.stmts.erase(body.stmts.begin() + static_cast<std::ptrdiff_t>(lastIdx));
-    StmtPtr init = std::move(declStmt);
-    StmtPtr rebuiltLoop = forStmt(std::move(init), std::move(loop.cond),
-                                  std::move(step), std::move(loop.body));
-    stmts[i] = std::move(rebuiltLoop);
+    // The step statement leaves the body and its expression becomes the
+    // for-header step (the ExprStmt wrapper turns into pool garbage).
+    a[loop.body].as<BlockStmt>().stmts.erase(
+        a[loop.body].as<BlockStmt>().stmts.begin() +
+        static_cast<std::ptrdiff_t>(lastIdx));
+    const StmtId rebuiltLoop = a.forStmt(declId, loop.cond, stepExpr,
+                                         loop.body);
+    stmts[i] = rebuiltLoop;
     stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i) + 1);
     ++rebuilt;
   }
@@ -285,22 +352,25 @@ std::size_t rebuildCountingFors(std::vector<StmtPtr>& stmts) {
 }  // namespace
 
 std::size_t convertWhileToCountingFor(TranslationUnit& unit) {
+  Arena& a = unit.arena;
   std::size_t rebuilt = 0;
-  forEachStmt(unit, [&](Stmt& stmt) {
-    if (stmt.is<BlockStmt>()) {
-      rebuilt += rebuildCountingFors(stmt.as<BlockStmt>().stmts);
-    }
+  mutatingWalkUnit(unit, [&](StmtId id) {
+    if (!a[id].is<BlockStmt>()) return;
+    withBlockList(a, id, [&](std::vector<StmtId>& list) {
+      rebuilt += rebuildCountingFors(a, list);
+    });
   });
   for (Function& fn : unit.functions) {
-    rebuilt += rebuildCountingFors(fn.body.stmts);
+    rebuilt += rebuildCountingFors(a, fn.body.stmts);
   }
   return rebuilt;
 }
 
 void setIncrementStyle(TranslationUnit& unit, IncrementStyle style) {
-  auto flip = [&](Expr& expr) {
-    if (!expr.is<Unary>()) return;
-    Unary& u = expr.as<Unary>();
+  Arena& a = unit.arena;
+  auto flip = [&](ExprId id) {
+    if (!id || !a[id].is<Unary>()) return;
+    Unary& u = a[id].as<Unary>();
     if (style == IncrementStyle::PreIncrement) {
       if (u.op == UnaryOp::PostInc) u.op = UnaryOp::PreInc;
       if (u.op == UnaryOp::PostDec) u.op = UnaryOp::PreDec;
@@ -310,26 +380,23 @@ void setIncrementStyle(TranslationUnit& unit, IncrementStyle style) {
     }
   };
   forEachStmt(unit, [&](Stmt& stmt) {
-    if (stmt.is<ExprStmt>() && stmt.as<ExprStmt>().expr) {
-      flip(*stmt.as<ExprStmt>().expr);
-    }
-    if (stmt.is<ForStmt>() && stmt.as<ForStmt>().step) {
-      flip(*stmt.as<ForStmt>().step);
-    }
+    if (stmt.is<ExprStmt>()) flip(stmt.as<ExprStmt>().expr);
+    if (stmt.is<ForStmt>()) flip(stmt.as<ForStmt>().step);
   });
 }
 
 void preferCompoundAssign(TranslationUnit& unit, bool useCompound) {
-  auto rewrite = [&](ExprPtr& expr) {
-    if (!expr || !expr->is<Assign>()) return;
-    Assign& a = expr->as<Assign>();
+  Arena& a = unit.arena;
+  auto rewrite = [&](ExprId eId) {
+    if (!eId || !a[eId].is<Assign>()) return;
     if (useCompound) {
       // x = x + k  ->  x += k (target must be a plain identifier).
-      if (a.op != AssignOp::Assign || !a.target->is<Ident>() ||
-          !a.value->is<Binary>()) {
+      const Assign asn = a[eId].as<Assign>();
+      if (asn.op != AssignOp::Assign || !a[asn.target].is<Ident>() ||
+          !a[asn.value].is<Binary>()) {
         return;
       }
-      Binary& b = a.value->as<Binary>();
+      const Binary b = a[asn.value].as<Binary>();
       AssignOp compound;
       switch (b.op) {
         case BinaryOp::Add: compound = AssignOp::AddAssign; break;
@@ -339,17 +406,18 @@ void preferCompoundAssign(TranslationUnit& unit, bool useCompound) {
         case BinaryOp::Mod: compound = AssignOp::ModAssign; break;
         default: return;
       }
-      if (!b.lhs->is<Ident>() ||
-          b.lhs->as<Ident>().name != a.target->as<Ident>().name) {
+      if (!a[b.lhs].is<Ident>() ||
+          a[b.lhs].as<Ident>().name != a[asn.target].as<Ident>().name) {
         return;
       }
-      a.op = compound;
-      ExprPtr rhs = std::move(b.rhs);
-      a.value = std::move(rhs);
+      Assign& live = a[eId].as<Assign>();
+      live.op = compound;
+      live.value = b.rhs;
     } else {
       // x += k  ->  x = x + k.
+      const Assign asn = a[eId].as<Assign>();
       BinaryOp op;
-      switch (a.op) {
+      switch (asn.op) {
         case AssignOp::AddAssign: op = BinaryOp::Add; break;
         case AssignOp::SubAssign: op = BinaryOp::Sub; break;
         case AssignOp::MulAssign: op = BinaryOp::Mul; break;
@@ -357,23 +425,30 @@ void preferCompoundAssign(TranslationUnit& unit, bool useCompound) {
         case AssignOp::ModAssign: op = BinaryOp::Mod; break;
         default: return;
       }
-      if (!a.target->is<Ident>()) return;
-      a.op = AssignOp::Assign;
-      a.value = binary(op, deepCopy(*a.target), std::move(a.value));
+      if (!a[asn.target].is<Ident>()) return;
+      const ExprId lhsCopy = a.clone(a, asn.target);
+      const ExprId newValue = a.binary(op, lhsCopy, asn.value);
+      Assign& live = a[eId].as<Assign>();  // re-fetch: appends above
+      live.op = AssignOp::Assign;
+      live.value = newValue;
     }
   };
-  forEachStmt(unit, [&](Stmt& stmt) {
-    if (stmt.is<ExprStmt>()) rewrite(stmt.as<ExprStmt>().expr);
-    if (stmt.is<ForStmt>()) rewrite(stmt.as<ForStmt>().step);
+  mutatingWalkUnit(unit, [&](StmtId id) {
+    const Stmt& stmt = a[id];
+    ExprId target;
+    if (stmt.is<ExprStmt>()) target = stmt.as<ExprStmt>().expr;
+    if (stmt.is<ForStmt>()) target = stmt.as<ForStmt>().step;
+    rewrite(target);
   });
 }
 
 void stripComments(TranslationUnit& unit) {
+  Arena& a = unit.arena;
   unit.headerComment.clear();
   for (Function& fn : unit.functions) fn.leadingComment.clear();
-  auto strip = [](std::vector<StmtPtr>& stmts) {
-    std::erase_if(stmts, [](const StmtPtr& s) {
-      return s != nullptr && s->is<CommentStmt>();
+  auto strip = [&](std::vector<StmtId>& stmts) {
+    std::erase_if(stmts, [&](const StmtId s) {
+      return s && a[s].is<CommentStmt>();
     });
   };
   for (Function& fn : unit.functions) strip(fn.body.stmts);
@@ -430,9 +505,9 @@ std::map<std::string, TypeRef> declaredTypes(const TranslationUnit& unit) {
       }
     }
   });
-  for (const StmtPtr& g : unit.globals) {
-    if (g && g->is<VarDeclStmt>()) {
-      const VarDeclStmt& d = g->as<VarDeclStmt>();
+  for (const StmtId g : unit.globals) {
+    if (g && unit.arena[g].is<VarDeclStmt>()) {
+      const VarDeclStmt& d = unit.arena[g].as<VarDeclStmt>();
       for (const Declarator& decl : d.decls) {
         TypeRef t = d.type;
         if (decl.arraySize) t.isVector = true;
@@ -446,11 +521,12 @@ std::map<std::string, TypeRef> declaredTypes(const TranslationUnit& unit) {
 namespace {
 
 /// Names declared inside a statement subtree (variables only).
-std::set<std::string> namesDeclaredIn(const std::vector<StmtPtr>& stmts) {
+std::set<std::string> namesDeclaredIn(Arena& a,
+                                      const std::vector<StmtId>& stmts) {
   std::set<std::string> names;
-  for (const StmtPtr& stmt : stmts) {
+  for (const StmtId stmt : stmts) {
     if (!stmt) continue;
-    forEachStmt(*stmt, [&](Stmt& s) {
+    forEachStmt(a, stmt, [&](Stmt& s) {
       if (s.is<VarDeclStmt>()) {
         for (const Declarator& d : s.as<VarDeclStmt>().decls) {
           names.insert(d.name);
@@ -462,7 +538,8 @@ std::set<std::string> namesDeclaredIn(const std::vector<StmtPtr>& stmts) {
 }
 
 /// Identifiers used inside a statement subtree, in first-use order.
-std::vector<std::string> namesUsedIn(const std::vector<StmtPtr>& stmts) {
+std::vector<std::string> namesUsedIn(Arena& a,
+                                     const std::vector<StmtId>& stmts) {
   std::vector<std::string> used;
   std::set<std::string> seen;
   auto add = [&](const std::string& raw) {
@@ -476,11 +553,11 @@ std::vector<std::string> namesUsedIn(const std::vector<StmtPtr>& stmts) {
     if (seen.insert(name).second) used.push_back(name);
   };
   // Walk statements manually to reach expressions in declaration inits too.
-  for (const StmtPtr& stmt : stmts) {
+  for (const StmtId stmt : stmts) {
     if (!stmt) continue;
-    forEachStmt(*stmt, [&](Stmt& s) {
-      auto visitExpr = [&](Expr& e) {
-        forEachExpr(e, [&](Expr& inner) {
+    forEachStmt(a, stmt, [&](Stmt& s) {
+      auto visitExpr = [&](ExprId e) {
+        forEachExpr(a, e, [&](Expr& inner) {
           if (inner.is<Ident>()) add(inner.as<Ident>().name);
           if (inner.is<Call>()) add(inner.as<Call>().callee);
         });
@@ -490,30 +567,26 @@ std::vector<std::string> namesUsedIn(const std::vector<StmtPtr>& stmts) {
             using T = std::decay_t<decltype(node)>;
             if constexpr (std::is_same_v<T, VarDeclStmt>) {
               for (auto& d : node.decls) {
-                if (d.init) visitExpr(*d.init);
-                if (d.arraySize) visitExpr(*d.arraySize);
+                visitExpr(d.init);
+                visitExpr(d.arraySize);
               }
             } else if constexpr (std::is_same_v<T, ExprStmt>) {
-              if (node.expr) visitExpr(*node.expr);
+              visitExpr(node.expr);
             } else if constexpr (std::is_same_v<T, IfStmt>) {
-              if (node.cond) visitExpr(*node.cond);
+              visitExpr(node.cond);
             } else if constexpr (std::is_same_v<T, ForStmt>) {
-              if (node.cond) visitExpr(*node.cond);
-              if (node.step) visitExpr(*node.step);
+              visitExpr(node.cond);
+              visitExpr(node.step);
             } else if constexpr (std::is_same_v<T, WhileStmt>) {
-              if (node.cond) visitExpr(*node.cond);
+              visitExpr(node.cond);
             } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
-              if (node.cond) visitExpr(*node.cond);
+              visitExpr(node.cond);
             } else if constexpr (std::is_same_v<T, ReturnStmt>) {
-              if (node.value) visitExpr(*node.value);
+              visitExpr(node.value);
             } else if constexpr (std::is_same_v<T, ReadStmt>) {
-              for (auto& t : node.targets) {
-                if (t.lvalue) visitExpr(*t.lvalue);
-              }
+              for (auto& t : node.targets) visitExpr(t.lvalue);
             } else if constexpr (std::is_same_v<T, WriteStmt>) {
-              for (auto& item : node.items) {
-                if (item.expr) visitExpr(*item.expr);
-              }
+              for (auto& item : node.items) visitExpr(item.expr);
             }
           },
           s.node);
@@ -536,6 +609,7 @@ const std::set<std::string>& builtinNames() {
 
 bool extractSolveFunction(TranslationUnit& unit,
                           const std::string& functionName) {
+  Arena& a = unit.arena;
   // Refuse if a function of that name exists or there is already a helper.
   for (const Function& fn : unit.functions) {
     if (fn.name == functionName) return false;
@@ -547,37 +621,34 @@ bool extractSolveFunction(TranslationUnit& unit,
   if (mainFn == nullptr) return false;
 
   // Find main's outermost for/while loop with a block body of >= 2 stmts.
-  for (StmtPtr& stmt : mainFn->body.stmts) {
-    if (!stmt) continue;
-    StmtPtr* bodySlot = nullptr;
+  for (const StmtId stmtId : mainFn->body.stmts) {
+    if (!stmtId) continue;
+    StmtId bodyId;
     std::string loopVar;
-    if (stmt->is<ForStmt>()) {
-      ForStmt& loop = stmt->as<ForStmt>();
-      bodySlot = &loop.body;
-      if (loop.init && loop.init->is<VarDeclStmt>() &&
-          !loop.init->as<VarDeclStmt>().decls.empty()) {
-        loopVar = loop.init->as<VarDeclStmt>().decls[0].name;
+    if (a[stmtId].is<ForStmt>()) {
+      const ForStmt& loop = a[stmtId].as<ForStmt>();
+      bodyId = loop.body;
+      if (loop.init && a[loop.init].is<VarDeclStmt>() &&
+          !a[loop.init].as<VarDeclStmt>().decls.empty()) {
+        loopVar = a[loop.init].as<VarDeclStmt>().decls[0].name;
       }
-    } else if (stmt->is<WhileStmt>()) {
-      bodySlot = &stmt->as<WhileStmt>().body;
+    } else if (a[stmtId].is<WhileStmt>()) {
+      bodyId = a[stmtId].as<WhileStmt>().body;
     } else {
       continue;
     }
-    if (bodySlot == nullptr || !*bodySlot || !(*bodySlot)->is<BlockStmt>()) {
-      continue;
-    }
-    BlockStmt& body = (*bodySlot)->as<BlockStmt>();
+    if (!bodyId || !a[bodyId].is<BlockStmt>()) continue;
     std::size_t realStmts = 0;
-    for (const StmtPtr& s : body.stmts) {
-      if (s && !s->is<CommentStmt>()) ++realStmts;
+    for (const StmtId s : a[bodyId].as<BlockStmt>().stmts) {
+      if (s && !a[s].is<CommentStmt>()) ++realStmts;
     }
     if (realStmts < 2) continue;
     // Body must not contain break/continue/return (they would change
     // meaning when moved into a function).
     bool movable = true;
-    for (const StmtPtr& s : body.stmts) {
+    for (const StmtId s : a[bodyId].as<BlockStmt>().stmts) {
       if (!s) continue;
-      forEachStmt(*s, [&](Stmt& inner) {
+      forEachStmt(a, s, [&](Stmt& inner) {
         if (inner.is<BreakStmt>() || inner.is<ContinueStmt>() ||
             inner.is<ReturnStmt>()) {
           movable = false;
@@ -586,9 +657,12 @@ bool extractSolveFunction(TranslationUnit& unit,
     }
     if (!movable) continue;
 
-    // Free variables of the loop body -> parameters.
-    const std::set<std::string> declared = namesDeclaredIn(body.stmts);
-    const std::vector<std::string> used = namesUsedIn(body.stmts);
+    // Free variables of the loop body -> parameters. All analysis runs
+    // before any arena append below.
+    const std::set<std::string> declared =
+        namesDeclaredIn(a, a[bodyId].as<BlockStmt>().stmts);
+    const std::vector<std::string> used =
+        namesUsedIn(a, a[bodyId].as<BlockStmt>().stmts);
     const std::map<std::string, TypeRef> types = declaredTypes(unit);
     std::set<std::string> functionNames;
     for (const Function& fn : unit.functions) functionNames.insert(fn.name);
@@ -596,7 +670,9 @@ bool extractSolveFunction(TranslationUnit& unit,
     Function solver;
     solver.returnType = TypeRef{BaseType::Void, false};
     solver.name = functionName;
-    std::vector<ExprPtr> callArgs;
+    solver.body.stmts = std::move(a[bodyId].as<BlockStmt>().stmts);
+    a[bodyId].as<BlockStmt>().stmts.clear();
+    std::vector<ExprId> callArgs;
     for (const std::string& name : used) {
       if (declared.count(name) > 0 || functionNames.count(name) > 0 ||
           builtinNames().count(name) > 0) {
@@ -611,12 +687,11 @@ bool extractSolveFunction(TranslationUnit& unit,
       param.name = name;
       param.byReference = type.isVector || type.base == BaseType::String;
       solver.params.push_back(param);
-      callArgs.push_back(ident(name));
+      callArgs.push_back(a.ident(name));
     }
-    solver.body.stmts = std::move(body.stmts);
-    body.stmts.clear();
-    body.stmts.push_back(
-        exprStmt(call(functionName, std::move(callArgs))));
+    const StmtId callStmt =
+        a.exprStmt(a.call(functionName, std::move(callArgs)));
+    a[bodyId].as<BlockStmt>().stmts.push_back(callStmt);
     // Insert the helper before main.
     std::vector<Function> functions;
     functions.reserve(unit.functions.size() + 1);
@@ -631,6 +706,7 @@ bool extractSolveFunction(TranslationUnit& unit,
 }
 
 std::size_t inlineHelperFunctions(TranslationUnit& unit) {
+  Arena& a = unit.arena;
   std::size_t inlined = 0;
   for (bool changed = true; changed;) {
     changed = false;
@@ -640,17 +716,25 @@ std::size_t inlineHelperFunctions(TranslationUnit& unit) {
           candidate.returnType.base != BaseType::Void) {
         continue;
       }
-      // Count statement-position calls across all functions.
+      // Count statement-position calls across all functions. The id-based
+      // walk (rather than forEachStmt) keeps hold of the call SITE, which
+      // must stay valid across the arena appends of the splice below.
       std::size_t callCount = 0;
-      Stmt* callSite = nullptr;
-      forEachStmt(unit, [&](Stmt& stmt) {
-        if (stmt.is<ExprStmt>() && stmt.as<ExprStmt>().expr &&
-            stmt.as<ExprStmt>().expr->is<Call>() &&
-            stmt.as<ExprStmt>().expr->as<Call>().callee == candidate.name) {
-          ++callCount;
-          callSite = &stmt;
+      StmtId callSiteId;
+      for (Function& fn : unit.functions) {
+        for (const StmtId top : fn.body.stmts) {
+          mutatingWalk(a, top, [&](StmtId id) {
+            const Stmt& stmt = a[id];
+            if (stmt.is<ExprStmt>() && stmt.as<ExprStmt>().expr &&
+                a[stmt.as<ExprStmt>().expr].is<Call>() &&
+                a[stmt.as<ExprStmt>().expr].as<Call>().callee ==
+                    candidate.name) {
+              ++callCount;
+              callSiteId = id;
+            }
+          });
         }
-      });
+      }
       // Any value-position use disqualifies.
       std::size_t totalUses = 0;
       forEachExpr(unit, [&](Expr& expr) {
@@ -661,38 +745,42 @@ std::size_t inlineHelperFunctions(TranslationUnit& unit) {
           ++totalUses;
         }
       });
-      if (callCount != 1 || totalUses != 1 || callSite == nullptr) continue;
-      const Call& callExpr = callSite->as<ExprStmt>().expr->as<Call>();
-      if (callExpr.args.size() != candidate.params.size()) continue;
+      if (callCount != 1 || totalUses != 1 || !callSiteId) continue;
+      const std::vector<ExprId> callArgs =
+          a[a[callSiteId].as<ExprStmt>().expr].as<Call>().args;
+      if (callArgs.size() != candidate.params.size()) continue;
       bool allIdents = std::all_of(
-          callExpr.args.begin(), callExpr.args.end(),
-          [](const ExprPtr& a) { return a && a->is<Ident>(); });
+          callArgs.begin(), callArgs.end(),
+          [&](const ExprId arg) { return arg && a[arg].is<Ident>(); });
       if (!allIdents) continue;
 
       // Substitution map param -> argument name.
       std::map<std::string, std::string> renames;
       bool collision = false;
       for (std::size_t i = 0; i < candidate.params.size(); ++i) {
-        const std::string& arg = callExpr.args[i]->as<Ident>().name;
+        const std::string& arg = a[callArgs[i]].as<Ident>().name;
         renames[candidate.params[i].name] = arg;
       }
       // Locals declared in the helper must not collide with names visible
-      // outside it (globals or other functions' declarations).
+      // outside it (globals or other functions' declarations). The helper
+      // is cloned into a scratch unit (own arena) to be renamed there.
       TranslationUnit helperView;
-      helperView.functions.push_back(deepCopy(candidate));
+      helperView.functions.push_back(
+          cloneFunction(helperView.arena, a, candidate));
       renameIdentifiers(helperView, renames);
-      const std::set<std::string> helperLocals =
-          namesDeclaredIn(helperView.functions[0].body.stmts);
+      const std::set<std::string> helperLocals = namesDeclaredIn(
+          helperView.arena, helperView.functions[0].body.stmts);
       std::set<std::string> outsideNames;
       for (const Function& fn : unit.functions) {
         if (&fn == &candidate) continue;
         for (const Param& p : fn.params) outsideNames.insert(p.name);
-        const std::set<std::string> declared = namesDeclaredIn(fn.body.stmts);
+        const std::set<std::string> declared =
+            namesDeclaredIn(a, fn.body.stmts);
         outsideNames.insert(declared.begin(), declared.end());
       }
-      for (const StmtPtr& g : unit.globals) {
-        if (g && g->is<VarDeclStmt>()) {
-          for (const Declarator& d : g->as<VarDeclStmt>().decls) {
+      for (const StmtId g : unit.globals) {
+        if (g && a[g].is<VarDeclStmt>()) {
+          for (const Declarator& d : a[g].as<VarDeclStmt>().decls) {
             outsideNames.insert(d.name);
           }
         }
@@ -704,10 +792,11 @@ std::size_t inlineHelperFunctions(TranslationUnit& unit) {
       }
       if (collision) continue;
 
-      // Splice the (renamed) helper body over the call statement.
-      BlockStmt spliced;
-      spliced.stmts = std::move(helperView.functions[0].body.stmts);
-      callSite->node = std::move(spliced);
+      // Splice the (renamed) helper body over the call statement: clone it
+      // from the scratch arena into this unit's, then swap the node.
+      BlockStmt spliced =
+          a.clone(helperView.arena, helperView.functions[0].body);
+      a[callSiteId].node = std::move(spliced);  // re-fetch after clone
       unit.functions.erase(unit.functions.begin() +
                            static_cast<std::ptrdiff_t>(fi));
       ++inlined;
@@ -719,57 +808,68 @@ std::size_t inlineHelperFunctions(TranslationUnit& unit) {
 }
 
 void preferTernary(TranslationUnit& unit, bool useTernary) {
-  auto rewriteList = [&](std::vector<StmtPtr>& stmts) {
-    for (StmtPtr& stmt : stmts) {
-      if (!stmt) continue;
-      if (useTernary && stmt->is<IfStmt>()) {
-        IfStmt& node = stmt->as<IfStmt>();
+  Arena& a = unit.arena;
+  auto rewriteList = [&](std::vector<StmtId>& stmts) {
+    for (StmtId& slot : stmts) {
+      if (!slot) continue;
+      if (useTernary && a[slot].is<IfStmt>()) {
+        const IfStmt node = a[slot].as<IfStmt>();
         // Pattern: if (c) x = a; else x = b;  (single statements each)
-        auto singleAssign = [](const StmtPtr& branch) -> const Assign* {
-          if (!branch || !branch->is<BlockStmt>()) return nullptr;
-          const BlockStmt& block = branch->as<BlockStmt>();
-          if (block.stmts.size() != 1 || !block.stmts[0]) return nullptr;
-          if (!block.stmts[0]->is<ExprStmt>()) return nullptr;
-          const ExprPtr& e = block.stmts[0]->as<ExprStmt>().expr;
-          if (!e || !e->is<Assign>()) return nullptr;
-          const Assign& a = e->as<Assign>();
-          if (a.op != AssignOp::Assign || !a.target->is<Ident>()) return nullptr;
-          return &a;
+        auto singleAssign = [&](StmtId branch) -> ExprId {
+          if (!branch || !a[branch].is<BlockStmt>()) return {};
+          const BlockStmt& block = a[branch].as<BlockStmt>();
+          if (block.stmts.size() != 1 || !block.stmts[0]) return {};
+          if (!a[block.stmts[0]].is<ExprStmt>()) return {};
+          const ExprId e = a[block.stmts[0]].as<ExprStmt>().expr;
+          if (!e || !a[e].is<Assign>()) return {};
+          const Assign& asn = a[e].as<Assign>();
+          if (asn.op != AssignOp::Assign || !a[asn.target].is<Ident>()) {
+            return {};
+          }
+          return e;
         };
-        const Assign* thenA = singleAssign(node.thenBranch);
-        const Assign* elseA = singleAssign(node.elseBranch);
-        if (thenA != nullptr && elseA != nullptr &&
-            thenA->target->as<Ident>().name ==
-                elseA->target->as<Ident>().name) {
-          ExprPtr replacement = assign(
-              AssignOp::Assign, deepCopy(*thenA->target),
-              ternary(deepCopy(*node.cond), deepCopy(*thenA->value),
-                      deepCopy(*elseA->value)));
-          stmt = exprStmt(std::move(replacement));
+        const ExprId thenE = singleAssign(node.thenBranch);
+        const ExprId elseE = singleAssign(node.elseBranch);
+        if (thenE && elseE) {
+          const Assign thenA = a[thenE].as<Assign>();
+          const Assign elseA = a[elseE].as<Assign>();
+          if (a[thenA.target].as<Ident>().name ==
+              a[elseA.target].as<Ident>().name) {
+            const ExprId tern =
+                a.ternary(a.clone(a, node.cond), a.clone(a, thenA.value),
+                          a.clone(a, elseA.value));
+            const ExprId replacement =
+                a.assign(AssignOp::Assign, a.clone(a, thenA.target), tern);
+            slot = a.exprStmt(replacement);
+          }
         }
-      } else if (!useTernary && stmt->is<ExprStmt>()) {
-        const ExprPtr& e = stmt->as<ExprStmt>().expr;
-        if (e && e->is<Assign>()) {
-          const Assign& a = e->as<Assign>();
-          if (a.op == AssignOp::Assign && a.value->is<Ternary>() &&
-              a.target->is<Ident>()) {
-            const Ternary& t = a.value->as<Ternary>();
+      } else if (!useTernary && a[slot].is<ExprStmt>()) {
+        const ExprId e = a[slot].as<ExprStmt>().expr;
+        if (e && a[e].is<Assign>()) {
+          const Assign asn = a[e].as<Assign>();
+          if (asn.op == AssignOp::Assign && a[asn.value].is<Ternary>() &&
+              a[asn.target].is<Ident>()) {
+            const Ternary t = a[asn.value].as<Ternary>();
             BlockStmt thenBlock;
-            thenBlock.stmts.push_back(exprStmt(assign(
-                AssignOp::Assign, deepCopy(*a.target), deepCopy(*t.thenExpr))));
+            thenBlock.stmts.push_back(a.exprStmt(
+                a.assign(AssignOp::Assign, a.clone(a, asn.target),
+                         a.clone(a, t.thenExpr))));
             BlockStmt elseBlock;
-            elseBlock.stmts.push_back(exprStmt(assign(
-                AssignOp::Assign, deepCopy(*a.target), deepCopy(*t.elseExpr))));
-            stmt = ifStmt(deepCopy(*t.cond), makeStmt(std::move(thenBlock)),
-                          makeStmt(std::move(elseBlock)));
+            elseBlock.stmts.push_back(a.exprStmt(
+                a.assign(AssignOp::Assign, a.clone(a, asn.target),
+                         a.clone(a, t.elseExpr))));
+            slot = a.ifStmt(a.clone(a, t.cond),
+                            a.makeStmt(std::move(thenBlock)),
+                            a.makeStmt(std::move(elseBlock)));
           }
         }
       }
     }
   };
   for (Function& fn : unit.functions) rewriteList(fn.body.stmts);
-  forEachStmt(unit, [&](Stmt& stmt) {
-    if (stmt.is<BlockStmt>()) rewriteList(stmt.as<BlockStmt>().stmts);
+  mutatingWalkUnit(unit, [&](StmtId id) {
+    if (!a[id].is<BlockStmt>()) return;
+    withBlockList(a, id, rewriteList);
   });
 }
 

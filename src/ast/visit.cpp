@@ -1,99 +1,107 @@
 #include "ast/visit.hpp"
 
 #include <algorithm>
+#include <array>
 #include <set>
 
 namespace sca::ast {
 namespace {
 
 // One traversal implementation shared by const and non-const entry points.
-template <typename StmtT, typename StmtFn>
-void walkStmt(StmtT& stmt, const StmtFn& fn) {
+// Ids are resolved through the arena at each step; the walk holds no
+// reference across a child visit except the variant payload it is reading,
+// which is safe under the "no appends during traversal" contract.
+template <typename ArenaT, typename StmtFn>
+void walkStmt(ArenaT& arena, StmtId id, const StmtFn& fn) {
+  if (!id) return;
+  auto& stmt = arena[id];
   fn(stmt);
   std::visit(
       [&](auto& node) {
         using T = std::decay_t<decltype(node)>;
         if constexpr (std::is_same_v<T, BlockStmt>) {
-          for (auto& child : node.stmts) {
-            if (child) walkStmt(*child, fn);
+          for (const StmtId child : node.stmts) {
+            walkStmt(arena, child, fn);
           }
         } else if constexpr (std::is_same_v<T, IfStmt>) {
-          if (node.thenBranch) walkStmt(*node.thenBranch, fn);
-          if (node.elseBranch) walkStmt(*node.elseBranch, fn);
+          walkStmt(arena, node.thenBranch, fn);
+          walkStmt(arena, node.elseBranch, fn);
         } else if constexpr (std::is_same_v<T, ForStmt>) {
-          if (node.init) walkStmt(*node.init, fn);
-          if (node.body) walkStmt(*node.body, fn);
+          walkStmt(arena, node.init, fn);
+          walkStmt(arena, node.body, fn);
         } else if constexpr (std::is_same_v<T, WhileStmt>) {
-          if (node.body) walkStmt(*node.body, fn);
+          walkStmt(arena, node.body, fn);
         } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
-          if (node.body) walkStmt(*node.body, fn);
+          walkStmt(arena, node.body, fn);
         }
       },
       stmt.node);
 }
 
-template <typename ExprT, typename ExprFn>
-void walkExpr(ExprT& expr, const ExprFn& fn) {
+template <typename ArenaT, typename ExprFn>
+void walkExpr(ArenaT& arena, ExprId id, const ExprFn& fn) {
+  if (!id) return;
+  auto& expr = arena[id];
   fn(expr);
   std::visit(
       [&](auto& node) {
         using T = std::decay_t<decltype(node)>;
         if constexpr (std::is_same_v<T, Unary>) {
-          if (node.operand) walkExpr(*node.operand, fn);
+          walkExpr(arena, node.operand, fn);
         } else if constexpr (std::is_same_v<T, Binary>) {
-          if (node.lhs) walkExpr(*node.lhs, fn);
-          if (node.rhs) walkExpr(*node.rhs, fn);
+          walkExpr(arena, node.lhs, fn);
+          walkExpr(arena, node.rhs, fn);
         } else if constexpr (std::is_same_v<T, Assign>) {
-          if (node.target) walkExpr(*node.target, fn);
-          if (node.value) walkExpr(*node.value, fn);
+          walkExpr(arena, node.target, fn);
+          walkExpr(arena, node.value, fn);
         } else if constexpr (std::is_same_v<T, Call>) {
-          for (auto& arg : node.args) {
-            if (arg) walkExpr(*arg, fn);
+          for (const ExprId arg : node.args) {
+            walkExpr(arena, arg, fn);
           }
         } else if constexpr (std::is_same_v<T, Index>) {
-          if (node.base) walkExpr(*node.base, fn);
-          if (node.index) walkExpr(*node.index, fn);
+          walkExpr(arena, node.base, fn);
+          walkExpr(arena, node.index, fn);
         } else if constexpr (std::is_same_v<T, Ternary>) {
-          if (node.cond) walkExpr(*node.cond, fn);
-          if (node.thenExpr) walkExpr(*node.thenExpr, fn);
-          if (node.elseExpr) walkExpr(*node.elseExpr, fn);
+          walkExpr(arena, node.cond, fn);
+          walkExpr(arena, node.thenExpr, fn);
+          walkExpr(arena, node.elseExpr, fn);
         } else if constexpr (std::is_same_v<T, Cast>) {
-          if (node.operand) walkExpr(*node.operand, fn);
+          walkExpr(arena, node.operand, fn);
         }
       },
       expr.node);
 }
 
-template <typename StmtT, typename ExprFn>
-void walkStmtExprs(StmtT& stmt, const ExprFn& fn) {
+template <typename ArenaT, typename StmtT, typename ExprFn>
+void walkStmtExprs(ArenaT& arena, StmtT& stmt, const ExprFn& fn) {
   std::visit(
       [&](auto& node) {
         using T = std::decay_t<decltype(node)>;
         if constexpr (std::is_same_v<T, VarDeclStmt>) {
           for (auto& d : node.decls) {
-            if (d.init) walkExpr(*d.init, fn);
-            if (d.arraySize) walkExpr(*d.arraySize, fn);
+            walkExpr(arena, d.init, fn);
+            walkExpr(arena, d.arraySize, fn);
           }
         } else if constexpr (std::is_same_v<T, ExprStmt>) {
-          if (node.expr) walkExpr(*node.expr, fn);
+          walkExpr(arena, node.expr, fn);
         } else if constexpr (std::is_same_v<T, IfStmt>) {
-          if (node.cond) walkExpr(*node.cond, fn);
+          walkExpr(arena, node.cond, fn);
         } else if constexpr (std::is_same_v<T, ForStmt>) {
-          if (node.cond) walkExpr(*node.cond, fn);
-          if (node.step) walkExpr(*node.step, fn);
+          walkExpr(arena, node.cond, fn);
+          walkExpr(arena, node.step, fn);
         } else if constexpr (std::is_same_v<T, WhileStmt>) {
-          if (node.cond) walkExpr(*node.cond, fn);
+          walkExpr(arena, node.cond, fn);
         } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
-          if (node.cond) walkExpr(*node.cond, fn);
+          walkExpr(arena, node.cond, fn);
         } else if constexpr (std::is_same_v<T, ReturnStmt>) {
-          if (node.value) walkExpr(*node.value, fn);
+          walkExpr(arena, node.value, fn);
         } else if constexpr (std::is_same_v<T, ReadStmt>) {
           for (auto& t : node.targets) {
-            if (t.lvalue) walkExpr(*t.lvalue, fn);
+            walkExpr(arena, t.lvalue, fn);
           }
         } else if constexpr (std::is_same_v<T, WriteStmt>) {
           for (auto& item : node.items) {
-            if (item.expr) walkExpr(*item.expr, fn);
+            walkExpr(arena, item.expr, fn);
           }
         }
       },
@@ -102,9 +110,10 @@ void walkStmtExprs(StmtT& stmt, const ExprFn& fn) {
 
 template <typename UnitT, typename StmtFn>
 void walkUnitStmts(UnitT& unit, const StmtFn& fn) {
+  auto& arena = unit.arena;
   for (auto& function : unit.functions) {
-    for (auto& stmt : function.body.stmts) {
-      if (stmt) walkStmt(*stmt, fn);
+    for (const StmtId stmt : function.body.stmts) {
+      walkStmt(arena, stmt, fn);
     }
   }
 }
@@ -118,126 +127,101 @@ void forEachStmt(const TranslationUnit& unit,
                  const std::function<void(const Stmt&)>& fn) {
   walkUnitStmts(unit, fn);
 }
-void forEachStmt(Stmt& stmt, const std::function<void(Stmt&)>& fn) {
-  walkStmt(stmt, fn);
+void forEachStmt(Arena& arena, StmtId stmt,
+                 const std::function<void(Stmt&)>& fn) {
+  walkStmt(arena, stmt, fn);
 }
 
 void forEachExpr(TranslationUnit& unit, const std::function<void(Expr&)>& fn) {
-  walkUnitStmts(unit, [&](Stmt& stmt) { walkStmtExprs(stmt, fn); });
+  walkUnitStmts(unit,
+                [&](Stmt& stmt) { walkStmtExprs(unit.arena, stmt, fn); });
 }
 void forEachExpr(const TranslationUnit& unit,
                  const std::function<void(const Expr&)>& fn) {
-  walkUnitStmts(unit, [&](const Stmt& stmt) { walkStmtExprs(stmt, fn); });
+  walkUnitStmts(unit, [&](const Stmt& stmt) {
+    walkStmtExprs(unit.arena, stmt, fn);
+  });
 }
-void forEachExpr(Expr& expr, const std::function<void(Expr&)>& fn) {
-  walkExpr(expr, fn);
+void forEachExpr(Arena& arena, ExprId expr,
+                 const std::function<void(Expr&)>& fn) {
+  walkExpr(arena, expr, fn);
 }
 
+namespace {
+
+// Ordered exactly like the Stmt/Expr variant alternatives, so a node's
+// variant index doubles as its position here. The static_asserts pin the
+// correspondence: reordering an alternative without reordering the label
+// is a compile error.
+constexpr std::string_view kStmtKindNames[] = {
+    "block",  "decl", "expr",  "if",    "for",      "while",   "do",
+    "return", "read", "write", "break", "continue", "comment", "opaque",
+};
+constexpr std::string_view kExprKindNames[] = {
+    "int-lit", "float-lit", "string-lit", "char-lit", "bool-lit",
+    "ident",   "unary",     "binary",     "assign",   "call",
+    "index",   "ternary",   "cast",
+};
+static_assert(std::size(kStmtKindNames) ==
+              std::variant_size_v<decltype(Stmt::node)>);
+static_assert(std::size(kExprKindNames) ==
+              std::variant_size_v<decltype(Expr::node)>);
+
+}  // namespace
+
 std::string_view stmtKindName(const Stmt& stmt) noexcept {
-  return std::visit(
-      [](const auto& node) -> std::string_view {
-        using T = std::decay_t<decltype(node)>;
-        if constexpr (std::is_same_v<T, BlockStmt>) return "block";
-        else if constexpr (std::is_same_v<T, VarDeclStmt>) return "decl";
-        else if constexpr (std::is_same_v<T, ExprStmt>) return "expr";
-        else if constexpr (std::is_same_v<T, IfStmt>) return "if";
-        else if constexpr (std::is_same_v<T, ForStmt>) return "for";
-        else if constexpr (std::is_same_v<T, WhileStmt>) return "while";
-        else if constexpr (std::is_same_v<T, DoWhileStmt>) return "do";
-        else if constexpr (std::is_same_v<T, ReturnStmt>) return "return";
-        else if constexpr (std::is_same_v<T, ReadStmt>) return "read";
-        else if constexpr (std::is_same_v<T, WriteStmt>) return "write";
-        else if constexpr (std::is_same_v<T, BreakStmt>) return "break";
-        else if constexpr (std::is_same_v<T, ContinueStmt>) return "continue";
-        else if constexpr (std::is_same_v<T, CommentStmt>) return "comment";
-        else return "opaque";
-      },
-      stmt.node);
+  return kStmtKindNames[stmt.node.index()];
 }
 
 std::string_view exprKindName(const Expr& expr) noexcept {
-  return std::visit(
-      [](const auto& node) -> std::string_view {
-        using T = std::decay_t<decltype(node)>;
-        if constexpr (std::is_same_v<T, IntLit>) return "int-lit";
-        else if constexpr (std::is_same_v<T, FloatLit>) return "float-lit";
-        else if constexpr (std::is_same_v<T, StringLit>) return "string-lit";
-        else if constexpr (std::is_same_v<T, CharLit>) return "char-lit";
-        else if constexpr (std::is_same_v<T, BoolLit>) return "bool-lit";
-        else if constexpr (std::is_same_v<T, Ident>) return "ident";
-        else if constexpr (std::is_same_v<T, Unary>) return "unary";
-        else if constexpr (std::is_same_v<T, Binary>) return "binary";
-        else if constexpr (std::is_same_v<T, Assign>) return "assign";
-        else if constexpr (std::is_same_v<T, Call>) return "call";
-        else if constexpr (std::is_same_v<T, Index>) return "index";
-        else if constexpr (std::is_same_v<T, Ternary>) return "ternary";
-        else return "cast";
-      },
-      expr.node);
+  return kExprKindNames[expr.node.index()];
 }
 
 const std::vector<std::string>& allStmtKindNames() {
-  static const std::vector<std::string> kNames = {
-      "block", "decl",  "expr",  "if",       "for",     "while", "do",
-      "return", "read", "write", "break",    "continue", "comment",
-      "opaque",
-  };
+  static const std::vector<std::string> kNames(std::begin(kStmtKindNames),
+                                               std::end(kStmtKindNames));
   return kNames;
 }
 
 const std::vector<std::string>& allExprKindNames() {
-  static const std::vector<std::string> kNames = {
-      "int-lit",  "float-lit", "string-lit", "char-lit", "bool-lit",
-      "ident",    "unary",     "binary",     "assign",   "call",
-      "index",    "ternary",   "cast",
-  };
+  static const std::vector<std::string> kNames(std::begin(kExprKindNames),
+                                               std::end(kExprKindNames));
   return kNames;
 }
 
 namespace {
 
-void depthWalk(const Stmt& stmt, std::size_t depth, std::size_t& maxDepth,
-               std::size_t& count, std::size_t& depthSum) {
-  maxDepth = std::max(maxDepth, depth);
-  ++count;
-  depthSum += depth;
+void depthWalk(const Arena& arena, StmtId id, std::size_t depth,
+               DepthStats& stats) {
+  if (!id) return;
+  stats.maxDepth = std::max(stats.maxDepth, depth);
+  ++stats.count;
+  stats.depthSum += depth;
   std::visit(
       [&](const auto& node) {
         using T = std::decay_t<decltype(node)>;
         if constexpr (std::is_same_v<T, BlockStmt>) {
-          for (const auto& child : node.stmts) {
-            if (child) depthWalk(*child, depth + 1, maxDepth, count, depthSum);
+          for (const StmtId child : node.stmts) {
+            depthWalk(arena, child, depth + 1, stats);
           }
         } else if constexpr (std::is_same_v<T, IfStmt>) {
-          if (node.thenBranch)
-            depthWalk(*node.thenBranch, depth + 1, maxDepth, count, depthSum);
-          if (node.elseBranch)
-            depthWalk(*node.elseBranch, depth + 1, maxDepth, count, depthSum);
+          depthWalk(arena, node.thenBranch, depth + 1, stats);
+          depthWalk(arena, node.elseBranch, depth + 1, stats);
         } else if constexpr (std::is_same_v<T, ForStmt>) {
-          if (node.body) depthWalk(*node.body, depth + 1, maxDepth, count, depthSum);
+          depthWalk(arena, node.body, depth + 1, stats);
         } else if constexpr (std::is_same_v<T, WhileStmt>) {
-          if (node.body) depthWalk(*node.body, depth + 1, maxDepth, count, depthSum);
+          depthWalk(arena, node.body, depth + 1, stats);
         } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
-          if (node.body) depthWalk(*node.body, depth + 1, maxDepth, count, depthSum);
+          depthWalk(arena, node.body, depth + 1, stats);
         }
       },
-      stmt.node);
+      arena[id].node);
 }
 
-void statsOf(const TranslationUnit& unit, std::size_t& maxDepth,
-             std::size_t& count, std::size_t& depthSum) {
-  maxDepth = 0;
-  count = 0;
-  depthSum = 0;
-  for (const Function& f : unit.functions) {
-    for (const StmtPtr& stmt : f.body.stmts) {
-      if (stmt) depthWalk(*stmt, 1, maxDepth, count, depthSum);
-    }
-  }
-}
-
-void bigramWalk(const Stmt& stmt, std::string_view parentKind,
+void bigramWalk(const Arena& arena, StmtId id, std::string_view parentKind,
                 std::vector<std::string>& out) {
+  if (!id) return;
+  const Stmt& stmt = arena[id];
   const std::string_view kind = stmtKindName(stmt);
   if (kind != "comment") {
     out.push_back(std::string(parentKind) + ">" + std::string(kind));
@@ -246,18 +230,134 @@ void bigramWalk(const Stmt& stmt, std::string_view parentKind,
       [&](const auto& node) {
         using T = std::decay_t<decltype(node)>;
         if constexpr (std::is_same_v<T, BlockStmt>) {
-          for (const auto& child : node.stmts) {
-            if (child) bigramWalk(*child, kind, out);
+          for (const StmtId child : node.stmts) {
+            bigramWalk(arena, child, kind, out);
           }
         } else if constexpr (std::is_same_v<T, IfStmt>) {
-          if (node.thenBranch) bigramWalk(*node.thenBranch, kind, out);
-          if (node.elseBranch) bigramWalk(*node.elseBranch, kind, out);
+          bigramWalk(arena, node.thenBranch, kind, out);
+          bigramWalk(arena, node.elseBranch, kind, out);
         } else if constexpr (std::is_same_v<T, ForStmt>) {
-          if (node.body) bigramWalk(*node.body, kind, out);
+          bigramWalk(arena, node.body, kind, out);
         } else if constexpr (std::is_same_v<T, WhileStmt>) {
-          if (node.body) bigramWalk(*node.body, kind, out);
+          bigramWalk(arena, node.body, kind, out);
         } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
-          if (node.body) bigramWalk(*node.body, kind, out);
+          bigramWalk(arena, node.body, kind, out);
+        }
+      },
+      stmt.node);
+}
+
+constexpr std::size_t kStmtKindCount = std::size(kStmtKindNames);
+constexpr std::size_t kCommentKindIndex = 12;
+static_assert(kStmtKindNames[kCommentKindIndex] == "comment");
+
+/// Precomposed "parent>child" bigram strings: 15 parents ("fn" plus every
+/// statement kind) x 14 children. The fused scan pushes copies of these
+/// instead of concatenating three pieces per emitted bigram.
+const std::string& bigramString(std::size_t parentIdx, std::size_t childIdx) {
+  static const auto kTable = [] {
+    std::array<std::array<std::string, kStmtKindCount>, kStmtKindCount + 1> t;
+    for (std::size_t p = 0; p <= kStmtKindCount; ++p) {
+      const std::string_view parent = p == 0 ? "fn" : kStmtKindNames[p - 1];
+      for (std::size_t c = 0; c < kStmtKindCount; ++c) {
+        t[p][c] =
+            std::string(parent) + ">" + std::string(kStmtKindNames[c]);
+      }
+    }
+    return t;
+  }();
+  return kTable[parentIdx][childIdx];
+}
+
+void scanExpr(const Arena& arena, ExprId id, UnitScan& out) {
+  if (!id) return;
+  const Expr& expr = arena[id];
+  ++out.exprKindCounts[expr.node.index()];
+  ++out.exprTotal;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, Unary>) {
+          scanExpr(arena, node.operand, out);
+        } else if constexpr (std::is_same_v<T, Binary>) {
+          scanExpr(arena, node.lhs, out);
+          scanExpr(arena, node.rhs, out);
+        } else if constexpr (std::is_same_v<T, Assign>) {
+          scanExpr(arena, node.target, out);
+          scanExpr(arena, node.value, out);
+        } else if constexpr (std::is_same_v<T, Call>) {
+          for (const ExprId arg : node.args) scanExpr(arena, arg, out);
+        } else if constexpr (std::is_same_v<T, Index>) {
+          scanExpr(arena, node.base, out);
+          scanExpr(arena, node.index, out);
+        } else if constexpr (std::is_same_v<T, Ternary>) {
+          scanExpr(arena, node.cond, out);
+          scanExpr(arena, node.thenExpr, out);
+          scanExpr(arena, node.elseExpr, out);
+        } else if constexpr (std::is_same_v<T, Cast>) {
+          scanExpr(arena, node.operand, out);
+        }
+      },
+      expr.node);
+}
+
+/// One pre-order recursion producing all four traversals' outputs at once.
+/// `structural` is true outside for-init subtrees: depthWalk and bigramWalk
+/// never descend into ForStmt::init, while the plain count walks do, so the
+/// init subtree contributes counts but no depth/bigram entries.
+void scanStmt(const Arena& arena, StmtId id, std::size_t depth,
+              std::size_t parentIdx, bool structural, UnitScan& out) {
+  if (!id) return;
+  const Stmt& stmt = arena[id];
+  const std::size_t idx = stmt.node.index();
+  ++out.stmtKindCounts[idx];
+  ++out.stmtTotal;
+  if (structural) {
+    out.depth.maxDepth = std::max(out.depth.maxDepth, depth);
+    ++out.depth.count;
+    out.depth.depthSum += depth;
+    if (idx != kCommentKindIndex) {
+      out.bigrams.push_back(bigramString(parentIdx, idx));
+    }
+  }
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, VarDeclStmt>) {
+          for (const auto& d : node.decls) {
+            scanExpr(arena, d.init, out);
+            scanExpr(arena, d.arraySize, out);
+          }
+        } else if constexpr (std::is_same_v<T, ExprStmt>) {
+          scanExpr(arena, node.expr, out);
+        } else if constexpr (std::is_same_v<T, BlockStmt>) {
+          for (const StmtId child : node.stmts) {
+            scanStmt(arena, child, depth + 1, idx + 1, structural, out);
+          }
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          scanExpr(arena, node.cond, out);
+          scanStmt(arena, node.thenBranch, depth + 1, idx + 1, structural,
+                   out);
+          scanStmt(arena, node.elseBranch, depth + 1, idx + 1, structural,
+                   out);
+        } else if constexpr (std::is_same_v<T, ForStmt>) {
+          scanExpr(arena, node.cond, out);
+          scanExpr(arena, node.step, out);
+          scanStmt(arena, node.init, depth, parentIdx, /*structural=*/false,
+                   out);
+          scanStmt(arena, node.body, depth + 1, idx + 1, structural, out);
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          scanExpr(arena, node.cond, out);
+          scanStmt(arena, node.body, depth + 1, idx + 1, structural, out);
+        } else if constexpr (std::is_same_v<T, DoWhileStmt>) {
+          scanExpr(arena, node.cond, out);
+          scanStmt(arena, node.body, depth + 1, idx + 1, structural, out);
+        } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+          scanExpr(arena, node.value, out);
+        } else if constexpr (std::is_same_v<T, ReadStmt>) {
+          for (const auto& t : node.targets) scanExpr(arena, t.lvalue, out);
+        } else if constexpr (std::is_same_v<T, WriteStmt>) {
+          for (const auto& item : node.items) scanExpr(arena, item.expr, out);
         }
       },
       stmt.node);
@@ -265,24 +365,41 @@ void bigramWalk(const Stmt& stmt, std::string_view parentKind,
 
 }  // namespace
 
+UnitScan scanUnit(const TranslationUnit& unit) {
+  UnitScan out;
+  out.stmtKindCounts.assign(kStmtKindCount, 0);
+  out.exprKindCounts.assign(std::size(kExprKindNames), 0);
+  for (const Function& f : unit.functions) {
+    for (const StmtId stmt : f.body.stmts) {
+      scanStmt(unit.arena, stmt, 1, 0, /*structural=*/true, out);
+    }
+  }
+  return out;
+}
+
+DepthStats stmtDepthStats(const TranslationUnit& unit) {
+  DepthStats stats;
+  for (const Function& f : unit.functions) {
+    for (const StmtId stmt : f.body.stmts) {
+      depthWalk(unit.arena, stmt, 1, stats);
+    }
+  }
+  return stats;
+}
+
 std::size_t maxStmtDepth(const TranslationUnit& unit) {
-  std::size_t maxDepth = 0, count = 0, sum = 0;
-  statsOf(unit, maxDepth, count, sum);
-  return maxDepth;
+  return stmtDepthStats(unit).maxDepth;
 }
 
 double meanStmtDepth(const TranslationUnit& unit) {
-  std::size_t maxDepth = 0, count = 0, sum = 0;
-  statsOf(unit, maxDepth, count, sum);
-  return count == 0 ? 0.0
-                    : static_cast<double>(sum) / static_cast<double>(count);
+  return stmtDepthStats(unit).mean();
 }
 
 std::vector<std::string> stmtKindBigrams(const TranslationUnit& unit) {
   std::vector<std::string> out;
   for (const Function& f : unit.functions) {
-    for (const StmtPtr& stmt : f.body.stmts) {
-      if (stmt) bigramWalk(*stmt, "fn", out);
+    for (const StmtId stmt : f.body.stmts) {
+      bigramWalk(unit.arena, stmt, "fn", out);
     }
   }
   return out;

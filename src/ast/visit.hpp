@@ -2,6 +2,7 @@
 // used by syntactic feature extraction (node kind names, depth, bigrams).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -11,23 +12,37 @@
 namespace sca::ast {
 
 /// Calls `fn` for every statement in the unit (pre-order, including nested
-/// blocks and loop/if bodies). Non-const: callers may mutate nodes, but must
-/// not invalidate the child lists they are being iterated from.
+/// blocks and loop/if bodies). Non-const: callers may mutate node payloads,
+/// but must not append nodes to the arena during traversal (pool growth
+/// invalidates the references being walked).
 void forEachStmt(TranslationUnit& unit, const std::function<void(Stmt&)>& fn);
 void forEachStmt(const TranslationUnit& unit,
                  const std::function<void(const Stmt&)>& fn);
-void forEachStmt(Stmt& stmt, const std::function<void(Stmt&)>& fn);
+void forEachStmt(Arena& arena, StmtId stmt,
+                 const std::function<void(Stmt&)>& fn);
 
 /// Calls `fn` for every expression in the unit (pre-order), including
 /// expressions nested in declarations, reads and writes.
 void forEachExpr(TranslationUnit& unit, const std::function<void(Expr&)>& fn);
 void forEachExpr(const TranslationUnit& unit,
                  const std::function<void(const Expr&)>& fn);
-void forEachExpr(Expr& expr, const std::function<void(Expr&)>& fn);
+void forEachExpr(Arena& arena, ExprId expr,
+                 const std::function<void(Expr&)>& fn);
 
 /// Stable node-kind labels ("for", "if", "call", ...) used as feature names.
 [[nodiscard]] std::string_view stmtKindName(const Stmt& stmt) noexcept;
 [[nodiscard]] std::string_view exprKindName(const Expr& expr) noexcept;
+
+/// Positional kind index of a node: its variant alternative index, which by
+/// construction equals the node's position in allStmtKindNames() /
+/// allExprKindNames(). Lets hot counting loops use an array slot instead of
+/// a name lookup.
+[[nodiscard]] inline std::size_t stmtKindIndex(const Stmt& stmt) noexcept {
+  return stmt.node.index();
+}
+[[nodiscard]] inline std::size_t exprKindIndex(const Expr& expr) noexcept {
+  return expr.node.index();
+}
 
 /// All statement / expression kind labels in a stable order (feature
 /// columns are indexed by position in these lists).
@@ -40,6 +55,37 @@ void forEachExpr(Expr& expr, const std::function<void(Expr&)>& fn);
 
 /// Average statement-nesting depth over all statements.
 [[nodiscard]] double meanStmtDepth(const TranslationUnit& unit);
+
+/// Max depth, statement count and depth sum in one traversal — the feature
+/// extractor needs all three and should not walk the tree twice for them.
+struct DepthStats {
+  std::size_t maxDepth = 0;
+  std::size_t count = 0;
+  std::size_t depthSum = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(depthSum) /
+                            static_cast<double>(count);
+  }
+};
+[[nodiscard]] DepthStats stmtDepthStats(const TranslationUnit& unit);
+
+/// Everything the syntactic feature block reads from the tree, gathered in
+/// ONE recursion instead of four (forEachStmt + forEachExpr +
+/// stmtDepthStats + stmtKindBigrams), with no std::function indirection on
+/// the hot path. Field semantics match the individual queries exactly:
+/// counts cover every node (including for-init subtrees), depth and bigrams
+/// skip for-init subtrees, bigrams omit comment nodes.
+struct UnitScan {
+  std::vector<std::uint64_t> stmtKindCounts;  // aligned to allStmtKindNames()
+  std::uint64_t stmtTotal = 0;
+  std::vector<std::uint64_t> exprKindCounts;  // aligned to allExprKindNames()
+  std::uint64_t exprTotal = 0;
+  DepthStats depth;
+  std::vector<std::string> bigrams;  // identical to stmtKindBigrams(unit)
+};
+[[nodiscard]] UnitScan scanUnit(const TranslationUnit& unit);
 
 /// Parent-child statement-kind bigrams, e.g. "for>if", for syntactic
 /// features; top-level statements pair with their function: "fn>decl".

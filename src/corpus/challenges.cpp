@@ -1,6 +1,7 @@
 #include "corpus/challenges.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "ast/render.hpp"
 
@@ -18,8 +19,71 @@ const TypeRef kString{BaseType::String, false};
 const TypeRef kVecInt{BaseType::Int, true};
 const TypeRef kVecLL{BaseType::LongLong, true};
 
-ExprPtr v(std::string name) { return ident(std::move(name)); }
-ExprPtr num(long long x) { return intLit(x); }
+// Build arena for the unit currently under construction. The node
+// factories are Arena members now; these same-named file-local wrappers
+// keep the challenge definitions below reading exactly as before. Each
+// make*() finishes with unitWithMain(), which adopts the accumulated pool
+// into the new unit and leaves a fresh arena for the next builder. Only
+// builtCatalogue()'s once-run initializer calls the builders, so a single
+// file-scope arena is safe.
+Arena gArena;
+Arena& A() { return gArena; }
+
+ExprId v(std::string name) { return A().ident(std::move(name)); }
+ExprId num(long long x) { return A().intLit(x); }
+ExprId ident(std::string name) { return A().ident(std::move(name)); }
+ExprId intLit(long long x) { return A().intLit(x); }
+ExprId floatLit(double value, std::string spelling = "") {
+  return A().floatLit(value, std::move(spelling));
+}
+ExprId stringLit(std::string value) { return A().stringLit(std::move(value)); }
+ExprId charLit(char value) { return A().charLit(value); }
+ExprId boolLit(bool value) { return A().boolLit(value); }
+ExprId unary(UnaryOp op, ExprId operand) { return A().unary(op, operand); }
+ExprId binary(BinaryOp op, ExprId lhs, ExprId rhs) {
+  return A().binary(op, lhs, rhs);
+}
+ExprId assign(AssignOp op, ExprId target, ExprId value) {
+  return A().assign(op, target, value);
+}
+ExprId call(std::string callee, std::vector<ExprId> args = {}) {
+  return A().call(std::move(callee), std::move(args));
+}
+ExprId index(ExprId base, ExprId idx) { return A().index(base, idx); }
+ExprId ternary(ExprId cond, ExprId thenExpr, ExprId elseExpr) {
+  return A().ternary(cond, thenExpr, elseExpr);
+}
+ExprId cast(TypeRef type, ExprId operand) { return A().cast(type, operand); }
+StmtId makeStmt(BlockStmt blockStmt) { return A().makeStmt(std::move(blockStmt)); }
+StmtId varDecl(TypeRef type, std::vector<Declarator> decls) {
+  return A().varDecl(type, std::move(decls));
+}
+StmtId varDecl1(TypeRef type, std::string name, ExprId init = {}) {
+  return A().varDecl1(type, std::move(name), init);
+}
+StmtId exprStmt(ExprId expr) { return A().exprStmt(expr); }
+StmtId ifStmt(ExprId cond, StmtId thenBranch, StmtId elseBranch = {}) {
+  return A().ifStmt(cond, thenBranch, elseBranch);
+}
+StmtId forStmt(StmtId init, ExprId cond, ExprId step, StmtId body) {
+  return A().forStmt(init, cond, step, body);
+}
+StmtId whileStmt(ExprId cond, StmtId body) { return A().whileStmt(cond, body); }
+StmtId returnStmt(ExprId value = {}) { return A().returnStmt(value); }
+StmtId readStmt(std::vector<ReadTarget> targets) {
+  return A().readStmt(std::move(targets));
+}
+StmtId writeStmt(std::vector<WriteItem> items) {
+  return A().writeStmt(std::move(items));
+}
+StmtId breakStmt() { return A().breakStmt(); }
+StmtId continueStmt() { return A().continueStmt(); }
+ReadTarget readTarget(std::string name, TypeRef type) {
+  return A().readTarget(std::move(name), type);
+}
+WriteItem writeExpr(ExprId expr, TypeRef type, int precision = -1) {
+  return A().writeExpr(expr, type, precision);
+}
 
 template <typename... S>
 BlockStmt block(S&&... stmts) {
@@ -29,20 +93,20 @@ BlockStmt block(S&&... stmts) {
 }
 
 /// for (int var = from; var < to; var++) { body }
-StmtPtr forCount(const std::string& var, ExprPtr to, BlockStmt body) {
+StmtId forCount(const std::string& var, ExprId to, BlockStmt body) {
   return forStmt(varDecl1(kInt, var, num(0)),
-                 binary(BinaryOp::Lt, v(var), std::move(to)),
+                 binary(BinaryOp::Lt, v(var), to),
                  unary(UnaryOp::PostInc, v(var)), makeStmt(std::move(body)));
 }
 
 /// for (int var = 1; var <= to; var++) { body }
-StmtPtr forUpTo(const std::string& var, ExprPtr to, BlockStmt body) {
+StmtId forUpTo(const std::string& var, ExprId to, BlockStmt body) {
   return forStmt(varDecl1(kInt, var, num(1)),
-                 binary(BinaryOp::Le, v(var), std::move(to)),
+                 binary(BinaryOp::Le, v(var), to),
                  unary(UnaryOp::PostInc, v(var)), makeStmt(std::move(body)));
 }
 
-StmtPtr readVars(std::vector<std::pair<std::string, TypeRef>> targets) {
+StmtId readVars(std::vector<std::pair<std::string, TypeRef>> targets) {
   std::vector<ReadTarget> out;
   out.reserve(targets.size());
   for (auto& [name, type] : targets) out.push_back(readTarget(name, type));
@@ -50,7 +114,7 @@ StmtPtr readVars(std::vector<std::pair<std::string, TypeRef>> targets) {
 }
 
 /// cout << "Case #" << case_num << ": " << <result> << "\n";
-StmtPtr writeCase(WriteItem result) {
+StmtId writeCase(WriteItem result) {
   std::vector<WriteItem> items;
   items.push_back(writeText("Case #"));
   items.push_back(writeExpr(v("case_num"), kInt));
@@ -59,7 +123,7 @@ StmtPtr writeCase(WriteItem result) {
   return writeStmt(std::move(items));
 }
 
-StmtPtr writeCaseText(std::string text) {
+StmtId writeCaseText(std::string text) {
   std::vector<WriteItem> items;
   items.push_back(writeText("Case #"));
   items.push_back(writeExpr(v("case_num"), kInt));
@@ -69,6 +133,7 @@ StmtPtr writeCaseText(std::string text) {
 
 TranslationUnit unitWithMain(BlockStmt mainBody) {
   TranslationUnit tu;
+  tu.arena = std::exchange(gArena, Arena{});  // adopt the built nodes
   tu.usingNamespaceStd = true;
   Function mainFn;
   mainFn.returnType = kInt;
@@ -102,7 +167,7 @@ Challenge makeRace() {
                       cast(kDouble, v("speed")))),
       exprStmt(assign(AssignOp::Assign, v("max_time"),
                       call("max", [] {
-                        std::vector<ExprPtr> args;
+                        std::vector<ExprId> args;
                         args.push_back(v("max_time"));
                         args.push_back(v("arrive_time"));
                         return args;
@@ -180,7 +245,7 @@ Challenge makeSheep() {
                  writeCase(writeExpr(v("current"), kLL)),
                  breakStmt()))));
   std::vector<Declarator> seenDecl;
-  seenDecl.push_back(Declarator{"seen", nullptr, num(10)});
+  seenDecl.push_back(Declarator{"seen", {}, num(10)});
   BlockStmt body = block(
       varDecl1(kLL, "start"), readVars({{"start", kLL}}),
       ifStmt(binary(BinaryOp::Eq, v("start"), num(0)),
@@ -208,7 +273,7 @@ Challenge makeTidy() {
   BlockStmt extract = block(
       exprStmt(call("digits.push_back",
                     [] {
-                      std::vector<ExprPtr> args;
+                      std::vector<ExprId> args;
                       args.push_back(cast(
                           kInt, binary(BinaryOp::Mod, v("value"), num(10))));
                       return args;
@@ -240,7 +305,7 @@ Challenge makeTidy() {
                 makeStmt(std::move(extract))),
       exprStmt(call("reverse",
                     [] {
-                      std::vector<ExprPtr> args;
+                      std::vector<ExprId> args;
                       args.push_back(call("digits.begin"));
                       args.push_back(call("digits.end"));
                       return args;
@@ -297,7 +362,7 @@ Challenge makeBudget() {
   BlockStmt readItem = block(
       varDecl1(kInt, "price"), readVars({{"price", kInt}}),
       exprStmt(call("prices.push_back", [] {
-        std::vector<ExprPtr> args;
+        std::vector<ExprId> args;
         args.push_back(v("price"));
         return args;
       }())));
@@ -315,7 +380,7 @@ Challenge makeBudget() {
       forCount("j", v("num_items"), std::move(readItem)),
       exprStmt(call("sort",
                     [] {
-                      std::vector<ExprPtr> args;
+                      std::vector<ExprId> args;
                       args.push_back(call("prices.begin"));
                       args.push_back(call("prices.end"));
                       return args;
@@ -446,7 +511,7 @@ Challenge makeGrid() {
                   binary(BinaryOp::Add,
                          call("min",
                               [] {
-                                std::vector<ExprPtr> args;
+                                std::vector<ExprId> args;
                                 args.push_back(ident("dp_left"));
                                 args.push_back(ident("dp_up"));
                                 return args;
@@ -463,7 +528,7 @@ Challenge makeGrid() {
       std::move(readRow.stmts[2]));
   BlockStmt rowLoop = block(forCount("c", v("size"), std::move(colLoop)));
   std::vector<Declarator> dpDecl;
-  dpDecl.push_back(Declarator{"dp", v("size"), nullptr});
+  dpDecl.push_back(Declarator{"dp", v("size"), {}});
   BlockStmt body = block(
       varDecl1(kInt, "size"), readVars({{"size", kInt}}),
       varDecl(kVecInt, std::move(dpDecl)),
@@ -498,7 +563,7 @@ Challenge makeParity() {
       varDecl1(kInt, "gap",
                call("abs",
                     [] {
-                      std::vector<ExprPtr> args;
+                      std::vector<ExprId> args;
                       args.push_back(
                           binary(BinaryOp::Sub, ident("evens"), ident("odds")));
                       return args;
@@ -569,7 +634,7 @@ Challenge makeKadane() {
       exprStmt(assign(AssignOp::Assign, v("running"),
                       call("max",
                            [] {
-                             std::vector<ExprPtr> args;
+                             std::vector<ExprId> args;
                              args.push_back(ident("value"));
                              args.push_back(binary(BinaryOp::Add,
                                                    ident("running"),
@@ -578,7 +643,7 @@ Challenge makeKadane() {
                            }()))),
       exprStmt(assign(AssignOp::Assign, v("best"),
                       call("max", [] {
-                        std::vector<ExprPtr> args;
+                        std::vector<ExprId> args;
                         args.push_back(ident("best"));
                         args.push_back(ident("running"));
                         return args;
@@ -681,12 +746,12 @@ Challenge makeIntervals() {
       readVars({{"start", kInt}, {"finish", kInt}}),
       exprStmt(call("starts.push_back",
                     [] {
-                      std::vector<ExprPtr> args;
+                      std::vector<ExprId> args;
                       args.push_back(ident("start"));
                       return args;
                     }())),
       exprStmt(call("ends.push_back", [] {
-        std::vector<ExprPtr> args;
+        std::vector<ExprId> args;
         args.push_back(ident("finish"));
         return args;
       }())));
@@ -699,7 +764,7 @@ Challenge makeIntervals() {
       makeStmt(block(exprStmt(assign(
           AssignOp::Assign, v("covered"),
           call("max", [] {
-            std::vector<ExprPtr> args;
+            std::vector<ExprId> args;
             args.push_back(ident("covered"));
             args.push_back(index(ident("ends"), ident("j")));
             return args;
@@ -739,7 +804,7 @@ Challenge makeTwoSum() {
   BlockStmt readOne = block(
       varDecl1(kInt, "value"), readVars({{"value", kInt}}),
       exprStmt(call("values.push_back", [] {
-        std::vector<ExprPtr> args;
+        std::vector<ExprId> args;
         args.push_back(ident("value"));
         return args;
       }())));

@@ -5,7 +5,6 @@
 #include <cctype>
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -20,6 +19,7 @@
 #include "lexer/lexer.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/parallel.hpp"
+#include "runtime/timer.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -46,39 +46,26 @@ struct SyntacticSummary {
   std::vector<std::string> bigrams;  // ast::stmtKindBigrams(unit)
 };
 
-/// Everything transform() needs, computed once per source.
+/// Everything transform() needs, computed once per source. The tokens stay
+/// inside their TokenStream (views into its buffer), so a cached analysis
+/// holds exactly one allocation for all token text.
 struct Analyzed {
-  std::vector<lexer::Token> tokens;
+  lexer::TokenStream tokens;
   lexer::LayoutMetrics layout;
   SyntacticSummary syntax;
 };
 
-std::size_t kindIndex(const std::vector<std::string>& names,
-                      std::string_view kind) {
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    if (names[i] == kind) return i;
-  }
-  return names.size();  // unreachable for well-formed kind tables
-}
-
 SyntacticSummary summarize(const ast::TranslationUnit& unit) {
   SyntacticSummary s;
-  const std::vector<std::string>& stmtNames = ast::allStmtKindNames();
-  const std::vector<std::string>& exprNames = ast::allExprKindNames();
-  s.stmtKindCounts.assign(stmtNames.size(), 0);
-  s.exprKindCounts.assign(exprNames.size(), 0);
-  ast::forEachStmt(unit, [&](const ast::Stmt& stmt) {
-    const std::size_t i = kindIndex(stmtNames, ast::stmtKindName(stmt));
-    if (i < s.stmtKindCounts.size()) ++s.stmtKindCounts[i];
-    ++s.stmtTotal;
-  });
-  ast::forEachExpr(unit, [&](const ast::Expr& expr) {
-    const std::size_t i = kindIndex(exprNames, ast::exprKindName(expr));
-    if (i < s.exprKindCounts.size()) ++s.exprKindCounts[i];
-    ++s.exprTotal;
-  });
-  s.maxDepth = ast::maxStmtDepth(unit);
-  s.meanDepth = ast::meanStmtDepth(unit);
+  // One fused traversal for kind counts, depth stats and bigrams (it used
+  // to be four std::function-driven walks over the same tree).
+  ast::UnitScan scan = ast::scanUnit(unit);
+  s.stmtKindCounts = std::move(scan.stmtKindCounts);
+  s.stmtTotal = scan.stmtTotal;
+  s.exprKindCounts = std::move(scan.exprKindCounts);
+  s.exprTotal = scan.exprTotal;
+  s.maxDepth = scan.depth.maxDepth;
+  s.meanDepth = scan.depth.mean();
   s.functionCount = unit.functions.size();
   for (const ast::Function& fn : unit.functions) {
     s.paramSum += static_cast<double>(fn.params.size());
@@ -88,7 +75,7 @@ SyntacticSummary summarize(const ast::TranslationUnit& unit) {
   s.includeCount = unit.includes.size();
   s.bitsHeader = std::find(unit.includes.begin(), unit.includes.end(),
                            "bits/stdc++.h") != unit.includes.end();
-  s.bigrams = ast::stmtKindBigrams(unit);
+  s.bigrams = std::move(scan.bigrams);
   return s;
 }
 
@@ -108,7 +95,7 @@ std::string serializeAnalysis(const Analyzed& a) {
   w.u32(static_cast<std::uint32_t>(a.tokens.size()));
   for (const lexer::Token& t : a.tokens) {
     w.u8(static_cast<std::uint8_t>(t.kind));
-    w.str(t.text);
+    w.str(t.text);  // views serialize as bytes; format unchanged (v1)
   }
 
   const lexer::LayoutMetrics& m = a.layout;
@@ -163,17 +150,17 @@ std::shared_ptr<const Analyzed> deserializeAnalysis(std::string_view bytes) {
 
   const std::uint32_t tokenCount = r.u32();
   if (!r.ok()) return nullptr;
-  a->tokens.reserve(tokenCount);
+  std::vector<std::pair<lexer::TokenKind, std::string>> parts;
+  parts.reserve(tokenCount);
   for (std::uint32_t i = 0; i < tokenCount && r.ok(); ++i) {
-    lexer::Token t;
     const std::uint8_t kind = r.u8();
     if (kind > static_cast<std::uint8_t>(lexer::TokenKind::EndOfFile)) {
       return nullptr;
     }
-    t.kind = static_cast<lexer::TokenKind>(kind);
-    t.text = r.str();
-    a->tokens.push_back(std::move(t));
+    parts.emplace_back(static_cast<lexer::TokenKind>(kind), r.str());
   }
+  if (!r.ok()) return nullptr;
+  a->tokens = lexer::TokenStream::fromParts(parts);
 
   lexer::LayoutMetrics& m = a->layout;
   m.lineCount = r.u64();
@@ -272,7 +259,9 @@ class AnalysisCache {
       auto fresh = std::make_shared<Analyzed>();
       fresh->tokens = lexer::tokenize(source);
       fresh->layout = lexer::computeLayoutMetrics(source);
-      fresh->syntax = summarize(ast::parse(source).unit);
+      // Parse from the stream we already lexed — tokenizing twice per
+      // analysis used to be the second-largest cost in this function.
+      fresh->syntax = summarize(ast::parse(fresh->tokens).unit);
       if (disk != nullptr) {
         // Best effort: a failed spill only costs the next process a
         // recompute.
@@ -359,30 +348,35 @@ struct NamingCounts {
   std::size_t distinct = 0;
 };
 
-NamingCounts countNaming(const std::vector<lexer::Token>& tokens) {
+// Identifiers are ASCII by construction (the lexer's ident class), so
+// plain range checks replace the locale-routed <cctype> calls here.
+constexpr bool isAsciiUpper(char c) { return c >= 'A' && c <= 'Z'; }
+constexpr bool isAsciiLower(char c) { return c >= 'a' && c <= 'z'; }
+
+NamingCounts countNaming(const lexer::TokenStream& tokens) {
   NamingCounts c;
   double lengthSum = 0.0;
-  std::vector<std::string> seen;
+  // Views borrow from `tokens`, which outlives this function — sorting
+  // views for the distinct count never copies a name.
+  std::vector<std::string_view> seen;
   for (const lexer::Token& t : tokens) {
     if (!t.is(lexer::TokenKind::Identifier)) continue;
-    const std::string& name = t.text;
+    const std::string_view name = t.text;
     seen.push_back(name);
     lengthSum += static_cast<double>(name.size());
     c.maxLength = std::max(c.maxLength, static_cast<double>(name.size()));
     ++c.total;
     if (name.size() < 2) continue;
     const bool hasUnderscore = name.find('_') != std::string::npos;
-    const bool startsUpper =
-        std::isupper(static_cast<unsigned char>(name[0])) != 0;
+    const bool startsUpper = isAsciiUpper(name[0]);
     bool innerUpper = false;
     for (std::size_t i = 1; i < name.size(); ++i) {
-      if (std::isupper(static_cast<unsigned char>(name[i])) != 0) {
-        innerUpper = true;
-      }
+      if (isAsciiUpper(name[i])) innerUpper = true;
     }
+    constexpr std::string_view kHungarianPrefixes = "ndbcsvf";
     if (name.size() >= 3 &&
-        std::string("ndbcsvf").find(name[0]) != std::string::npos &&
-        std::isupper(static_cast<unsigned char>(name[1])) != 0) {
+        kHungarianPrefixes.find(name[0]) != std::string_view::npos &&
+        isAsciiUpper(name[1])) {
       ++c.hungarian;
     } else if (hasUnderscore) {
       ++c.snake;
@@ -415,22 +409,97 @@ std::string_view familyName(FeatureFamily family) noexcept {
 namespace {
 
 /// identifierTerms over an existing token stream (skips re-tokenizing).
+/// Splits each identifier with util::splitIdentifier's exact boundary rules
+/// but appends the lowered words straight into the result, skipping the
+/// intermediate per-identifier vector the util function returns.
 std::vector<std::string> identifierTermsFromTokens(
-    const std::vector<lexer::Token>& tokens) {
+    const lexer::TokenStream& tokens) {
   std::vector<std::string> terms;
+  std::string word;
+  auto flush = [&] {
+    if (!word.empty()) {
+      terms.push_back(word);
+      word.clear();
+    }
+  };
+  bool lastUpper = false;
   for (const lexer::Token& t : tokens) {
     if (!t.is(lexer::TokenKind::Identifier)) continue;
-    for (std::string& word : util::splitIdentifier(t.text)) {
-      terms.push_back(std::move(word));
+    const std::string_view name = t.text;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      if (c == '_') {
+        flush();
+        continue;
+      }
+      const bool upper = isAsciiUpper(c);
+      if (upper && !word.empty()) {
+        const bool nextLower = i + 1 < name.size() && isAsciiLower(name[i + 1]);
+        if (!lastUpper || nextLower) flush();
+      }
+      word.push_back(upper ? static_cast<char>(c + 32) : c);
+      lastUpper = upper;
     }
+    flush();
   }
   return terms;
+}
+
+/// Allocation-free equivalent of
+/// vocab.vectorize(identifierTermsFromTokens(tokens)): identifier words are
+/// split into one reused buffer and looked up as views, never materialized
+/// into a per-call std::vector<std::string>. The math matches
+/// Vocabulary::vectorize exactly — +1.0 per in-vocabulary term, then an L1
+/// normalization by the TOTAL term count (out-of-vocabulary included), with
+/// an all-zeros vector for a termless stream.
+std::vector<double> vectorizeIdentifierTerms(const Vocabulary& vocab,
+                                             const lexer::TokenStream& tokens) {
+  std::vector<double> vec(vocab.size(), 0.0);
+  std::size_t termCount = 0;
+  std::string word;
+  auto flush = [&] {
+    if (word.empty()) return;
+    ++termCount;
+    if (const auto idx = vocab.indexOf(word)) vec[*idx] += 1.0;
+    word.clear();
+  };
+  // Word boundaries replicate util::splitIdentifier: '_' separators plus
+  // camelCase transitions, where an acronym run only breaks before its
+  // trailing lowercase ("HTTPServer" -> "http", "server"). `lastUpper`
+  // carries the original case of word.back() since the buffer stores the
+  // already-lowered character.
+  bool lastUpper = false;
+  for (const lexer::Token& t : tokens) {
+    if (!t.is(lexer::TokenKind::Identifier)) continue;
+    const std::string_view name = t.text;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      if (c == '_') {
+        flush();
+        continue;
+      }
+      const bool upper = isAsciiUpper(c);
+      if (upper && !word.empty()) {
+        const bool nextLower = i + 1 < name.size() && isAsciiLower(name[i + 1]);
+        if (!lastUpper || nextLower) flush();
+      }
+      word.push_back(upper ? static_cast<char>(c + 32) : c);
+      lastUpper = upper;
+    }
+    flush();
+  }
+  if (termCount > 0) {
+    const double norm = static_cast<double>(termCount);
+    for (double& v : vec) v /= norm;
+  }
+  return vec;
 }
 
 }  // namespace
 
 std::vector<std::string> identifierTerms(const std::string& source) {
-  return identifierTermsFromTokens(lexer::tokenize(source));
+  const lexer::TokenStream stream = lexer::tokenize(source);
+  return identifierTermsFromTokens(stream);
 }
 
 FeatureExtractor::FeatureExtractor(ExtractorConfig config) : config_(config) {
@@ -448,6 +517,10 @@ FeatureExtractor::FeatureExtractor(ExtractorConfig config,
 }
 
 void FeatureExtractor::fit(const std::vector<std::string>& sources) {
+  // The batch lex->parse->summarize work is the pipeline's "analysis"
+  // phase (one scope per batch call, on the calling thread, so the
+  // CI slowdown-injection hook fires O(1) times per run).
+  runtime::PhaseTimer timer("analysis");
   // Per-source docs come straight off the shared analysis cache, in
   // parallel; vocabulary fitting itself stays serial (term counting is
   // order-independent but cheap).
@@ -555,16 +628,25 @@ std::vector<double> FeatureExtractor::transform(
   std::vector<double> vec;
   vec.reserve(dimension());
 
-  // Token tallies shared by the lexical block.
+  // Token tallies shared by the lexical block. Keyword columns tally into
+  // a fixed array indexed by cppKeywordIndex (same order as cppKeywords(),
+  // so the emitted columns are unchanged) — no string-keyed map on the
+  // per-sample path.
   std::size_t tokenCount = 0;
-  std::map<std::string, std::size_t> keywordCounts;
+  std::vector<std::size_t> keywordCounts(lexer::cppKeywordCount(), 0);
   std::size_t intLits = 0, floatLits = 0, stringLits = 0, charLits = 0;
   std::size_t preprocessor = 0;
   for (const lexer::Token& t : a.tokens) {
     if (t.is(lexer::TokenKind::EndOfFile)) continue;
     ++tokenCount;
     switch (t.kind) {
-      case lexer::TokenKind::Keyword: ++keywordCounts[t.text]; break;
+      case lexer::TokenKind::Keyword: {
+        // Guard: a cache-restored stream could in principle mark a
+        // non-keyword text as Keyword; out-of-table just doesn't count.
+        const std::size_t i = lexer::cppKeywordIndex(t.text);
+        if (i < keywordCounts.size()) ++keywordCounts[i];
+        break;
+      }
       case lexer::TokenKind::IntLiteral: ++intLits; break;
       case lexer::TokenKind::FloatLiteral: ++floatLits; break;
       case lexer::TokenKind::StringLiteral: ++stringLits; break;
@@ -575,10 +657,8 @@ std::vector<double> FeatureExtractor::transform(
   }
 
   if (config_.useLexical) {
-    for (const std::string& kw : lexer::cppKeywords()) {
-      const auto it = keywordCounts.find(kw);
-      vec.push_back(ratio(it == keywordCounts.end() ? 0 : it->second,
-                          tokenCount));
+    for (const std::size_t count : keywordCounts) {
+      vec.push_back(ratio(count, tokenCount));
     }
     const NamingCounts naming = countNaming(a.tokens);
     vec.push_back(naming.meanLength / 16.0);
@@ -597,8 +677,7 @@ std::vector<double> FeatureExtractor::transform(
     vec.push_back(ratio(stringLits, tokenCount));
     vec.push_back(ratio(charLits, tokenCount));
     vec.push_back(ratio(preprocessor, a.layout.lineCount));
-    for (const double v :
-         identifierVocab_.vectorize(identifierTermsFromTokens(a.tokens))) {
+    for (const double v : vectorizeIdentifierTerms(identifierVocab_, a.tokens)) {
       vec.push_back(v);
     }
   }
@@ -656,6 +735,7 @@ std::vector<double> FeatureExtractor::transform(
 
 std::vector<std::vector<double>> FeatureExtractor::transformAll(
     const std::vector<std::string>& sources) const {
+  runtime::PhaseTimer timer("analysis");
   return runtime::parallelMap<std::vector<double>>(
       sources.size(), [&](std::size_t i) { return transform(sources[i]); },
       runtime::ParallelOptions{.maxWorkers = 0, .grain = 8});

@@ -1,17 +1,24 @@
 #include "features/vocabulary.hpp"
 
 #include <algorithm>
-#include <set>
+#include <unordered_set>
 
 namespace sca::features {
 
 Vocabulary Vocabulary::fit(
     const std::vector<std::vector<std::string>>& documents,
     std::size_t maxTerms) {
-  std::map<std::string, std::size_t> docFreq;
+  // Hashed counting; the (freq desc, name asc) sort below imposes a total
+  // order, so the fitted term list is deterministic regardless of hash
+  // iteration order.
+  std::unordered_map<std::string, std::size_t> docFreq;
+  std::unordered_set<std::string_view> unique;
   for (const auto& document : documents) {
-    const std::set<std::string> unique(document.begin(), document.end());
-    for (const std::string& term : unique) ++docFreq[term];
+    unique.clear();
+    unique.reserve(document.size());
+    for (const std::string& term : document) {
+      if (unique.insert(term).second) ++docFreq[term];
+    }
   }
   std::vector<std::pair<std::string, std::size_t>> ranked(docFreq.begin(),
                                                           docFreq.end());
@@ -23,6 +30,7 @@ Vocabulary Vocabulary::fit(
 
   Vocabulary vocab;
   vocab.terms_.reserve(ranked.size());
+  vocab.index_.reserve(ranked.size());
   for (const auto& [term, freq] : ranked) {
     vocab.index_[term] = vocab.terms_.size();
     vocab.terms_.push_back(term);
@@ -33,13 +41,14 @@ Vocabulary Vocabulary::fit(
 Vocabulary Vocabulary::fromTerms(std::vector<std::string> terms) {
   Vocabulary vocab;
   vocab.terms_ = std::move(terms);
+  vocab.index_.reserve(vocab.terms_.size());
   for (std::size_t i = 0; i < vocab.terms_.size(); ++i) {
     vocab.index_[vocab.terms_[i]] = i;
   }
   return vocab;
 }
 
-std::optional<std::size_t> Vocabulary::indexOf(const std::string& term) const {
+std::optional<std::size_t> Vocabulary::indexOf(std::string_view term) const {
   const auto it = index_.find(term);
   if (it == index_.end()) return std::nullopt;
   return it->second;

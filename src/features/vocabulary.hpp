@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace sca::features {
@@ -28,7 +30,7 @@ class Vocabulary {
 
   /// Column index of a term, if in vocabulary.
   [[nodiscard]] std::optional<std::size_t> indexOf(
-      const std::string& term) const;
+      std::string_view term) const;
 
   [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
   [[nodiscard]] const std::vector<std::string>& terms() const noexcept {
@@ -40,8 +42,19 @@ class Vocabulary {
       const std::vector<std::string>& document) const;
 
  private:
+  /// Heterogeneous hasher so indexOf(string_view) never materializes a
+  /// std::string — indexOf is called once per term per sample, which made
+  /// the old std::map (ordered, pointer-chasing) a top-five profile entry.
+  struct TermHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view term) const noexcept {
+      return std::hash<std::string_view>{}(term);
+    }
+  };
+
   std::vector<std::string> terms_;
-  std::map<std::string, std::size_t> index_;
+  std::unordered_map<std::string, std::size_t, TermHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace sca::features

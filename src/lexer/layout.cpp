@@ -1,10 +1,8 @@
 #include "lexer/layout.hpp"
 
-#include <cctype>
 #include <string>
+#include <string_view>
 #include <vector>
-
-#include "util/strings.hpp"
 
 namespace sca::lexer {
 namespace {
@@ -20,33 +18,8 @@ bool isBinaryOpChar(char c) {
 }
 
 bool isWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True if position `i` in `line` is inside a string or char literal.
-/// Computed by a tiny per-line scan; block comments are handled by the
-/// caller which blanks them out before per-line analysis.
-std::vector<bool> literalMask(const std::string& line) {
-  std::vector<bool> mask(line.size(), false);
-  char quote = '\0';
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (quote != '\0') {
-      mask[i] = true;
-      if (c == '\\') {
-        if (i + 1 < line.size()) mask[++i] = true;
-      } else if (c == quote) {
-        quote = '\0';
-      }
-    } else if (c == '"' || c == '\'') {
-      quote = c;
-      mask[i] = true;
-    } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-      for (std::size_t j = i; j < line.size(); ++j) mask[j] = true;
-      break;
-    }
-  }
-  return mask;
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
 }
 
 }  // namespace
@@ -103,9 +76,23 @@ LayoutMetrics computeLayoutMetrics(std::string_view source) {
     }
   }
 
-  const std::vector<std::string> lines = util::split(blanked, '\n');
-  // split() yields one trailing empty field for text ending in '\n'; drop it
-  // so the final newline does not count as a blank line.
+  // Zero-copy line iteration: views into the blanked buffer, mirroring
+  // util::split's fields (one trailing empty field for text ending in '\n'
+  // is dropped so the final newline does not count as a blank line).
+  std::vector<std::string_view> lines;
+  {
+    const std::string_view text = blanked;
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t nl = text.find('\n', from);
+      if (nl == std::string_view::npos) {
+        lines.push_back(text.substr(from));
+        break;
+      }
+      lines.push_back(text.substr(from, nl - from));
+      from = nl + 1;
+    }
+  }
   std::size_t lineTotal = lines.size();
   if (!lines.empty() && lines.back().empty() && !blanked.empty() &&
       blanked.back() == '\n') {
@@ -116,15 +103,20 @@ LayoutMetrics computeLayoutMetrics(std::string_view source) {
   double indentSum = 0.0;
   double lineLengthSum = 0.0;
   for (std::size_t li = 0; li < lineTotal; ++li) {
-    const std::string& line = lines[li];
+    const std::string_view line = lines[li];
     lineLengthSum += static_cast<double>(line.size());
     if (line.size() > m.maxLineLength) m.maxLineLength = line.size();
 
-    const std::string_view trimmed = util::trim(line);
-    if (trimmed.empty()) {
+    // The full C-locale isspace set, matching util::trim exactly.
+    constexpr std::string_view kSpace = " \t\n\v\f\r";
+    const std::size_t firstContent = line.find_first_not_of(kSpace);
+    if (firstContent == std::string_view::npos) {
       ++m.blankLines;
       continue;
     }
+    const std::size_t lastContent = line.find_last_not_of(kSpace);
+    const std::string_view trimmed =
+        line.substr(firstContent, lastContent - firstContent + 1);
 
     // Indentation of non-blank lines.
     if (line[0] == ' ' || line[0] == '\t') {
@@ -151,11 +143,26 @@ LayoutMetrics computeLayoutMetrics(std::string_view source) {
       ++m.bracesEndOfLine;
     }
 
-    // Spacing habits (literals masked out).
-    const std::vector<bool> mask = literalMask(line);
+    // Spacing habits (literals masked out). The literal mask is an inline
+    // quote state machine rather than a per-line bitmap: positions inside a
+    // string/char literal (or after "//") are skipped exactly as the old
+    // precomputed mask skipped them, but without a second pass or a buffer.
+    char quote = '\0';
     for (std::size_t i = 0; i < line.size(); ++i) {
-      if (mask[i]) continue;
       const char c = line[i];
+      if (quote != '\0') {
+        if (c == '\\') {
+          ++i;  // the escaped char is part of the literal
+        } else if (c == quote) {
+          quote = '\0';
+        }
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        quote = c;
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
       if (c == ',') {
         if (i + 1 < line.size() && line[i + 1] == ' ') ++m.spaceAfterComma;
         else if (i + 1 < line.size() && line[i + 1] != '\0') ++m.noSpaceAfterComma;

@@ -1,8 +1,26 @@
 #include "lexer/token.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace sca::lexer {
+namespace {
+
+/// Sorted (ASCII order) — isCppKeyword binary-searches it, and the order
+/// doubles as the stable cppKeywords() feature-column order, which matches
+/// the original vector the columns were first fitted against.
+constexpr std::array<std::string_view, 34> kKeywords = {
+    "auto",     "bool",     "break",    "case",      "char",
+    "const",    "constexpr","continue", "default",   "do",
+    "double",   "else",     "enum",     "false",     "float",
+    "for",      "if",       "int",      "long",      "namespace",
+    "nullptr",  "return",   "short",    "signed",    "sizeof",
+    "static",   "struct",   "switch",   "true",      "typedef",
+    "unsigned", "using",    "void",     "while",
+};
+static_assert(std::is_sorted(kKeywords.begin(), kKeywords.end()));
+
+}  // namespace
 
 std::string_view tokenKindName(TokenKind kind) noexcept {
   switch (kind) {
@@ -22,21 +40,21 @@ std::string_view tokenKindName(TokenKind kind) noexcept {
 }
 
 const std::vector<std::string>& cppKeywords() {
-  static const std::vector<std::string> kKeywords = {
-      "auto",     "bool",     "break",    "case",      "char",
-      "const",    "constexpr","continue", "default",   "do",
-      "double",   "else",     "enum",     "false",     "float",
-      "for",      "if",       "int",      "long",      "namespace",
-      "nullptr",  "return",   "short",    "signed",    "sizeof",
-      "static",   "struct",   "switch",   "true",      "typedef",
-      "unsigned", "using",    "void",     "while",
-  };
-  return kKeywords;
+  static const std::vector<std::string> kVector(kKeywords.begin(),
+                                                kKeywords.end());
+  return kVector;
 }
 
 bool isCppKeyword(std::string_view word) noexcept {
-  const auto& keywords = cppKeywords();
-  return std::binary_search(keywords.begin(), keywords.end(), word);
+  return std::binary_search(kKeywords.begin(), kKeywords.end(), word);
 }
+
+std::size_t cppKeywordIndex(std::string_view word) noexcept {
+  const auto it = std::lower_bound(kKeywords.begin(), kKeywords.end(), word);
+  if (it == kKeywords.end() || *it != word) return kKeywords.size();
+  return static_cast<std::size_t>(it - kKeywords.begin());
+}
+
+std::size_t cppKeywordCount() noexcept { return kKeywords.size(); }
 
 }  // namespace sca::lexer

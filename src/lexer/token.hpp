@@ -3,9 +3,14 @@
 // The lexer keeps comments and preprocessor directives as first-class
 // tokens: layout features read them directly, and the parser re-attaches
 // standalone comments to the AST so the transformer can keep or drop them.
+//
+// Tokens are zero-copy: `text` is a std::string_view into the source
+// buffer owned by the lexer::TokenStream that produced the token (see
+// lexer.hpp for the lifetime rules). A token is 32 bytes and never
+// allocates.
 #pragma once
 
-#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,9 +35,10 @@ enum class TokenKind {
 
 struct Token {
   TokenKind kind = TokenKind::EndOfFile;
-  std::string text;        // exact spelling (comments: interior text)
-  std::size_t line = 0;    // 1-based
-  std::size_t column = 0;  // 1-based
+  std::string_view text;     // slice of the owning TokenStream's source
+  std::uint32_t offset = 0;  // byte offset of `text` within that source
+  std::uint32_t line = 0;    // 1-based, token start
+  std::uint32_t column = 0;  // 1-based, token start
 
   [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
   [[nodiscard]] bool isPunct(std::string_view p) const noexcept {
@@ -44,10 +50,19 @@ struct Token {
 };
 
 /// True for the C++ keywords the subset knows about (used by the lexer to
-/// separate Keyword from Identifier and by lexical features).
+/// separate Keyword from Identifier and by lexical features). Binary
+/// search over a static sorted std::string_view table — no allocation.
 [[nodiscard]] bool isCppKeyword(std::string_view word) noexcept;
 
 /// All keywords the lexer recognizes, in a stable order (feature columns).
 [[nodiscard]] const std::vector<std::string>& cppKeywords();
+
+/// Index of `word` in cppKeywords() order, or cppKeywordCount() when the
+/// word is not a keyword. O(log n), allocation-free — feature extraction
+/// tallies keyword columns through this instead of a string-keyed map.
+[[nodiscard]] std::size_t cppKeywordIndex(std::string_view word) noexcept;
+
+/// Number of keywords (the valid index range of cppKeywordIndex).
+[[nodiscard]] std::size_t cppKeywordCount() noexcept;
 
 }  // namespace sca::lexer

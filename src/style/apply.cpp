@@ -39,16 +39,18 @@ std::string commentFor(const ast::Stmt& stmt, util::Rng& rng) {
 void insertComments(ast::TranslationUnit& unit, const StyleProfile& profile,
                     util::Rng& rng) {
   if (profile.commentDensity <= 0.0) return;
-  auto decorate = [&](std::vector<ast::StmtPtr>& stmts) {
-    std::vector<ast::StmtPtr> out;
+  ast::Arena& arena = unit.arena;
+  auto decorate = [&](std::vector<ast::StmtId>& stmts) {
+    std::vector<ast::StmtId> out;
     out.reserve(stmts.size());
-    for (ast::StmtPtr& stmt : stmts) {
-      if (stmt && !stmt->is<ast::CommentStmt>() &&
+    for (const ast::StmtId stmt : stmts) {
+      if (stmt && !arena[stmt].is<ast::CommentStmt>() &&
           rng.bernoulli(profile.commentDensity)) {
-        out.push_back(
-            ast::commentStmt(commentFor(*stmt, rng), profile.blockComments));
+        // commentFor reads the node before the factory call appends.
+        const std::string text = commentFor(arena[stmt], rng);
+        out.push_back(arena.commentStmt(text, profile.blockComments));
       }
-      out.push_back(std::move(stmt));
+      out.push_back(stmt);
     }
     stmts = std::move(out);
   };

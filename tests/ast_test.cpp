@@ -13,17 +13,19 @@ TypeRef intType() { return TypeRef{BaseType::Int, false}; }
 TranslationUnit tinyUnit() {
   // int main() { int a = 1; if (a < 2) { a = a + 1; } return a; }
   TranslationUnit tu;
+  Arena& a = tu.arena;
   Function main;
   main.returnType = intType();
   main.name = "main";
-  main.body.stmts.push_back(varDecl1(intType(), "a", intLit(1)));
+  main.body.stmts.push_back(a.varDecl1(intType(), "a", a.intLit(1)));
   BlockStmt then;
-  then.stmts.push_back(exprStmt(
-      assign(AssignOp::Assign, ident("a"),
-             binary(BinaryOp::Add, ident("a"), intLit(1)))));
-  main.body.stmts.push_back(ifStmt(
-      binary(BinaryOp::Lt, ident("a"), intLit(2)), makeStmt(std::move(then))));
-  main.body.stmts.push_back(returnStmt(ident("a")));
+  then.stmts.push_back(a.exprStmt(
+      a.assign(AssignOp::Assign, a.ident("a"),
+               a.binary(BinaryOp::Add, a.ident("a"), a.intLit(1)))));
+  main.body.stmts.push_back(
+      a.ifStmt(a.binary(BinaryOp::Lt, a.ident("a"), a.intLit(2)),
+               a.makeStmt(std::move(then))));
+  main.body.stmts.push_back(a.returnStmt(a.ident("a")));
   tu.functions.push_back(std::move(main));
   return tu;
 }
@@ -42,11 +44,20 @@ TEST(Ast, OperatorSpellings) {
 }
 
 TEST(Ast, FactoriesProduceExpectedKinds) {
-  EXPECT_TRUE(intLit(3)->is<IntLit>());
-  EXPECT_TRUE(ident("x")->is<Ident>());
-  EXPECT_TRUE(binary(BinaryOp::Add, intLit(1), intLit(2))->is<Binary>());
-  EXPECT_TRUE(varDecl1(intType(), "x")->is<VarDeclStmt>());
-  EXPECT_TRUE(breakStmt()->is<BreakStmt>());
+  Arena a;
+  EXPECT_TRUE(a[a.intLit(3)].is<IntLit>());
+  EXPECT_TRUE(a[a.ident("x")].is<Ident>());
+  EXPECT_TRUE(a[a.binary(BinaryOp::Add, a.intLit(1), a.intLit(2))].is<Binary>());
+  EXPECT_TRUE(a[a.varDecl1(intType(), "x")].is<VarDeclStmt>());
+  EXPECT_TRUE(a[a.breakStmt()].is<BreakStmt>());
+}
+
+TEST(Ast, NullIdsAreFalsy) {
+  EXPECT_FALSE(bool(ExprId{}));
+  EXPECT_FALSE(bool(StmtId{}));
+  Arena a;
+  EXPECT_TRUE(bool(a.intLit(1)));
+  EXPECT_TRUE(bool(a.breakStmt()));
 }
 
 TEST(Ast, DeepCopyIsStructurallyIndependent) {
@@ -57,6 +68,22 @@ TEST(Ast, DeepCopyIsStructurallyIndependent) {
   copy.functions[0].body.stmts.clear();
   EXPECT_EQ(original.functions[0].name, "main");
   EXPECT_EQ(original.functions[0].body.stmts.size(), 3u);
+}
+
+TEST(Ast, DeepCopyDetachesArenaNodes) {
+  TranslationUnit original = tinyUnit();
+  TranslationUnit copy = deepCopy(original);
+  // Payload mutation in the copy's pools must not leak into the original.
+  forEachExpr(copy, [](Expr& e) {
+    if (auto* id = std::get_if<Ident>(&e.node)) id->name = "zz";
+  });
+  std::size_t originalA = 0;
+  forEachExpr(original, [&](const Expr& e) {
+    if (const auto* id = std::get_if<Ident>(&e.node); id && id->name == "a") {
+      ++originalA;
+    }
+  });
+  EXPECT_EQ(originalA, 4u);  // cond, target, add lhs, return
 }
 
 TEST(Ast, DeepCopyPreservesCounts) {
@@ -89,11 +116,32 @@ TEST(Visit, MaxDepthCountsNesting) {
   EXPECT_EQ(maxStmtDepth(tu), 3u);
 }
 
+TEST(Visit, DepthStatsMatchSeparateQueries) {
+  TranslationUnit tu = tinyUnit();
+  const DepthStats stats = stmtDepthStats(tu);
+  EXPECT_EQ(stats.maxDepth, maxStmtDepth(tu));
+  EXPECT_EQ(stats.count, countStmts(tu));
+  EXPECT_DOUBLE_EQ(stats.mean(), meanStmtDepth(tu));
+}
+
 TEST(Visit, StmtKindNamesStable) {
   TranslationUnit tu = tinyUnit();
-  EXPECT_EQ(stmtKindName(*tu.functions[0].body.stmts[0]), "decl");
-  EXPECT_EQ(stmtKindName(*tu.functions[0].body.stmts[1]), "if");
-  EXPECT_EQ(stmtKindName(*tu.functions[0].body.stmts[2]), "return");
+  const auto& stmts = tu.functions[0].body.stmts;
+  EXPECT_EQ(stmtKindName(tu.arena[stmts[0]]), "decl");
+  EXPECT_EQ(stmtKindName(tu.arena[stmts[1]]), "if");
+  EXPECT_EQ(stmtKindName(tu.arena[stmts[2]]), "return");
+}
+
+TEST(Visit, KindIndexMatchesNamePosition) {
+  TranslationUnit tu = tinyUnit();
+  const auto& stmtNames = allStmtKindNames();
+  forEachStmt(tu, [&](const Stmt& s) {
+    EXPECT_EQ(stmtNames[stmtKindIndex(s)], stmtKindName(s));
+  });
+  const auto& exprNames = allExprKindNames();
+  forEachExpr(tu, [&](const Expr& e) {
+    EXPECT_EQ(exprNames[exprKindIndex(e)], exprKindName(e));
+  });
 }
 
 TEST(Visit, BigramsHaveFunctionRoot) {

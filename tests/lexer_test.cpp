@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "lexer/lexer.hpp"
 
 namespace sca::lexer {
 namespace {
 
-std::vector<Token> lex(std::string_view src) { return tokenize(src); }
+TokenStream lex(std::string_view src) { return tokenize(src); }
 
 TEST(Lexer, EmptyInputYieldsEof) {
   const auto tokens = lex("");
@@ -113,10 +118,82 @@ TEST(Lexer, UnknownBytesBecomePunctuators) {
 
 TEST(Lexer, WithoutTriviaDropsComments) {
   const auto tokens = lex("x // c\n/* d */ y");
-  const auto clean = withoutTrivia(tokens);
+  const std::vector<std::uint32_t> clean = withoutTrivia(tokens);
   ASSERT_EQ(clean.size(), 3u);  // x, y, eof
-  EXPECT_EQ(clean[0].text, "x");
-  EXPECT_EQ(clean[1].text, "y");
+  EXPECT_EQ(tokens[clean[0]].text, "x");
+  EXPECT_EQ(tokens[clean[1]].text, "y");
+}
+
+TEST(Lexer, TokenTextViewsPointIntoStreamSource) {
+  const auto stream =
+      lex("int main() {\n  // add\n  int x = 1 + 2; /* y */\n  return x;\n}\n");
+  const std::string_view src = stream.source();
+  for (const Token& t : stream) {
+    if (t.is(TokenKind::EndOfFile)) {
+      EXPECT_EQ(t.offset, src.size());
+      continue;
+    }
+    // Zero-copy invariant: every token text is a view into the stream's own
+    // source buffer, and offset locates that view.
+    EXPECT_GE(t.text.data(), src.data());
+    EXPECT_LE(t.text.data() + t.text.size(), src.data() + src.size());
+    ASSERT_LE(std::size_t{t.offset} + t.text.size(), src.size());
+    EXPECT_EQ(src.substr(t.offset, t.text.size()), t.text);
+  }
+}
+
+TEST(Lexer, OffsetLineColumnConsistent) {
+  const std::string source =
+      "int a = 1;\n  // note\nwhile (a) { /* dec */ a--; }\n";
+  const auto stream = lex(source);
+  const std::string_view src = stream.source();
+  for (const Token& t : stream) {
+    if (t.is(TokenKind::EndOfFile)) continue;
+    // Recompute line/column from the recorded offset and compare. Comment
+    // offsets point at the interior (after the two delimiter chars), while
+    // line/column point at the delimiter itself.
+    std::uint32_t line = 1;
+    std::uint32_t column = 1;
+    for (std::uint32_t i = 0; i < t.offset; ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    const bool comment =
+        t.is(TokenKind::LineComment) || t.is(TokenKind::BlockComment);
+    EXPECT_EQ(t.line, line) << "token '" << std::string(t.text) << "'";
+    EXPECT_EQ(t.column, comment ? column - 2 : column)
+        << "token '" << std::string(t.text) << "'";
+  }
+}
+
+TEST(Lexer, ViewsSurviveStreamMove) {
+  TokenStream stream = lex("alpha beta");
+  const char* alphaData = stream[0].text.data();
+  TokenStream moved = std::move(stream);
+  EXPECT_EQ(moved[0].text.data(), alphaData);
+  EXPECT_EQ(moved[0].text, "alpha");
+  EXPECT_EQ(moved[1].text, "beta");
+}
+
+TEST(Lexer, FromPartsRebuildsEquivalentStream) {
+  const auto original = lex("int x = 42; // done");
+  // The EOF token rides along as an ordinary (kind, "") part, mirroring how
+  // cached analyses persist token streams.
+  std::vector<std::pair<TokenKind, std::string>> parts;
+  for (const Token& t : original) {
+    parts.emplace_back(t.kind, std::string(t.text));
+  }
+  const TokenStream rebuilt = TokenStream::fromParts(parts);
+  ASSERT_EQ(rebuilt.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].kind, original[i].kind);
+    EXPECT_EQ(rebuilt[i].text, original[i].text);
+  }
+  EXPECT_TRUE(rebuilt[rebuilt.size() - 1].is(TokenKind::EndOfFile));
 }
 
 TEST(Lexer, DotBeforeDigitsIsFloat) {

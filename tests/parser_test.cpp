@@ -15,6 +15,15 @@ ParseResult parseClean(std::string_view src) {
   return result;
 }
 
+// Id-dereference helpers: nodes live in the unit's arena.
+const Stmt& at(const ParseResult& r, StmtId id) { return r.unit.arena[id]; }
+const Expr& at(const ParseResult& r, ExprId id) { return r.unit.arena[id]; }
+
+// Statement `i` of the first function's body.
+const Stmt& stmtAt(const ParseResult& r, std::size_t i) {
+  return at(r, r.unit.functions[0].body.stmts[i]);
+}
+
 TEST(Parser, IncludesAndUsingNamespace) {
   const auto r = parseClean(
       "#include <iostream>\n#include <vector>\nusing namespace std;\n"
@@ -37,32 +46,32 @@ TEST(Parser, TypedefAndUsingAliases) {
   EXPECT_EQ(r.unit.aliases[1].name, "vi");
   EXPECT_TRUE(r.unit.aliases[1].aliased.isVector);
   // "ll x" resolves through the alias:
-  const auto& decl = r.unit.functions[0].body.stmts[0]->as<VarDeclStmt>();
+  const auto& decl = stmtAt(r, 0).as<VarDeclStmt>();
   EXPECT_EQ(decl.type.base, BaseType::LongLong);
 }
 
 TEST(Parser, MultiDeclaratorAndArray) {
   const auto r = parseClean("int main() { int a = 1, b, c[10]; return 0; }\n");
-  const auto& decl = r.unit.functions[0].body.stmts[0]->as<VarDeclStmt>();
+  const auto& decl = stmtAt(r, 0).as<VarDeclStmt>();
   ASSERT_EQ(decl.decls.size(), 3u);
-  EXPECT_NE(decl.decls[0].init, nullptr);
-  EXPECT_EQ(decl.decls[1].init, nullptr);
-  EXPECT_NE(decl.decls[2].arraySize, nullptr);
+  EXPECT_TRUE(bool(decl.decls[0].init));
+  EXPECT_FALSE(bool(decl.decls[1].init));
+  EXPECT_TRUE(bool(decl.decls[2].arraySize));
 }
 
 TEST(Parser, VectorWithConstructorSize) {
   const auto r =
       parseClean("int main() { int n = 3; vector<int> v(n); return 0; }\n");
-  const auto& decl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
+  const auto& decl = stmtAt(r, 1).as<VarDeclStmt>();
   EXPECT_TRUE(decl.type.isVector);
   ASSERT_EQ(decl.decls.size(), 1u);
-  EXPECT_NE(decl.decls[0].init, nullptr);
+  EXPECT_TRUE(bool(decl.decls[0].init));
 }
 
 TEST(Parser, CinChainBecomesReadStmtWithTypes) {
   const auto r = parseClean(
       "int main() { int a; double d; cin >> a >> d; return 0; }\n");
-  const auto& read = r.unit.functions[0].body.stmts[2]->as<ReadStmt>();
+  const auto& read = stmtAt(r, 2).as<ReadStmt>();
   ASSERT_EQ(read.targets.size(), 2u);
   EXPECT_EQ(read.targets[0].type.base, BaseType::Int);
   EXPECT_EQ(read.targets[1].type.base, BaseType::Double);
@@ -72,7 +81,7 @@ TEST(Parser, ScanfBecomesReadStmt) {
   const auto r = parseClean(
       "int main() { int a; long long b; scanf(\"%d %lld\", &a, &b); "
       "return 0; }\n");
-  const auto& read = r.unit.functions[0].body.stmts[2]->as<ReadStmt>();
+  const auto& read = stmtAt(r, 2).as<ReadStmt>();
   ASSERT_EQ(read.targets.size(), 2u);
   EXPECT_EQ(read.targets[1].type.base, BaseType::LongLong);
 }
@@ -82,7 +91,7 @@ TEST(Parser, CoutChainBecomesWriteStmt) {
       "int main() { int i = 1; double x = 2; "
       "cout << \"Case #\" << i << \": \" << fixed << setprecision(6) << x "
       "<< \"\\n\"; return 0; }\n");
-  const auto& write = r.unit.functions[0].body.stmts[2]->as<WriteStmt>();
+  const auto& write = stmtAt(r, 2).as<WriteStmt>();
   EXPECT_TRUE(write.trailingNewline);
   ASSERT_EQ(write.items.size(), 4u);
   EXPECT_TRUE(write.items[0].isLiteral);
@@ -95,7 +104,7 @@ TEST(Parser, CoutChainBecomesWriteStmt) {
 TEST(Parser, EndlFoldsToTrailingNewline) {
   const auto r =
       parseClean("int main() { int i = 0; cout << i << endl; return 0; }\n");
-  const auto& write = r.unit.functions[0].body.stmts[1]->as<WriteStmt>();
+  const auto& write = stmtAt(r, 1).as<WriteStmt>();
   EXPECT_TRUE(write.trailingNewline);
   ASSERT_EQ(write.items.size(), 1u);
 }
@@ -104,7 +113,7 @@ TEST(Parser, PrintfBecomesWriteStmt) {
   const auto r = parseClean(
       "int main() { int i = 1; double x = 0.5; "
       "printf(\"Case #%d: %.6lf\\n\", i, x); return 0; }\n");
-  const auto& write = r.unit.functions[0].body.stmts[2]->as<WriteStmt>();
+  const auto& write = stmtAt(r, 2).as<WriteStmt>();
   EXPECT_TRUE(write.trailingNewline);
   ASSERT_EQ(write.items.size(), 4u);
   EXPECT_EQ(write.items[0].literal, "Case #");
@@ -117,7 +126,7 @@ TEST(Parser, PrintfBecomesWriteStmt) {
 TEST(Parser, PrintfPercentEscape) {
   const auto r = parseClean(
       "int main() { int p = 50; printf(\"%d%%\\n\", p); return 0; }\n");
-  const auto& write = r.unit.functions[0].body.stmts[1]->as<WriteStmt>();
+  const auto& write = stmtAt(r, 1).as<WriteStmt>();
   ASSERT_EQ(write.items.size(), 2u);
   EXPECT_EQ(write.items[1].literal, "%");
 }
@@ -132,53 +141,52 @@ TEST(Parser, ControlFlowShapes) {
       "  if (j == 0) { return 1; } else if (j == 1) { return 2; } else { "
       "return 3; }\n"
       "}\n");
-  const auto& stmts = r.unit.functions[0].body.stmts;
-  EXPECT_TRUE(stmts[0]->is<ForStmt>());
-  EXPECT_TRUE(stmts[2]->is<WhileStmt>());
-  EXPECT_TRUE(stmts[3]->is<DoWhileStmt>());
-  EXPECT_TRUE(stmts[4]->is<IfStmt>());
-  const auto& ifNode = stmts[4]->as<IfStmt>();
-  ASSERT_NE(ifNode.elseBranch, nullptr);
-  EXPECT_TRUE(ifNode.elseBranch->is<IfStmt>());
+  EXPECT_TRUE(stmtAt(r, 0).is<ForStmt>());
+  EXPECT_TRUE(stmtAt(r, 2).is<WhileStmt>());
+  EXPECT_TRUE(stmtAt(r, 3).is<DoWhileStmt>());
+  EXPECT_TRUE(stmtAt(r, 4).is<IfStmt>());
+  const auto& ifNode = stmtAt(r, 4).as<IfStmt>();
+  ASSERT_TRUE(bool(ifNode.elseBranch));
+  EXPECT_TRUE(at(r, ifNode.elseBranch).is<IfStmt>());
 }
 
 TEST(Parser, UnbracedBodiesCanonicalizedToBlocks) {
   const auto r = parseClean(
       "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i;\n"
       "if (s > 3) s = 3; return s; }\n");
-  const auto& loop = r.unit.functions[0].body.stmts[1]->as<ForStmt>();
-  ASSERT_TRUE(loop.body->is<BlockStmt>());
-  EXPECT_EQ(loop.body->as<BlockStmt>().stmts.size(), 1u);
+  const auto& loop = stmtAt(r, 1).as<ForStmt>();
+  ASSERT_TRUE(at(r, loop.body).is<BlockStmt>());
+  EXPECT_EQ(at(r, loop.body).as<BlockStmt>().stmts.size(), 1u);
 }
 
 TEST(Parser, ExpressionPrecedence) {
   const auto r = parseClean("int main() { int x = 1 + 2 * 3; return x; }\n");
-  const auto& decl = r.unit.functions[0].body.stmts[0]->as<VarDeclStmt>();
-  const auto& add = decl.decls[0].init->as<Binary>();
+  const auto& decl = stmtAt(r, 0).as<VarDeclStmt>();
+  const auto& add = at(r, decl.decls[0].init).as<Binary>();
   EXPECT_EQ(add.op, BinaryOp::Add);
-  EXPECT_EQ(add.rhs->as<Binary>().op, BinaryOp::Mul);
+  EXPECT_EQ(at(r, add.rhs).as<Binary>().op, BinaryOp::Mul);
 }
 
 TEST(Parser, TernaryAndCasts) {
   const auto r = parseClean(
       "int main() { int a = 1; double d = (double)a / double(2); "
       "int m = a > 0 ? a : -a; return m; }\n");
-  const auto& dDecl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
-  const auto& division = dDecl.decls[0].init->as<Binary>();
-  EXPECT_TRUE(division.lhs->is<Cast>());
-  EXPECT_FALSE(division.lhs->as<Cast>().functionalStyle);
-  EXPECT_TRUE(division.rhs->is<Cast>());
-  EXPECT_TRUE(division.rhs->as<Cast>().functionalStyle);
-  const auto& mDecl = r.unit.functions[0].body.stmts[2]->as<VarDeclStmt>();
-  EXPECT_TRUE(mDecl.decls[0].init->is<Ternary>());
+  const auto& dDecl = stmtAt(r, 1).as<VarDeclStmt>();
+  const auto& division = at(r, dDecl.decls[0].init).as<Binary>();
+  EXPECT_TRUE(at(r, division.lhs).is<Cast>());
+  EXPECT_FALSE(at(r, division.lhs).as<Cast>().functionalStyle);
+  EXPECT_TRUE(at(r, division.rhs).is<Cast>());
+  EXPECT_TRUE(at(r, division.rhs).as<Cast>().functionalStyle);
+  const auto& mDecl = stmtAt(r, 2).as<VarDeclStmt>();
+  EXPECT_TRUE(at(r, mDecl.decls[0].init).is<Ternary>());
 }
 
 TEST(Parser, MemberCallsFoldToDottedCallee) {
   const auto r = parseClean(
       "int main() { vector<int> v; v.push_back(4); int n = v.size(); "
       "return n; }\n");
-  const auto& callStmt = r.unit.functions[0].body.stmts[1]->as<ExprStmt>();
-  EXPECT_EQ(callStmt.expr->as<Call>().callee, "v.push_back");
+  const auto& callStmt = stmtAt(r, 1).as<ExprStmt>();
+  EXPECT_EQ(at(r, callStmt.expr).as<Call>().callee, "v.push_back");
 }
 
 TEST(Parser, StdQualifiersFoldAway) {
@@ -186,11 +194,11 @@ TEST(Parser, StdQualifiersFoldAway) {
       "#include <iostream>\nint main() { int x; std::cin >> x; "
       "std::cout << std::max(x, 2) << \"\\n\"; return 0; }\n");
   EXPECT_FALSE(r.unit.usingNamespaceStd);
-  const auto& stmts = r.unit.functions[0].body.stmts;
-  EXPECT_TRUE(stmts[1]->is<ReadStmt>());
-  EXPECT_TRUE(stmts[2]->is<WriteStmt>());
-  EXPECT_EQ(stmts[2]->as<WriteStmt>().items[0].expr->as<Call>().callee,
-            "max");
+  EXPECT_TRUE(stmtAt(r, 1).is<ReadStmt>());
+  EXPECT_TRUE(stmtAt(r, 2).is<WriteStmt>());
+  EXPECT_EQ(
+      at(r, stmtAt(r, 2).as<WriteStmt>().items[0].expr).as<Call>().callee,
+      "max");
 }
 
 TEST(Parser, FunctionWithParamsAndReferences) {
@@ -207,10 +215,9 @@ TEST(Parser, FunctionWithParamsAndReferences) {
 TEST(Parser, CommentsAttachAsStatements) {
   const auto r = parseClean(
       "int main() {\n  // read input\n  int x;\n  return 0;\n}\n");
-  const auto& stmts = r.unit.functions[0].body.stmts;
-  ASSERT_GE(stmts.size(), 3u);
-  EXPECT_TRUE(stmts[0]->is<CommentStmt>());
-  EXPECT_EQ(stmts[0]->as<CommentStmt>().text, " read input");
+  ASSERT_GE(r.unit.functions[0].body.stmts.size(), 3u);
+  EXPECT_TRUE(stmtAt(r, 0).is<CommentStmt>());
+  EXPECT_EQ(stmtAt(r, 0).as<CommentStmt>().text, " read input");
 }
 
 TEST(Parser, HeaderCommentCaptured) {
@@ -222,7 +229,7 @@ TEST(Parser, HeaderCommentCaptured) {
 TEST(Parser, GlobalVariablesKept) {
   const auto r = parseClean("int cache[100];\nint main() { return 0; }\n");
   ASSERT_EQ(r.unit.globals.size(), 1u);
-  EXPECT_TRUE(r.unit.globals[0]->is<VarDeclStmt>());
+  EXPECT_TRUE(at(r, r.unit.globals[0]).is<VarDeclStmt>());
 }
 
 TEST(Parser, UnknownStatementDegradesToOpaque) {
@@ -248,10 +255,9 @@ TEST(Parser, CompoundAssignOps) {
   const auto r = parseClean(
       "int main() { int x = 0; x += 2; x -= 1; x *= 3; x /= 2; x %= 5; "
       "return x; }\n");
-  const auto& stmts = r.unit.functions[0].body.stmts;
-  EXPECT_EQ(stmts[1]->as<ExprStmt>().expr->as<Assign>().op,
+  EXPECT_EQ(at(r, stmtAt(r, 1).as<ExprStmt>().expr).as<Assign>().op,
             AssignOp::AddAssign);
-  EXPECT_EQ(stmts[5]->as<ExprStmt>().expr->as<Assign>().op,
+  EXPECT_EQ(at(r, stmtAt(r, 5).as<ExprStmt>().expr).as<Assign>().op,
             AssignOp::ModAssign);
 }
 
@@ -260,10 +266,10 @@ TEST(Parser, VectorOfLongLongAndAliasedVectors) {
       "typedef long long ll;\nusing vll = vector<ll>;\n"
       "int main() { vector<long long> a; vll b; ll x = 0; "
       "a.push_back(x); b.push_back(x); return 0; }\n");
-  const auto& aDecl = r.unit.functions[0].body.stmts[0]->as<VarDeclStmt>();
+  const auto& aDecl = stmtAt(r, 0).as<VarDeclStmt>();
   EXPECT_TRUE(aDecl.type.isVector);
   EXPECT_EQ(aDecl.type.base, BaseType::LongLong);
-  const auto& bDecl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
+  const auto& bDecl = stmtAt(r, 1).as<VarDeclStmt>();
   EXPECT_TRUE(bDecl.type.isVector);
   EXPECT_EQ(bDecl.type.base, BaseType::LongLong);
 }
@@ -271,48 +277,48 @@ TEST(Parser, VectorOfLongLongAndAliasedVectors) {
 TEST(Parser, UnbracedDoWhileBody) {
   const auto r = parseClean(
       "int main() { int i = 3; do i--; while (i > 0); return i; }\n");
-  const auto& loop = r.unit.functions[0].body.stmts[1]->as<DoWhileStmt>();
-  ASSERT_TRUE(loop.body->is<BlockStmt>());
-  EXPECT_EQ(loop.body->as<BlockStmt>().stmts.size(), 1u);
+  const auto& loop = stmtAt(r, 1).as<DoWhileStmt>();
+  ASSERT_TRUE(at(r, loop.body).is<BlockStmt>());
+  EXPECT_EQ(at(r, loop.body).as<BlockStmt>().stmts.size(), 1u);
 }
 
 TEST(Parser, EmptyForClauses) {
   const auto r = parseClean(
       "int main() { int i = 0; for (;;) { i++; if (i > 3) { break; } } "
       "for (; i > 0; ) { i--; } return i; }\n");
-  const auto& infinite = r.unit.functions[0].body.stmts[1]->as<ForStmt>();
-  EXPECT_EQ(infinite.init, nullptr);
-  EXPECT_EQ(infinite.cond, nullptr);
-  EXPECT_EQ(infinite.step, nullptr);
-  const auto& condOnly = r.unit.functions[0].body.stmts[2]->as<ForStmt>();
-  EXPECT_EQ(condOnly.init, nullptr);
-  EXPECT_NE(condOnly.cond, nullptr);
+  const auto& infinite = stmtAt(r, 1).as<ForStmt>();
+  EXPECT_FALSE(bool(infinite.init));
+  EXPECT_FALSE(bool(infinite.cond));
+  EXPECT_FALSE(bool(infinite.step));
+  const auto& condOnly = stmtAt(r, 2).as<ForStmt>();
+  EXPECT_FALSE(bool(condOnly.init));
+  EXPECT_TRUE(bool(condOnly.cond));
 }
 
 TEST(Parser, NestedTernary) {
   const auto r = parseClean(
       "int main() { int a = 5; int s = a > 0 ? 1 : a < 0 ? -1 : 0; "
       "return s; }\n");
-  const auto& decl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
-  const auto& outer = decl.decls[0].init->as<Ternary>();
-  EXPECT_TRUE(outer.elseExpr->is<Ternary>());
+  const auto& decl = stmtAt(r, 1).as<VarDeclStmt>();
+  const auto& outer = at(r, decl.decls[0].init).as<Ternary>();
+  EXPECT_TRUE(at(r, outer.elseExpr).is<Ternary>());
 }
 
 TEST(Parser, LogicalPrecedence) {
   const auto r = parseClean(
       "int main() { int a = 1, b = 0; bool x = a > 0 && b > 0 || a < 0; "
       "return x; }\n");
-  const auto& decl = r.unit.functions[0].body.stmts[1]->as<VarDeclStmt>();
-  const auto& orNode = decl.decls[0].init->as<Binary>();
+  const auto& decl = stmtAt(r, 1).as<VarDeclStmt>();
+  const auto& orNode = at(r, decl.decls[0].init).as<Binary>();
   EXPECT_EQ(orNode.op, BinaryOp::LogicalOr);
-  EXPECT_EQ(orNode.lhs->as<Binary>().op, BinaryOp::LogicalAnd);
+  EXPECT_EQ(at(r, orNode.lhs).as<Binary>().op, BinaryOp::LogicalAnd);
 }
 
 TEST(Parser, GetlineRemainsPlainCall) {
   const auto r = parseClean(
       "int main() { string line; getline(cin, line); return 0; }\n");
-  const auto& stmt = r.unit.functions[0].body.stmts[1]->as<ExprStmt>();
-  EXPECT_EQ(stmt.expr->as<Call>().callee, "getline");
+  const auto& stmt = stmtAt(r, 1).as<ExprStmt>();
+  EXPECT_EQ(at(r, stmt.expr).as<Call>().callee, "getline");
 }
 
 TEST(Parser, CoutWithArithmeticItem) {
@@ -321,11 +327,11 @@ TEST(Parser, CoutWithArithmeticItem) {
   const auto r = parseClean(
       "int main() { int a = 1, b = 2; cout << a + b << \" \" << a * 2 "
       "<< \"\\n\"; return 0; }\n");
-  const auto& write = r.unit.functions[0].body.stmts[1]->as<WriteStmt>();
+  const auto& write = stmtAt(r, 1).as<WriteStmt>();
   ASSERT_EQ(write.items.size(), 3u);
-  EXPECT_TRUE(write.items[0].expr->is<Binary>());
-  EXPECT_EQ(write.items[0].expr->as<Binary>().op, BinaryOp::Add);
-  EXPECT_EQ(write.items[2].expr->as<Binary>().op, BinaryOp::Mul);
+  EXPECT_TRUE(at(r, write.items[0].expr).is<Binary>());
+  EXPECT_EQ(at(r, write.items[0].expr).as<Binary>().op, BinaryOp::Add);
+  EXPECT_EQ(at(r, write.items[2].expr).as<Binary>().op, BinaryOp::Mul);
 }
 
 TEST(Parser, BreakAndContinue) {

@@ -10,6 +10,7 @@
 #include "ast/render.hpp"
 #include "ast/visit.hpp"
 #include "corpus/challenges.hpp"
+#include "lexer/lexer.hpp"
 #include "style/apply.hpp"
 #include "style/profile.hpp"
 
@@ -92,6 +93,37 @@ TEST_P(StyleGridTest, IoStructureSurvivesStyling) {
   EXPECT_EQ(before.readTargets, after.readTargets) << profile.describe();
   EXPECT_EQ(before.writes, after.writes) << profile.describe();
   EXPECT_EQ(before.loops, after.loops) << profile.describe();
+}
+
+TEST_P(StyleGridTest, ArenaCopyAndStreamParseAgree) {
+  // The arena memory model's two load-bearing properties, swept over the
+  // same style grid: (1) parsing a pre-lexed TokenStream (the extractor's
+  // zero-copy path) is the same parse as parsing the text, and (2)
+  // deepCopy — a raw pool copy, valid because ids are arena-relative —
+  // yields a unit that renders byte-identically to its original.
+  const auto [challengeIdx, seed] = GetParam();
+  const corpus::Challenge& challenge =
+      corpus::catalogue()[static_cast<std::size_t>(challengeIdx)];
+  util::Rng profileRng(static_cast<std::uint64_t>(seed) * 15485863 + 29);
+  const style::StyleProfile profile = style::sampleProfile(profileRng);
+  util::Rng applyRng(static_cast<std::uint64_t>(seed) * 982451653 + 17);
+
+  const std::string source =
+      style::applyStyle(challenge.ir, profile, applyRng);
+  const lexer::TokenStream stream = lexer::tokenize(source);
+  const ast::ParseResult fromStream = ast::parse(stream);
+  const ast::ParseResult fromText = ast::parse(source);
+  ASSERT_EQ(fromStream.clean, fromText.clean)
+      << challenge.id << " / " << profile.describe();
+
+  const ast::RenderOptions canonical;
+  const std::string streamRender = ast::render(fromStream.unit, canonical);
+  EXPECT_EQ(streamRender, ast::render(fromText.unit, canonical))
+      << challenge.id << " / " << profile.describe();
+
+  const ast::TranslationUnit copy = ast::deepCopy(fromStream.unit);
+  EXPECT_EQ(ast::render(copy, canonical), streamRender)
+      << challenge.id << " / " << profile.describe();
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -29,6 +29,17 @@
 # check`, a slowdown injected via SCA_OBS_TEST_DELAY_MS must trip it, and
 # a tampered stable digest must fail it regardless of timing.
 #
+# A perf-seed smoke then runs the one-shot pipeline against the committed
+# seed baseline (tools/perf/seed_baseline.jsonl): `history check` must pass
+# (which also pins the stable digest), and the best-of-3 analysis phase must
+# be at least 2x faster than the seed median — the zero-copy lexer / arena
+# AST speedup, locked so it cannot silently erode.
+#
+# Finally, an ASan+UBSan tree focused on the zero-copy lexer and arena
+# parser runs lexer_test, parser_fuzz_test and roundtrip_property_test:
+# the string_view offsets and arena id arithmetic those components rely on
+# are exactly what -fsanitize=address,undefined exists to check.
+#
 # Usage: tools/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
 
@@ -164,6 +175,65 @@ history_smoke() {
 }
 history_smoke
 
+# Perf-seed smoke: the committed seed baseline is the pre-rework cost of the
+# analysis phase. `history check` compares the three fresh runs against it
+# (same bench, threads and env class ⇒ same group) and fails on a slowdown
+# or a stable-digest change; the awk gate then enforces the stronger claim
+# the zero-copy rework made — analysis at least 2x faster than the seed
+# median. Best-of-3 vs the seed *median* damps machine noise on both sides.
+perf_seed_smoke() {
+  echo "=== perf-seed smoke (build-release) ==="
+  local dir=build-release/perf-seed-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local hist="$PWD/$dir/history.jsonl"
+  local cli=build-release/tools/sca_cli
+  cp tools/perf/seed_baseline.jsonl "$hist"
+  # The seed records' env class is exactly "SCA_PIPELINE_ONCE=1". Run under
+  # env -i so no stray SCA_* variable from the caller's shell (even one set
+  # to the empty string) can split the fresh records into a different,
+  # never-compared group.
+  local i
+  for i in 1 2 3; do
+    (cd "$dir" &&
+     env -i PATH="$PATH" HOME="$HOME" \
+       SCA_PIPELINE_ONCE=1 SCA_THREADS=1 SCA_HISTORY="$hist" \
+       SCA_MANIFEST="manifest_$i.json" \
+       ../bench/micro_pipeline > /dev/null)
+  done
+  "$cli" history check "$hist" ||
+    { echo "history check failed against the seed baseline" >&2; exit 1; }
+  awk '
+    match($0, /"analysis":[0-9.eE+-]+/) {
+      v = substr($0, RSTART + 11, RLENGTH - 11) + 0
+      a[++n] = v
+    }
+    END {
+      if (n != 6) {
+        print "perf-seed smoke: expected 6 analysis records, got " n
+        exit 1
+      }
+      # Median of the three seed records = sum minus min minus max.
+      lo = a[1]; hi = a[1]
+      for (i = 2; i <= 3; i++) {
+        if (a[i] < lo) lo = a[i]
+        if (a[i] > hi) hi = a[i]
+      }
+      med = a[1] + a[2] + a[3] - lo - hi
+      best = a[4]
+      for (i = 5; i <= 6; i++) if (a[i] < best) best = a[i]
+      printf "seed median %.6fs, best new %.6fs, speedup %.2fx\n", \
+             med, best, med / best
+      if (best * 2 > med) {
+        print "perf-seed smoke: analysis phase no longer >= 2x faster " \
+              "than the seed baseline"
+        exit 1
+      }
+    }
+  ' "$hist" || exit 1
+  echo "=== perf-seed smoke ok ==="
+}
+perf_seed_smoke
+
 # TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
 # from the caller's environment turn the parallel paths off.
 SCA_THREADS="${SCA_TSAN_THREADS:-4}" \
@@ -174,5 +244,28 @@ SCA_THREADS="${SCA_TSAN_THREADS:-4}" \
 # pass because retried output is byte-identical to a faults-off run.
 SCA_FAULT_RATE="${SCA_CI_FAULT_RATE:-0.05}" \
   run_config build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCA_SANITIZE=address
+
+# ASan+UBSan focused pass over the zero-copy lexer and the arena parser:
+# every token is a string_view into a shared buffer and every AST node an
+# index into a pooled arena, so out-of-bounds views, misaligned access and
+# overflowing offset arithmetic are the realistic failure modes — and the
+# fuzz/property suites are the inputs most likely to provoke them. The
+# binaries run directly (not via ctest) because only these three targets
+# are built in this tree.
+ubsan_focus() {
+  echo "=== configure build-asan-ubsan (lexer/parser focus) ==="
+  cmake -B build-asan-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSCA_SANITIZE=address+undefined
+  echo "=== build build-asan-ubsan ==="
+  cmake --build build-asan-ubsan -j "$JOBS" \
+    --target lexer_test parser_fuzz_test roundtrip_property_test
+  echo "=== test build-asan-ubsan ==="
+  local t
+  for t in lexer_test parser_fuzz_test roundtrip_property_test; do
+    "build-asan-ubsan/tests/$t" ||
+      { echo "$t failed under ASan+UBSan" >&2; exit 1; }
+  done
+}
+ubsan_focus
 
 echo "=== ci ok ==="
