@@ -56,26 +56,40 @@ CachingClient::CachingClient(LlmClient& inner, cache::DiskCache& store,
 
 util::Result<std::string> CachingClient::tryGenerate(
     const corpus::Challenge& challenge) {
-  Served request;
-  request.generate = true;
-  request.challenge = &challenge;
-  return dispatch(std::move(request));
+  CallContext unlimited;
+  return tryGenerate(challenge, unlimited);
 }
 
 util::Result<std::string> CachingClient::tryTransform(
     const std::string& source) {
+  CallContext unlimited;
+  return tryTransform(source, unlimited);
+}
+
+util::Result<std::string> CachingClient::tryGenerate(
+    const corpus::Challenge& challenge, CallContext& context) {
+  Served request;
+  request.generate = true;
+  request.challenge = &challenge;
+  return dispatch(std::move(request), context);
+}
+
+util::Result<std::string> CachingClient::tryTransform(
+    const std::string& source, CallContext& context) {
   Served request;
   request.generate = false;
   request.input = source;
-  return dispatch(std::move(request));
+  return dispatch(std::move(request), context);
 }
 
-util::Result<std::string> CachingClient::callInner(const Served& request) {
-  if (request.generate) return inner_.tryGenerate(*request.challenge);
-  return inner_.tryTransform(request.input);
+util::Result<std::string> CachingClient::callInner(const Served& request,
+                                                   CallContext& context) {
+  if (request.generate) return inner_.tryGenerate(*request.challenge, context);
+  return inner_.tryTransform(request.input, context);
 }
 
-util::Result<std::string> CachingClient::dispatch(Served request) {
+util::Result<std::string> CachingClient::dispatch(Served request,
+                                                  CallContext& context) {
   // Fold this request into the conversation key. Generate keys fold the
   // challenge id (statement text is derived from it); transform keys fold
   // the source — which for a chain is the previous output, so the fold
@@ -99,9 +113,13 @@ util::Result<std::string> CachingClient::dispatch(Served request) {
     }
     // First miss: replay the served prefix through the inner client so its
     // conversation/RNG state matches a cold run, then stop looking up.
+    // Replays reconstruct state the cache already served — administrative
+    // work that must not be billed against the live request's deadline.
     bypass_ = true;
+    CallContext replayContext;
     for (const Served& prior : served_) {
-      (void)callInner(prior);  // output already served; state is the point
+      // Output already served; state is the point.
+      (void)callInner(prior, replayContext);
       ++stats_.replays;
       counters.replays.add();
     }
@@ -111,7 +129,7 @@ util::Result<std::string> CachingClient::dispatch(Served request) {
 
   ++stats_.misses;
   counters.misses.add();
-  util::Result<std::string> result = callInner(request);
+  util::Result<std::string> result = callInner(request, context);
   if (result.ok()) {
     // Best effort: a failed put degrades to a cold entry, nothing more.
     (void)store_.put(key, result.value());

@@ -1,0 +1,61 @@
+// CallContext: the per-request deadline/latency budget threaded through the
+// LlmClient decorator stack.
+//
+// Before the serving layer, deadline-ish state was ambient: the retry loop
+// consulted only its own policy, and nothing upstream could say "stop
+// retrying, the caller's budget is gone". A CallContext makes the budget an
+// explicit value that travels WITH the call:
+//
+//   * the serve loop stamps each admitted request with its deadline
+//     (request field or the server default) before the first LLM call;
+//   * ResilientClient charges every backoff delay against it and stops
+//     retrying — with a final, non-retryable kDeadlineExceeded — as soon as
+//     the next delay cannot be afforded;
+//   * FaultInjectingClient's slow-response mode charges its simulated
+//     latency, so a straggler backend consumes budget exactly like a slow
+//     wire would;
+//   * ShardedClient reads the remaining budget to decide whether another
+//     failover attempt is worth starting at all.
+//
+// Time here is SIMULATED seconds, the same clock the retry layer already
+// accounts backoff in ("llm_backoff_sim"): deterministic, never slept
+// against the in-process model. A real backend would charge wall-clock
+// latencies instead; every decision rule stays the same.
+//
+// A default-constructed context is unlimited: every existing caller that
+// never mentions deadlines keeps its exact pre-context behaviour.
+#pragma once
+
+#include <limits>
+
+namespace sca::llm {
+
+struct CallContext {
+  /// Total simulated-seconds budget for the request (infinity = none).
+  double deadlineSeconds = std::numeric_limits<double>::infinity();
+  /// Simulated seconds consumed so far (backoff delays, injected latency).
+  double chargedSeconds = 0.0;
+
+  [[nodiscard]] static CallContext withDeadline(double seconds) {
+    CallContext ctx;
+    ctx.deadlineSeconds = seconds;
+    return ctx;
+  }
+
+  [[nodiscard]] bool hasDeadline() const noexcept {
+    return deadlineSeconds != std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] double remainingSeconds() const noexcept {
+    return deadlineSeconds - chargedSeconds;
+  }
+  [[nodiscard]] bool expired() const noexcept {
+    return chargedSeconds >= deadlineSeconds;
+  }
+  /// Whether `seconds` more of simulated work still fits in the budget.
+  [[nodiscard]] bool canAfford(double seconds) const noexcept {
+    return chargedSeconds + seconds <= deadlineSeconds;
+  }
+  void charge(double seconds) noexcept { chargedSeconds += seconds; }
+};
+
+}  // namespace sca::llm

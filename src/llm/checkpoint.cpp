@@ -1,5 +1,6 @@
 #include "llm/checkpoint.hpp"
 
+#include "llm/pipelines.hpp"
 #include "obs/log.hpp"
 #include "util/io.hpp"
 #include "util/strings.hpp"
@@ -8,6 +9,24 @@ namespace sca::llm {
 namespace {
 
 constexpr std::string_view kMagic = "sca-chain-v1";
+
+/// Consumes `prefix` then a run of digits into `out`; advances `name`.
+bool eatNumber(std::string_view& name, std::string_view prefix,
+               long long* out) {
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  name.remove_prefix(prefix.size());
+  std::size_t digits = 0;
+  long long value = 0;
+  while (digits < name.size() && name[digits] >= '0' &&
+         name[digits] <= '9') {
+    value = value * 10 + (name[digits] - '0');
+    ++digits;
+  }
+  if (digits == 0) return false;
+  name.remove_prefix(digits);
+  *out = value;
+  return true;
+}
 
 util::Status stale(const std::string& why) {
   obs::logEvent(obs::LogLevel::kInfo, "checkpoint", "stale",
@@ -128,6 +147,19 @@ util::Result<std::vector<std::string>> loadChainCheckpoint(
   return outputs;
 }
 
+bool parseChainCheckpointFilename(std::string_view name,
+                                  CheckpointFilenameKey* out) {
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string_view::npos) name.remove_prefix(slash + 1);
+  CheckpointFilenameKey key;
+  if (!eatNumber(name, "chain_y", &key.year)) return false;
+  if (!eatNumber(name, "_s", &key.settingIndex)) return false;
+  if (!eatNumber(name, "_c", &key.challenge)) return false;
+  if (name != ".jsonl") return false;
+  *out = key;
+  return true;
+}
+
 CheckpointInfo inspectChainCheckpoint(const std::string& path) {
   CheckpointInfo info;
   info.path = path;
@@ -165,6 +197,33 @@ CheckpointInfo inspectChainCheckpoint(const std::string& path) {
   }
   info.headerOk = true;
 
+  // Filename cross-check: the path is derived from the key the loader
+  // validates against, so a header that contradicts its own filename can
+  // never be loaded — the file is stale regardless of its contents.
+  std::string staleReason;
+  CheckpointFilenameKey named;
+  if (parseChainCheckpointFilename(path, &named)) {
+    const std::vector<Setting>& settings = allSettings();
+    std::string expectedLabel = "?";
+    if (named.settingIndex >= 0 &&
+        named.settingIndex < static_cast<long long>(settings.size())) {
+      expectedLabel = settingLabel(
+          settings[static_cast<std::size_t>(named.settingIndex)]);
+    }
+    if (info.year != named.year) {
+      staleReason = "header year " + std::to_string(info.year) +
+                    " vs filename y" + std::to_string(named.year);
+    } else if (info.challenge != named.challenge) {
+      staleReason = "header challenge " + std::to_string(info.challenge) +
+                    " vs filename c" + std::to_string(named.challenge);
+    } else if (info.setting != expectedLabel) {
+      staleReason = "header setting \"" + info.setting +
+                    "\" vs filename s" + std::to_string(named.settingIndex) +
+                    " (\"" + expectedLabel + "\")";
+    }
+    info.stale = !staleReason.empty();
+  }
+
   for (std::size_t i = 1; i < lines.size(); ++i) {
     if (lines[i].empty()) continue;  // trailing newline
     long long step = 0;
@@ -183,7 +242,7 @@ CheckpointInfo inspectChainCheckpoint(const std::string& path) {
     return info;
   }
   info.complete = true;
-  info.verdict = "ok";
+  info.verdict = info.stale ? "stale: " + staleReason : "ok";
   return info;
 }
 

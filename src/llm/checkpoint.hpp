@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.hpp"
@@ -58,15 +59,36 @@ struct ChainKey {
 [[nodiscard]] util::Result<std::vector<std::string>> loadChainCheckpoint(
     const std::string& dir, const ChainKey& key);
 
+/// The chain coordinates a checkpoint FILENAME claims
+/// (chain_y<year>_s<settingIndex>_c<challenge>.jsonl).
+struct CheckpointFilenameKey {
+  long long year = 0;
+  long long settingIndex = 0;
+  long long challenge = 0;
+};
+
+/// Parses the coordinates out of a checkpoint path or bare filename.
+/// False when the name does not follow the scheme.
+[[nodiscard]] bool parseChainCheckpointFilename(std::string_view name,
+                                                CheckpointFilenameKey* out);
+
 /// What `sca_cli checkpoints` reports about one chain file, without
 /// needing the original corpus: the header fields as stored, the entry
 /// count actually on disk, and a verdict string ("ok", "bad magic",
 /// "torn record at line N", "incomplete: 37/50 steps", ...). headerOk is
 /// false when the header itself cannot be trusted (the numeric fields are
 /// then whatever parsed before the failure).
+///
+/// `stale` flags a file whose header disagrees with its own filename
+/// (year, challenge, or setting label vs the filename's setting index).
+/// Such a file is dead weight: loadChainCheckpoint derives the path from
+/// the key it validates against, so a mismatched header means no key will
+/// ever both address and accept this file. `sca_cli checkpoints
+/// --purge-stale` deletes them.
 struct CheckpointInfo {
   std::string path;
   bool headerOk = false;
+  bool stale = false;      // header contradicts the filename (headerOk only)
   std::string magic;
   std::string setting;
   std::string originHash;  // 16 hex chars, as stored

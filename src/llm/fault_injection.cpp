@@ -55,6 +55,10 @@ FaultInjectingClient::FaultKind FaultInjectingClient::roll() {
   if (draw < edge) return FaultKind::Truncate;
   edge += options_.garbageRate;
   if (draw < edge) return FaultKind::Garbage;
+  // Slow is the LAST edge by contract (see header): schedules with
+  // slowRate == 0 keep their historical draw-to-fault mapping bit for bit.
+  edge += options_.slowRate;
+  if (draw < edge) return FaultKind::Slow;
   return FaultKind::None;
 }
 
@@ -82,18 +86,41 @@ std::string FaultInjectingClient::garbleOutput(const std::string& good) {
 }
 
 util::Result<std::string> FaultInjectingClient::dispatch(
-    std::uint64_t requestKey, const std::function<std::string()>& call) {
+    std::uint64_t requestKey, const std::function<std::string()>& call,
+    CallContext& context) {
   ++stats_.attempts;
 
   // Replay: a retry of the request whose completion we last corrupted is
   // served the stashed good completion — the model already produced it, so
   // its RNG stream must not advance again.
   if (pendingGood_.has_value() && pendingKey_ == requestKey) {
+    if (pendingSlow_) {
+      // Slowness is SHARD state, not a per-attempt draw: the retry re-pays
+      // the slow wire for the stashed completion's delivery. With an
+      // attempt timeout below the latency, every retry hangs up again and
+      // the stash survives — the whole ladder surfaces as kTimeout and
+      // byte-identity is restored by conversation replay, not the stash.
+      const bool attemptTimedOut =
+          options_.attemptTimeoutSeconds > 0.0 &&
+          options_.slowLatencySeconds >= options_.attemptTimeoutSeconds;
+      context.charge(attemptTimedOut ? options_.attemptTimeoutSeconds
+                                     : options_.slowLatencySeconds);
+      if (attemptTimedOut || context.expired()) {
+        ++stats_.slowTimeouts;
+        return util::Status(util::StatusCode::kTimeout,
+                            attemptTimedOut
+                                ? "injected slow response exceeded attempt "
+                                  "timeout"
+                                : "injected slow response exceeded deadline");
+      }
+    }
     std::string good = std::move(*pendingGood_);
     pendingGood_.reset();
+    pendingSlow_ = false;
     return good;
   }
   pendingGood_.reset();  // a different request invalidates the stash
+  pendingSlow_ = false;
 
   const FaultKind kind = roll();
   if (kind != FaultKind::None) {
@@ -101,7 +128,7 @@ util::Result<std::string> FaultInjectingClient::dispatch(
                   [&](util::JsonObjectBuilder& fields) {
                     static constexpr const char* kNames[] = {
                         "none", "timeout", "rate_limit", "empty",
-                        "truncated", "garbage"};
+                        "truncated", "garbage", "slow"};
                     fields.add("kind", kNames[static_cast<int>(kind)]);
                   });
   }
@@ -151,6 +178,36 @@ util::Result<std::string> FaultInjectingClient::dispatch(
       pendingKey_ = requestKey;
       return bad;
     }
+    case FaultKind::Slow: {
+      // A straggler, not an outage: the model DOES produce the completion
+      // (its RNG advances exactly as on a healthy call) — only the wire is
+      // slow. Within the caller's budget the call still succeeds; past it
+      // the caller saw nothing come back, so it surfaces as a timeout with
+      // the good completion stashed for the retry.
+      ++stats_.slow;
+      static const obs::Counter kSlowFaults = faultCounter("llm_faults_slow");
+      kSlowFaults.add();
+      std::string good = call();
+      const bool attemptTimedOut =
+          options_.attemptTimeoutSeconds > 0.0 &&
+          options_.slowLatencySeconds >= options_.attemptTimeoutSeconds;
+      // An attempt-timeout hangs up at the timeout mark, so only that much
+      // latency is charged — the caller did not wait out the straggler.
+      context.charge(attemptTimedOut ? options_.attemptTimeoutSeconds
+                                     : options_.slowLatencySeconds);
+      if (attemptTimedOut || context.expired()) {
+        ++stats_.slowTimeouts;
+        pendingGood_ = std::move(good);
+        pendingKey_ = requestKey;
+        pendingSlow_ = true;
+        return util::Status(util::StatusCode::kTimeout,
+                            attemptTimedOut
+                                ? "injected slow response exceeded attempt "
+                                  "timeout"
+                                : "injected slow response exceeded deadline");
+      }
+      return good;
+    }
     case FaultKind::None:
       break;
   }
@@ -159,22 +216,34 @@ util::Result<std::string> FaultInjectingClient::dispatch(
 
 util::Result<std::string> FaultInjectingClient::tryGenerate(
     const corpus::Challenge& challenge) {
-  const std::uint64_t key =
-      util::combine64(util::hash64("generate"), util::hash64(challenge.id));
-  return dispatch(key, [&] {
-    util::Result<std::string> result = inner_.tryGenerate(challenge);
-    return result.valueOr(std::string());
-  });
+  CallContext unlimited;
+  return tryGenerate(challenge, unlimited);
 }
 
 util::Result<std::string> FaultInjectingClient::tryTransform(
     const std::string& source) {
+  CallContext unlimited;
+  return tryTransform(source, unlimited);
+}
+
+util::Result<std::string> FaultInjectingClient::tryGenerate(
+    const corpus::Challenge& challenge, CallContext& context) {
+  const std::uint64_t key =
+      util::combine64(util::hash64("generate"), util::hash64(challenge.id));
+  return dispatch(key, [&] {
+    util::Result<std::string> result = inner_.tryGenerate(challenge, context);
+    return result.valueOr(std::string());
+  }, context);
+}
+
+util::Result<std::string> FaultInjectingClient::tryTransform(
+    const std::string& source, CallContext& context) {
   const std::uint64_t key =
       util::combine64(util::hash64("transform"), util::hash64(source));
   return dispatch(key, [&] {
-    util::Result<std::string> result = inner_.tryTransform(source);
+    util::Result<std::string> result = inner_.tryTransform(source, context);
     return result.valueOr(std::string());
-  });
+  }, context);
 }
 
 }  // namespace sca::llm

@@ -51,6 +51,12 @@ obs::Counter& validationFailuresCounter() {
   return counter;
 }
 
+obs::Counter& deadlineStopsCounter() {
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      "llm_deadline_stops", obs::Stability::kRuntime);
+  return counter;
+}
+
 obs::Histogram& backoffDelayHistogram() {
   static obs::Histogram histogram = obs::MetricsRegistry::global().histogram(
       "llm_backoff_delay_s", {0.25, 0.5, 1, 2, 4, 8, 16, 32},
@@ -100,7 +106,7 @@ util::Status ResilientClient::validate(const std::string& output) const {
   return util::Status::ok();
 }
 
-void ResilientClient::noteFailure() {
+void ResilientClient::noteFailureLocked() {
   if (state_ == BreakerState::HalfOpen) {
     // Failed probe: straight back to open, cooldown restarts.
     state_ = BreakerState::Open;
@@ -124,7 +130,7 @@ void ResilientClient::noteFailure() {
   }
 }
 
-void ResilientClient::noteSuccess() {
+void ResilientClient::noteSuccessLocked() {
   if (state_ != BreakerState::Closed) {
     obs::logEvent(obs::LogLevel::kInfo, "llm", "breaker_closed");
   }
@@ -134,36 +140,72 @@ void ResilientClient::noteSuccess() {
 }
 
 util::Result<std::string> ResilientClient::perform(
-    const std::function<util::Result<std::string>()>& request) {
-  ++stats_.requests;
+    const std::function<util::Result<std::string>()>& request,
+    CallContext& context) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
   obs::Span span("llm_request", "llm");
   util::Status last(util::StatusCode::kInternal, "no attempt made");
 
+  if (context.expired()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deadlineStops;
+    deadlineStopsCounter().add();
+    return util::Status(util::StatusCode::kDeadlineExceeded,
+                        "deadline expired before first attempt");
+  }
+
   for (int attempt = 0; attempt < retry_.maxAttempts; ++attempt) {
     if (attempt > 0) {
-      // Retrying costs budget; once the budget is gone the failure is
-      // final and the caller's degradation policy takes over.
-      if (retriesUsed_ >= retry_.retryBudget) {
-        ++stats_.budgetExhaustions;
-        budgetExhaustionsCounter().add();
-        obs::logEvent(obs::LogLevel::kError, "llm", "retry_budget_exhausted",
-                      [&](util::JsonObjectBuilder& fields) {
-                        fields.addUint("budget", retry_.retryBudget);
-                        fields.add("last_error", last.toString());
-                      });
-        return util::Status(util::StatusCode::kResourceExhausted,
-                            "retry budget spent; last error: " +
-                                last.toString());
+      double delay = 0.0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Retrying costs budget; once the budget is gone the failure is
+        // final and the caller's degradation policy takes over.
+        if (retriesUsed_ >= retry_.retryBudget) {
+          ++stats_.budgetExhaustions;
+          budgetExhaustionsCounter().add();
+          obs::logEvent(obs::LogLevel::kError, "llm",
+                        "retry_budget_exhausted",
+                        [&](util::JsonObjectBuilder& fields) {
+                          fields.addUint("budget", retry_.retryBudget);
+                          fields.add("last_error", last.toString());
+                        });
+          return util::Status(util::StatusCode::kResourceExhausted,
+                              "retry budget spent; last error: " +
+                                  last.toString());
+        }
+        delay = baseDelayFor(attempt - 1);
+        delay *= 1.0 + jitterRng_.uniformReal(-retry_.jitterFraction,
+                                              retry_.jitterFraction);
+        // Deadline gate: backing off into a deadline that cannot cover the
+        // delay would only convert a retryable failure into a late one.
+        // The jitter draw above is already consumed — the stream position
+        // is a function of retry count, never of deadline outcomes.
+        if (!context.canAfford(delay)) {
+          ++stats_.deadlineStops;
+          deadlineStopsCounter().add();
+          obs::logEvent(obs::LogLevel::kWarn, "llm", "deadline_stop",
+                        [&](util::JsonObjectBuilder& fields) {
+                          fields.addDouble("next_delay_s", delay, 3);
+                          fields.addDouble("remaining_s",
+                                           context.remainingSeconds(), 3);
+                          fields.add("last_error", last.toString());
+                        });
+          return util::Status(util::StatusCode::kDeadlineExceeded,
+                              "deadline cannot cover next backoff; "
+                              "last error: " +
+                                  last.toString());
+        }
+        ++retriesUsed_;
+        ++stats_.retries;
+        retriesCounter().add();
+        stats_.simulatedBackoffSeconds += delay;
+        if (backoffLog_.size() < 4096) backoffLog_.push_back(delay);
       }
-      ++retriesUsed_;
-      ++stats_.retries;
-      retriesCounter().add();
-
-      double delay = baseDelayFor(attempt - 1);
-      delay *= 1.0 + jitterRng_.uniformReal(-retry_.jitterFraction,
-                                            retry_.jitterFraction);
-      stats_.simulatedBackoffSeconds += delay;
-      if (backoffLog_.size() < 4096) backoffLog_.push_back(delay);
+      context.charge(delay);
       backoffDelayHistogram().observe(delay);
       runtime::PhaseTimes::global().add("llm_backoff_sim", delay);
       obs::logEvent(obs::LogLevel::kInfo, "llm", "retry",
@@ -174,40 +216,76 @@ util::Result<std::string> ResilientClient::perform(
                     });
       sleeper_(delay);
     }
-    ++stats_.attempts;
 
-    // Circuit gate: an open circuit fails attempts fast until the
-    // cooldown admits a half-open probe.
-    if (state_ == BreakerState::Open) {
-      if (openFastFails_ < breaker_.cooldownAttempts) {
-        ++openFastFails_;
-        ++stats_.breakerFastFails;
-        last = util::Status(util::StatusCode::kUnavailable, "circuit open");
-        continue;
+    // Circuit gate: an open circuit fails attempts fast until the cooldown
+    // admits a half-open probe — and only ONE caller may be that probe.
+    bool amProbe = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.attempts;
+      if (state_ == BreakerState::Open) {
+        if (openFastFails_ < breaker_.cooldownAttempts) {
+          ++openFastFails_;
+          ++stats_.breakerFastFails;
+          last = util::Status(util::StatusCode::kUnavailable, "circuit open");
+          continue;
+        }
+        state_ = BreakerState::HalfOpen;
+        probeInFlight_ = true;
+        amProbe = true;
+        obs::logEvent(obs::LogLevel::kInfo, "llm", "breaker_half_open");
+      } else if (state_ == BreakerState::HalfOpen) {
+        if (probeInFlight_) {
+          // Someone else's probe is in flight: fail fast rather than
+          // stampede a backend that is still proving it recovered.
+          ++stats_.probeFastFails;
+          ++stats_.breakerFastFails;
+          last = util::Status(util::StatusCode::kUnavailable,
+                              "half-open probe in flight");
+          continue;
+        }
+        probeInFlight_ = true;
+        amProbe = true;
       }
-      state_ = BreakerState::HalfOpen;
-      obs::logEvent(obs::LogLevel::kInfo, "llm", "breaker_half_open");
     }
 
     util::Result<std::string> result = request();
+
+    // Validation runs outside the lock (ast::parse is the heavy part).
+    util::Status verdict = util::Status::ok();
     if (result.ok()) {
-      util::Status verdict = validate(result.value());
-      if (verdict.isOk()) {
-        noteSuccess();
+      verdict = validate(result.value());
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (amProbe) probeInFlight_ = false;
+      if (result.ok() && verdict.isOk()) {
+        noteSuccessLocked();
         return result;
       }
-      ++stats_.validationFailures;
-      validationFailuresCounter().add();
-      obs::logEvent(obs::LogLevel::kDebug, "llm", "validation_failure",
-                    [&](util::JsonObjectBuilder& fields) {
-                      fields.add("error", verdict.toString());
-                    });
-      last = verdict;
-    } else {
-      last = result.status();
+      if (result.ok()) {
+        ++stats_.validationFailures;
+        validationFailuresCounter().add();
+        obs::logEvent(obs::LogLevel::kDebug, "llm", "validation_failure",
+                      [&](util::JsonObjectBuilder& fields) {
+                        fields.add("error", verdict.toString());
+                      });
+        last = verdict;
+      } else {
+        last = result.status();
+      }
+      noteFailureLocked();
     }
-    noteFailure();
     if (!last.retryable()) return last;
+  }
+  // A ladder that died timing out surfaces AS a timeout: fleet-level
+  // routing (sharded_client.hpp) treats timeout finals as the signature of
+  // a slow shard, and wrapping them as kResourceExhausted would hide that.
+  if (last.code() == util::StatusCode::kTimeout ||
+      last.code() == util::StatusCode::kDeadlineExceeded) {
+    return util::Status(last.code(),
+                        "attempts exhausted; last error: " + last.toString());
   }
   return util::Status(util::StatusCode::kResourceExhausted,
                       "attempts exhausted; last error: " + last.toString());
@@ -215,12 +293,26 @@ util::Result<std::string> ResilientClient::perform(
 
 util::Result<std::string> ResilientClient::tryGenerate(
     const corpus::Challenge& challenge) {
-  return perform([&] { return inner_.tryGenerate(challenge); });
+  CallContext unlimited;
+  return tryGenerate(challenge, unlimited);
 }
 
 util::Result<std::string> ResilientClient::tryTransform(
     const std::string& source) {
-  return perform([&] { return inner_.tryTransform(source); });
+  CallContext unlimited;
+  return tryTransform(source, unlimited);
+}
+
+util::Result<std::string> ResilientClient::tryGenerate(
+    const corpus::Challenge& challenge, CallContext& context) {
+  return perform([&] { return inner_.tryGenerate(challenge, context); },
+                 context);
+}
+
+util::Result<std::string> ResilientClient::tryTransform(
+    const std::string& source, CallContext& context) {
+  return perform([&] { return inner_.tryTransform(source, context); },
+                 context);
 }
 
 }  // namespace sca::llm

@@ -1,9 +1,9 @@
-// ResilientClient: retry, circuit breaking, budgets and output validation
-// around any LlmClient.
+// ResilientClient: retry, circuit breaking, budgets, deadlines and output
+// validation around any LlmClient.
 //
 // The layer turns the transient failures a real API emits (see
 // fault_injection.hpp for the taxonomy) into either a good completion or a
-// single, final Status the caller can degrade on. Four mechanisms:
+// single, final Status the caller can degrade on. Five mechanisms:
 //
 //   * Retry with exponential backoff + deterministic jitter. Delays follow
 //     base * multiplier^k capped at max, each multiplied by a jitter factor
@@ -17,25 +17,38 @@
 //     cooldowns would make reruns diverge). `failureThreshold` consecutive
 //     attempt failures open the circuit; while open, attempts fail fast
 //     with kUnavailable; after `cooldownAttempts` rejected attempts the
-//     circuit goes half-open and admits one probe — success closes it,
-//     failure re-opens it.
+//     circuit goes half-open and admits ONE probe — success closes it,
+//     failure re-opens it. Under concurrency exactly one caller becomes
+//     the probe (probe-in-flight gating); the rest fail fast instead of
+//     stampeding a backend that is still recovering.
 //
 //   * Retry budget: a per-client cap on total retries across its lifetime,
 //     so a persistently bad backend cannot stall a chain forever. On
 //     exhaustion every subsequent failure is final (kResourceExhausted).
+//
+//   * Deadline budget (CallContext): every backoff delay is charged to the
+//     caller-supplied context; when the context cannot afford the NEXT
+//     delay the loop stops early with kDeadlineExceeded — no point backing
+//     off into a deadline that has already passed. Callers without a
+//     deadline (the default context) never hit this path, byte for byte.
 //
 //   * Output validation: an OK completion is rejected (kEmptyResponse /
 //     kInvalidOutput) when it is empty, a refusal, or no longer parses
 //     cleanly through ast::parse — the contract a transformation must keep
 //     for the stylometry pipeline to measure anything.
 //
-// Instances are not thread-safe; the pipeline builds one client stack per
-// transformation chain (one conversation), which is also what keeps every
-// stream deterministic per (setting, challenge) task.
+// Thread safety: breaker state, retry budget, jitter stream and stats are
+// mutex-guarded, so one instance may front a shard shared by concurrent
+// serve requests. The inner request itself runs OUTSIDE the lock. The
+// pipeline still builds one client stack per transformation chain (one
+// conversation), which is what keeps every stream deterministic per
+// (setting, challenge) task; determinism under sharing is the serving
+// layer's problem (see sharded_client.hpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,6 +88,10 @@ class ResilientClient : public LlmClient {
       const corpus::Challenge& challenge) override;
   [[nodiscard]] util::Result<std::string> tryTransform(
       const std::string& source) override;
+  [[nodiscard]] util::Result<std::string> tryGenerate(
+      const corpus::Challenge& challenge, CallContext& context) override;
+  [[nodiscard]] util::Result<std::string> tryTransform(
+      const std::string& source, CallContext& context) override;
   [[nodiscard]] std::string_view describe() const override {
     return "resilient";
   }
@@ -86,20 +103,32 @@ class ResilientClient : public LlmClient {
     std::uint64_t validationFailures = 0;
     std::uint64_t breakerOpens = 0;
     std::uint64_t breakerFastFails = 0;
+    std::uint64_t probeFastFails = 0;   // callers rejected while a half-open
+                                        // probe was already in flight
     std::uint64_t budgetExhaustions = 0;
+    std::uint64_t deadlineStops = 0;    // retries abandoned: deadline could
+                                        // not cover the next backoff delay
     double simulatedBackoffSeconds = 0.0;
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] BreakerState breakerState() const noexcept { return state_; }
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  [[nodiscard]] BreakerState breakerState() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
 
   /// Every backoff delay issued so far, in order (capped at 4096 entries) —
   /// the observable for schedule-determinism tests.
-  [[nodiscard]] const std::vector<double>& backoffLog() const noexcept {
+  [[nodiscard]] std::vector<double> backoffLog() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return backoffLog_;
   }
 
   /// Replaces the no-op sleeper (a real backend would pass
-  /// std::this_thread::sleep_for here; tests pass a recorder).
+  /// std::this_thread::sleep_for here; tests pass a recorder). Not
+  /// thread-safe: install before sharing the client.
   void setSleeper(std::function<void(double)> sleeper) {
     sleeper_ = std::move(sleeper);
   }
@@ -111,9 +140,11 @@ class ResilientClient : public LlmClient {
  private:
   [[nodiscard]] util::Status validate(const std::string& output) const;
   [[nodiscard]] util::Result<std::string> perform(
-      const std::function<util::Result<std::string>()>& request);
-  void noteFailure();
-  void noteSuccess();
+      const std::function<util::Result<std::string>()>& request,
+      CallContext& context);
+  // Both require mu_ held.
+  void noteFailureLocked();
+  void noteSuccessLocked();
 
   LlmClient& inner_;
   RetryPolicy retry_;
@@ -122,7 +153,9 @@ class ResilientClient : public LlmClient {
   util::Rng jitterRng_;
   std::function<void(double)> sleeper_;
 
+  mutable std::mutex mu_;
   BreakerState state_ = BreakerState::Closed;
+  bool probeInFlight_ = false;  // one caller owns the half-open probe
   int consecutiveFailures_ = 0;
   int openFastFails_ = 0;
   std::uint64_t retriesUsed_ = 0;

@@ -63,7 +63,11 @@ class SyntheticLlm : public LlmClient {
   // LlmClient: the in-process model is the always-healthy backend — its
   // fallible face simply wraps the infallible calls, so the call sequence
   // (and therefore every byte of output) is identical whether the pipeline
-  // holds a SyntheticLlm or an undecorated LlmClient.
+  // holds a SyntheticLlm or an undecorated LlmClient. The inherited
+  // CallContext overloads stay visible: the model itself spends no
+  // simulated time, so they forward here untouched.
+  using LlmClient::tryGenerate;
+  using LlmClient::tryTransform;
   [[nodiscard]] util::Result<std::string> tryGenerate(
       const corpus::Challenge& challenge) override {
     return generate(challenge);

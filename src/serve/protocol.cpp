@@ -1,0 +1,135 @@
+#include "serve/protocol.hpp"
+
+#include "util/strings.hpp"
+
+namespace sca::serve {
+namespace {
+
+Request invalid(std::string id, std::string why) {
+  Request request;
+  request.op = Op::kInvalid;
+  request.id = std::move(id);
+  request.error = std::move(why);
+  return request;
+}
+
+}  // namespace
+
+std::string_view opName(Op op) noexcept {
+  switch (op) {
+    case Op::kGenerate: return "generate";
+    case Op::kTransform: return "transform";
+    case Op::kKillShard: return "kill_shard";
+    case Op::kSlowShard: return "slow_shard";
+    case Op::kShutdown: return "shutdown";
+    case Op::kInvalid: return "invalid";
+  }
+  return "unknown";
+}
+
+bool isControl(Op op) noexcept {
+  return op == Op::kKillShard || op == Op::kSlowShard || op == Op::kShutdown;
+}
+
+Request parseRequest(std::string_view line) {
+  std::string id;
+  (void)util::jsonStringField(line, "id", &id);  // best effort, for errors
+
+  std::string op;
+  if (!util::jsonStringField(line, "op", &op)) {
+    return invalid(std::move(id), "missing \"op\"");
+  }
+
+  Request request;
+  request.id = std::move(id);
+  if (op == "generate") {
+    request.op = Op::kGenerate;
+  } else if (op == "transform") {
+    request.op = Op::kTransform;
+  } else if (op == "kill_shard") {
+    request.op = Op::kKillShard;
+  } else if (op == "slow_shard") {
+    request.op = Op::kSlowShard;
+  } else if (op == "shutdown") {
+    request.op = Op::kShutdown;
+  } else {
+    return invalid(std::move(request.id), "unknown op \"" + op + "\"");
+  }
+
+  if (request.op == Op::kGenerate || request.op == Op::kTransform) {
+    if (request.id.empty()) {
+      return invalid("", "missing \"id\"");
+    }
+    if (!util::jsonIntField(line, "chain", &request.chain) ||
+        request.chain < 0) {
+      return invalid(std::move(request.id), "missing \"chain\"");
+    }
+    (void)util::jsonIntField(line, "deadline_s", &request.deadlineSeconds);
+  }
+  if (request.op == Op::kGenerate &&
+      (!util::jsonIntField(line, "challenge", &request.challenge) ||
+       request.challenge < 0)) {
+    return invalid(std::move(request.id), "missing \"challenge\"");
+  }
+  if (request.op == Op::kTransform &&
+      !util::jsonStringField(line, "source", &request.source)) {
+    return invalid(std::move(request.id), "missing \"source\"");
+  }
+  if (request.op == Op::kKillShard || request.op == Op::kSlowShard) {
+    if (!util::jsonIntField(line, "shard", &request.shard) ||
+        request.shard < 0) {
+      return invalid(std::move(request.id), "missing \"shard\"");
+    }
+    long long slowed = 1;
+    (void)util::jsonIntField(line, "slowed", &slowed);
+    request.slowed = slowed != 0;
+  }
+  return request;
+}
+
+std::string okResponse(std::string_view id, std::string_view output,
+                       int shard, double simSeconds) {
+  util::JsonObjectBuilder out;
+  out.add("id", id);
+  out.add("status", "ok");
+  out.addInt("shard", shard);
+  out.addDouble("sim_s", simSeconds, 3);
+  out.add("output", output);
+  return out.str();
+}
+
+std::string errorResponse(std::string_view id, std::string_view code,
+                          std::string_view message) {
+  util::JsonObjectBuilder out;
+  out.add("id", id);
+  out.add("status", "error");
+  out.add("code", code);
+  out.add("error", message);
+  return out.str();
+}
+
+std::string overloadedResponse(std::string_view id) {
+  util::JsonObjectBuilder out;
+  out.add("id", id);
+  out.add("status", "overloaded");
+  out.add("error", "admission queue full");
+  return out.str();
+}
+
+std::string rejectedResponse(std::string_view id) {
+  util::JsonObjectBuilder out;
+  out.add("id", id);
+  out.add("status", "rejected");
+  out.add("error", "server shutting down");
+  return out.str();
+}
+
+std::string ackResponse(std::string_view id, Op op) {
+  util::JsonObjectBuilder out;
+  out.add("id", id);
+  out.add("status", "ack");
+  out.add("op", opName(op));
+  return out.str();
+}
+
+}  // namespace sca::serve

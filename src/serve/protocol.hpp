@@ -1,0 +1,86 @@
+// JSONL serving protocol: the wire format of `sca_cli serve`.
+//
+// One request per input line, one response per output line, in request
+// order — the contract a batch-synchronous loop can honour exactly. The
+// scanners are util::jsonStringField / jsonIntField (the repo's torn-line-
+// safe field extractors), not a general JSON parser: the schema is flat by
+// design.
+//
+// Requests:
+//
+//   {"op":"generate","id":"r1","chain":0,"challenge":3,"deadline_s":25}
+//   {"op":"transform","id":"r2","chain":0,"source":"...","deadline_s":25}
+//   {"op":"kill_shard","id":"c1","shard":2}
+//   {"op":"slow_shard","id":"c2","shard":1,"slowed":1}
+//   {"op":"shutdown","id":"c3"}
+//
+//   chain        conversation id; requests with the same chain form one
+//                conversation (served sequentially, in arrival order)
+//   challenge    index into the year's challenge catalogue (generate only)
+//   source       input text (transform only)
+//   deadline_s   per-request budget in SIMULATED seconds (integer; absent
+//                or <= 0 means the server default)
+//   slowed       1 to slow the shard, 0 to un-slow (default 1)
+//
+// Responses:
+//
+//   {"id":"r1","status":"ok","shard":0,"sim_s":1.125,"output":"..."}
+//   {"id":"r2","status":"error","code":"timeout","error":"..."}
+//   {"id":"r3","status":"overloaded","error":"admission queue full"}
+//   {"id":"r4","status":"rejected","error":"server shutting down"}
+//   {"id":"c1","status":"ack","op":"kill_shard"}
+//
+// and, as the final line of every run, the drain record — the server's
+// honest account of what degraded (serve/server.hpp documents it).
+//
+// Control ops are barriers: the server finishes every request admitted
+// before the control line, applies it, acks it, and only then reads on —
+// so a chaos schedule expressed in the input stream is deterministic.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sca::serve {
+
+enum class Op {
+  kGenerate,
+  kTransform,
+  kKillShard,
+  kSlowShard,
+  kShutdown,
+  kInvalid,  // parse failure; `error` says why
+};
+
+[[nodiscard]] std::string_view opName(Op op) noexcept;
+[[nodiscard]] bool isControl(Op op) noexcept;
+
+struct Request {
+  Op op = Op::kInvalid;
+  std::string id;
+  long long chain = 0;             // generate / transform
+  long long challenge = 0;         // generate
+  std::string source;              // transform
+  long long deadlineSeconds = -1;  // <= 0: server default
+  long long shard = 0;             // kill_shard / slow_shard
+  bool slowed = true;              // slow_shard
+  std::string error;               // kInvalid only
+};
+
+/// Parses one input line. Never fails hard: anything malformed comes back
+/// as Op::kInvalid with `error` (and whatever `id` could be recovered, so
+/// the error response still correlates).
+[[nodiscard]] Request parseRequest(std::string_view line);
+
+// Response builders — each returns one complete JSON line (no newline).
+[[nodiscard]] std::string okResponse(std::string_view id,
+                                     std::string_view output, int shard,
+                                     double simSeconds);
+[[nodiscard]] std::string errorResponse(std::string_view id,
+                                        std::string_view code,
+                                        std::string_view message);
+[[nodiscard]] std::string overloadedResponse(std::string_view id);
+[[nodiscard]] std::string rejectedResponse(std::string_view id);
+[[nodiscard]] std::string ackResponse(std::string_view id, Op op);
+
+}  // namespace sca::serve

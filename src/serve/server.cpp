@@ -1,0 +1,307 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "corpus/challenges.hpp"
+#include "llm/call_context.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sca::serve {
+namespace {
+
+// All serving telemetry is runtime-tagged: shed counts, queue depth and
+// batch counts depend on arrival patterns and the chaos schedule, never on
+// the stable output bytes.
+struct ServeCounters {
+  obs::Counter requests = make("serve_requests");
+  obs::Counter ok = make("serve_ok");
+  obs::Counter errors = make("serve_errors");
+  obs::Counter shed = make("serve_shed");
+  obs::Counter rejected = make("serve_rejected");
+  obs::Counter invalid = make("serve_invalid");
+  obs::Counter controls = make("serve_controls");
+  obs::Counter batches = make("serve_batches");
+  obs::Gauge queueDepth = obs::MetricsRegistry::global().gauge(
+      "serve_queue_depth", obs::GaugeKind::kMax);
+  obs::Histogram simSeconds = obs::MetricsRegistry::global().histogram(
+      "serve_request_sim_s", {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0},
+      obs::Stability::kRuntime);
+
+  static obs::Counter make(const char* name) {
+    return obs::MetricsRegistry::global().counter(name,
+                                                  obs::Stability::kRuntime);
+  }
+  static ServeCounters& get() {
+    static ServeCounters instance;
+    return instance;
+  }
+};
+
+long long envLong(const char* name, long long fallback, long long lo,
+                  long long hi) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || parsed < lo || parsed > hi) return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::fromEnv() {
+  ServerOptions options;
+  options.queueCapacity = static_cast<std::size_t>(
+      envLong("SCA_SERVE_QUEUE", 64, 1, 1 << 20));
+  options.batchSize = static_cast<std::size_t>(
+      envLong("SCA_SERVE_BATCH", 16, 1, 1 << 16));
+  options.arrivalBurst = static_cast<std::size_t>(
+      envLong("SCA_SERVE_BURST", 16, 1, 1 << 20));
+  options.defaultDeadlineSeconds =
+      envLong("SCA_SERVE_DEADLINE_S", 25, 0, 1 << 20);
+  options.fleet = llm::FleetOptions::fromEnv();
+  options.year = options.fleet.year;
+  return options;
+}
+
+double ServeStats::availabilityPct() const noexcept {
+  const std::uint64_t denied = errors + shed + rejected;
+  const std::uint64_t total = ok + denied;
+  if (total == 0) return 100.0;
+  return 100.0 * static_cast<double>(ok) / static_cast<double>(total);
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), fleet_(options_.fleet) {
+  options_.queueCapacity = std::max<std::size_t>(1, options_.queueCapacity);
+  options_.batchSize = std::max<std::size_t>(1, options_.batchSize);
+  options_.arrivalBurst = std::max<std::size_t>(1, options_.arrivalBurst);
+  challenges_ = corpus::challengesForYear(options_.year);
+}
+
+ServeStats Server::run(std::istream& in, std::ostream& out) {
+  ServeCounters& counters = ServeCounters::get();
+  bool shuttingDown = false;
+  bool eof = false;
+
+  while (!shuttingDown && !eof) {
+    // --- admission phase -------------------------------------------------
+    Request control;
+    bool haveControl = false;
+    std::string line;
+    for (std::size_t read = 0; read < options_.arrivalBurst; ++read) {
+      if (!std::getline(in, line)) {
+        eof = true;
+        break;
+      }
+      if (line.empty()) continue;
+      Request request = parseRequest(line);
+      if (request.op == Op::kInvalid) {
+        ++stats_.invalid;
+        counters.invalid.add();
+        out << errorResponse(request.id, "invalid_argument", request.error)
+            << '\n';
+        continue;
+      }
+      if (isControl(request.op)) {
+        // Barrier: everything admitted so far is served against the
+        // pre-control fleet; the rest of the burst waits in the stream.
+        control = std::move(request);
+        haveControl = true;
+        break;
+      }
+      ++stats_.requests;
+      counters.requests.add();
+      if (queue_.size() >= options_.queueCapacity) {
+        ++stats_.shed;
+        counters.shed.add();
+        out << overloadedResponse(request.id) << '\n';
+        continue;
+      }
+      queue_.push_back(std::move(request));
+    }
+    counters.queueDepth.recordMax(static_cast<double>(queue_.size()));
+
+    if (haveControl && control.op == Op::kShutdown) {
+      // Graceful drain: nothing is mid-batch at a phase boundary, so
+      // "finish in-flight work" is already true; what is merely QUEUED is
+      // refused explicitly rather than served into a closing window.
+      for (const Request& request : queue_) {
+        ++stats_.rejected;
+        counters.rejected.add();
+        out << rejectedResponse(request.id) << '\n';
+      }
+      queue_.clear();
+      ++stats_.controls;
+      counters.controls.add();
+      out << ackResponse(control.id, control.op) << '\n';
+      shuttingDown = true;
+      break;
+    }
+
+    // --- processing phase ------------------------------------------------
+    while (!queue_.empty()) processBatch(out);
+
+    if (haveControl) applyControl(control, out);
+  }
+
+  drainRecord_ = buildDrainRecord();
+  out << drainRecord_ << '\n';
+  out.flush();
+  obs::logEvent(obs::LogLevel::kInfo, "serve", "drain",
+                [&](util::JsonObjectBuilder& fields) {
+                  fields.addUint("ok", stats_.ok);
+                  fields.addUint("errors", stats_.errors);
+                  fields.addUint("shed", stats_.shed);
+                  fields.addUint("rejected", stats_.rejected);
+                  fields.addDouble("availability_pct",
+                                   stats_.availabilityPct(), 2);
+                });
+  return stats_;
+}
+
+void Server::processBatch(std::ostream& out) {
+  ServeCounters& counters = ServeCounters::get();
+  const std::size_t n = std::min(options_.batchSize, queue_.size());
+  std::vector<Request> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+
+  // Group by chain in first-appearance order: chains run in parallel, a
+  // chain's requests run sequentially (they are one conversation), and the
+  // event fold below walks the same order — so health evolution is a pure
+  // function of the request sequence, at any thread count.
+  std::vector<long long> chainOrder;
+  std::map<long long, std::vector<std::size_t>> byChain;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t>& members = byChain[batch[i].chain];
+    if (members.empty()) chainOrder.push_back(batch[i].chain);
+    members.push_back(i);
+  }
+  for (long long chain : chainOrder) {
+    std::unique_ptr<llm::ShardedClient>& client = chains_[chain];
+    if (client == nullptr) {
+      client = std::make_unique<llm::ShardedClient>(
+          fleet_, util::combine64(util::hash64("serve-chain"),
+                                  static_cast<std::uint64_t>(chain)));
+    }
+  }
+
+  // Each index is written by exactly one task (indices are partitioned by
+  // chain), so the shared vectors follow the parallelMap discipline.
+  std::vector<std::string> responses(n);
+  std::vector<Outcome> outcomes(n);
+  (void)runtime::parallelMap<int>(chainOrder.size(), [&](std::size_t ci) {
+    llm::ShardedClient& client = *chains_[chainOrder[ci]];
+    for (std::size_t index : byChain[chainOrder[ci]]) {
+      const Request& request = batch[index];
+      const long long budget = request.deadlineSeconds > 0
+                                   ? request.deadlineSeconds
+                                   : options_.defaultDeadlineSeconds;
+      llm::CallContext context =
+          budget > 0 ? llm::CallContext::withDeadline(
+                           static_cast<double>(budget))
+                     : llm::CallContext{};
+      util::Result<std::string> result = [&]() -> util::Result<std::string> {
+        if (request.op == Op::kGenerate) {
+          if (request.challenge >=
+              static_cast<long long>(challenges_.size())) {
+            return util::Status(util::StatusCode::kInvalidArgument,
+                                "challenge index out of range");
+          }
+          return client.tryGenerate(
+              *challenges_[static_cast<std::size_t>(request.challenge)],
+              context);
+        }
+        return client.tryTransform(request.source, context);
+      }();
+      outcomes[index].simSeconds = context.chargedSeconds;
+      if (result.ok()) {
+        outcomes[index].ok = true;
+        responses[index] = okResponse(request.id, result.value(),
+                                      client.servingShard(),
+                                      context.chargedSeconds);
+      } else {
+        responses[index] = errorResponse(
+            request.id, util::statusCodeName(result.status().code()),
+            result.status().message());
+      }
+    }
+    return 0;
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out << responses[i] << '\n';
+    counters.simSeconds.observe(outcomes[i].simSeconds);
+    if (outcomes[i].ok) {
+      ++stats_.ok;
+      counters.ok.add();
+    } else {
+      ++stats_.errors;
+      counters.errors.add();
+    }
+  }
+  // Health moves here, between batches, in chain first-appearance order.
+  for (long long chain : chainOrder) {
+    fleet_.fold(chains_[chain]->takeEvents());
+  }
+  ++stats_.batches;
+  counters.batches.add();
+}
+
+void Server::applyControl(const Request& request, std::ostream& out) {
+  ServeCounters& counters = ServeCounters::get();
+  if (request.op == Op::kKillShard) {
+    fleet_.killShard(static_cast<int>(request.shard));
+  } else if (request.op == Op::kSlowShard) {
+    fleet_.slowShard(static_cast<int>(request.shard), request.slowed);
+  }
+  ++stats_.controls;
+  counters.controls.add();
+  out << ackResponse(request.id, request.op) << '\n';
+}
+
+std::string Server::buildDrainRecord() const {
+  llm::ShardedClient::Stats conversations;
+  for (const auto& [chain, client] : chains_) {
+    conversations.failovers += client->stats().failovers;
+    conversations.hedges += client->stats().hedges;
+    conversations.hedgeWins += client->stats().hedgeWins;
+    conversations.replayedTurns += client->stats().replayedTurns;
+  }
+  const llm::ShardSet::FleetStats fleet = fleet_.stats();
+
+  util::JsonObjectBuilder out;
+  out.add("event", "drain");
+  out.addUint("requests", stats_.requests);
+  out.addUint("ok", stats_.ok);
+  out.addUint("errors", stats_.errors);
+  out.addUint("shed", stats_.shed);
+  out.addUint("rejected", stats_.rejected);
+  out.addUint("invalid", stats_.invalid);
+  out.addUint("controls", stats_.controls);
+  out.addUint("batches", stats_.batches);
+  out.addDouble("availability_pct", stats_.availabilityPct(), 2);
+  out.addUint("failovers", conversations.failovers);
+  out.addUint("hedges", conversations.hedges);
+  out.addUint("hedge_wins", conversations.hedgeWins);
+  out.addUint("replayed_turns", conversations.replayedTurns);
+  out.addUint("ejections", fleet.ejections);
+  out.addUint("timeout_ejections", fleet.timeoutEjections);
+  out.addUint("probes", fleet.probes);
+  out.addUint("recoveries", fleet.recoveries);
+  out.addRaw("shards", fleet_.healthJson());
+  return out.str();
+}
+
+}  // namespace sca::serve

@@ -1,0 +1,132 @@
+// Batch-synchronous JSONL attribution server over a sharded LLM fleet.
+//
+// `sca_cli serve` wraps this loop around stdin/stdout. The loop alternates
+// two phases, and that alternation is the whole determinism story:
+//
+//   admission   read up to `arrivalBurst` lines. Invalid lines answer
+//               immediately; control lines (kill/slow/shutdown) end the
+//               phase early (they are barriers); data requests enter the
+//               bounded admission queue or — when it is full — are SHED
+//               with an explicit "overloaded" response. Load is never
+//               dropped silently and never buffered unboundedly.
+//
+//   processing  drain the queue in `batchSize` chunks. Each batch groups
+//               requests by chain (first-appearance order), runs chains in
+//               parallel (requests within a chain are a conversation:
+//               sequential by nature), writes responses in request order,
+//               and only then folds the recorded shard events into the
+//               fleet — health moves between batches, never under them,
+//               so the trajectory is identical at every SCA_THREADS.
+//
+// Deadlines: every data request carries a budget in SIMULATED seconds
+// (deadline_s, default `defaultDeadlineSeconds`) which rides a
+// llm::CallContext through retry backoff, injected slow-shard latency and
+// failover. A request that runs out of budget answers "error" with code
+// deadline_exceeded — degraded honestly, not hung.
+//
+// Shutdown is graceful in the batch-synchronous sense: the in-flight batch
+// finishes (nothing is abandoned mid-conversation-turn), every request
+// still queued answers "rejected", the shutdown is acked, and the final
+// line is the drain record:
+//
+//   {"event":"drain","requests":N,"ok":N,"errors":N,"shed":N,
+//    "rejected":N,"invalid":N,"controls":N,"batches":N,
+//    "availability_pct":99.88,
+//    "failovers":N,"hedges":N,"hedge_wins":N,"replayed_turns":N,
+//    "ejections":N,"timeout_ejections":N,"probes":N,"recoveries":N,
+//    "shards":[{"shard":0,"state":"closed",...},...]}
+//
+// EOF on the input behaves like shutdown with an empty queue: drain
+// everything admitted, then write the drain record.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llm/sharded_client.hpp"
+#include "serve/protocol.hpp"
+
+namespace sca::corpus {
+struct Challenge;
+}  // namespace sca::corpus
+
+namespace sca::serve {
+
+struct ServerOptions {
+  std::size_t queueCapacity = 64;  // admission queue bound; beyond it: shed
+  std::size_t batchSize = 16;      // requests per processing chunk
+  std::size_t arrivalBurst = 16;   // lines read per admission phase
+  /// Default per-request budget in simulated seconds. Sits above the
+  /// worst-case healthy retry ladder (~19.4s of backoff), so a healthy
+  /// request always fits. On a slowed shard every attempt hangs up at
+  /// FleetPolicy::attemptTimeoutSeconds (20) — callers with generous
+  /// deadlines ride the full ladder to a failover; callers on this default
+  /// blow the budget after the first slow attempt and answer
+  /// "deadline_exceeded". Both paths feed the consecutive-timeout ejector.
+  long long defaultDeadlineSeconds = 25;
+  int year = 2017;
+  llm::FleetOptions fleet;
+
+  /// SCA_SERVE_QUEUE / SCA_SERVE_BATCH / SCA_SERVE_BURST /
+  /// SCA_SERVE_DEADLINE_S over defaults; fleet from FleetOptions::fromEnv.
+  [[nodiscard]] static ServerOptions fromEnv();
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;  // data requests admitted or shed
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;    // failed after admission (incl. deadline)
+  std::uint64_t shed = 0;      // refused at admission (queue full)
+  std::uint64_t rejected = 0;  // queued but refused at shutdown
+  std::uint64_t invalid = 0;   // unparseable lines
+  std::uint64_t controls = 0;  // control ops applied
+  std::uint64_t batches = 0;
+
+  /// ok / (ok + errors + shed + rejected), in percent; 100 when idle.
+  /// Shed and rejected requests count against availability: refusing work
+  /// is degradation, even when it is the correct degradation.
+  [[nodiscard]] double availabilityPct() const noexcept;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Runs the loop until shutdown or EOF on `in`. One response line per
+  /// request line, drain record last. Not reentrant.
+  [[nodiscard]] ServeStats run(std::istream& in, std::ostream& out);
+
+  /// The fleet, exposed so tests and the chaos bench can inspect health
+  /// (or pre-degrade shards) around a run.
+  [[nodiscard]] llm::ShardSet& fleet() noexcept { return fleet_; }
+  [[nodiscard]] const ServeStats& stats() const noexcept { return stats_; }
+  /// The drain record written by the last run() ("" before that).
+  [[nodiscard]] const std::string& drainRecord() const noexcept {
+    return drainRecord_;
+  }
+
+ private:
+  struct Outcome {
+    bool ok = false;
+    double simSeconds = 0.0;
+  };
+
+  void processBatch(std::ostream& out);
+  void applyControl(const Request& request, std::ostream& out);
+  [[nodiscard]] std::string buildDrainRecord() const;
+
+  ServerOptions options_;
+  llm::ShardSet fleet_;
+  std::vector<const corpus::Challenge*> challenges_;
+  std::deque<Request> queue_;
+  std::map<long long, std::unique_ptr<llm::ShardedClient>> chains_;
+  ServeStats stats_;
+  std::string drainRecord_;
+};
+
+}  // namespace sca::serve

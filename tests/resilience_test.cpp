@@ -3,8 +3,12 @@
 // machine, graceful degradation, and checkpoint/resume bit-identity.
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "ast/parser.hpp"
 #include "corpus/dataset.hpp"
@@ -203,6 +207,118 @@ TEST(FaultInjection, CorruptionsNeverParseClean) {
   EXPECT_FALSE(ast::parse(FaultInjectingClient::garbleOutput(good)).clean);
 }
 
+// ------------------------------------------------------------- slow mode
+
+TEST(FaultInjection, SlowModeWithinBudgetSucceedsAndChargesLatency) {
+  ScriptedClient inner;
+  FaultOptions faults;
+  faults.seed = 11;
+  faults.slowRate = 1.0;
+  faults.slowLatencySeconds = 30.0;
+  FaultInjectingClient faulty(inner, faults);
+
+  CallContext context = CallContext::withDeadline(100.0);
+  const auto result = faulty.tryTransform("x", context);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), kGoodSource);
+  EXPECT_DOUBLE_EQ(context.chargedSeconds, 30.0);
+  EXPECT_EQ(inner.attempts, 1);
+}
+
+TEST(FaultInjection, AttemptTimeoutHangsUpEverySlowDeliveryAttempt) {
+  // Attempt timeout below the injected latency: the caller hangs up at the
+  // 20 s mark even though the request has ample budget, and the RETRY of
+  // the stashed delivery rides the same slow wire — it times out again.
+  ScriptedClient inner;
+  FaultOptions faults;
+  faults.seed = 11;
+  faults.slowRate = 1.0;
+  faults.slowLatencySeconds = 30.0;
+  faults.attemptTimeoutSeconds = 20.0;
+  FaultInjectingClient faulty(inner, faults);
+
+  CallContext context = CallContext::withDeadline(1000.0);
+  const auto first = faulty.tryTransform("x", context);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), util::StatusCode::kTimeout);
+  EXPECT_DOUBLE_EQ(context.chargedSeconds, 20.0);
+
+  const auto second = faulty.tryTransform("x", context);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), util::StatusCode::kTimeout);
+  EXPECT_DOUBLE_EQ(context.chargedSeconds, 40.0);
+  // The model advanced exactly once: retries replay the stash, they never
+  // regenerate the completion.
+  EXPECT_EQ(inner.attempts, 1);
+}
+
+TEST(FaultInjection, SlowStashReplayDeliversTheModelsOnlyCompletion) {
+  // Deadline blown on the first delivery, retried with a fresh budget: the
+  // stashed completion arrives (paying the slow wire again) and is byte-
+  // identical to what a healthy model would have produced — the model's
+  // RNG advanced exactly once.
+  LlmOptions options;
+  options.year = 2017;
+  options.seed = 21;
+  SyntheticLlm model(options);
+  SyntheticLlm twin(options);
+  const std::string input =
+      twin.generate(corpus::challengeById("race"));
+  const std::string source = model.generate(corpus::challengeById("race"));
+
+  FaultOptions faults;
+  faults.seed = 11;
+  faults.slowRate = 1.0;
+  faults.slowLatencySeconds = 30.0;
+  FaultInjectingClient faulty(model, faults);
+
+  CallContext tight = CallContext::withDeadline(10.0);
+  const auto blown = faulty.tryTransform(source, tight);
+  ASSERT_FALSE(blown.ok());
+  EXPECT_EQ(blown.status().code(), util::StatusCode::kTimeout);
+
+  CallContext fresh = CallContext::withDeadline(100.0);
+  const auto delivered = faulty.tryTransform(source, fresh);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(delivered.value(), twin.transform(input));
+}
+
+TEST(ResilientClient, SlowShardLadderSurfacesAsTimeout) {
+  // Every attempt of the ladder hangs up at the attempt timeout; the
+  // exhausted ladder must surface AS a timeout (not kResourceExhausted) —
+  // that classification is what feeds fleet-level timeout ejection.
+  ScriptedClient inner;
+  FaultOptions faults;
+  faults.seed = 11;
+  faults.slowRate = 1.0;
+  faults.slowLatencySeconds = 30.0;
+  faults.attemptTimeoutSeconds = 20.0;
+  FaultInjectingClient faulty(inner, faults);
+  RetryPolicy retry = fastRetry();
+  retry.maxAttempts = 3;
+  ResilientClient client(faulty, retry);
+
+  CallContext context = CallContext::withDeadline(1000.0);
+  const auto result = client.tryTransform("x", context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kTimeout);
+  EXPECT_EQ(inner.attempts, 1);          // stash replayed, model advanced once
+  EXPECT_GE(context.chargedSeconds, 60.0);  // three 20 s hang-ups + backoff
+}
+
+TEST(ResilientClient, DeadlineStopsTheRetryLadder) {
+  DeadClient inner;
+  ResilientClient client(inner, fastRetry());
+  CallContext context = CallContext::withDeadline(1.0);
+  const auto result = client.tryTransform("x", context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_GE(client.stats().deadlineStops, 1u);
+  // The ladder was cut short: the deadline could not cover the next
+  // backoff delay, so the full attempt schedule never ran.
+  EXPECT_LT(inner.attempts, 6);
+}
+
 // -------------------------------------------------------------- retries
 
 TEST(ResilientClient, RetriesUntilSuccess) {
@@ -334,6 +450,89 @@ TEST(ResilientClient, FailedProbeReopensTheCircuit) {
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(client.breakerState(), ResilientClient::BreakerState::Open);
   EXPECT_EQ(inner.attempts, 3);  // fast-fail attempt never reached it
+}
+
+/// Fails the first N backend calls, then BLOCKS the next one until the
+/// test releases it — the window in which concurrent callers must observe
+/// "half-open probe in flight" and fail fast instead of stampeding.
+class GatedClient : public LlmClient {
+ public:
+  explicit GatedClient(int failuresBeforeGate)
+      : failuresBeforeGate_(failuresBeforeGate) {}
+
+  util::Result<std::string> tryGenerate(const corpus::Challenge&) override {
+    return next();
+  }
+  util::Result<std::string> tryTransform(const std::string&) override {
+    return next();
+  }
+  [[nodiscard]] std::string_view describe() const override { return "gated"; }
+
+  void waitForProbe() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return probeArrived_; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  util::Result<std::string> next() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const int call = ++calls_;
+    if (call <= failuresBeforeGate_) {
+      return util::Status(util::StatusCode::kTimeout, "gated failure");
+    }
+    if (call == failuresBeforeGate_ + 1) {
+      probeArrived_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return released_; });
+    }
+    return std::string(kGoodSource);
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int failuresBeforeGate_;
+  int calls_ = 0;
+  bool probeArrived_ = false;
+  bool released_ = false;
+};
+
+TEST(ResilientClient, HalfOpenAdmitsExactlyOneProbeUnderConcurrency) {
+  // Two failures open the circuit; the cooldown admits exactly one probe,
+  // which the gate holds in flight while a second caller arrives.
+  GatedClient inner(2);
+  RetryPolicy retry = fastRetry();
+  retry.maxAttempts = 1;  // one attempt per call: the test drives the arc
+  BreakerPolicy breaker;
+  breaker.failureThreshold = 2;
+  breaker.cooldownAttempts = 1;
+  ResilientClient client(inner, retry, breaker);
+
+  EXPECT_FALSE(client.tryTransform("x").ok());
+  EXPECT_FALSE(client.tryTransform("x").ok());
+  ASSERT_EQ(client.breakerState(), ResilientClient::BreakerState::Open);
+  // Cooldown fast-fail: never reaches the backend.
+  EXPECT_FALSE(client.tryTransform("x").ok());
+
+  std::optional<util::Result<std::string>> probeResult;
+  std::thread probe([&] { probeResult = client.tryTransform("x"); });
+  inner.waitForProbe();
+
+  // While the probe is in flight, a concurrent caller is refused rather
+  // than allowed to stampede the recovering backend.
+  const auto concurrent = client.tryTransform("x");
+  EXPECT_FALSE(concurrent.ok());
+  EXPECT_GE(client.stats().probeFastFails, 1u);
+
+  inner.release();
+  probe.join();
+  ASSERT_TRUE(probeResult.has_value());
+  EXPECT_TRUE(probeResult->ok());
+  EXPECT_EQ(client.breakerState(), ResilientClient::BreakerState::Closed);
 }
 
 // ------------------------------------------------------------ validation

@@ -1,0 +1,273 @@
+// Tests for the JSONL serving loop: protocol parsing, admission /
+// load-shedding, deadline budgets, shutdown semantics and the honesty of
+// the drain record.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/challenges.hpp"
+#include "llm/synthetic_llm.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sca::serve {
+namespace {
+
+constexpr int kYear = 2017;
+
+ServerOptions smallServer(int shards = 1) {
+  ServerOptions options;
+  options.queueCapacity = 64;
+  options.batchSize = 8;
+  options.arrivalBurst = 8;
+  options.year = kYear;
+  options.fleet.shards = shards;
+  options.fleet.year = kYear;
+  return options;
+}
+
+std::vector<std::string> runLines(Server& server, const std::string& stream,
+                                  ServeStats* stats) {
+  std::istringstream in(stream);
+  std::ostringstream out;
+  *stats = server.run(in, out);
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string dataLine(const char* op, const std::string& id, long long chain,
+                     long long deadlineSeconds = -1) {
+  util::JsonObjectBuilder builder;
+  builder.add("op", op);
+  builder.add("id", id);
+  builder.addInt("chain", chain);
+  if (std::string_view(op) == "generate") {
+    builder.addInt("challenge", 0);
+  } else {
+    builder.add("source", "int main() { return 0; }\n");
+  }
+  if (deadlineSeconds > 0) builder.addInt("deadline_s", deadlineSeconds);
+  return builder.str() + "\n";
+}
+
+// -------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesDataAndControlOps) {
+  Request generate = parseRequest(
+      R"({"op":"generate","id":"r1","chain":7,"challenge":3,"deadline_s":25})");
+  EXPECT_EQ(generate.op, Op::kGenerate);
+  EXPECT_EQ(generate.id, "r1");
+  EXPECT_EQ(generate.chain, 7);
+  EXPECT_EQ(generate.challenge, 3);
+  EXPECT_EQ(generate.deadlineSeconds, 25);
+
+  Request transform = parseRequest(
+      R"({"op":"transform","id":"r2","chain":7,"source":"int x;"})");
+  EXPECT_EQ(transform.op, Op::kTransform);
+  EXPECT_EQ(transform.source, "int x;");
+  EXPECT_EQ(transform.deadlineSeconds, -1);
+
+  Request slow = parseRequest(
+      R"({"op":"slow_shard","id":"c1","shard":2,"slowed":0})");
+  EXPECT_EQ(slow.op, Op::kSlowShard);
+  EXPECT_EQ(slow.shard, 2);
+  EXPECT_FALSE(slow.slowed);
+  EXPECT_TRUE(isControl(slow.op));
+
+  Request shutdown = parseRequest(R"({"op":"shutdown","id":"c2"})");
+  EXPECT_EQ(shutdown.op, Op::kShutdown);
+  EXPECT_TRUE(isControl(shutdown.op));
+  EXPECT_FALSE(isControl(Op::kGenerate));
+}
+
+TEST(Protocol, MalformedLinesComeBackInvalidWithRecoveredId) {
+  Request garbage = parseRequest("not json at all");
+  EXPECT_EQ(garbage.op, Op::kInvalid);
+  EXPECT_FALSE(garbage.error.empty());
+
+  // Missing required field: id is still recovered so the error response
+  // correlates with the request.
+  Request missing = parseRequest(R"({"op":"generate","id":"r9","chain":1})");
+  EXPECT_EQ(missing.op, Op::kInvalid);
+  EXPECT_EQ(missing.id, "r9");
+  EXPECT_FALSE(missing.error.empty());
+
+  Request unknownOp = parseRequest(R"({"op":"reboot","id":"r10"})");
+  EXPECT_EQ(unknownOp.op, Op::kInvalid);
+}
+
+TEST(Protocol, ResponseBuildersEmitTheDocumentedSchema) {
+  const std::string ok = okResponse("r1", "int x;", 2, 1.125);
+  EXPECT_NE(ok.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(ok.find("\"shard\":2"), std::string::npos);
+  EXPECT_NE(ok.find("\"sim_s\":1.125"), std::string::npos);
+
+  const std::string error = errorResponse("r2", "timeout", "gone");
+  EXPECT_NE(error.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(error.find("\"code\":\"timeout\""), std::string::npos);
+
+  EXPECT_NE(overloadedResponse("r3").find("\"status\":\"overloaded\""),
+            std::string::npos);
+  EXPECT_NE(rejectedResponse("r4").find("\"status\":\"rejected\""),
+            std::string::npos);
+  const std::string ack = ackResponse("c1", Op::kKillShard);
+  EXPECT_NE(ack.find("\"status\":\"ack\""), std::string::npos);
+  EXPECT_NE(ack.find("\"op\":\"kill_shard\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------- server
+
+TEST(Server, ServesConversationsByteIdenticalToTheBareModel) {
+  Server server(smallServer(/*shards=*/2));
+  std::string stream;
+  stream += dataLine("generate", "a0", 0);
+  stream += dataLine("generate", "b0", 1);
+  stream += dataLine("transform", "a1", 0);
+  stream += dataLine("transform", "b1", 1);
+
+  ServeStats stats;
+  const std::vector<std::string> lines = runLines(server, stream, &stats);
+  EXPECT_EQ(stats.ok, 4u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_DOUBLE_EQ(stats.availabilityPct(), 100.0);
+
+  // Chain 0's generate must equal the bare single-client model under the
+  // serve-chain seed: sharding is invisible in the bytes.
+  llm::LlmOptions options;
+  options.year = kYear;
+  options.seed = util::combine64(util::hash64("serve-chain"), 0);
+  llm::SyntheticLlm bare(options);
+  const auto challenges = corpus::challengesForYear(kYear);
+  const std::string expected = bare.generate(*challenges.front());
+
+  bool found = false;
+  for (const std::string& line : lines) {
+    std::string id;
+    if (!util::jsonStringField(line, "id", &id) || id != "a0") continue;
+    std::string output;
+    ASSERT_TRUE(util::jsonStringField(line, "output", &output));
+    EXPECT_EQ(output, expected);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+  // Responses come back in request order; the drain record is last.
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines.back().find("\"event\":\"drain\""), std::string::npos);
+}
+
+TEST(Server, ShedsExplicitlyWhenTheQueueIsFull) {
+  ServerOptions options = smallServer();
+  options.queueCapacity = 1;
+  options.arrivalBurst = 8;
+  Server server(options);
+
+  std::string stream;
+  for (int i = 0; i < 4; ++i) {
+    stream += dataLine("transform", "r" + std::to_string(i), 0);
+  }
+  ServeStats stats;
+  const std::vector<std::string> lines = runLines(server, stream, &stats);
+
+  // One admitted per burst, the rest answered "overloaded" immediately —
+  // never silently dropped.
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.shed, 3u);
+  int overloaded = 0;
+  for (const std::string& line : lines) {
+    if (line.find("\"status\":\"overloaded\"") != std::string::npos) {
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(overloaded, 3);
+  EXPECT_DOUBLE_EQ(stats.availabilityPct(), 25.0);
+}
+
+TEST(Server, ShutdownRejectsQueuedWorkAndDrains) {
+  Server server(smallServer());
+  std::string stream;
+  stream += dataLine("transform", "r1", 0);
+  stream += R"({"op":"shutdown","id":"c1"})" "\n";
+  stream += dataLine("transform", "never_read", 0);
+
+  ServeStats stats;
+  const std::vector<std::string> lines = runLines(server, stream, &stats);
+  // r1 was queued behind the shutdown barrier: refused explicitly, not
+  // served into a closing window. The line after shutdown is never read.
+  EXPECT_EQ(stats.ok, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"status\":\"rejected\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"id\":\"r1\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"ack\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"event\":\"drain\""), std::string::npos);
+}
+
+TEST(Server, DeadlineExceededIsAnHonestError) {
+  // One shard, slowed before the request arrives: a 10-simulated-second
+  // budget cannot cover even one slow attempt, so the caller gets an
+  // explicit deadline_exceeded error rather than a hung stream.
+  Server server(smallServer(/*shards=*/1));
+  std::string stream;
+  stream += R"({"op":"slow_shard","id":"c1","shard":0})" "\n";
+  stream += dataLine("transform", "r1", 0, /*deadline_s=*/10);
+
+  ServeStats stats;
+  const std::vector<std::string> lines = runLines(server, stream, &stats);
+  EXPECT_EQ(stats.ok, 0u);
+  EXPECT_EQ(stats.errors, 1u);
+  bool sawError = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"id\":\"r1\"") == std::string::npos) continue;
+    EXPECT_NE(line.find("\"status\":\"error\""), std::string::npos);
+    EXPECT_NE(line.find("deadline_exceeded"), std::string::npos);
+    sawError = true;
+  }
+  EXPECT_TRUE(sawError);
+}
+
+TEST(Server, InvalidLinesAreAnsweredAndCounted) {
+  Server server(smallServer());
+  std::string stream = "garbage\n";
+  stream += dataLine("transform", "r1", 0);
+
+  ServeStats stats;
+  const std::vector<std::string> lines = runLines(server, stream, &stats);
+  EXPECT_EQ(stats.invalid, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_NE(lines.front().find("invalid_argument"), std::string::npos);
+}
+
+TEST(Server, DrainRecordMatchesTheStatsItSummarizes) {
+  ServerOptions options = smallServer();
+  options.queueCapacity = 1;
+  options.arrivalBurst = 8;
+  Server server(options);
+  std::string stream;
+  for (int i = 0; i < 3; ++i) {
+    stream += dataLine("transform", "r" + std::to_string(i), 0);
+  }
+  ServeStats stats;
+  (void)runLines(server, stream, &stats);
+
+  const std::string& drain = server.drainRecord();
+  long long value = -1;
+  ASSERT_TRUE(util::jsonIntField(drain, "ok", &value));
+  EXPECT_EQ(value, static_cast<long long>(stats.ok));
+  ASSERT_TRUE(util::jsonIntField(drain, "shed", &value));
+  EXPECT_EQ(value, static_cast<long long>(stats.shed));
+  ASSERT_TRUE(util::jsonIntField(drain, "requests", &value));
+  EXPECT_EQ(value, static_cast<long long>(stats.requests));
+  // The per-shard health report rides along.
+  EXPECT_NE(drain.find("\"shards\":["), std::string::npos);
+  EXPECT_NE(drain.find("\"availability_pct\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sca::serve

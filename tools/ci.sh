@@ -234,6 +234,72 @@ perf_seed_smoke() {
 }
 perf_seed_smoke
 
+# Serve-chaos smoke: the sharded serving stack's hard invariant is that a
+# chaos schedule (mid-run slow + kill, per-attempt fault injection) changes
+# WHICH shard serves and WHAT the telemetry says — never the bytes of a
+# successful response. macro_serve runs a healthy, a chaos and an overload
+# pass over one request stream and exits nonzero unless chaos successes are
+# byte-identical to the healthy run, availability stays >= 99% and the
+# drain record honestly matches the observed counts; the shell re-checks
+# the healthy/chaos digest columns so a digest mismatch is visible in the
+# CI log, not just as an exit code. A JSONL round-trip through `sca_cli
+# serve` then proves the wire loop is deterministic (two identical runs),
+# drains gracefully under a kill + shutdown schedule, and feeds the same
+# perf-history gate as every bench. (The serve/sharded unit tests also run
+# under TSan via the build-tsan suite below.)
+serve_chaos_smoke() {
+  echo "=== serve-chaos smoke (build-release) ==="
+  local dir=build-release/serve-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local hist="$PWD/$dir/history.jsonl"
+  local cli=build-release/tools/sca_cli
+
+  (cd "$dir" &&
+   SCA_THREADS=4 SCA_SHARDS=4 SCA_FAULT_RATE=0.15 SCA_HISTORY="$hist" \
+     ../bench/macro_serve > macro_serve.out) ||
+    { cat "$dir/macro_serve.out" >&2
+      echo "macro_serve chaos assertions failed" >&2; exit 1; }
+  local healthy_digest chaos_digest
+  healthy_digest=$(awk -F'|' '$2 ~ /healthy/ {
+    gsub(/[[:space:]]/, "", $9); print $9}' "$dir/macro_serve.out")
+  chaos_digest=$(awk -F'|' '$2 ~ /chaos/ {
+    gsub(/[[:space:]]/, "", $9); print $9}' "$dir/macro_serve.out")
+  [ -n "$healthy_digest" ] && [ "$healthy_digest" = "$chaos_digest" ] ||
+    { echo "serve-chaos smoke: chaos ok-digest '$chaos_digest' !=" \
+           "healthy '$healthy_digest'" >&2; exit 1; }
+  echo "healthy/chaos ok-digest $healthy_digest"
+
+  serve_stream() {
+    cat <<'EOF'
+{"op":"generate","id":"a0","chain":0,"challenge":0}
+{"op":"generate","id":"b0","chain":1,"challenge":1}
+{"op":"generate","id":"a1","chain":0,"challenge":2}
+{"op":"kill_shard","id":"c1","shard":1}
+{"op":"generate","id":"b1","chain":1,"challenge":3}
+{"op":"shutdown","id":"c2"}
+EOF
+  }
+  local run
+  for run in 1 2; do
+    serve_stream |
+      env SCA_THREADS=4 SCA_SHARDS=2 SCA_HISTORY="$hist" \
+        "$cli" serve > "$dir/serve_$run.jsonl" 2> /dev/null ||
+      { echo "sca_cli serve run $run failed" >&2; exit 1; }
+  done
+  cmp -s "$dir/serve_1.jsonl" "$dir/serve_2.jsonl" ||
+    { echo "serve-chaos smoke: two clean serve runs diverged" >&2; exit 1; }
+  grep -q '"status":"rejected"' "$dir/serve_1.jsonl" ||
+    { echo "serve-chaos smoke: shutdown did not reject queued work" >&2
+      exit 1; }
+  grep -q '"event":"drain"' "$dir/serve_1.jsonl" ||
+    { echo "serve-chaos smoke: no drain record emitted" >&2; exit 1; }
+
+  "$cli" history check "$hist" ||
+    { echo "history check failed over serve-smoke records" >&2; exit 1; }
+  echo "=== serve-chaos smoke ok ==="
+}
+serve_chaos_smoke
+
 # TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
 # from the caller's environment turn the parallel paths off.
 SCA_THREADS="${SCA_TSAN_THREADS:-4}" \

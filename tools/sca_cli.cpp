@@ -11,9 +11,11 @@
 //   sca_cli diff <manifestA> <manifestB>            compare two manifests
 //   sca_cli trace <trace.json> [--summary]          summarize a Chrome trace
 //   sca_cli history list|check|gc [path]            cross-run perf history
-//   sca_cli checkpoints [dir]                       inspect chain checkpoints
+//   sca_cli checkpoints [dir] [--purge-stale]       inspect chain checkpoints
 //   sca_cli cache stats|verify|purge [dir] [manifest.json]
 //                                                   inspect the result cache
+//   sca_cli serve                                   JSONL serving loop on
+//                                                   stdin/stdout
 //
 // No arguments (or `help`) prints the full usage listing and exits 0; an
 // unknown subcommand prints the same listing to stderr and exits nonzero.
@@ -21,6 +23,7 @@
 // Every command flushes the $SCA_TRACE Chrome trace on exit, so any
 // invocation can be profiled: SCA_TRACE=t.json sca_cli train ...
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -40,6 +43,8 @@
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_analysis.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/server.hpp"
 #include "style/archetypes.hpp"
 #include "style/infer.hpp"
 #include "util/log.hpp"
@@ -79,11 +84,20 @@ void printUsage(std::ostream& out) {
       "                              cross-run perf history; default path\n"
       "                              $SCA_HISTORY or\n"
       "                              bench_out/history/history.jsonl\n"
-      "  checkpoints [dir]           inspect chain checkpoints\n"
+      "  checkpoints [dir] [--purge-stale]\n"
+      "                              inspect chain checkpoints; with\n"
+      "                              --purge-stale, delete files whose\n"
+      "                              header contradicts their filename\n"
       "                              (default $SCA_CHECKPOINT_DIR)\n"
       "  cache stats|verify|purge [dir] [manifest.json]\n"
       "                              inspect the result cache\n"
       "                              (default dir: $SCA_CACHE_DIR)\n"
+      "  serve                       JSONL serving loop on stdin/stdout\n"
+      "                              over a sharded LLM fleet (SCA_SHARDS,\n"
+      "                              SCA_FAULT_RATE, SCA_SERVE_QUEUE,\n"
+      "                              SCA_SERVE_BATCH, SCA_SERVE_BURST,\n"
+      "                              SCA_SERVE_DEADLINE_S; schema in\n"
+      "                              src/serve/protocol.hpp)\n"
       "  help                        this listing\n";
 }
 
@@ -532,14 +546,24 @@ int cmdHistory(const std::vector<std::string>& args) {
 
 int cmdCheckpoints(const std::vector<std::string>& args) {
   std::string dir;
-  if (!args.empty()) {
-    dir = args[0];
-  } else if (const char* env = std::getenv("SCA_CHECKPOINT_DIR");
-             env != nullptr && *env != '\0') {
-    dir = env;
-  } else {
-    std::cerr << "error: no directory given and SCA_CHECKPOINT_DIR unset\n";
-    return 2;
+  bool purgeStale = false;
+  for (const std::string& arg : args) {
+    if (arg == "--purge-stale") {
+      purgeStale = true;
+    } else if (dir.empty() && arg.rfind("--", 0) != 0) {
+      dir = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (dir.empty()) {
+    if (const char* env = std::getenv("SCA_CHECKPOINT_DIR");
+        env != nullptr && *env != '\0') {
+      dir = env;
+    } else {
+      std::cerr << "error: no directory given and SCA_CHECKPOINT_DIR unset\n";
+      return 2;
+    }
   }
   if (!std::filesystem::is_directory(dir)) {
     std::cerr << "error: " << dir << " is not a directory\n";
@@ -561,6 +585,8 @@ int cmdCheckpoints(const std::vector<std::string>& args) {
   }
 
   std::size_t complete = 0;
+  std::size_t stale = 0;
+  std::size_t purged = 0;
   for (const std::string& path : paths) {
     const llm::CheckpointInfo info = llm::inspectChainCheckpoint(path);
     std::cout << std::filesystem::path(path).filename().string() << ": ";
@@ -573,9 +599,76 @@ int cmdCheckpoints(const std::vector<std::string>& args) {
     } else {
       std::cout << info.verdict << '\n';
     }
-    if (info.complete) ++complete;
+    if (info.complete && !info.stale) ++complete;
+    if (info.stale) {
+      ++stale;
+      if (purgeStale) {
+        std::error_code ec;
+        if (std::filesystem::remove(path, ec) && !ec) {
+          ++purged;
+          std::cout << "  purged\n";
+        } else {
+          std::cout << "  PURGE FAILED: " << ec.message() << '\n';
+        }
+      }
+    }
   }
-  std::cout << complete << "/" << paths.size() << " chains complete\n";
+  std::cout << complete << "/" << paths.size() << " chains complete";
+  if (stale > 0) {
+    std::cout << ", " << stale << " stale";
+    if (purgeStale) std::cout << " (" << purged << " purged)";
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+/// `serve`: the JSONL serving loop (src/serve/server.hpp) on
+/// stdin/stdout. Responses and the drain record go to stdout; the human
+/// summary goes to stderr. With SCA_MANIFEST set, the run's manifest is
+/// written on exit; with SCA_HISTORY set, one history record is appended —
+/// the same artifacts a bench run leaves, so `sca_cli history check` and
+/// the CI smoke gates cover serving runs too.
+int cmdServe(const std::vector<std::string>& args) {
+  if (!args.empty()) return usage();
+  const auto start = std::chrono::steady_clock::now();
+  serve::Server server(serve::ServerOptions::fromEnv());
+  const serve::ServeStats stats = server.run(std::cin, std::cout);
+  const double totalSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  obs::recordProcessRusage();
+  const std::size_t threads = runtime::globalPool().size();
+  if (const char* manifestPath = std::getenv("SCA_MANIFEST");
+      manifestPath != nullptr && *manifestPath != '\0') {
+    obs::RunManifestOptions options;
+    options.path = manifestPath;
+    options.benchName = "serve";
+    options.complete = true;
+    options.threads = threads;
+    const util::Status status = obs::writeRunManifest(options);
+    if (!status.isOk()) {
+      std::cerr << "[manifest] write failed: " << status.toString() << '\n';
+    }
+  }
+  if (const char* historyPath = std::getenv("SCA_HISTORY");
+      historyPath != nullptr && *historyPath != '\0') {
+    if (const std::string resolved = obs::configuredHistoryPath();
+        !resolved.empty()) {
+      obs::HistoryStore store(resolved);
+      const util::Status status =
+          obs::appendRunHistory(store, "serve", threads, true, totalSeconds);
+      if (!status.isOk()) {
+        std::cerr << "[history] append failed: " << status.toString() << '\n';
+      }
+    }
+  }
+
+  std::cerr << "served " << stats.ok << "/" << stats.requests
+            << " ok (errors " << stats.errors << ", shed " << stats.shed
+            << ", rejected " << stats.rejected << ", invalid "
+            << stats.invalid << "), availability "
+            << util::formatDouble(stats.availabilityPct(), 2) << "%\n";
   return 0;
 }
 
@@ -685,6 +778,7 @@ int dispatch(const std::string& command,
   if (command == "history") return cmdHistory(args);
   if (command == "checkpoints") return cmdCheckpoints(args);
   if (command == "cache") return cmdCache(args);
+  if (command == "serve") return cmdServe(args);
   if (command == "help" || command == "--help" || command == "-h") {
     printUsage(std::cout);
     return 0;
