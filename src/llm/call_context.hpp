@@ -24,17 +24,44 @@
 //
 // A default-constructed context is unlimited: every existing caller that
 // never mentions deadlines keeps its exact pre-context behaviour.
+//
+// RequestTelemetry rides the same vehicle in the opposite direction: the
+// serve loop hangs one per-request record off the context, and each layer
+// that makes a decision (retry fired, backoff charged, failover walked,
+// hedge raced) notes it there on the way down. The pointer is observational
+// only — no layer branches on it, so a null-telemetry call computes the
+// exact same bytes as an instrumented one (the event-log determinism rule,
+// applied to per-request accounting).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 
 namespace sca::llm {
+
+/// One request's lifecycle, filled in by the decorator stack. Owned by the
+/// caller (the serve loop keeps one per in-flight request); layers mutate
+/// it through CallContext::telemetry without locking — a context never
+/// crosses threads mid-call.
+struct RequestTelemetry {
+  int attempts = 0;        // ResilientClient attempts (incl. fast-fails)
+  int retries = 0;         // backoff delays actually charged
+  double backoffSeconds = 0.0;  // simulated backoff charged
+  int deadlineStops = 0;   // retry ladders cut short by the budget
+  int failovers = 0;       // shard-to-shard conversation moves
+  int hedges = 0;          // hedged attempts raced
+  int hedgeWins = 0;
+  int replayedTurns = 0;   // conversation turns replayed into fresh stacks
+  int shard = -1;          // last shard attempted (the server on success)
+};
 
 struct CallContext {
   /// Total simulated-seconds budget for the request (infinity = none).
   double deadlineSeconds = std::numeric_limits<double>::infinity();
   /// Simulated seconds consumed so far (backoff delays, injected latency).
   double chargedSeconds = 0.0;
+  /// Optional per-request accounting sink (not owned; may be null).
+  RequestTelemetry* telemetry = nullptr;
 
   [[nodiscard]] static CallContext withDeadline(double seconds) {
     CallContext ctx;

@@ -153,6 +153,7 @@ util::Result<std::string> ResilientClient::perform(
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.deadlineStops;
     deadlineStopsCounter().add();
+    if (context.telemetry != nullptr) ++context.telemetry->deadlineStops;
     return util::Status(util::StatusCode::kDeadlineExceeded,
                         "deadline expired before first attempt");
   }
@@ -187,6 +188,9 @@ util::Result<std::string> ResilientClient::perform(
         if (!context.canAfford(delay)) {
           ++stats_.deadlineStops;
           deadlineStopsCounter().add();
+          if (context.telemetry != nullptr) {
+            ++context.telemetry->deadlineStops;
+          }
           obs::logEvent(obs::LogLevel::kWarn, "llm", "deadline_stop",
                         [&](util::JsonObjectBuilder& fields) {
                           fields.addDouble("next_delay_s", delay, 3);
@@ -206,6 +210,10 @@ util::Result<std::string> ResilientClient::perform(
         if (backoffLog_.size() < 4096) backoffLog_.push_back(delay);
       }
       context.charge(delay);
+      if (context.telemetry != nullptr) {
+        ++context.telemetry->retries;
+        context.telemetry->backoffSeconds += delay;
+      }
       backoffDelayHistogram().observe(delay);
       runtime::PhaseTimes::global().add("llm_backoff_sim", delay);
       obs::logEvent(obs::LogLevel::kInfo, "llm", "retry",
@@ -220,6 +228,7 @@ util::Result<std::string> ResilientClient::perform(
     // Circuit gate: an open circuit fails attempts fast until the cooldown
     // admits a half-open probe — and only ONE caller may be that probe.
     bool amProbe = false;
+    if (context.telemetry != nullptr) ++context.telemetry->attempts;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.attempts;

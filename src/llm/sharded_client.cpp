@@ -407,6 +407,7 @@ util::Result<std::string> ShardedClient::dispatchInner(
     if (lastShard_ >= 0 && lastShard_ != shard) {
       ++stats_.failovers;
       failoversCounter().add();
+      if (context.telemetry != nullptr) ++context.telemetry->failovers;
       obs::logEvent(obs::LogLevel::kWarn, "fleet", "failover",
                     [&](util::JsonObjectBuilder& fields) {
                       fields.addInt("from_shard", lastShard_);
@@ -423,8 +424,13 @@ util::Result<std::string> ShardedClient::dispatchInner(
                                /*allowCache=*/history_.empty());
       replayHistory(fresh);
       stack_ = std::move(fresh);
+      if (context.telemetry != nullptr) {
+        context.telemetry->replayedTurns +=
+            static_cast<int>(history_.size());
+      }
     }
     lastShard_ = shard;
+    if (context.telemetry != nullptr) context.telemetry->shard = shard;
 
     const double chargedBefore = context.chargedSeconds;
     util::Result<std::string> result = callStack(stack_, turn, context);
@@ -471,6 +477,7 @@ void ShardedClient::maybeHedge(const Turn& turn, CallContext& context,
 
   ++stats_.hedges;
   hedgesCounter().add();
+  if (context.telemetry != nullptr) ++context.telemetry->hedges;
   // Race the same turn on the next eligible shard. Only a STRICTLY faster
   // response is useful, so the hedge's budget is the incumbent's latency.
   Stack hedge = buildStack(next, fleet[static_cast<std::size_t>(next)],
@@ -489,6 +496,10 @@ void ShardedClient::maybeHedge(const Turn& turn, CallContext& context,
     context.chargedSeconds -= charged - hedgeContext.chargedSeconds;
     stack_ = std::move(hedge);
     lastShard_ = next;
+    if (context.telemetry != nullptr) {
+      ++context.telemetry->hedgeWins;
+      context.telemetry->shard = next;
+    }
     obs::logEvent(obs::LogLevel::kInfo, "fleet", "hedge_won",
                   [&](util::JsonObjectBuilder& fields) {
                     fields.addInt("shard", next);

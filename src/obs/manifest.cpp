@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "obs/sketch.hpp"
 #include "obs/trace.hpp"
 #include "util/io.hpp"
 #include "util/strings.hpp"
@@ -144,7 +145,7 @@ std::string runManifestJson(const RunManifestOptions& options) {
   const Tracer& tracer = Tracer::global();
 
   std::string out = "{\n";
-  out += "\"schema\":\"sca-manifest-v1\",\n";
+  out += "\"schema\":\"sca-manifest-v2\",\n";
   out += "\"bench\":\"" + util::jsonEscape(options.benchName) + "\",\n";
   out += std::string("\"status\":\"") +
          (options.complete ? "complete" : "partial") + "\",\n";
@@ -153,6 +154,7 @@ std::string runManifestJson(const RunManifestOptions& options) {
   out += "\"env\":" + scaEnvJson() + ",\n";
   out += "\"metrics\":" + stableMetricsJson(snapshot) + ",\n";
   out += "\"runtime_metrics\":" + runtimeMetricsJson(snapshot) + ",\n";
+  out += "\"sketches\":" + SketchRegistry::global().sketchesJson() + ",\n";
   out += "\"phases\":" + phasesJson(snapshot);
   if (tracer.enabled()) {
     out += ",\n\"span_edges\":" + spanEdgesJson();

@@ -1,0 +1,235 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/manifest.hpp"
+#include "util/strings.hpp"
+
+namespace sca::obs {
+namespace {
+
+/// Canonical number rendering for sketch JSON: fixed precision with the
+/// trailing zeros trimmed, so 0.01 is "0.01" and 40 is "40" — stable
+/// bytes without padding noise.
+std::string formatTrimmed(double value, int precision) {
+  std::string out = util::formatDouble(value, precision);
+  if (out.find('.') == std::string::npos) return out;
+  std::size_t end = out.size();
+  while (end > 0 && out[end - 1] == '0') --end;
+  if (end > 0 && out[end - 1] == '.') --end;
+  out.resize(end);
+  return out;
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relativeAccuracy) {
+  alpha_ = relativeAccuracy;
+  if (!(alpha_ > 0.0) || alpha_ >= 1.0) alpha_ = 0.01;
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  logGamma_ = std::log(gamma_);
+}
+
+int QuantileSketch::bucketIndex(double value) const {
+  // Bucket i covers (gamma^(i-1), gamma^i]; ceil of log_gamma lands the
+  // value in it. The tiny epsilon keeps exact powers of gamma from
+  // flipping buckets on the last ulp of the division.
+  return static_cast<int>(std::ceil(std::log(value) / logGamma_ - 1e-11));
+}
+
+double QuantileSketch::bucketValue(int index) const {
+  // Midpoint of the bucket's range: within alpha of anything it holds.
+  const double hi = std::pow(gamma_, static_cast<double>(index));
+  return (hi / gamma_ + hi) / 2.0;
+}
+
+void QuantileSketch::observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = std::max(value, 0.0);
+  } else {
+    min_ = std::min(min_, std::max(value, 0.0));
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  if (!(value > kMinValue)) {  // non-positive and NaN both land here
+    ++zero_;
+    return;
+  }
+  ++buckets_[bucketIndex(value)];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ != 0 && other.alpha_ != alpha_) return;  // mismatched grids
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  zero_ += other.zero_;
+  for (const auto& [index, bucketCount] : other.buckets_) {
+    buckets_[index] += bucketCount;
+  }
+}
+
+double QuantileSketch::minValue() const noexcept {
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double QuantileSketch::maxValue() const noexcept {
+  return count_ == 0 ? 0.0 : max_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the order statistic; integer arithmetic so every
+  // caller lands on the same bucket regardless of platform rounding.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(
+             q * static_cast<double>(count_) - 1e-11)));
+  std::uint64_t seen = zero_;
+  if (rank <= seen) return std::clamp(0.0, min_, max_);
+  for (const auto& [index, bucketCount] : buckets_) {
+    seen += bucketCount;
+    if (rank <= seen) return std::clamp(bucketValue(index), min_, max_);
+  }
+  return max_;
+}
+
+std::string QuantileSketch::toJson() const {
+  std::string out = "{\"alpha\":" + formatTrimmed(alpha_, 6);
+  out += ",\"count\":" + std::to_string(count_);
+  out += ",\"zero\":" + std::to_string(zero_);
+  out += ",\"min\":" + formatTrimmed(minValue(), 6);
+  out += ",\"max\":" + formatTrimmed(maxValue(), 6);
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [index, bucketCount] : buckets_) {
+    if (!first) out += ',';
+    first = false;
+    out += '[' + std::to_string(index) + ',' + std::to_string(bucketCount) +
+           ']';
+  }
+  out += "]}";
+  return out;
+}
+
+bool QuantileSketch::fromJson(std::string_view json, QuantileSketch* out) {
+  double alpha = 0.0;
+  if (!util::jsonDoubleField(json, "alpha", &alpha)) return false;
+  QuantileSketch sketch(alpha);
+  long long count = 0;
+  long long zero = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  if (!util::jsonIntField(json, "count", &count) || count < 0 ||
+      !util::jsonIntField(json, "zero", &zero) || zero < 0 ||
+      !util::jsonDoubleField(json, "min", &lo) ||
+      !util::jsonDoubleField(json, "max", &hi)) {
+    return false;
+  }
+  std::vector<std::string> pairs;
+  if (!topLevelElements(extractJsonArray(json, "buckets"), &pairs)) {
+    return false;
+  }
+  std::uint64_t bucketTotal = 0;
+  for (const std::string& pair : pairs) {
+    // Each element is "[index,count]".
+    if (pair.size() < 5 || pair.front() != '[' || pair.back() != ']') {
+      return false;
+    }
+    const char* text = pair.c_str() + 1;
+    char* end = nullptr;
+    const long long index = std::strtoll(text, &end, 10);
+    if (end == text || *end != ',') return false;
+    text = end + 1;
+    const long long bucketCount = std::strtoll(text, &end, 10);
+    if (end == text || bucketCount <= 0) return false;
+    sketch.buckets_[static_cast<int>(index)] +=
+        static_cast<std::uint64_t>(bucketCount);
+    bucketTotal += static_cast<std::uint64_t>(bucketCount);
+  }
+  if (static_cast<std::uint64_t>(zero) + bucketTotal !=
+      static_cast<std::uint64_t>(count)) {
+    return false;  // torn or hand-edited record
+  }
+  sketch.count_ = static_cast<std::uint64_t>(count);
+  sketch.zero_ = static_cast<std::uint64_t>(zero);
+  sketch.min_ = lo;
+  sketch.max_ = hi;
+  *out = std::move(sketch);
+  return true;
+}
+
+std::string QuantileSketch::percentilesJson() const {
+  util::JsonObjectBuilder out;
+  out.addUint("count", count_);
+  if (count_ > 0) {
+    out.addDouble("p50", quantile(0.50), 6);
+    out.addDouble("p90", quantile(0.90), 6);
+    out.addDouble("p99", quantile(0.99), 6);
+    out.addDouble("p999", quantile(0.999), 6);
+    out.addDouble("min", minValue(), 6);
+    out.addDouble("max", maxValue(), 6);
+  }
+  return out.str();
+}
+
+SketchRegistry& SketchRegistry::global() {
+  static SketchRegistry* instance = new SketchRegistry();  // immortal
+  return *instance;
+}
+
+void SketchRegistry::merge(const std::string& name,
+                           const QuantileSketch& sketch) {
+  if (sketch.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    sketches_.emplace(name, sketch);
+    return;
+  }
+  it->second.merge(sketch);
+}
+
+void SketchRegistry::observe(const std::string& name, double value,
+                             double relativeAccuracy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    it = sketches_.emplace(name, QuantileSketch(relativeAccuracy)).first;
+  }
+  it->second.observe(value);
+}
+
+std::map<std::string, QuantileSketch> SketchRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sketches_;
+}
+
+void SketchRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sketches_.clear();
+}
+
+std::string SketchRegistry::sketchesJson() const {
+  const std::map<std::string, QuantileSketch> sketches = snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, sketch] : sketches) {
+    if (!first) out += ',';
+    first = false;
+    std::string entry = sketch.percentilesJson();
+    entry.insert(entry.size() - 1, ",\"sketch\":" + sketch.toJson());
+    out += '"' + util::jsonEscape(name) + "\":" + entry;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace sca::obs

@@ -19,6 +19,7 @@ std::string_view opName(Op op) noexcept {
   switch (op) {
     case Op::kGenerate: return "generate";
     case Op::kTransform: return "transform";
+    case Op::kStats: return "stats";
     case Op::kKillShard: return "kill_shard";
     case Op::kSlowShard: return "slow_shard";
     case Op::kShutdown: return "shutdown";
@@ -46,6 +47,8 @@ Request parseRequest(std::string_view line) {
     request.op = Op::kGenerate;
   } else if (op == "transform") {
     request.op = Op::kTransform;
+  } else if (op == "stats") {
+    request.op = Op::kStats;
   } else if (op == "kill_shard") {
     request.op = Op::kKillShard;
   } else if (op == "slow_shard") {
@@ -60,25 +63,39 @@ Request parseRequest(std::string_view line) {
     if (request.id.empty()) {
       return invalid("", "missing \"id\"");
     }
-    if (!util::jsonIntField(line, "chain", &request.chain) ||
-        request.chain < 0) {
+    // Presence and range are distinct failures: a silently-defaulted
+    // negative chain or deadline would serve the WRONG conversation or an
+    // unlimited budget — both worse than an honest invalid_argument.
+    if (!util::jsonIntField(line, "chain", &request.chain)) {
       return invalid(std::move(request.id), "missing \"chain\"");
     }
-    (void)util::jsonIntField(line, "deadline_s", &request.deadlineSeconds);
+    if (request.chain < 0 || request.chain >= kMaxChain) {
+      return invalid(std::move(request.id), "\"chain\" out of range");
+    }
+    if (util::jsonIntField(line, "deadline_s", &request.deadlineSeconds) &&
+        (request.deadlineSeconds < 0 ||
+         request.deadlineSeconds > kMaxDeadlineSeconds)) {
+      return invalid(std::move(request.id), "\"deadline_s\" out of range");
+    }
   }
-  if (request.op == Op::kGenerate &&
-      (!util::jsonIntField(line, "challenge", &request.challenge) ||
-       request.challenge < 0)) {
-    return invalid(std::move(request.id), "missing \"challenge\"");
+  if (request.op == Op::kGenerate) {
+    if (!util::jsonIntField(line, "challenge", &request.challenge)) {
+      return invalid(std::move(request.id), "missing \"challenge\"");
+    }
+    if (request.challenge < 0) {
+      return invalid(std::move(request.id), "\"challenge\" out of range");
+    }
   }
   if (request.op == Op::kTransform &&
       !util::jsonStringField(line, "source", &request.source)) {
     return invalid(std::move(request.id), "missing \"source\"");
   }
   if (request.op == Op::kKillShard || request.op == Op::kSlowShard) {
-    if (!util::jsonIntField(line, "shard", &request.shard) ||
-        request.shard < 0) {
+    if (!util::jsonIntField(line, "shard", &request.shard)) {
       return invalid(std::move(request.id), "missing \"shard\"");
+    }
+    if (request.shard < 0 || request.shard >= kMaxShard) {
+      return invalid(std::move(request.id), "\"shard\" out of range");
     }
     long long slowed = 1;
     (void)util::jsonIntField(line, "slowed", &slowed);
@@ -108,6 +125,15 @@ std::string errorResponse(std::string_view id, std::string_view code,
   return out.str();
 }
 
+std::string invalidResponse(std::string_view id, std::string_view reason) {
+  util::JsonObjectBuilder out;
+  out.add("id", id);
+  out.add("status", "error");
+  out.add("code", "invalid_argument");
+  out.add("reason", reason);
+  return out.str();
+}
+
 std::string overloadedResponse(std::string_view id) {
   util::JsonObjectBuilder out;
   out.add("id", id);
@@ -130,6 +156,16 @@ std::string ackResponse(std::string_view id, Op op) {
   out.add("status", "ack");
   out.add("op", opName(op));
   return out.str();
+}
+
+std::string appendTimingField(std::string response,
+                              std::string_view timingJson) {
+  if (response.empty() || response.back() != '}') return response;
+  response.pop_back();
+  response += ",\"timing\":";
+  response += timingJson;
+  response += '}';
+  return response;
 }
 
 }  // namespace sca::serve

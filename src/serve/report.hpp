@@ -1,0 +1,102 @@
+// serve-report: per-request lifecycle analytics over the structured log.
+//
+// The serve loop logs one component=serve event=request record per
+// executed request (server.cpp), carrying the full RequestTelemetry plus
+// admission-side observations and the trace-span join key. This module
+// reconstructs those lifecycles from an SCA_LOG file after the fact —
+// the offline complement of the in-band `stats` op:
+//
+//   * slowest-N requests with their span breakdown (queue wait, simulated
+//     execution, backoff inside it, failovers/replays that caused it);
+//   * a per-op SLO table: request count, availability, and latency
+//     percentiles (p50/p90/p99/p999 simulated seconds) computed with the
+//     same QuantileSketch the live server uses, so live and offline
+//     percentiles agree bucket-for-bucket.
+//
+// `sca_cli serve-report <log>` is the CLI front; the parsing lives here so
+// tests can drive it on synthetic logs. Lines that are not serve/request
+// records (other components, drain events, torn lines) are skipped, never
+// fatal: a report over a partial log is a partial report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/sketch.hpp"
+
+namespace sca::serve {
+
+/// One reconstructed request lifecycle (field-for-field the event=request
+/// log record).
+struct RequestRecord {
+  std::string id;
+  std::string op;
+  std::string status;  // "ok" or a status code name
+  std::string span;    // 16-hex trace span id ("0"*16 when tracing off)
+  long long chain = 0;
+  long long shard = -1;
+  double simSeconds = 0.0;
+  double queueWaitSeconds = 0.0;
+  double backoffSeconds = 0.0;
+  long long attempts = 0;
+  long long retries = 0;
+  long long deadlineStops = 0;
+  long long failovers = 0;
+  long long hedges = 0;
+  long long hedgeWins = 0;
+  long long replayedTurns = 0;
+  std::uint64_t queueDepth = 0;
+  std::uint64_t batch = 0;
+  std::uint64_t admitNs = 0;
+  std::uint64_t startNs = 0;
+  std::uint64_t endNs = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return status == "ok"; }
+};
+
+/// One row of the per-op SLO table.
+struct OpSlo {
+  std::string op;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  obs::QuantileSketch latency;    // simulated seconds
+  obs::QuantileSketch queueWait;  // wall seconds
+
+  [[nodiscard]] bool availabilityDefined() const noexcept {
+    return requests > 0;
+  }
+  [[nodiscard]] double availabilityPct() const noexcept {
+    return requests == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(ok) /
+                     static_cast<double>(requests);
+  }
+};
+
+class ServeReport {
+ public:
+  /// Scans one event-log text (JSONL) for serve/request records. Never
+  /// fails: unrelated or torn lines are skipped.
+  [[nodiscard]] static ServeReport fromLog(std::string_view logText);
+
+  [[nodiscard]] const std::vector<RequestRecord>& requests() const noexcept {
+    return requests_;
+  }
+  /// The n slowest requests by simulated seconds (ties broken by queue
+  /// wait, then id — deterministic for a deterministic log).
+  [[nodiscard]] std::vector<const RequestRecord*> slowest(
+      std::size_t n) const;
+  /// Per-op SLO rows, op-name sorted.
+  [[nodiscard]] std::vector<OpSlo> sloTable() const;
+
+  /// The human-readable report `sca_cli serve-report` prints: the
+  /// reconstructed count, the slowest-N span breakdown, and the SLO table.
+  [[nodiscard]] std::string summaryText(std::size_t slowestN) const;
+
+ private:
+  std::vector<RequestRecord> requests_;
+};
+
+}  // namespace sca::serve

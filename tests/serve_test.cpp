@@ -9,8 +9,11 @@
 
 #include "corpus/challenges.hpp"
 #include "llm/synthetic_llm.hpp"
+#include "obs/log.hpp"
 #include "serve/protocol.hpp"
+#include "serve/report.hpp"
 #include "serve/server.hpp"
+#include "util/io.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -120,6 +123,56 @@ TEST(Protocol, ResponseBuildersEmitTheDocumentedSchema) {
   const std::string ack = ackResponse("c1", Op::kKillShard);
   EXPECT_NE(ack.find("\"status\":\"ack\""), std::string::npos);
   EXPECT_NE(ack.find("\"op\":\"kill_shard\""), std::string::npos);
+}
+
+// Satellite: numeric fields are range-checked at parse time, and each
+// rejection names the offending field so the client can fix the request.
+TEST(Protocol, OutOfRangeNumericFieldsAreRejectedWithAReason) {
+  const Request negChain = parseRequest(
+      R"({"op":"transform","id":"r1","chain":-2,"source":"int x;"})");
+  EXPECT_EQ(negChain.op, Op::kInvalid);
+  EXPECT_NE(negChain.error.find("\"chain\" out of range"),
+            std::string::npos);
+
+  const Request negDeadline = parseRequest(
+      R"({"op":"transform","id":"r2","chain":1,"source":"x","deadline_s":-5})");
+  EXPECT_EQ(negDeadline.op, Op::kInvalid);
+  EXPECT_NE(negDeadline.error.find("\"deadline_s\" out of range"),
+            std::string::npos);
+
+  const Request bigShard = parseRequest(
+      R"({"op":"slow_shard","id":"c1","shard":9999})");
+  EXPECT_EQ(bigShard.op, Op::kInvalid);
+  EXPECT_NE(bigShard.error.find("\"shard\" out of range"),
+            std::string::npos);
+
+  const Request negChallenge = parseRequest(
+      R"({"op":"generate","id":"r3","chain":0,"challenge":-1})");
+  EXPECT_EQ(negChallenge.op, Op::kInvalid);
+  EXPECT_NE(negChallenge.error.find("\"challenge\" out of range"),
+            std::string::npos);
+
+  // The structured invalid response carries the reason verbatim.
+  const std::string response = invalidResponse("r2", negDeadline.error);
+  EXPECT_NE(response.find("\"code\":\"invalid_argument\""),
+            std::string::npos);
+  EXPECT_NE(response.find("\"reason\":\"\\\"deadline_s\\\" out of range\""),
+            std::string::npos);
+}
+
+TEST(Protocol, StatsParsesInlineAndTimingAppendsInPlace) {
+  const Request stats = parseRequest(R"({"op":"stats","id":"s1"})");
+  EXPECT_EQ(stats.op, Op::kStats);
+  // stats is answered inline during admission, NOT a batch barrier like
+  // the chaos controls — otherwise the queue it reports would always have
+  // just been drained.
+  EXPECT_FALSE(isControl(stats.op));
+
+  const std::string timed = appendTimingField(
+      okResponse("r1", "int x;", 0, 0.0), R"({"sim_s":0.0,"retries":0})");
+  EXPECT_EQ(timed.back(), '}');
+  EXPECT_NE(timed.find(",\"timing\":{\"sim_s\":0.0,\"retries\":0}}"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------- server
@@ -267,6 +320,144 @@ TEST(Server, DrainRecordMatchesTheStatsItSummarizes) {
   // The per-shard health report rides along.
   EXPECT_NE(drain.find("\"shards\":["), std::string::npos);
   EXPECT_NE(drain.find("\"availability_pct\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- telemetry
+
+TEST(Server, StatsOpReportsLiveStateInline) {
+  Server server(smallServer(/*shards=*/2));
+  std::string stream;
+  stream += R"({"op":"stats","id":"s0"})" "\n";  // before any data
+  stream += dataLine("generate", "r1", 0);
+  stream += dataLine("transform", "r2", 0);
+  // A control barrier forces the batch to process before s1 is read, so
+  // the second snapshot observes completed work.
+  stream += R"({"op":"slow_shard","id":"c1","shard":0,"slowed":0})" "\n";
+  stream += R"({"op":"stats","id":"s1"})" "\n";
+
+  ServeStats stats;
+  const std::vector<std::string> lines = runLines(server, stream, &stats);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.controls, 3u);  // two stats snapshots + the barrier
+
+  // The idle snapshot has served nothing: availability is undefined and
+  // rendered "--", never a 0/0 NaN.
+  ASSERT_FALSE(lines.empty());
+  const std::string& idle = lines.front();
+  EXPECT_NE(idle.find("\"id\":\"s0\""), std::string::npos);
+  EXPECT_NE(idle.find("\"op\":\"stats\""), std::string::npos);
+  EXPECT_NE(idle.find("\"availability_pct\":\"--\""), std::string::npos);
+  EXPECT_NE(idle.find("\"latency\":{\"count\":0}"), std::string::npos);
+
+  bool sawLive = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"id\":\"s1\"") == std::string::npos) continue;
+    sawLive = true;
+    long long depth = -1;
+    EXPECT_TRUE(util::jsonIntField(line, "queue_depth", &depth));
+    EXPECT_GE(depth, 0);
+    EXPECT_NE(line.find("\"queue_capacity\":64"), std::string::npos);
+    EXPECT_NE(line.find("\"availability_pct\":100"), std::string::npos);
+    EXPECT_NE(line.find("\"latency\":{\"count\":2"), std::string::npos);
+    EXPECT_NE(line.find("\"queue\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"shards\":["), std::string::npos);
+  }
+  EXPECT_TRUE(sawLive);
+}
+
+TEST(Server, TimingEchoDecoratesWithoutPerturbingOutputs) {
+  const std::string stream =
+      dataLine("generate", "r1", 0) + dataLine("transform", "r2", 0);
+
+  Server plain(smallServer());
+  ServeStats plainStats;
+  const std::vector<std::string> off = runLines(plain, stream, &plainStats);
+
+  ServerOptions echoOptions = smallServer();
+  echoOptions.timingEcho = true;
+  Server echo(echoOptions);
+  ServeStats echoStats;
+  const std::vector<std::string> on = runLines(echo, stream, &echoStats);
+
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i + 1 < off.size(); ++i) {  // skip drain record
+    EXPECT_EQ(off[i].find("\"timing\":{"), std::string::npos);
+    EXPECT_NE(on[i].find("\"timing\":{"), std::string::npos);
+    EXPECT_NE(on[i].find("\"retries\":"), std::string::npos);
+    EXPECT_NE(on[i].find("\"shard\":"), std::string::npos);
+    // Stripping the echo must recover the exact timing-off bytes: the
+    // payload is untouched.
+    const std::size_t cut = on[i].find(",\"timing\":{");
+    ASSERT_NE(cut, std::string::npos);
+    EXPECT_EQ(on[i].substr(0, cut) + "}", off[i]);
+  }
+
+  // Per-request sketches observed both runs identically.
+  EXPECT_EQ(plain.latencySketch().toJson(), echo.latencySketch().toJson());
+  EXPECT_EQ(plain.latencySketch().count(), 2u);
+  EXPECT_EQ(plain.queueWaitSketch().count(), 2u);
+}
+
+TEST(Server, ServeReportReconstructsRequestLifecyclesFromTheLog) {
+  const std::string path =
+      ::testing::TempDir() + "serve_test_report_log.jsonl";
+  ASSERT_TRUE(util::atomicWriteFile(path, "").isOk());
+  obs::EventLog::global().configure(path, obs::LogLevel::kInfo);
+
+  Server server(smallServer(/*shards=*/2));
+  std::string stream;
+  stream += dataLine("generate", "g0", 0);
+  stream += dataLine("generate", "g1", 1);
+  stream += dataLine("transform", "t0", 0);
+  ServeStats stats;
+  (void)runLines(server, stream, &stats);
+  obs::EventLog::global().configure("", obs::LogLevel::kInfo);
+  ASSERT_EQ(stats.ok, 3u);
+
+  const util::Result<std::string> log = util::readFile(path);
+  ASSERT_TRUE(log.ok());
+  const ServeReport report = ServeReport::fromLog(log.value());
+  ASSERT_EQ(report.requests().size(), 3u);
+  for (const RequestRecord& record : report.requests()) {
+    EXPECT_TRUE(record.ok());
+    EXPECT_GE(record.shard, 0);
+    EXPECT_GE(record.endNs, record.startNs);
+    EXPECT_GE(record.startNs, record.admitNs);
+  }
+
+  const std::vector<OpSlo> slo = report.sloTable();
+  ASSERT_EQ(slo.size(), 2u);  // generate, transform — op-sorted
+  EXPECT_EQ(slo[0].op, "generate");
+  EXPECT_EQ(slo[0].requests, 2u);
+  EXPECT_EQ(slo[1].op, "transform");
+  EXPECT_DOUBLE_EQ(slo[0].availabilityPct(), 100.0);
+
+  const std::string text = report.summaryText(2);
+  EXPECT_NE(text.find("serve-report: 3 request(s) reconstructed"),
+            std::string::npos);
+  EXPECT_NE(text.find("slowest requests:"), std::string::npos);
+  EXPECT_NE(text.find("slo table:"), std::string::npos);
+
+  // A log with no serve records reconstructs an empty (non-fatal) report.
+  EXPECT_TRUE(ServeReport::fromLog("{\"component\":\"bench\"}\n")
+                  .requests()
+                  .empty());
+}
+
+TEST(Server, AvailabilityDisplayGuardsTheZeroDenominator) {
+  ServeStats idle;
+  EXPECT_FALSE(idle.availabilityDefined());
+  EXPECT_EQ(idle.availabilityDisplay(), "--");
+  // The numeric accessor keeps its benign-idle contract for callers that
+  // gate on thresholds.
+  EXPECT_DOUBLE_EQ(idle.availabilityPct(), 100.0);
+
+  ServeStats some;
+  some.requests = 4;
+  some.ok = 3;
+  some.shed = 1;
+  EXPECT_TRUE(some.availabilityDefined());
+  EXPECT_EQ(some.availabilityDisplay(), "75.00");
 }
 
 }  // namespace

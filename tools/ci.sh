@@ -35,6 +35,14 @@
 # be at least 2x faster than the seed median — the zero-copy lexer / arena
 # AST speedup, locked so it cannot silently erode.
 #
+# A serve-telemetry smoke then proves the request-level telemetry is
+# observational: one stream served with telemetry off vs on full logging
+# (SCA_SERVE_TIMING=0 + SCA_LOG) at different thread counts must be
+# byte-identical, SCA_SERVE_TIMING=1 must decorate every data response,
+# the in-band stats op must report live fields, `sca_cli serve-report`
+# must reconstruct the lifecycles from the log, and macro_serve_load must
+# pass its load assertions and the history gate.
+#
 # Finally, an ASan+UBSan tree focused on the zero-copy lexer and arena
 # parser runs lexer_test, parser_fuzz_test and roundtrip_property_test:
 # the string_view offsets and arena id arithmetic those components rely on
@@ -299,6 +307,101 @@ EOF
   echo "=== serve-chaos smoke ok ==="
 }
 serve_chaos_smoke
+
+# Serve-telemetry smoke: the telemetry layer's hard invariant is that it
+# OBSERVES the serving path without participating in it. One stream is
+# served three ways: a plain baseline; telemetry explicitly off but fully
+# logged (SCA_SERVE_TIMING=0 + SCA_LOG) at a different thread count and
+# with the same fault schedule — the bytes must equal the baseline; and
+# SCA_SERVE_TIMING=1, where every data response must carry a "timing"
+# object. The in-band stats ops must report live queue/latency/shard
+# fields ("--" availability while idle), serve-report must reconstruct
+# every executed request from the event log, and macro_serve_load must
+# pass its steady/replay/echo/surge assertions, land the serve sketches
+# and requests/sec in the manifest, and clear the perf-history gate.
+serve_telemetry_smoke() {
+  echo "=== serve-telemetry smoke (build-release) ==="
+  local dir=build-release/serve-telemetry-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local hist="$PWD/$dir/history.jsonl"
+  local cli=build-release/tools/sca_cli
+
+  telemetry_stream() {
+    cat <<'EOF'
+{"op":"stats","id":"s0"}
+{"op":"generate","id":"a0","chain":0,"challenge":0}
+{"op":"generate","id":"b0","chain":1,"challenge":1}
+{"op":"transform","id":"a1","chain":0,"source":"int main() { return 0; }"}
+{"op":"slow_shard","id":"c0","shard":0,"slowed":0}
+{"op":"stats","id":"s1"}
+EOF
+  }
+
+  telemetry_stream |
+    env SCA_THREADS=4 SCA_SHARDS=2 SCA_FAULT_RATE=0.1 \
+      "$cli" serve > "$dir/baseline.jsonl" 2> /dev/null ||
+    { echo "serve-telemetry smoke: baseline serve failed" >&2; exit 1; }
+  telemetry_stream |
+    env SCA_THREADS=1 SCA_SHARDS=2 SCA_FAULT_RATE=0.1 SCA_SERVE_TIMING=0 \
+      SCA_LOG="$dir/events.jsonl" \
+      "$cli" serve > "$dir/timing_off.jsonl" 2> /dev/null ||
+    { echo "serve-telemetry smoke: timing-off serve failed" >&2; exit 1; }
+  cmp -s "$dir/baseline.jsonl" "$dir/timing_off.jsonl" ||
+    { echo "serve-telemetry smoke: SCA_SERVE_TIMING=0 + SCA_LOG changed" \
+           "response bytes" >&2; exit 1; }
+
+  telemetry_stream |
+    env SCA_THREADS=4 SCA_SHARDS=2 SCA_FAULT_RATE=0.1 SCA_SERVE_TIMING=1 \
+      SCA_LOG="$dir/events_timing.jsonl" \
+      "$cli" serve > "$dir/timing_on.jsonl" 2> /dev/null ||
+    { echo "serve-telemetry smoke: timing-on serve failed" >&2; exit 1; }
+  local data_lines timing_lines
+  data_lines=$(grep -cE '"status":"(ok|error)"' "$dir/timing_on.jsonl" ||
+               true)
+  timing_lines=$(grep -c '"timing":{' "$dir/timing_on.jsonl" || true)
+  # Stats responses report status ok too; only the three data requests
+  # carry a timing echo.
+  [ "$timing_lines" -eq 3 ] && [ "$data_lines" -ge 3 ] ||
+    { echo "serve-telemetry smoke: expected 3 timing echoes, got" \
+           "$timing_lines (data lines: $data_lines)" >&2; exit 1; }
+
+  grep -q '"id":"s0".*"availability_pct":"--"' "$dir/baseline.jsonl" ||
+    { echo "serve-telemetry smoke: idle stats should render -- " >&2
+      exit 1; }
+  grep -q '"id":"s1".*"queue_depth":' "$dir/baseline.jsonl" &&
+    grep -q '"id":"s1".*"latency":{"count":' "$dir/baseline.jsonl" &&
+    grep -q '"id":"s1".*"shards":\[' "$dir/baseline.jsonl" ||
+    { echo "serve-telemetry smoke: live stats op missing fields" >&2
+      exit 1; }
+
+  "$cli" serve-report "$dir/events_timing.jsonl" --slowest 3 \
+    > "$dir/report.txt" ||
+    { echo "serve-telemetry smoke: serve-report failed" >&2; exit 1; }
+  grep -q '^serve-report: 3 request(s) reconstructed' "$dir/report.txt" &&
+    grep -q 'slowest requests:' "$dir/report.txt" &&
+    grep -q 'slo table:' "$dir/report.txt" ||
+    { echo "serve-telemetry smoke: report did not reconstruct the run" >&2
+      cat "$dir/report.txt" >&2; exit 1; }
+
+  (cd "$dir" &&
+   SCA_THREADS=4 SCA_HISTORY="$hist" \
+     ../bench/macro_serve_load > macro_serve_load.out) ||
+    { cat "$dir/macro_serve_load.out" >&2
+      echo "macro_serve_load assertions failed" >&2; exit 1; }
+  local manifest="$dir/bench_out/manifest.macro_serve_load.json"
+  grep -q '"schema":"sca-manifest-v2"' "$manifest" &&
+    grep -q '"serve_latency_s":{"count":' "$manifest" &&
+    grep -q '"serve_queue_depth":{"count":' "$manifest" &&
+    grep -q '"serve_shed_rate_pct":{"count":' "$manifest" &&
+    grep -q '"serve_requests_per_s":' "$manifest" ||
+    { echo "serve-telemetry smoke: manifest missing serve sketches or" \
+           "requests/sec" >&2; exit 1; }
+  "$cli" history check "$hist" ||
+    { echo "history check failed over serve-telemetry records" >&2
+      exit 1; }
+  echo "=== serve-telemetry smoke ok ==="
+}
+serve_telemetry_smoke
 
 # TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
 # from the caller's environment turn the parallel paths off.

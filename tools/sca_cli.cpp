@@ -16,6 +16,8 @@
 //                                                   inspect the result cache
 //   sca_cli serve                                   JSONL serving loop on
 //                                                   stdin/stdout
+//   sca_cli serve-report <log> [--slowest N]        per-request lifecycle
+//                                                   report from an SCA_LOG
 //
 // No arguments (or `help`) prints the full usage listing and exits 0; an
 // unknown subcommand prints the same listing to stderr and exits nonzero.
@@ -44,6 +46,7 @@
 #include "obs/trace.hpp"
 #include "obs/trace_analysis.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/report.hpp"
 #include "serve/server.hpp"
 #include "style/archetypes.hpp"
 #include "style/infer.hpp"
@@ -96,8 +99,13 @@ void printUsage(std::ostream& out) {
       "                              over a sharded LLM fleet (SCA_SHARDS,\n"
       "                              SCA_FAULT_RATE, SCA_SERVE_QUEUE,\n"
       "                              SCA_SERVE_BATCH, SCA_SERVE_BURST,\n"
-      "                              SCA_SERVE_DEADLINE_S; schema in\n"
-      "                              src/serve/protocol.hpp)\n"
+      "                              SCA_SERVE_DEADLINE_S, SCA_SERVE_TIMING;\n"
+      "                              schema in src/serve/protocol.hpp)\n"
+      "  serve-report <log> [--slowest N]\n"
+      "                              reconstruct per-request lifecycles\n"
+      "                              from a structured event log (SCA_LOG):\n"
+      "                              slowest-N requests and per-op SLO\n"
+      "                              table\n"
       "  help                        this listing\n";
 }
 
@@ -668,8 +676,28 @@ int cmdServe(const std::vector<std::string>& args) {
             << " ok (errors " << stats.errors << ", shed " << stats.shed
             << ", rejected " << stats.rejected << ", invalid "
             << stats.invalid << "), availability "
-            << util::formatDouble(stats.availabilityPct(), 2) << "%\n";
+            << stats.availabilityDisplay()
+            << (stats.availabilityDefined() ? "%" : "") << "\n";
   return 0;
+}
+
+/// `serve-report <log> [--slowest N]`: reconstruct per-request lifecycles
+/// from a structured event log (src/serve/report.hpp).
+int cmdServeReport(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::size_t slowestN = 5;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--slowest" && i + 1 < args.size()) {
+      slowestN = static_cast<std::size_t>(
+          std::max(0LL, std::atoll(args[++i].c_str())));
+    } else {
+      return usage();
+    }
+  }
+  const serve::ServeReport report =
+      serve::ServeReport::fromLog(readFile(args[0]));
+  std::cout << report.summaryText(slowestN);
+  return report.requests().empty() ? 1 : 0;
 }
 
 int cmdCache(const std::vector<std::string>& args) {
@@ -725,10 +753,13 @@ int cmdCache(const std::vector<std::string>& args) {
           misses = std::strtod(value.c_str(), nullptr);
         }
       }
-      if (hits + misses > 0.0) {
-        std::cout << "  hit ratio = "
-                  << util::formatDouble(hits / (hits + misses), 4) << '\n';
-      }
+      // Zero lookups renders "--": a NaN (0/0) or an invented 0.0 would
+      // both misreport a run that simply never touched the cache.
+      std::cout << "  hit ratio = "
+                << (hits + misses > 0.0
+                        ? util::formatDouble(hits / (hits + misses), 4)
+                        : std::string("--"))
+                << '\n';
     }
     return 0;
   }
@@ -779,6 +810,7 @@ int dispatch(const std::string& command,
   if (command == "checkpoints") return cmdCheckpoints(args);
   if (command == "cache") return cmdCache(args);
   if (command == "serve") return cmdServe(args);
+  if (command == "serve-report") return cmdServeReport(args);
   if (command == "help" || command == "--help" || command == "-h") {
     printUsage(std::cout);
     return 0;
