@@ -621,12 +621,17 @@ void FeatureExtractor::buildSchema() {
   }
 }
 
-std::vector<double> FeatureExtractor::transform(
-    const std::string& source) const {
-  const std::shared_ptr<const Analyzed> analyzed = analyze(source);
-  const Analyzed& a = *analyzed;
+namespace {
+
+/// The projection step shared by transform() and transformUncached():
+/// analysis -> feature vector, using only the extractor's public schema
+/// accessors. Where the analysis came from (cache, disk, fresh) cannot
+/// change a single bit of the output.
+std::vector<double> projectAnalyzed(const FeatureExtractor& ex,
+                                    const Analyzed& a) {
+  const ExtractorConfig& config = ex.config();
   std::vector<double> vec;
-  vec.reserve(dimension());
+  vec.reserve(ex.dimension());
 
   // Token tallies shared by the lexical block. Keyword columns tally into
   // a fixed array indexed by cppKeywordIndex (same order as cppKeywords(),
@@ -656,7 +661,7 @@ std::vector<double> FeatureExtractor::transform(
     }
   }
 
-  if (config_.useLexical) {
+  if (config.useLexical) {
     for (const std::size_t count : keywordCounts) {
       vec.push_back(ratio(count, tokenCount));
     }
@@ -677,12 +682,13 @@ std::vector<double> FeatureExtractor::transform(
     vec.push_back(ratio(stringLits, tokenCount));
     vec.push_back(ratio(charLits, tokenCount));
     vec.push_back(ratio(preprocessor, a.layout.lineCount));
-    for (const double v : vectorizeIdentifierTerms(identifierVocab_, a.tokens)) {
+    for (const double v :
+         vectorizeIdentifierTerms(ex.identifierVocabulary(), a.tokens)) {
       vec.push_back(v);
     }
   }
 
-  if (config_.useLayout) {
+  if (config.useLayout) {
     const lexer::LayoutMetrics& m = a.layout;
     vec.push_back(std::log1p(static_cast<double>(m.lineCount)) / 6.0);
     vec.push_back(m.blankLineRatio());
@@ -702,7 +708,7 @@ std::vector<double> FeatureExtractor::transform(
     vec.push_back(static_cast<double>(m.maxLineLength) / 200.0);
   }
 
-  if (config_.useSyntactic) {
+  if (config.useSyntactic) {
     const SyntacticSummary& s = a.syntax;
     for (const std::uint64_t count : s.stmtKindCounts) {
       vec.push_back(ratio(count, s.stmtTotal));
@@ -725,12 +731,34 @@ std::vector<double> FeatureExtractor::transform(
     vec.push_back(s.usingNamespaceStd ? 1.0 : 0.0);
     vec.push_back(static_cast<double>(s.includeCount) / 6.0);
     vec.push_back(s.bitsHeader ? 1.0 : 0.0);
-    for (const double v : bigramVocab_.vectorize(s.bigrams)) {
+    for (const double v : ex.bigramVocabulary().vectorize(s.bigrams)) {
       vec.push_back(v);
     }
   }
 
   return vec;
+}
+
+}  // namespace
+
+std::vector<double> FeatureExtractor::transform(
+    const std::string& source) const {
+  return projectAnalyzed(*this, *analyze(source));
+}
+
+std::vector<double> FeatureExtractor::transformUncached(
+    const std::string& source) const {
+  // How many samples run uncached depends on resume history (a resumed
+  // corpus build re-renders only missing shards), so the counter is
+  // runtime-class — it must not perturb stable digests across resumes.
+  static obs::Counter uncached = obs::MetricsRegistry::global().counter(
+      "features_uncached_transforms", obs::Stability::kRuntime);
+  uncached.add();
+  Analyzed a;
+  a.tokens = lexer::tokenize(source);
+  a.layout = lexer::computeLayoutMetrics(source);
+  a.syntax = summarize(ast::parse(a.tokens).unit);
+  return projectAnalyzed(*this, a);
 }
 
 std::vector<std::vector<double>> FeatureExtractor::transformAll(

@@ -50,6 +50,14 @@ class FeatureExtractor {
   /// Extracts the feature vector of one source file. Requires fit().
   [[nodiscard]] std::vector<double> transform(const std::string& source) const;
 
+  /// transform() minus the process-global analysis cache: lex + layout +
+  /// parse run fresh and nothing is retained in memory or spilled to disk.
+  /// Bit-identical output to transform(). Out-of-core corpus generation
+  /// uses this — memoizing 10^5+ distinct sources that are each touched
+  /// once would defeat the bounded-RSS contract.
+  [[nodiscard]] std::vector<double> transformUncached(
+      const std::string& source) const;
+
   /// transform() over many sources.
   [[nodiscard]] std::vector<std::vector<double>> transformAll(
       const std::vector<std::string>& sources) const;

@@ -43,8 +43,12 @@ std::vector<FoldResult> leaveOneGroupOut(
         for (std::size_t i = 0; i < data.size(); ++i) {
           if (data.groups[i] != group) trainIdx.push_back(i);
         }
-        const Dataset train = data.subset(trainIdx);
-        const Dataset test = data.subset(testIdx);
+        // Index views, not row copies: at 204 authors x 8 challenges the
+        // old per-fold subset() duplicated ~7/8 of the feature matrix per
+        // fold, and all folds run concurrently. Views borrow `data`, which
+        // outlives every fold.
+        const Dataset train = data.subsetView(trainIdx);
+        const Dataset test = data.subsetView(testIdx);
         FoldResult fold;
         fold.group = group;
         fold.yTrue = test.y;

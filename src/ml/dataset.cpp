@@ -3,12 +3,44 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ml/matrix.hpp"
+
 namespace sca::ml {
+
+std::size_t Dataset::size() const noexcept {
+  if (base != nullptr) return baseIndices.size();
+  if (matrix != nullptr) return matrix->rows();
+  return x.size();
+}
+
+std::size_t Dataset::dimension() const noexcept {
+  if (base != nullptr) return base->dimension();
+  if (matrix != nullptr) return matrix->cols();
+  return x.empty() ? 0 : x[0].size();
+}
 
 int Dataset::classCount() const {
   int maxLabel = -1;
   for (const int label : y) maxLabel = std::max(maxLabel, label);
   return maxLabel + 1;
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  if (base != nullptr) return base->row(baseIndices[i]);
+  if (matrix != nullptr) return matrix->row(i);
+  return x[i];
+}
+
+Dataset Dataset::fromMatrix(const MatrixFile& file) {
+  Dataset out;
+  out.matrix = &file;
+  out.y.reserve(file.rows());
+  out.groups.reserve(file.rows());
+  for (std::size_t i = 0; i < file.rows(); ++i) {
+    out.y.push_back(file.label(i));
+    out.groups.push_back(file.group(i));
+  }
+  return out;
 }
 
 Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
@@ -17,7 +49,30 @@ Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
   out.y.reserve(indices.size());
   if (!groups.empty()) out.groups.reserve(indices.size());
   for (const std::size_t i : indices) {
-    out.x.push_back(x[i]);
+    const std::span<const double> r = row(i);
+    out.x.emplace_back(r.begin(), r.end());
+    out.y.push_back(y[i]);
+    if (!groups.empty()) out.groups.push_back(groups[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::subsetView(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  if (base != nullptr) {
+    // Flatten: compose through to the root so view chains never deepen.
+    out.base = base;
+    out.baseIndices.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      out.baseIndices.push_back(baseIndices[i]);
+    }
+  } else {
+    out.base = this;
+    out.baseIndices = indices;
+  }
+  out.y.reserve(indices.size());
+  if (!groups.empty()) out.groups.reserve(indices.size());
+  for (const std::size_t i : indices) {
     out.y.push_back(y[i]);
     if (!groups.empty()) out.groups.push_back(groups[i]);
   }
@@ -25,16 +80,31 @@ Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
 }
 
 void Dataset::validate() const {
-  if (x.size() != y.size()) {
-    throw std::invalid_argument("dataset: |x| != |y|");
+  if (base != nullptr && matrix != nullptr) {
+    throw std::invalid_argument("dataset: both view and matrix storage set");
   }
-  if (!groups.empty() && groups.size() != x.size()) {
-    throw std::invalid_argument("dataset: |groups| != |x|");
+  if ((base != nullptr || matrix != nullptr) && !x.empty()) {
+    throw std::invalid_argument("dataset: owned rows in borrowed mode");
   }
-  const std::size_t dims = dimension();
-  for (const auto& row : x) {
-    if (row.size() != dims) {
-      throw std::invalid_argument("dataset: ragged feature matrix");
+  if (size() != y.size()) {
+    throw std::invalid_argument("dataset: |rows| != |y|");
+  }
+  if (!groups.empty() && groups.size() != size()) {
+    throw std::invalid_argument("dataset: |groups| != |rows|");
+  }
+  if (base != nullptr) {
+    const std::size_t baseSize = base->size();
+    for (const std::size_t i : baseIndices) {
+      if (i >= baseSize) {
+        throw std::invalid_argument("dataset: view index out of range");
+      }
+    }
+  } else if (matrix == nullptr) {
+    const std::size_t dims = dimension();
+    for (const auto& r : x) {
+      if (r.size() != dims) {
+        throw std::invalid_argument("dataset: ragged feature matrix");
+      }
     }
   }
   for (const int label : y) {

@@ -103,8 +103,9 @@ void DecisionTree::fit(const Dataset& data,
       double lo = std::numeric_limits<double>::infinity();
       double hi = -std::numeric_limits<double>::infinity();
       for (const std::size_t i : item.samples) {
-        lo = std::min(lo, data.x[i][f]);
-        hi = std::max(hi, data.x[i][f]);
+        const double value = data.row(i)[f];
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
       }
       if (!(hi > lo)) continue;  // constant feature in this node
 
@@ -112,7 +113,7 @@ void DecisionTree::fit(const Dataset& data,
         std::fill(leftCounts.begin(), leftCounts.end(), 0);
         std::size_t leftTotal = 0;
         for (const std::size_t i : item.samples) {
-          if (data.x[i][f] <= threshold) {
+          if (data.row(i)[f] <= threshold) {
             ++leftCounts[static_cast<std::size_t>(data.y[i])];
             ++leftTotal;
           }
@@ -143,7 +144,9 @@ void DecisionTree::fit(const Dataset& data,
         // Exact mode: sweep midpoints of sorted distinct values.
         std::vector<double> values;
         values.reserve(item.samples.size());
-        for (const std::size_t i : item.samples) values.push_back(data.x[i][f]);
+        for (const std::size_t i : item.samples) {
+          values.push_back(data.row(i)[f]);
+        }
         std::sort(values.begin(), values.end());
         values.erase(std::unique(values.begin(), values.end()), values.end());
         for (std::size_t v = 1; v < values.size(); ++v) {
@@ -166,7 +169,7 @@ void DecisionTree::fit(const Dataset& data,
     leftSamples.reserve(best.leftCount);
     rightSamples.reserve(item.samples.size() - best.leftCount);
     for (const std::size_t i : item.samples) {
-      if (data.x[i][static_cast<std::size_t>(best.feature)] <=
+      if (data.row(i)[static_cast<std::size_t>(best.feature)] <=
           best.threshold) {
         leftSamples.push_back(i);
       } else {
@@ -191,7 +194,7 @@ void DecisionTree::fit(const Dataset& data,
   }
 }
 
-int DecisionTree::predict(const std::vector<double>& features) const {
+int DecisionTree::predict(std::span<const double> features) const {
   if (nodes_.empty()) return 0;
   std::size_t current = 0;
   while (true) {

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "ml/dataset.hpp"
@@ -33,7 +34,10 @@ class DecisionTree {
   void fit(const Dataset& data, const std::vector<std::size_t>& sampleIndices,
            int classCount, const TreeConfig& config, util::Rng rng);
 
-  [[nodiscard]] int predict(const std::vector<double>& features) const;
+  [[nodiscard]] int predict(std::span<const double> features) const;
+  [[nodiscard]] int predict(const std::vector<double>& features) const {
+    return predict(std::span<const double>(features));
+  }
 
   [[nodiscard]] std::size_t nodeCount() const noexcept {
     return nodes_.size();

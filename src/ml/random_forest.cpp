@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "ml/matrix.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel.hpp"
@@ -51,6 +52,13 @@ void RandomForest::fit(const Dataset& data) {
           bootstrap[i] = static_cast<std::size_t>(rng.uniformInt(
               0, static_cast<std::int64_t>(data.size()) - 1));
         }
+        // Ascending bootstrap turns every node's row accesses into a
+        // forward scan — sequential page faults on mmap-backed datasets.
+        // It cannot change the fitted tree: per-node class counts, gini,
+        // feature min/max, the sorted exact sweep, and the RNG draw order
+        // are all invariant under sample permutation, and the partition
+        // step preserves whatever order it is given.
+        std::sort(bootstrap.begin(), bootstrap.end());
         trees_[t].fit(data, bootstrap, classCount_, config_.tree,
                       rng.derive("tree"));
       },
@@ -93,7 +101,7 @@ std::vector<double> RandomForest::featureImportances(
 }
 
 std::vector<double> RandomForest::predictProba(
-    const std::vector<double>& features) const {
+    std::span<const double> features) const {
   std::vector<double> votes(static_cast<std::size_t>(classCount_), 0.0);
   if (trees_.empty()) return votes;
   for (const DecisionTree& tree : trees_) {
@@ -106,7 +114,7 @@ std::vector<double> RandomForest::predictProba(
   return votes;
 }
 
-int RandomForest::predict(const std::vector<double>& features) const {
+int RandomForest::predict(std::span<const double> features) const {
   const std::vector<double> votes = predictProba(features);
   if (votes.empty()) return 0;
   return static_cast<int>(
@@ -126,6 +134,39 @@ std::vector<int> RandomForest::predictAll(
   runtime::parallelFor(
       0, rows.size(), [&](std::size_t i) { out[i] = predict(rows[i]); },
       options);
+  return out;
+}
+
+std::vector<int> RandomForest::predictAll(const Dataset& data) const {
+  obs::Span span("forest_predict", "ml");
+  static obs::Counter rowsPredicted =
+      obs::MetricsRegistry::global().counter("ml_rows_predicted");
+  rowsPredicted.add(data.size());
+  std::vector<int> out(data.size(), 0);
+  runtime::ParallelOptions options;
+  options.maxWorkers = config_.threads;
+  options.grain = 16;  // one row is microseconds; batch them
+  const auto predictRange = [&](std::size_t begin, std::size_t end) {
+    runtime::parallelFor(
+        begin, end, [&](std::size_t i) { out[i] = predict(data.row(i)); },
+        options);
+  };
+  if (data.matrix != nullptr) {
+    // Sequential blocks over the mapped matrix: each block's pages are
+    // dropped before the next is touched, so prediction over a matrix
+    // larger than memory keeps roughly one block resident. Row blocks
+    // target ~8 MiB of payload each.
+    const std::size_t rowBytes = std::max<std::size_t>(
+        1, data.matrix->cols() * sizeof(double));
+    const std::size_t rowsPerBlock =
+        std::max<std::size_t>(1, (std::size_t{8} << 20) / rowBytes);
+    RowBlockReader blocks(*data.matrix, rowsPerBlock);
+    while (blocks.next()) {
+      predictRange(blocks.beginRow(), blocks.endRow());
+    }
+  } else {
+    predictRange(0, data.size());
+  }
   return out;
 }
 

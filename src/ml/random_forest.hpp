@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "ml/decision_tree.hpp"
@@ -27,13 +28,28 @@ class RandomForest {
 
   void fit(const Dataset& data);
 
-  [[nodiscard]] int predict(const std::vector<double>& features) const;
+  [[nodiscard]] int predict(std::span<const double> features) const;
+  [[nodiscard]] int predict(const std::vector<double>& features) const {
+    return predict(std::span<const double>(features));
+  }
   [[nodiscard]] std::vector<int> predictAll(
       const std::vector<std::vector<double>>& rows) const;
 
+  /// Streaming prediction over any Dataset storage mode. Matrix-backed
+  /// datasets are walked in sequential row blocks (previous block's pages
+  /// dropped as the cursor advances), so the working set stays bounded for
+  /// corpora larger than memory. Output is byte-identical to the resident
+  /// path at any thread count: each row's vote is a pure function of that
+  /// row and the trained trees.
+  [[nodiscard]] std::vector<int> predictAll(const Dataset& data) const;
+
   /// Per-class vote fractions for one sample (sums to 1).
   [[nodiscard]] std::vector<double> predictProba(
-      const std::vector<double>& features) const;
+      std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predictProba(
+      const std::vector<double>& features) const {
+    return predictProba(std::span<const double>(features));
+  }
 
   [[nodiscard]] const ForestConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t treeCount() const noexcept {

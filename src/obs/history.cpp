@@ -40,6 +40,7 @@ bool excludedFromEnvClass(std::string_view name) {
          name == "SCA_LOG" || name == "SCA_LOG_LEVEL" ||
          name == "SCA_GIT_SHA" || name == "SCA_THREADS" ||
          name == "SCA_OBS_TEST_DELAY_MS" ||
+         name == "SCA_OBS_TEST_BALLAST_KB" ||  // CI RSS-injection hook
          util::startsWith(name, "SCA_HISTORY");
 }
 
@@ -343,6 +344,38 @@ RegressionReport checkRegressions(const std::vector<HistoryRecord>& records,
                          util::formatDouble(seconds / base, 2) + "x, gate " +
                          util::formatDouble(policy.factor, 2) + "x)";
         report.findings.push_back(std::move(finding));
+      }
+    }
+
+    // Memory: peak RSS against the baseline median, dual-gated like time.
+    // At out-of-core scale the binding constraint is resident memory, not
+    // wall clock — a run that got no slower but quietly rematerialized the
+    // matrix must fail the same way a slowdown does.
+    if (current.maxRssKb > 0) {
+      std::vector<double> rssHistory;
+      for (const HistoryRecord* past : baseline) {
+        if (past->maxRssKb > 0) {
+          rssHistory.push_back(static_cast<double>(past->maxRssKb));
+        }
+      }
+      if (!rssHistory.empty()) {
+        const double base = median(std::move(rssHistory));
+        const double currentKb = static_cast<double>(current.maxRssKb);
+        if (currentKb > base * policy.rssFactor &&
+            currentKb - base > static_cast<double>(policy.minRssDeltaKb)) {
+          RegressionFinding finding;
+          finding.bench = current.bench;
+          finding.group = groupLabel;
+          finding.kind = "rss";
+          finding.baseline = base;
+          finding.current = currentKb;
+          finding.detail =
+              "max_rss_kb " + util::formatDouble(base, 0) + " -> " +
+              util::formatDouble(currentKb, 0) + " (" +
+              util::formatDouble(currentKb / base, 2) + "x, gate " +
+              util::formatDouble(policy.rssFactor, 2) + "x)";
+          report.findings.push_back(std::move(finding));
+        }
       }
     }
   }

@@ -29,9 +29,10 @@
 // (bench, threads, env_class). env_class is the sorted SCA_* environment
 // minus the knobs that cannot change what a run computes or how fast it
 // legitimately runs: output paths (SCA_MANIFEST/SCA_TRACE/SCA_LOG*,
-// SCA_HISTORY*), SCA_GIT_SHA, SCA_THREADS (its own field) — and
-// SCA_OBS_TEST_DELAY_MS, the CI hook that *injects* a slowdown precisely
-// so the detector can be proven to catch one.
+// SCA_HISTORY*), SCA_GIT_SHA, SCA_THREADS (its own field) — and the CI
+// injection hooks SCA_OBS_TEST_DELAY_MS (slowdown) and
+// SCA_OBS_TEST_BALLAST_KB (peak-RSS inflation), which exist precisely so
+// the detector can be proven to catch what they inject.
 //
 // Determinism: every field except the wall-time/rusage/timestamp ones is
 // byte-deterministic for a fixed seed and environment; "digest" is
@@ -130,13 +131,19 @@ struct RegressionPolicy {
   double minPhaseSeconds = 0.01;  // phases with a smaller median are noise
   std::size_t minBaselineRuns = 1;
   bool checkDigest = true;  // stable-digest changes always hard-fail
+  // Peak-RSS gate (same dual-threshold shape as the time gate): flag when
+  // current max_rss_kb exceeds the baseline median by the relative factor
+  // AND by the absolute slack. Records without rusage (max_rss_kb == 0)
+  // neither baseline nor trigger it.
+  double rssFactor = 1.5;
+  std::uint64_t minRssDeltaKb = 32 * 1024;
 };
 
 struct RegressionFinding {
   std::string bench;
   std::string group;  // "threads=8 env=..." for the report
-  std::string kind;   // "perf" | "digest"
-  std::string phase;  // phase name or "total_s"; "" for digest findings
+  std::string kind;   // "perf" | "digest" | "rss"
+  std::string phase;  // phase name or "total_s"; "" for digest/rss findings
   double baseline = 0.0;
   double current = 0.0;
   std::string detail;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <vector>
 
 #include "obs/sketch.hpp"
 #include "obs/trace.hpp"
@@ -122,6 +123,23 @@ std::string phasesJson(const MetricsSnapshot& snapshot) {
 std::string runGitSha() { return resolveGitSha(); }
 
 void recordProcessRusage() {
+  // CI hook: allocate-and-touch N KB right before sampling, so the RSS
+  // regression gate can be proven to catch a memory blow-up the same way
+  // SCA_OBS_TEST_DELAY_MS proves the slowdown gate. ru_maxrss is a
+  // process-lifetime high-water mark, so touching once is enough; the
+  // ballast is freed immediately and never affects what the run computes.
+  if (const char* env = std::getenv("SCA_OBS_TEST_BALLAST_KB");
+      env != nullptr && *env != '\0') {
+    if (const long kb = std::strtol(env, nullptr, 10); kb > 0) {
+      const std::size_t bytes = static_cast<std::size_t>(kb) * 1024;
+      std::vector<char> ballast(bytes);
+      constexpr std::size_t kPage = 4096;
+      for (std::size_t i = 0; i < bytes; i += kPage) ballast[i] = 1;
+      // Volatile read defeats dead-store elimination of the touch loop.
+      volatile char sink = ballast[bytes - 1];
+      (void)sink;
+    }
+  }
   struct rusage usage {};
   if (::getrusage(RUSAGE_SELF, &usage) != 0) return;
   MetricsRegistry& registry = MetricsRegistry::global();

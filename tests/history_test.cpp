@@ -208,6 +208,45 @@ TEST(RegressionTest, DifferentThreadCountsDoNotCompare) {
   EXPECT_EQ(report.groupsSkipped, 2u);  // two singleton groups, no baseline
 }
 
+TEST(RegressionTest, RssBlowUpIsFlaggedAndNoiseIsNot) {
+  std::vector<HistoryRecord> records = {
+      makeRecord("a", 1.0), makeRecord("a", 1.0), makeRecord("a", 1.0)};
+  // 4x the 51240 KB baseline and far past the absolute floor.
+  HistoryRecord bloated = makeRecord("a", 1.0);
+  bloated.maxRssKb = 51240 * 4;
+  records.push_back(bloated);
+
+  const RegressionReport report = checkRegressions(records, {});
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, "rss");
+  EXPECT_GT(report.findings[0].current, report.findings[0].baseline);
+
+  // Same ratio on a tiny footprint: relative gate trips but the absolute
+  // floor (32 MiB) does not — page-cache noise, not a regression.
+  std::vector<HistoryRecord> tiny;
+  for (int i = 0; i < 3; ++i) {
+    HistoryRecord r = makeRecord("a", 1.0);
+    r.maxRssKb = 1000;
+    tiny.push_back(r);
+  }
+  HistoryRecord wobble = makeRecord("a", 1.0);
+  wobble.maxRssKb = 4000;
+  tiny.push_back(wobble);
+  EXPECT_TRUE(checkRegressions(tiny, {}).ok());
+
+  // Records without an RSS sample never baseline and never trigger.
+  std::vector<HistoryRecord> unsampled = {makeRecord("a", 1.0),
+                                          makeRecord("a", 1.0)};
+  unsampled[0].maxRssKb = 0;
+  unsampled[1].maxRssKb = 0;
+  EXPECT_TRUE(checkRegressions(unsampled, {}).ok());
+
+  // The factor is policy, like the slowdown gate.
+  RegressionPolicy lenient;
+  lenient.rssFactor = 10.0;
+  EXPECT_TRUE(checkRegressions(records, lenient).ok());
+}
+
 TEST(RegressionTest, WindowLimitsTheBaseline) {
   // Old slow era, then a fast regime the window's length: the current run
   // must baseline against the recent fast runs, not the ancient slow ones.

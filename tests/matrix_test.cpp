@@ -1,0 +1,295 @@
+// Tests for the out-of-core matrix layer (src/ml/matrix.hpp): the
+// sca-matrix-v1 format, both writers, the mmap reader with its residency
+// budget, and the Dataset storage modes built on top of it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/matrix.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace sca::ml {
+namespace {
+
+std::string tempDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("sca_matrix_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Deterministic but irregular test payload: rows x cols doubles whose
+/// values exercise sign, magnitude and exact-binary-fraction cases.
+std::vector<std::vector<double>> testRows(std::size_t rows,
+                                          std::size_t cols) {
+  std::vector<std::vector<double>> out(rows, std::vector<double>(cols));
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double base = static_cast<double>(i * cols + j);
+      out[i][j] = (j % 3 == 0)   ? base * 0.25
+                  : (j % 3 == 1) ? -base / 7.0
+                                 : base * 1e6;
+    }
+  }
+  return out;
+}
+
+std::string writeTestMatrix(const std::string& path, std::size_t rows,
+                            std::size_t cols, std::uint64_t metaHash) {
+  MatrixWriter writer(cols, metaHash);
+  const auto data = testRows(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    writer.appendRow(data[i], static_cast<int>(i % 5),
+                     static_cast<int>(i % 3));
+  }
+  EXPECT_TRUE(writer.finish(path).isOk());
+  return path;
+}
+
+// ------------------------------------------------------------- format
+
+TEST(Matrix, RoundTripsRowsLabelsGroupsBitForBit) {
+  const std::string dir = tempDir("roundtrip");
+  const std::uint64_t meta = util::hash64("roundtrip-meta");
+  const std::string path = writeTestMatrix(dir + "/m.mtx", 17, 9, meta);
+
+  auto opened = MatrixFile::open(path, meta);
+  ASSERT_TRUE(opened.ok()) << opened.status().toString();
+  const MatrixFile& file = opened.value();
+  EXPECT_EQ(file.rows(), 17u);
+  EXPECT_EQ(file.cols(), 9u);
+  EXPECT_EQ(file.metaHash(), meta);
+
+  const auto expected = testRows(17, 9);
+  for (std::size_t i = 0; i < 17; ++i) {
+    const std::span<const double> row = file.row(i);
+    ASSERT_EQ(row.size(), 9u);
+    for (std::size_t j = 0; j < 9; ++j) {
+      // Bit-level equality, not approximate: doubles are stored as IEEE
+      // bit patterns.
+      EXPECT_EQ(row[j], expected[i][j]) << i << "," << j;
+    }
+    EXPECT_EQ(file.label(i), static_cast<int>(i % 5));
+    EXPECT_EQ(file.group(i), static_cast<int>(i % 3));
+  }
+}
+
+TEST(Matrix, StreamWriterProducesIdenticalBytesToBufferedWriter) {
+  const std::string dir = tempDir("stream_eq");
+  const std::uint64_t meta = util::hash64("stream-meta");
+  const std::string buffered =
+      writeTestMatrix(dir + "/buffered.mtx", 23, 6, meta);
+
+  // Same rows through the streaming writer, in uneven blocks.
+  const auto data = testRows(23, 6);
+  MatrixStreamWriter stream(dir + "/streamed.mtx", 23, 6, meta);
+  std::size_t at = 0;
+  for (const std::size_t block : {5ul, 1ul, 11ul, 6ul}) {
+    std::vector<double> values;
+    std::vector<std::int32_t> labels;
+    std::vector<std::int32_t> groups;
+    for (std::size_t i = at; i < at + block; ++i) {
+      values.insert(values.end(), data[i].begin(), data[i].end());
+      labels.push_back(static_cast<std::int32_t>(i % 5));
+      groups.push_back(static_cast<std::int32_t>(i % 3));
+    }
+    ASSERT_TRUE(stream.appendRows(values, labels, groups).isOk());
+    at += block;
+  }
+  ASSERT_EQ(at, 23u);
+  ASSERT_TRUE(stream.finish().isOk());
+
+  const auto a = util::readFile(buffered);
+  const auto b = util::readFile(dir + "/streamed.mtx");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());  // byte-identical files
+}
+
+TEST(Matrix, StreamWriterEnforcesDeclaredShape) {
+  const std::string dir = tempDir("stream_shape");
+  const std::vector<std::int32_t> oneLabel = {0};
+  const std::vector<std::int32_t> oneGroup = {0};
+  {
+    MatrixStreamWriter writer(dir + "/short.mtx", 4, 3, 1);
+    const std::vector<double> row(3, 1.0);
+    ASSERT_TRUE(writer.appendRows(row, oneLabel, oneGroup).isOk());
+    EXPECT_FALSE(writer.finish().isOk());  // 1 of 4 declared rows
+    // The abandoned temp never became the target.
+    EXPECT_FALSE(std::filesystem::exists(dir + "/short.mtx"));
+  }
+  {
+    MatrixStreamWriter writer(dir + "/wide.mtx", 2, 3, 1);
+    const std::vector<double> notRowMultiple(5, 1.0);
+    EXPECT_FALSE(writer.appendRows(notRowMultiple, oneLabel, oneGroup).isOk());
+  }
+}
+
+TEST(Matrix, OpenRejectsMissingForeignTruncatedAndStaleFiles) {
+  const std::string dir = tempDir("reject");
+  EXPECT_FALSE(MatrixFile::open(dir + "/absent.mtx").ok());
+
+  const std::string path =
+      writeTestMatrix(dir + "/m.mtx", 8, 4, util::hash64("fresh"));
+
+  // Stale metaHash: opens fine unpinned, rejected when pinned elsewhere.
+  EXPECT_TRUE(MatrixFile::open(path).ok());
+  EXPECT_TRUE(MatrixFile::open(path, util::hash64("fresh")).ok());
+  EXPECT_FALSE(MatrixFile::open(path, util::hash64("stale")).ok());
+
+  // Truncated payload.
+  const auto full = util::readFile(path);
+  ASSERT_TRUE(full.ok());
+  {
+    std::ofstream torn(dir + "/torn.mtx", std::ios::binary);
+    torn << full.value().substr(0, full.value().size() - 7);
+  }
+  EXPECT_FALSE(MatrixFile::open(dir + "/torn.mtx").ok());
+
+  // Foreign magic.
+  {
+    std::string foreign = full.value();
+    foreign[6] ^= 0x20;  // corrupt a magic byte (inside the str payload)
+    std::ofstream out(dir + "/foreign.mtx", std::ios::binary);
+    out << foreign;
+  }
+  EXPECT_FALSE(MatrixFile::open(dir + "/foreign.mtx").ok());
+}
+
+// ---------------------------------------------------------- residency
+
+TEST(Matrix, ResidencyBudgetBoundsChunksWithoutChangingValues) {
+  const std::string dir = tempDir("residency");
+  constexpr std::size_t kRows = 256;
+  constexpr std::size_t kCols = 64;
+  const std::string path =
+      writeTestMatrix(dir + "/big.mtx", kRows, kCols, 7);
+
+  auto opened = MatrixFile::open(path, 7);
+  ASSERT_TRUE(opened.ok());
+  const MatrixFile& file = opened.value();
+
+  // A budget far below the payload (128 KiB of f64s): the scan must still
+  // read every value bit-exactly while the tracker stays bounded.
+  file.setResidencyBudget(16 * 1024);
+  const auto expected = testRows(kRows, kCols);
+  for (std::size_t pass = 0; pass < 2; ++pass) {  // refaults on pass 2
+    for (std::size_t i = 0; i < kRows; ++i) {
+      const std::span<const double> row = file.row(i);
+      for (std::size_t j = 0; j < kCols; ++j) {
+        ASSERT_EQ(row[j], expected[i][j]);
+      }
+    }
+  }
+  EXPECT_GT(file.residentChunks(), 0u);
+
+  file.dropResidency();
+  // Values survive a full drop — pages refault from the file.
+  EXPECT_EQ(file.row(kRows - 1)[kCols - 1],
+            expected[kRows - 1][kCols - 1]);
+}
+
+TEST(Matrix, RowBlockReaderCoversEveryRowExactlyOnce) {
+  const std::string dir = tempDir("blocks");
+  const std::string path = writeTestMatrix(dir + "/m.mtx", 10, 3, 1);
+  auto opened = MatrixFile::open(path);
+  ASSERT_TRUE(opened.ok());
+
+  for (const std::size_t rowsPerBlock : {1ul, 3ul, 10ul, 64ul}) {
+    RowBlockReader reader(opened.value(), rowsPerBlock);
+    std::vector<bool> seen(10, false);
+    while (reader.next()) {
+      EXPECT_LE(reader.endRow() - reader.beginRow(), rowsPerBlock);
+      for (std::size_t i = reader.beginRow(); i < reader.endRow(); ++i) {
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+        EXPECT_EQ(reader.row(i)[0], opened.value().row(i)[0]);
+      }
+    }
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_TRUE(seen[i]) << i;
+  }
+}
+
+TEST(Matrix, ContentHashTracksBytesNotAccessPattern) {
+  const std::string dir = tempDir("hash");
+  const std::string a = writeTestMatrix(dir + "/a.mtx", 40, 8, 3);
+  const std::string b = writeTestMatrix(dir + "/b.mtx", 40, 8, 3);
+
+  auto fileA = MatrixFile::open(a);
+  auto fileB = MatrixFile::open(b);
+  ASSERT_TRUE(fileA.ok());
+  ASSERT_TRUE(fileB.ok());
+  const std::uint64_t hashA = matrixContentHash(fileA.value());
+  EXPECT_EQ(hashA, matrixContentHash(fileB.value()));
+
+  // Budgeted access does not change the hash...
+  fileA.value().setResidencyBudget(4096);
+  EXPECT_EQ(matrixContentHash(fileA.value()), hashA);
+
+  // ...but one flipped payload byte does.
+  auto bytes = util::readFile(a);
+  ASSERT_TRUE(bytes.ok());
+  std::string mutated = bytes.value();
+  mutated[mutated.size() / 2] ^= 1;
+  {
+    std::ofstream out(dir + "/c.mtx", std::ios::binary);
+    out << mutated;
+  }
+  auto fileC = MatrixFile::open(dir + "/c.mtx");
+  ASSERT_TRUE(fileC.ok());
+  EXPECT_NE(matrixContentHash(fileC.value()), hashA);
+}
+
+// ------------------------------------------------------ dataset modes
+
+TEST(Matrix, DatasetFromMatrixServesZeroCopyRowsWithMaterializedSides) {
+  const std::string dir = tempDir("dataset");
+  const std::string path = writeTestMatrix(dir + "/m.mtx", 12, 5, 1);
+  auto opened = MatrixFile::open(path);
+  ASSERT_TRUE(opened.ok());
+
+  const Dataset data = Dataset::fromMatrix(opened.value());
+  data.validate();
+  EXPECT_TRUE(data.x.empty());  // nothing copied
+  EXPECT_EQ(data.size(), 12u);
+  EXPECT_EQ(data.dimension(), 5u);
+  ASSERT_EQ(data.y.size(), 12u);
+  ASSERT_EQ(data.groups.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(data.row(i).data(), opened.value().row(i).data());
+    EXPECT_EQ(data.y[i], opened.value().label(i));
+    EXPECT_EQ(data.groups[i], opened.value().group(i));
+  }
+
+  // subset() copies out of the mapping; subsetView() stays zero-copy and
+  // flattens view-of-view indirection to the root base.
+  const std::vector<std::size_t> pick = {11, 0, 7};
+  const Dataset owned = data.subset(pick);
+  owned.validate();
+  EXPECT_EQ(owned.matrix, nullptr);
+  EXPECT_EQ(owned.x.size(), 3u);
+  EXPECT_EQ(owned.row(0)[2], data.row(11)[2]);
+
+  const Dataset view = data.subsetView(pick);
+  view.validate();
+  EXPECT_EQ(view.row(1).data(), data.row(0).data());
+  EXPECT_EQ(view.y[2], data.y[7]);
+
+  const Dataset nested = view.subsetView({2, 0});
+  nested.validate();
+  EXPECT_EQ(nested.base, view.base);  // flattened, depth stays 1
+  EXPECT_EQ(nested.row(0).data(), data.row(7).data());
+  EXPECT_EQ(nested.y[1], data.y[11]);
+}
+
+}  // namespace
+}  // namespace sca::ml

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "ml/cross_validation.hpp"
 #include "ml/decision_tree.hpp"
+#include "ml/matrix.hpp"
 #include "ml/metrics.hpp"
 #include "ml/random_forest.hpp"
 #include "util/rng.hpp"
@@ -154,6 +156,71 @@ TEST(RandomForest, ThrowsOnEmptyDataset) {
   EXPECT_THROW(forest.fit(Dataset{}), std::invalid_argument);
 }
 
+/// Spills `data` to a sca-matrix-v1 file and returns its path.
+std::string spillToMatrix(const Dataset& data, const std::string& name) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove(path);
+  MatrixWriter writer(data.dimension(), 1);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    writer.appendRow(data.row(i), data.y[i],
+                     data.groups.empty() ? 0 : data.groups[i]);
+  }
+  EXPECT_TRUE(writer.finish(path).isOk());
+  return path;
+}
+
+TEST(RandomForest, StreamingPredictAllIsIdenticalToResidentPath) {
+  const Dataset data = blobs(40, 7);
+  ForestConfig config;
+  config.treeCount = 25;
+  RandomForest forest(config);
+  forest.fit(data);
+  const std::vector<int> resident = forest.predictAll(data.x);
+
+  auto opened =
+      MatrixFile::open(spillToMatrix(data, "sca_ml_stream_eq.mtx"), 1);
+  ASSERT_TRUE(opened.ok()) << opened.status().toString();
+  const Dataset mapped = Dataset::fromMatrix(opened.value());
+
+  // Same votes through every storage mode and thread cap — tiny residency
+  // budget included, which forces block eviction mid-scan.
+  EXPECT_EQ(forest.predictAll(mapped), resident);
+  opened.value().setResidencyBudget(4096);
+  EXPECT_EQ(forest.predictAll(mapped), resident);
+  EXPECT_EQ(forest.predictAll(data), resident);
+
+  ForestConfig serial = config;
+  serial.threads = 1;
+  RandomForest serialForest(serial);
+  serialForest.fit(data);
+  EXPECT_EQ(serialForest.predictAll(mapped), resident);
+}
+
+TEST(RandomForest, FitOnViewsAndMatrixMatchesFitOnCopies) {
+  const Dataset data = blobs(30, 11);
+  std::vector<std::size_t> train;
+  for (std::size_t i = 0; i < data.size(); i += 2) train.push_back(i);
+
+  ForestConfig config;
+  config.treeCount = 15;
+  config.seed = 41;
+
+  RandomForest onCopy(config), onView(config), onMatrix(config);
+  onCopy.fit(data.subset(train));
+  onView.fit(data.subsetView(train));
+
+  auto opened =
+      MatrixFile::open(spillToMatrix(data, "sca_ml_fit_modes.mtx"), 1);
+  ASSERT_TRUE(opened.ok());
+  const Dataset mapped = Dataset::fromMatrix(opened.value());
+  onMatrix.fit(mapped.subsetView(train));
+
+  const std::vector<int> expected = onCopy.predictAll(data.x);
+  EXPECT_EQ(onView.predictAll(data), expected);
+  EXPECT_EQ(onMatrix.predictAll(data), expected);
+}
+
 TEST(DecisionTree, SaveLoadRoundTrip) {
   const Dataset data = blobs(25, 12);
   std::vector<std::size_t> all(data.size());
@@ -249,7 +316,7 @@ TEST(CrossValidation, LeaveOneGroupOutUsesAllRowsOnce) {
         RandomForest forest(ForestConfig{.treeCount = 10});
         forest.fit(train);
         tested += test.size();
-        return forest.predictAll(test.x);
+        return forest.predictAll(test);  // folds are views; x stays empty
       });
   EXPECT_EQ(folds.size(), 4u);
   EXPECT_EQ(tested, data.size());

@@ -726,6 +726,102 @@ TEST(Checkpoint, KillAndResumeIsBitIdentical) {
   }
 }
 
+// ----------------------------------------------------------- chain pack
+
+ChainKey packKey(int challenge) {
+  ChainKey key = testKey();
+  key.challenge = challenge;
+  return key;
+}
+
+TEST(ChainPack, CompactionPacksLooseFilesAndLoadsFallBack) {
+  const std::string dir = tempDir("pack_roundtrip");
+  const std::vector<std::string> outputs = {"first\n", "second \"q\"", ""};
+  for (int challenge = 0; challenge < 3; ++challenge) {
+    ASSERT_TRUE(
+        writeChainCheckpoint(dir, packKey(challenge), outputs).isOk());
+  }
+
+  const auto compacted = compactCheckpoints(dir);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().toString();
+  EXPECT_EQ(compacted.value().packedChains, 3u);
+  EXPECT_EQ(compacted.value().removedFiles, 3u);
+
+  // No loose chain files survive; the pack indexes all three.
+  for (int challenge = 0; challenge < 3; ++challenge) {
+    EXPECT_FALSE(std::filesystem::exists(
+        chainCheckpointPath(dir, packKey(challenge))));
+  }
+  const auto index = readChainPackIndex(chainPackPath(dir));
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index.value().size(), 3u);
+
+  // Loads are served from the pack and pass the same validation.
+  for (int challenge = 0; challenge < 3; ++challenge) {
+    const auto loaded = loadChainCheckpoint(dir, packKey(challenge));
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded.value(), outputs);
+  }
+  // A key the pack does not hold still misses cleanly.
+  EXPECT_FALSE(loadChainCheckpoint(dir, packKey(9)).ok());
+  // Stale keys are rejected even when the bytes come from the pack.
+  ChainKey wrongOrigin = packKey(0);
+  wrongOrigin.originHash = util::hash64("not the original");
+  EXPECT_FALSE(loadChainCheckpoint(dir, wrongOrigin).ok());
+}
+
+TEST(ChainPack, LooseFileWinsAndRecompactionMerges) {
+  const std::string dir = tempDir("pack_merge");
+  const std::vector<std::string> stale = {"old a", "old b", "old c"};
+  const std::vector<std::string> fresh = {"new a", "new b", "new c"};
+
+  ASSERT_TRUE(writeChainCheckpoint(dir, packKey(0), stale).isOk());
+  ASSERT_TRUE(writeChainCheckpoint(dir, packKey(1), stale).isOk());
+  ASSERT_TRUE(compactCheckpoints(dir).ok());
+
+  // A newer loose file for chain 0 shadows its packed copy...
+  ASSERT_TRUE(writeChainCheckpoint(dir, packKey(0), fresh).isOk());
+  auto loaded = loadChainCheckpoint(dir, packKey(0));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), fresh);
+
+  // ...and wins the merge when compaction runs again.
+  const auto recompacted = compactCheckpoints(dir);
+  ASSERT_TRUE(recompacted.ok());
+  EXPECT_EQ(recompacted.value().packedChains, 2u);
+  EXPECT_EQ(recompacted.value().removedFiles, 1u);
+  loaded = loadChainCheckpoint(dir, packKey(0));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), fresh);
+  loaded = loadChainCheckpoint(dir, packKey(1));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), stale);
+}
+
+TEST(ChainPack, EmptyDirectoryAndCorruptPackAreHandled) {
+  const std::string dir = tempDir("pack_edge");
+  const auto noop = compactCheckpoints(dir);
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop.value().packedChains, 0u);
+  EXPECT_FALSE(std::filesystem::exists(chainPackPath(dir)));
+
+  ASSERT_TRUE(
+      writeChainCheckpoint(dir, packKey(0), {"x", "y", "z"}).isOk());
+  ASSERT_TRUE(compactCheckpoints(dir).ok());
+
+  // Truncate the pack mid-payload: the index read fails loudly and a load
+  // degrades to a clean miss instead of crashing or returning torn bytes.
+  const auto packed = util::readFile(chainPackPath(dir));
+  ASSERT_TRUE(packed.ok());
+  {
+    std::ofstream torn(chainPackPath(dir),
+                       std::ios::binary | std::ios::trunc);
+    torn << packed.value().substr(0, packed.value().size() / 2);
+  }
+  EXPECT_FALSE(readChainPackIndex(chainPackPath(dir)).ok());
+  EXPECT_FALSE(loadChainCheckpoint(dir, packKey(0)).ok());
+}
+
 // -------------------------------------------------- end-to-end invariants
 
 TEST(ResilientPipeline, FaultsOnReproducesFaultsOffByteForByte) {

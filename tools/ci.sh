@@ -403,6 +403,138 @@ EOF
 }
 serve_telemetry_smoke
 
+# Out-of-core scale smoke: macro_scale generates a small corpus through the
+# sharded matrix builder and asserts its own invariants (streaming vs
+# resident prediction identity, RSS bound) with a nonzero exit. The shell
+# adds the cross-run claims: the stable metrics — which carry the matrix
+# content hash and the fold of every streamed prediction — must be
+# byte-identical across SCA_THREADS=1/8 and across shard sizes; an
+# injected crash must exit nonzero and the resumed build must reuse its
+# segments while reproducing the same stable bytes; and the RSS gate gets
+# its demonstrated failure, mirroring the slowdown test: three clean runs
+# baseline `history check`, then a run with SCA_OBS_TEST_BALLAST_KB
+# (excluded from the env class, like the delay hook) must trip an "rss"
+# finding.
+scale_smoke() {
+  echo "=== out-of-core scale smoke (build-release) ==="
+  local dir=build-release/scale-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local hist="$PWD/$dir/history.jsonl"
+  local cli=build-release/tools/sca_cli
+
+  run_scale() {  # run_scale <tag> <threads> <shard> <corpusdir> [extra env]
+    local tag="$1" threads="$2" shard="$3" corpus="$4"; shift 4
+    (cd "$dir" &&
+     env "$@" SCA_THREADS="$threads" SCA_SCALE_AUTHORS=64 \
+       SCA_SCALE_SHARD="$shard" SCA_SCALE_TRAIN_AUTHORS=24 \
+       SCA_SCALE_TREES=6 SCA_SCALE_DIR="$corpus" \
+       SCA_CHECKPOINT_DIR= SCA_CACHE_DIR= \
+       SCA_MANIFEST="manifest_$tag.json" \
+       ../bench/macro_scale > "out_$tag.txt")
+  }
+
+  run_scale t1 1 16 corpus_t1 ||
+    { cat "$dir/out_t1.txt" >&2; echo "macro_scale t1 failed" >&2; exit 1; }
+  run_scale t8 8 16 corpus_t8 ||
+    { cat "$dir/out_t8.txt" >&2; echo "macro_scale t8 failed" >&2; exit 1; }
+  run_scale shard7 8 7 corpus_shard7 ||
+    { echo "macro_scale shard-size-7 run failed" >&2; exit 1; }
+  local tag
+  for tag in t1 t8 shard7; do
+    "$cli" metrics "$dir/manifest_$tag.json" --stable \
+      > "$dir/stable_$tag.json"
+  done
+  cmp "$dir/stable_t1.json" "$dir/stable_t8.json" ||
+    { echo "scale smoke: stable metrics differ between SCA_THREADS=1 and 8" \
+        >&2; exit 1; }
+  cmp "$dir/stable_t8.json" "$dir/stable_shard7.json" ||
+    { echo "scale smoke: stable metrics depend on the shard size" >&2
+      exit 1; }
+  grep -q '"rusage_max_rss_kb":' "$dir/manifest_t1.json" ||
+    { echo "scale smoke: manifest carries no peak-RSS gauge" >&2; exit 1; }
+
+  # Injected crash: nonzero exit, partial manifest, segments left behind;
+  # the resume reuses them and reproduces the clean runs' stable bytes.
+  if run_scale crash 2 16 corpus_crash SCA_SCALE_CRASH_SHARDS=2; then
+    echo "scale smoke: injected crash did not fail the build" >&2; exit 1
+  fi
+  ls "$dir"/corpus_crash/seg_* > /dev/null 2>&1 ||
+    { echo "scale smoke: crash left no segment checkpoints" >&2; exit 1; }
+  run_scale resume 2 16 corpus_crash ||
+    { echo "macro_scale resume run failed" >&2; exit 1; }
+  grep -Eq '"corpus_shards_resumed":[1-9]' "$dir/manifest_resume.json" ||
+    { echo "scale smoke: resume rebuilt everything from scratch" >&2
+      exit 1; }
+  "$cli" metrics "$dir/manifest_resume.json" --stable \
+    > "$dir/stable_resume.json"
+  cmp "$dir/stable_t1.json" "$dir/stable_resume.json" ||
+    { echo "scale smoke: crash/resume changed the stable metrics" >&2
+      exit 1; }
+
+  # RSS gate, both directions: clean re-runs pass, a ballast-bloated run
+  # (~12x this workload's ~20 MB peak, far past the 1.5x/32 MiB gates)
+  # must be flagged as an "rss" regression.
+  local i
+  for i in 1 2 3; do
+    run_scale "hist$i" 2 16 corpus_hist SCA_HISTORY="$hist" ||
+      { echo "macro_scale history run $i failed" >&2; exit 1; }
+  done
+  "$cli" history check "$hist" ||
+    { echo "history check failed on identical scale re-runs" >&2; exit 1; }
+  run_scale ballast 2 16 corpus_hist SCA_HISTORY="$hist" \
+      SCA_OBS_TEST_BALLAST_KB=262144 ||
+    { echo "macro_scale ballast run failed" >&2; exit 1; }
+  if "$cli" history check "$hist" > "$dir/rss_check.txt" 2>&1; then
+    echo "history check missed the injected RSS blow-up" >&2; exit 1
+  fi
+  grep -q 'rss' "$dir/rss_check.txt" ||
+    { echo "history check failed for a non-rss reason:" >&2
+      cat "$dir/rss_check.txt" >&2; exit 1; }
+  echo "=== out-of-core scale smoke ok ==="
+}
+scale_smoke
+
+# Checkpoint-compaction smoke: chains written by a real pipeline run are
+# folded into the single-file pack, the inspector must list them as packed,
+# and a rerun served from the pack must reproduce the loose-file run's
+# pipeline digests byte for byte.
+compaction_smoke() {
+  echo "=== checkpoint-compaction smoke (build-release) ==="
+  local dir=build-release/compaction-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local cli=build-release/tools/sca_cli
+  local ckpt="$PWD/$dir/ckpt"
+
+  run_once() {
+    (cd "$dir" &&
+     SCA_PIPELINE_ONCE=1 SCA_THREADS=2 SCA_FAULT_RATE=0.05 \
+       SCA_CHECKPOINT_DIR="$ckpt" SCA_CACHE_DIR= \
+       ../bench/micro_pipeline) | grep '^\[pipeline\]'
+  }
+  run_once > "$dir/pipeline_loose.txt"
+  ls "$ckpt"/chain_*.jsonl > /dev/null 2>&1 ||
+    { echo "compaction smoke: pipeline wrote no loose chains" >&2; exit 1; }
+
+  "$cli" checkpoints "$ckpt" --compact > "$dir/compact.txt" ||
+    { echo "compaction smoke: --compact failed" >&2; exit 1; }
+  if ls "$ckpt"/chain_*.jsonl > /dev/null 2>&1; then
+    echo "compaction smoke: loose chains survived compaction" >&2; exit 1
+  fi
+  "$cli" checkpoints "$ckpt" > "$dir/inspect.txt" ||
+    { echo "compaction smoke: inspector rejected the packed dir" >&2
+      exit 1; }
+  grep -q 'pack:' "$dir/inspect.txt" ||
+    { echo "compaction smoke: inspector lists no packed chains" >&2
+      exit 1; }
+
+  run_once > "$dir/pipeline_packed.txt"
+  cmp "$dir/pipeline_loose.txt" "$dir/pipeline_packed.txt" ||
+    { echo "compaction smoke: pack-resumed run diverged from loose run" >&2
+      exit 1; }
+  echo "=== checkpoint-compaction smoke ok ==="
+}
+compaction_smoke
+
 # TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
 # from the caller's environment turn the parallel paths off.
 SCA_THREADS="${SCA_TSAN_THREADS:-4}" \
