@@ -47,6 +47,7 @@
 #include <map>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "obs/history.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
@@ -70,7 +71,8 @@ class Session {
  public:
   explicit Session(std::string benchName)
       : benchName_(std::move(benchName)),
-        start_(std::chrono::steady_clock::now()) {
+        start_(std::chrono::steady_clock::now()),
+        flightScope_(obs::flight::armOptionsFromEnv(benchName_)) {
     obs::logEvent(obs::LogLevel::kInfo, "bench", "session_start",
                   [&](util::JsonObjectBuilder& fields) {
                     fields.add("bench", benchName_);
@@ -98,6 +100,12 @@ class Session {
     obs::RunManifestOptions options;
     options.benchName = benchName_;
     options.complete = complete_;
+    if (!complete_) {
+      // Cross-reference the flight recorder: a latched watchdog verdict or
+      // signal name beats the generic "torn down early".
+      const std::string cause = obs::flight::incidentCause();
+      options.partialCause = cause.empty() ? "destructor" : cause;
+    }
     options.threads = runtime::globalPool().size();
     if (const char* path = std::getenv("SCA_MANIFEST");
         path != nullptr && *path != '\0') {
@@ -154,6 +162,11 @@ class Session {
 
   std::string benchName_;
   std::chrono::steady_clock::time_point start_;
+  // Arms the flight recorder's fatal-signal handlers (and the stall
+  // watchdog when SCA_WATCHDOG_S is set) for the whole bench; destroyed
+  // after the destructor body, so the manifest write above still sees any
+  // latched incident cause.
+  obs::flight::ArmedScope flightScope_;
   bool complete_ = false;
 };
 

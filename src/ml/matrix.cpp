@@ -15,6 +15,7 @@
 #include <stdexcept>
 
 #include "cache/codec.hpp"
+#include "obs/flight.hpp"
 #include "util/io.hpp"
 #include "util/rng.hpp"
 
@@ -412,6 +413,11 @@ bool RowBlockReader::next() {
     begin_ = end_;
   }
   end_ = std::min(begin_ + rowsPerBlock_, file_->rows());
+  if (begin_ < end_) {
+    // Streaming heartbeat: a fold stuck on one block shows up as a stale
+    // row_block event in the flight ring.
+    obs::flight::note(obs::flight::EventKind::kStream, "row_block", begin_);
+  }
   return begin_ < end_;
 }
 

@@ -1,0 +1,224 @@
+#include "obs/flight_report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/manifest.hpp"
+#include "util/strings.hpp"
+
+namespace sca::obs::flight {
+
+namespace {
+
+using Entries = std::vector<std::pair<std::string, std::string>>;
+
+const std::string* findEntry(const Entries& entries, std::string_view key) {
+  for (const auto& [name, value] : entries) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+// Raw values come back quoted for strings; names were sanitized at record
+// time (no escapes survive), so stripping the quotes is enough.
+std::string stringValue(const Entries& entries, std::string_view key) {
+  const std::string* raw = findEntry(entries, key);
+  if (raw == nullptr) return {};
+  if (raw->size() >= 2 && raw->front() == '"' && raw->back() == '"') {
+    return raw->substr(1, raw->size() - 2);
+  }
+  return *raw;
+}
+
+std::uint64_t uintValue(const Entries& entries, std::string_view key) {
+  const std::string* raw = findEntry(entries, key);
+  if (raw == nullptr) return 0;
+  return std::strtoull(raw->c_str(), nullptr, 10);
+}
+
+std::string seconds(std::uint64_t ns) {
+  return util::formatDouble(static_cast<double>(ns) * 1e-9, 3);
+}
+
+}  // namespace
+
+util::Result<Postmortem> Postmortem::parse(std::string_view text) {
+  Postmortem pm;
+  bool sawHeader = false;
+  std::size_t pos = 0;
+  int lineNo = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    const bool lastLine = eol >= text.size() - 1 &&
+                          text.find_first_not_of(" \t\r\n", eol) ==
+                              std::string_view::npos;
+    pos = eol + 1;
+    ++lineNo;
+    if (line.empty()) continue;
+
+    Entries entries;
+    if (line.front() != '{' || !topLevelEntries(line, &entries)) {
+      // A crash can truncate the final record mid-write; everything before
+      // it is still evidence. Garbage earlier in the file is a real error.
+      if (lastLine && sawHeader) break;
+      return util::Status(util::StatusCode::kDataLoss,
+                          "postmortem line " + std::to_string(lineNo) +
+                              " is not a JSON object");
+    }
+
+    if (!sawHeader) {
+      if (stringValue(entries, "schema") != "sca-postmortem-v1") {
+        return util::Status(util::StatusCode::kDataLoss,
+                            "missing or unsupported postmortem schema header");
+      }
+      pm.cause = stringValue(entries, "cause");
+      pm.signal = stringValue(entries, "signal");
+      pm.signo = static_cast<int>(uintValue(entries, "signo"));
+      pm.label = stringValue(entries, "label");
+      pm.tsNs = uintValue(entries, "ts_ns");
+      pm.capacity = uintValue(entries, "capacity");
+      sawHeader = true;
+      continue;
+    }
+
+    const std::string type = stringValue(entries, "type");
+    if (type == "thread") {
+      const auto tid = static_cast<std::uint32_t>(uintValue(entries, "tid"));
+      ReportThread& thread = pm.threads[tid];
+      thread.tid = tid;
+      thread.exited = uintValue(entries, "exited") != 0;
+      thread.totalEvents = uintValue(entries, "events");
+    } else if (type == "active") {
+      const auto tid = static_cast<std::uint32_t>(uintValue(entries, "tid"));
+      ReportThread& thread = pm.threads[tid];
+      thread.tid = tid;
+      ReportActiveSpan span;
+      span.depth = static_cast<std::uint32_t>(uintValue(entries, "depth"));
+      span.sinceNs = uintValue(entries, "since_ns");
+      span.name = stringValue(entries, "name");
+      thread.activeSpans.push_back(std::move(span));
+    } else if (type == "event") {
+      const auto tid = static_cast<std::uint32_t>(uintValue(entries, "tid"));
+      ReportThread& thread = pm.threads[tid];
+      thread.tid = tid;
+      ReportEvent event;
+      event.seq = uintValue(entries, "seq");
+      event.tsNs = uintValue(entries, "ts_ns");
+      event.arg = uintValue(entries, "arg");
+      event.level = static_cast<std::uint8_t>(uintValue(entries, "level"));
+      event.kind = stringValue(entries, "kind");
+      event.name = stringValue(entries, "name");
+      thread.events.push_back(std::move(event));
+    } else if (type == "suspect") {
+      pm.suspectTid = static_cast<std::uint32_t>(uintValue(entries, "tid"));
+      pm.suspectName = stringValue(entries, "name");
+      pm.suspectAgeNs = uintValue(entries, "age_ns");
+    } else if (type == "metrics") {
+      pm.hasMetrics = true;
+    } else if (type == "rusage") {
+      pm.rusageJson = std::string(line);
+    } else if (type == "end") {
+      pm.declaredThreads = uintValue(entries, "threads");
+      pm.declaredEvents = uintValue(entries, "events");
+    }
+    // Unknown types: skip (forward compatibility).
+  }
+  if (!sawHeader) {
+    return util::Status(util::StatusCode::kDataLoss,
+                        "empty postmortem: no schema header");
+  }
+  for (auto& [tid, thread] : pm.threads) {
+    std::sort(thread.activeSpans.begin(), thread.activeSpans.end(),
+              [](const ReportActiveSpan& a, const ReportActiveSpan& b) {
+                return a.depth < b.depth;
+              });
+    std::sort(thread.events.begin(), thread.events.end(),
+              [](const ReportEvent& a, const ReportEvent& b) {
+                return a.seq < b.seq;
+              });
+  }
+  return pm;
+}
+
+bool Postmortem::suspectOrInfer(std::uint32_t* tid, std::string* name,
+                                std::uint64_t* ageNs) const {
+  if (suspectTid != 0) {
+    *tid = suspectTid;
+    *name = suspectName;
+    *ageNs = suspectAgeNs;
+    return true;
+  }
+  const ReportThread* best = nullptr;
+  std::uint64_t bestSince = 0;
+  for (const auto& [id, thread] : threads) {
+    if (thread.exited || thread.activeSpans.empty()) continue;
+    const std::uint64_t since = thread.activeSpans.back().sinceNs;
+    if (best == nullptr || since < bestSince) {
+      best = &thread;
+      bestSince = since;
+    }
+  }
+  if (best == nullptr) return false;
+  *tid = best->tid;
+  *name = best->activeSpans.back().name;
+  *ageNs = tsNs > bestSince ? tsNs - bestSince : 0;
+  return true;
+}
+
+std::string Postmortem::renderText(std::size_t eventsPerThread) const {
+  std::string out = "postmortem: cause=" + cause;
+  if (!signal.empty()) out += " signal=" + signal;
+  if (!label.empty()) out += " label=" + label;
+  out += " threads=" + std::to_string(threads.size());
+  out += " events=" + std::to_string(declaredEvents);
+  out += " capacity=" + std::to_string(capacity);
+  out += " ts=+" + seconds(tsNs) + "s\n";
+
+  std::uint32_t stallTid = 0;
+  std::string stallName;
+  std::uint64_t stallAge = 0;
+  if (suspectOrInfer(&stallTid, &stallName, &stallAge)) {
+    out += "suspected stall site: tid " + std::to_string(stallTid) +
+           " span \"" + stallName + "\" active " + seconds(stallAge) +
+           "s at dump\n";
+  } else {
+    out += "suspected stall site: none (no active spans)\n";
+  }
+  if (!rusageJson.empty()) out += "rusage: " + rusageJson + "\n";
+
+  for (const auto& [tid, thread] : threads) {
+    out += "thread " + std::to_string(tid) +
+           (thread.exited ? " (exited, " : " (live, ") +
+           std::to_string(thread.totalEvents) + " events):\n";
+    if (!thread.activeSpans.empty()) {
+      out += "  active:";
+      for (const ReportActiveSpan& span : thread.activeSpans) {
+        if (&span != &thread.activeSpans.front()) out += " >";
+        out += " " + span.name;
+      }
+      out += '\n';
+      for (const ReportActiveSpan& span : thread.activeSpans) {
+        out += "    [" + std::to_string(span.depth) + "] " + span.name +
+               "  since +" + seconds(span.sinceNs) + "s\n";
+      }
+    }
+    const std::size_t n = std::min(eventsPerThread, thread.events.size());
+    if (n > 0) {
+      out += "  last " + std::to_string(n) + " of " +
+             std::to_string(thread.totalEvents) + " events:\n";
+      for (std::size_t i = thread.events.size() - n; i < thread.events.size();
+           ++i) {
+        const ReportEvent& event = thread.events[i];
+        out += "    +" + seconds(event.tsNs) + "s  " + event.kind + "  " +
+               event.name;
+        if (event.arg != 0) out += "  arg=" + std::to_string(event.arg);
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sca::obs::flight

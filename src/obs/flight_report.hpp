@@ -1,0 +1,72 @@
+#pragma once
+
+// Offline reconstruction of `sca-postmortem-v1` flight-recorder dumps
+// (watchdog stall dumps and fatal-signal postmortems share the schema).
+// Backs `sca_cli postmortem <file>`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace sca::obs::flight {
+
+struct ReportEvent {
+  std::uint64_t tsNs = 0;
+  std::uint64_t arg = 0;
+  std::uint64_t seq = 0;
+  std::uint8_t level = 0;
+  std::string kind;
+  std::string name;
+};
+
+struct ReportActiveSpan {
+  std::uint32_t depth = 0;
+  std::uint64_t sinceNs = 0;
+  std::string name;
+};
+
+struct ReportThread {
+  std::uint32_t tid = 0;
+  bool exited = false;
+  std::uint64_t totalEvents = 0;
+  std::vector<ReportActiveSpan> activeSpans;  // outermost first
+  std::vector<ReportEvent> events;            // oldest -> newest
+};
+
+struct Postmortem {
+  std::string cause;   // "signal" | "watchdog_stall"
+  std::string signal;  // "SIGSEGV" etc. ("" unless cause == "signal")
+  int signo = 0;
+  std::string label;
+  std::uint64_t tsNs = 0;  // dump timestamp, tracer clock
+  std::uint64_t capacity = 0;
+  std::uint64_t declaredThreads = 0;
+  std::uint64_t declaredEvents = 0;
+  // Suspect recorded by the watchdog at dump time (tid 0 = none recorded;
+  // suspectOrInfer() falls back to deriving one from the active spans).
+  std::uint32_t suspectTid = 0;
+  std::string suspectName;
+  std::uint64_t suspectAgeNs = 0;
+  bool hasMetrics = false;
+  std::string rusageJson;  // "" when absent (signal dumps)
+  std::map<std::uint32_t, ReportThread> threads;
+
+  /// Parses one dump. Fails on a missing/mismatched schema header or
+  /// structurally broken lines; unknown record types are skipped so newer
+  /// writers stay readable.
+  [[nodiscard]] static util::Result<Postmortem> parse(std::string_view text);
+
+  /// The suspect line if the dump carried one, else the innermost active
+  /// span that has been live the longest. False when no spans were active.
+  [[nodiscard]] bool suspectOrInfer(std::uint32_t* tid, std::string* name,
+                                    std::uint64_t* ageNs) const;
+
+  /// Human-readable timeline: header, suspected stall site, then each
+  /// thread's active-span chain and last `eventsPerThread` events.
+  [[nodiscard]] std::string renderText(std::size_t eventsPerThread) const;
+};
+
+}  // namespace sca::obs::flight

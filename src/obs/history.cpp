@@ -41,6 +41,9 @@ bool excludedFromEnvClass(std::string_view name) {
          name == "SCA_GIT_SHA" || name == "SCA_THREADS" ||
          name == "SCA_OBS_TEST_DELAY_MS" ||
          name == "SCA_OBS_TEST_BALLAST_KB" ||  // CI RSS-injection hook
+         name == "SCA_OBS_TEST_STALL_MS" ||    // CI watchdog-wedge hook
+         name == "SCA_FLIGHT_EVENTS" || name == "SCA_FLIGHT_DIR" ||
+         name == "SCA_WATCHDOG_S" ||  // flight recorder: observational only
          util::startsWith(name, "SCA_HISTORY");
 }
 

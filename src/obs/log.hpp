@@ -39,6 +39,7 @@
 #include <string_view>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "util/strings.hpp"
 
 namespace sca::obs {
@@ -96,6 +97,11 @@ class EventLog {
 template <typename F>
 inline void logEvent(LogLevel level, std::string_view component,
                      std::string_view event, F&& fill) {
+  // The flight recorder sees every log call site regardless of SCA_LOG, so
+  // retries, failovers, evictions and checkpoints land in the crash rings.
+  if (flight::enabled()) {
+    flight::noteLog(static_cast<std::uint8_t>(level), component, event);
+  }
   EventLog& log = EventLog::global();
   if (!log.enabledFor(level)) return;
   util::JsonObjectBuilder fields;
@@ -105,6 +111,9 @@ inline void logEvent(LogLevel level, std::string_view component,
 
 inline void logEvent(LogLevel level, std::string_view component,
                      std::string_view event) {
+  if (flight::enabled()) {
+    flight::noteLog(static_cast<std::uint8_t>(level), component, event);
+  }
   EventLog& log = EventLog::global();
   if (!log.enabledFor(level)) return;
   log.write(level, component, event, {});

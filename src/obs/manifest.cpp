@@ -167,6 +167,10 @@ std::string runManifestJson(const RunManifestOptions& options) {
   out += "\"bench\":\"" + util::jsonEscape(options.benchName) + "\",\n";
   out += std::string("\"status\":\"") +
          (options.complete ? "complete" : "partial") + "\",\n";
+  if (!options.complete && !options.partialCause.empty()) {
+    out += "\"partial_cause\":\"" + util::jsonEscape(options.partialCause) +
+           "\",\n";
+  }
   out += "\"git_sha\":\"" + util::jsonEscape(resolveGitSha()) + "\",\n";
   out += "\"threads\":" + std::to_string(options.threads) + ",\n";
   out += "\"env\":" + scaEnvJson() + ",\n";

@@ -56,6 +56,11 @@ struct RunManifestOptions {
   std::string path = "bench_out/manifest.json";
   std::string benchName;
   bool complete = false;
+  // Why a partial manifest is partial: a signal name ("SIGSEGV"),
+  // "watchdog_stall", or "destructor" (session torn down before
+  // markComplete). Emitted as "partial_cause" only when !complete, so
+  // flight dumps and manifests cross-reference.
+  std::string partialCause;
   std::size_t threads = 0;         // caller-supplied (obs sits below runtime)
   Scope scope = Scope::kLifetime;  // survives the benches' per-table resets
 };

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/flight.hpp"
 #include "util/io.hpp"
 #include "util/strings.hpp"
 
@@ -153,20 +154,31 @@ util::Status Tracer::writeChromeTrace(const std::string& path) const {
 
 Span::Span(std::string_view name, const char* category) {
   Tracer& tracer = Tracer::global();
-  if (!tracer.enabled()) return;
-  active_ = true;
+  const bool traceOn = tracer.enabled();
+  const bool flightOn = flight::enabled();
+  if (!traceOn && !flightOn) return;
   name_ = std::string(name);
   category_ = category;
-  parentId_ = tlsCurrentSpan;
-  // tid (assigned on buffer attach) in the high bits keeps ids unique
-  // across threads without any shared counter.
-  id_ = (static_cast<std::uint64_t>(tracer.localBuffer().tid) << 32) |
-        (++tlsSpanSequence & 0xffffffffULL);
-  tlsCurrentSpan = id_;
   startNs_ = tracer.nowNs();
+  if (traceOn) {
+    active_ = true;
+    parentId_ = tlsCurrentSpan;
+    // tid (assigned on buffer attach) in the high bits keeps ids unique
+    // across threads without any shared counter.
+    id_ = (static_cast<std::uint64_t>(tracer.localBuffer().tid) << 32) |
+          (++tlsSpanSequence & 0xffffffffULL);
+    tlsCurrentSpan = id_;
+  }
+  if (flightOn) {
+    flightActive_ = true;
+    flight::spanBegin(name_);
+  }
 }
 
 Span::~Span() {
+  if (flightActive_) {
+    flight::spanEnd(name_, Tracer::global().nowNs() - startNs_);
+  }
   if (!active_) return;
   tlsCurrentSpan = parentId_;
   Tracer& tracer = Tracer::global();

@@ -116,7 +116,8 @@ class Span {
   std::uint64_t startNs_ = 0;
   std::uint64_t id_ = 0;
   std::uint64_t parentId_ = 0;
-  bool active_ = false;
+  bool active_ = false;        // feeding the tracer
+  bool flightActive_ = false;  // feeding the flight recorder
 };
 
 /// Renders events as a Chrome trace_event JSON document (ts/dur in

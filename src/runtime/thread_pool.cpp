@@ -1,7 +1,10 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 #include <utility>
 
 #include "obs/log.hpp"
@@ -111,6 +114,26 @@ bool ThreadPool::tryTake(std::size_t self, std::function<void()>& task) {
   return false;
 }
 
+namespace {
+
+// CI watchdog hook: SCA_OBS_TEST_STALL_MS wedges the FIRST pool task of the
+// process for that many milliseconds (inside its pool_task span), simulating
+// a hung task so the flight-recorder stall watchdog can be exercised
+// end-to-end. Purely a sleep — outputs stay byte-identical.
+void applyPoolStallTestHook() {
+  static const long stallMs = [] {
+    const char* raw = std::getenv("SCA_OBS_TEST_STALL_MS");
+    return raw != nullptr && *raw != '\0' ? std::strtol(raw, nullptr, 10)
+                                          : 0L;
+  }();
+  if (stallMs <= 0) return;
+  static std::atomic<bool> fired{false};
+  if (fired.exchange(true, std::memory_order_relaxed)) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(stallMs));
+}
+
+}  // namespace
+
 void ThreadPool::workerLoop(std::size_t self) {
   tlsOnWorkerThread = true;
   for (;;) {
@@ -122,6 +145,7 @@ void ThreadPool::workerLoop(std::size_t self) {
       }
       {
         obs::Span span("pool_task", "runtime");
+        applyPoolStallTestHook();
         const std::uint64_t startNs = obs::Tracer::global().nowNs();
         task();
         taskMicrosHistogram().observe(

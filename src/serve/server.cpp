@@ -7,6 +7,7 @@
 
 #include "corpus/challenges.hpp"
 #include "llm/call_context.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -208,6 +209,9 @@ void Server::processBatch(std::ostream& out) {
   }
   batchSizeSketch_.observe(static_cast<double>(n));
   const std::uint64_t batchIndex = stats_.batches;
+  // Serve-loop heartbeat: batch boundaries keep the flight ring moving even
+  // when individual requests neither log nor span (e.g. all-shed batches).
+  obs::flight::note(obs::flight::EventKind::kPhase, "serve_batch", batchIndex);
 
   // Group by chain in first-appearance order: chains run in parallel, a
   // chain's requests run sequentially (they are one conversation), and the

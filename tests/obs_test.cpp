@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "llm/checkpoint.hpp"
@@ -475,6 +478,82 @@ TEST_F(ObsTest, DisabledEventLogWritesNothing) {
            [](util::JsonObjectBuilder& fields) { fields.addInt("n", 1); });
 }
 
+// Each record is appended with ONE O_APPEND write(2), so a reader tailing
+// the file while N threads log concurrently must only ever observe whole
+// lines — no interleaved fragments, no partial trailing record.
+TEST_F(ObsTest, ConcurrentLogWritersNeverTearALine) {
+  const std::string path =
+      ::testing::TempDir() + "obs_test_concurrent_log.jsonl";
+  std::remove(path.c_str());
+  EventLog::global().configure(path, LogLevel::kInfo);
+
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<int> tornObservations{0};
+
+  const auto checkContent = [&](const std::string& content) {
+    // A file produced by whole-line writes always ends at a newline.
+    if (!content.empty() && content.back() != '\n') {
+      tornObservations.fetch_add(1);
+      return;
+    }
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+      const std::size_t eol = content.find('\n', pos);
+      const std::string_view line(content.data() + pos, eol - pos);
+      if (line.empty() || line.front() != '{' || line.back() != '}') {
+        tornObservations.fetch_add(1);
+      }
+      pos = eol + 1;
+    }
+  };
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (const util::Result<std::string> content = util::readFile(path);
+          content.ok()) {
+        checkContent(content.value());
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        logEvent(LogLevel::kInfo, "torn_test", "w",
+                 [&](util::JsonObjectBuilder& fields) {
+                   fields.addInt("writer", w);
+                   fields.addInt("i", i);
+                 });
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(tornObservations.load(), 0);
+
+  // Final state: every record arrived exactly once, all lines whole.
+  const util::Result<std::string> content = util::readFile(path);
+  ASSERT_TRUE(content.ok());
+  checkContent(content.value());
+  EXPECT_EQ(tornObservations.load(), 0);
+  std::size_t records = 0;
+  std::size_t pos = 0;
+  while ((pos = content.value().find("\"component\":\"torn_test\"", pos)) !=
+         std::string::npos) {
+    ++records;
+    pos += 1;
+  }
+  EXPECT_EQ(records, static_cast<std::size_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(EventLog::global().droppedWrites(), 0u);
+}
+
 // --- trace analytics ------------------------------------------------------
 
 /// Hand-built span tree with known self times:
@@ -519,6 +598,34 @@ TEST_F(ObsTest, SpanHotspotsRankBySelfTime) {
   EXPECT_EQ(hotspots[3].totalNs, 100u);
 
   EXPECT_EQ(spanHotspots(spanFixture(), 2).size(), 2u);
+}
+
+// Pin the tie-break contract `sca_cli trace --summary` relies on: spans
+// with equal self time rank by name, never by map/insertion order — the
+// report is byte-stable for any event ordering of the same trace.
+TEST_F(ObsTest, SpanHotspotTiesBreakBySpanNameNotInsertionOrder) {
+  const auto makeEvent = [](const char* name, std::uint64_t id) {
+    TraceEvent event;
+    event.name = name;
+    event.startNs = id * 1000;  // disjoint roots: selfNs == durationNs
+    event.durationNs = 50;
+    event.id = id;
+    return event;
+  };
+  std::vector<TraceEvent> events = {makeEvent("zeta", 1),
+                                    makeEvent("alpha", 2),
+                                    makeEvent("mid", 3)};
+  const std::vector<std::string> expected = {"alpha", "mid", "zeta"};
+  do {
+    const std::vector<SpanStats> hotspots = spanHotspots(events);
+    ASSERT_EQ(hotspots.size(), 3u);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(hotspots[i].name, expected[i]);
+      EXPECT_EQ(hotspots[i].selfNs, 50u);
+    }
+  } while (std::next_permutation(
+      events.begin(), events.end(),
+      [](const TraceEvent& a, const TraceEvent& b) { return a.id < b.id; }));
 }
 
 TEST_F(ObsTest, CriticalPathDescendsIntoTheLastFinishingChild) {

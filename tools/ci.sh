@@ -535,6 +535,104 @@ compaction_smoke() {
 }
 compaction_smoke
 
+# Flight-recorder smoke: the recorder's hard invariant is that it OBSERVES
+# without participating — stable output bytes are identical with the rings
+# and watchdog armed or disabled. Then both forensic paths are exercised
+# for real: a wedged pool task must trip the watchdog dump, and a SIGSEGV
+# delivered mid-chaos-run must leave a postmortem the offline reconstructor
+# can render.
+flight_smoke() {
+  echo "=== flight-recorder smoke (build-release) ==="
+  local dir=build-release/flight-smoke
+  rm -rf "$dir" && mkdir -p "$dir"
+  local cli=build-release/tools/sca_cli
+
+  # 1) Byte-identity: recorder+watchdog on vs recorder off, at 1 and 8
+  # threads. A clean run must also leave no watchdog dump behind.
+  local t mode
+  for t in 1 8; do
+    for mode in on off; do
+      local events=256
+      [ "$mode" = off ] && events=0
+      (cd "$dir" &&
+       SCA_PIPELINE_ONCE=1 SCA_THREADS=$t SCA_FAULT_RATE=0.05 \
+         SCA_CHECKPOINT_DIR= SCA_CACHE_DIR= \
+         SCA_FLIGHT_EVENTS=$events SCA_WATCHDOG_S=2 \
+         SCA_FLIGHT_DIR="flight_t${t}_$mode" \
+         SCA_MANIFEST="manifest_t${t}_$mode.json" \
+         ../bench/micro_pipeline) |
+        grep '^\[pipeline\]' > "$dir/pipeline_t${t}_$mode.txt"
+      "$cli" metrics "$dir/manifest_t${t}_$mode.json" --stable \
+        > "$dir/stable_t${t}_$mode.json"
+    done
+    cmp "$dir/pipeline_t${t}_on.txt" "$dir/pipeline_t${t}_off.txt" ||
+      { echo "flight smoke: recorder changed pipeline digests (t=$t)" >&2
+        exit 1; }
+    cmp "$dir/stable_t${t}_on.json" "$dir/stable_t${t}_off.json" ||
+      { echo "flight smoke: recorder changed stable metrics (t=$t)" >&2
+        exit 1; }
+    if [ -e "$dir/flight_t${t}_on/watchdog.json" ]; then
+      echo "flight smoke: watchdog dumped on a clean run (t=$t)" >&2
+      exit 1
+    fi
+  done
+  cmp "$dir/stable_t1_on.json" "$dir/stable_t8_on.json" ||
+    { echo "flight smoke: stable metrics differ between threads" >&2
+      exit 1; }
+
+  # 2) Wedged pool task (test hook stalls the first task for 6s) must trip
+  # the 1s watchdog; the run still completes, the dump names the stall.
+  (cd "$dir" &&
+   SCA_PIPELINE_ONCE=1 SCA_THREADS=4 SCA_FAULT_RATE=0.05 \
+     SCA_CHECKPOINT_DIR= SCA_CACHE_DIR= \
+     SCA_OBS_TEST_STALL_MS=6000 SCA_WATCHDOG_S=1 \
+     SCA_FLIGHT_DIR=flight-wedge SCA_MANIFEST=manifest_wedge.json \
+     ../bench/micro_pipeline > wedge.out 2>&1) ||
+    { cat "$dir/wedge.out" >&2
+      echo "flight smoke: wedged run did not complete" >&2; exit 1; }
+  [ -s "$dir/flight-wedge/watchdog.json" ] ||
+    { echo "flight smoke: watchdog never dumped on the wedged run" >&2
+      exit 1; }
+  grep -q '"cause":"watchdog_stall"' "$dir/flight-wedge/watchdog.json" ||
+    { echo "flight smoke: watchdog dump has wrong cause" >&2; exit 1; }
+  "$cli" postmortem "$dir/flight-wedge/watchdog.json" \
+    > "$dir/wedge_report.txt" ||
+    { echo "flight smoke: postmortem could not render watchdog dump" >&2
+      exit 1; }
+  grep -q 'suspected stall site' "$dir/wedge_report.txt" ||
+    { echo "flight smoke: watchdog report names no stall site" >&2
+      exit 1; }
+
+  # 3) SIGSEGV mid-chaos-serve: the async-signal-safe handler must leave a
+  # parseable postmortem with per-thread timelines. The subshell execs the
+  # bench so $! is the bench pid, not a wrapper shell.
+  cd "$dir"
+  ( exec env SCA_THREADS=4 SCA_SHARDS=4 SCA_FAULT_RATE=0.15 \
+      SCA_OBS_TEST_STALL_MS=8000 SCA_FLIGHT_DIR=flight-crash \
+      ../bench/macro_serve > crash.out 2>&1 ) &
+  local pid=$!
+  sleep 2
+  kill -SEGV "$pid" 2> /dev/null || true
+  local rc=0
+  wait "$pid" || rc=$?
+  cd - > /dev/null
+  [ "$rc" -eq 139 ] ||
+    { echo "flight smoke: SEGV run exited $rc, expected 139" >&2; exit 1; }
+  [ -s "$dir/flight-crash/postmortem.json" ] ||
+    { echo "flight smoke: no postmortem after SIGSEGV" >&2; exit 1; }
+  "$cli" postmortem "$dir/flight-crash/postmortem.json" \
+    > "$dir/crash_report.txt" ||
+    { echo "flight smoke: postmortem could not parse the SIGSEGV dump" >&2
+      exit 1; }
+  grep -q 'cause=signal signal=SIGSEGV' "$dir/crash_report.txt" ||
+    { echo "flight smoke: report missing SIGSEGV cause" >&2; exit 1; }
+  grep -q '^thread ' "$dir/crash_report.txt" ||
+    { echo "flight smoke: report has no per-thread timelines" >&2
+      exit 1; }
+  echo "=== flight-recorder smoke ok ==="
+}
+flight_smoke
+
 # TSan needs a few threads to have anything to race; don't let SCA_THREADS=1
 # from the caller's environment turn the parallel paths off.
 SCA_THREADS="${SCA_TSAN_THREADS:-4}" \

@@ -42,6 +42,8 @@
 #include "evasion/evasion.hpp"
 #include "llm/checkpoint.hpp"
 #include "llm/synthetic_llm.hpp"
+#include "obs/flight.hpp"
+#include "obs/flight_report.hpp"
 #include "obs/history.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
@@ -111,6 +113,12 @@ void printUsage(std::ostream& out) {
       "                              from a structured event log (SCA_LOG):\n"
       "                              slowest-N requests and per-op SLO\n"
       "                              table\n"
+      "  postmortem <file> [--events N]\n"
+      "                              reconstruct an sca-postmortem-v1\n"
+      "                              flight-recorder dump (watchdog stall\n"
+      "                              or fatal-signal crash): suspected\n"
+      "                              stall site, per-thread active spans\n"
+      "                              and last-N event timelines\n"
       "  help                        this listing\n";
 }
 
@@ -263,8 +271,12 @@ int cmdMetrics(const std::vector<std::string>& args) {
   }
 
   std::cout << "bench:    " << manifestField(manifest, "bench") << '\n'
-            << "status:   " << manifestField(manifest, "status") << '\n'
-            << "git_sha:  " << manifestField(manifest, "git_sha") << '\n'
+            << "status:   " << manifestField(manifest, "status") << '\n';
+  if (const std::string cause = manifestField(manifest, "partial_cause");
+      !cause.empty()) {
+    std::cout << "cause:    " << cause << '\n';
+  }
+  std::cout << "git_sha:  " << manifestField(manifest, "git_sha") << '\n'
             << "threads:  " << manifestField(manifest, "threads") << '\n';
   std::cout << "stable counters:\n";
   printObjectEntries(obs::extractJsonObject(metrics, "counters"), "  ");
@@ -681,6 +693,9 @@ int cmdCheckpoints(const std::vector<std::string>& args) {
 /// the CI smoke gates cover serving runs too.
 int cmdServe(const std::vector<std::string>& args) {
   if (!args.empty()) return usage();
+  // Arm crash forensics for the whole serving session: a wedged shard or a
+  // crash mid-stream leaves a postmortem under bench_out/flight/.
+  obs::flight::ArmedScope flightScope(obs::flight::armOptionsFromEnv("serve"));
   const auto start = std::chrono::steady_clock::now();
   serve::Server server(serve::ServerOptions::fromEnv());
   const serve::ServeStats stats = server.run(std::cin, std::cout);
@@ -833,6 +848,35 @@ int cmdCache(const std::vector<std::string>& args) {
   return usage();
 }
 
+/// `postmortem <file> [--events N]`: offline reconstruction of a flight-
+/// recorder dump — watchdog stall verdicts and fatal-signal postmortems
+/// share the sca-postmortem-v1 schema.
+int cmdPostmortem(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::string path;
+  std::size_t eventsPerThread = 10;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--events") {
+      if (i + 1 >= args.size()) return usage();
+      eventsPerThread = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (path.empty() && args[i].rfind("--", 0) != 0) {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+  const util::Result<obs::flight::Postmortem> parsed =
+      obs::flight::Postmortem::parse(readFile(path));
+  if (!parsed.ok()) {
+    std::cerr << "error: " << path << ": " << parsed.status().toString()
+              << '\n';
+    return 1;
+  }
+  std::cout << parsed.value().renderText(eventsPerThread);
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -854,6 +898,7 @@ int dispatch(const std::string& command,
   if (command == "cache") return cmdCache(args);
   if (command == "serve") return cmdServe(args);
   if (command == "serve-report") return cmdServeReport(args);
+  if (command == "postmortem") return cmdPostmortem(args);
   if (command == "help" || command == "--help" || command == "-h") {
     printUsage(std::cout);
     return 0;
